@@ -1,0 +1,62 @@
+// Command prmgen emits the synthetic evaluation datasets as CSV files, in
+// the layout prmsel.ReadDatabaseCSV accepts (one file per table).
+//
+//	prmgen -dataset tb -scale 1.0 -out ./data/tb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"prmsel/internal/datagen"
+	"prmsel/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prmgen: ")
+	name := flag.String("dataset", "census", "dataset: census, tb, fin, shop or fig1")
+	rows := flag.Int("rows", 150000, "census rows")
+	scale := flag.Float64("scale", 1.0, "TB/FIN scale (1.0 = paper sizes)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	var db *dataset.Database
+	switch *name {
+	case "census":
+		db = datagen.Census(*rows, *seed)
+	case "tb":
+		db = datagen.TB(*scale, *seed)
+	case "fin":
+		db = datagen.FIN(*scale, *seed)
+	case "shop":
+		db = datagen.Shop(*scale, *seed)
+	case "fig1":
+		db = datagen.Fig1Example()
+	default:
+		log.Fatalf("unknown dataset %q", *name)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, tn := range db.TableNames() {
+		path := filepath.Join(*out, tn+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dataset.WriteCSV(f, db.Table(tn)); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, db.Table(tn).Len())
+	}
+}

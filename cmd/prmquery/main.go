@@ -1,0 +1,123 @@
+// Command prmquery estimates ad-hoc queries against a learned model, in
+// one shot or as a small REPL, and compares each estimate with the exact
+// count:
+//
+//	prmquery -dataset tb -q "FROM Contact c, Patient p WHERE c.Patient = p.PK AND p.Age BETWEEN age6 AND age7"
+//	prmquery -dataset tb            # interactive: one query per line
+//
+// Query syntax is the internal/queryparse dialect: clauses alias.Attr =
+// label, != label, IN (…), NOT IN (…), BETWEEN lo AND hi, keyjoins
+// alias.FK = other.PK, and non-key joins alias.A = other.B. Use #n for a
+// raw value code.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"prmsel"
+	"prmsel/internal/cliutil"
+	"prmsel/internal/queryparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prmquery: ")
+	name := flag.String("dataset", "census", cliutil.DatasetHelp)
+	csvDir := flag.String("csv", "", "directory of <table>.csv files (overrides -dataset)")
+	rows := flag.Int("rows", 40000, "census rows")
+	scale := flag.Float64("scale", 1.0, "TB/FIN/Shop scale")
+	seed := flag.Int64("seed", 1, "generator seed")
+	budget := flag.Int("budget", 4400, "model storage budget in bytes")
+	queryText := flag.String("q", "", "query to estimate (empty = read queries from stdin)")
+	noExact := flag.Bool("no-exact", false, "skip the exact count (fast, estimate only)")
+	flag.Parse()
+
+	db, err := cliutil.LoadDB(*csvDir, *name, *rows, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	model, err := prmsel.Build(db, prmsel.Config{BudgetBytes: *budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "model: %d bytes, built in %v\n", model.StorageBytes(), time.Since(start).Round(time.Millisecond))
+
+	run := func(text string) {
+		q, err := queryparse.Parse(db, text)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		estStart := time.Now()
+		est, err := model.EstimateCount(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		estTime := time.Since(estStart)
+		fmt.Printf("query:    %s\n", q)
+		fmt.Printf("estimate: %.1f   (%v)\n", est, estTime.Round(time.Microsecond))
+		if !*noExact {
+			exactStart := time.Now()
+			truth, err := db.Count(q)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				return
+			}
+			errPct := 100 * abs(est-float64(truth)) / maxf(float64(truth), 1)
+			fmt.Printf("exact:    %d   (%v, adjusted relative error %.1f%%)\n",
+				truth, time.Since(exactStart).Round(time.Microsecond), errPct)
+		}
+		if ex, err := model.Explain(q); err == nil && len(ex.TupleVars) > len(q.Vars) {
+			closure := make([]string, 0, len(ex.TupleVars))
+			for tv, table := range ex.TupleVars {
+				if _, own := q.Vars[tv]; !own {
+					closure = append(closure, table)
+				}
+			}
+			sort.Strings(closure)
+			fmt.Printf("closure:  upward closure added %s\n", strings.Join(closure, ", "))
+		}
+	}
+
+	if *queryText != "" {
+		run(*queryText)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "enter one query per line (ctrl-d to exit):")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		run(line)
+		fmt.Println()
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+// Command prmshow learns a model and prints its dependency structure,
+// storage breakdown and a quality summary — the quickest way to inspect
+// what a PRM finds in a database. The input is either a built-in synthetic
+// dataset or a directory of CSVs in the prmgen layout.
+//
+//	prmshow -dataset tb -budget 4400
+//	prmshow -csv ./data/tb -budget 4400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"prmsel"
+	"prmsel/internal/cliutil"
+	"prmsel/internal/learn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prmshow: ")
+	name := flag.String("dataset", "census", cliutil.DatasetHelp)
+	csvDir := flag.String("csv", "", "directory of <table>.csv files (overrides -dataset)")
+	rows := flag.Int("rows", 40000, "census rows")
+	scale := flag.Float64("scale", 1.0, "TB/FIN scale")
+	seed := flag.Int64("seed", 1, "generator seed")
+	budget := flag.Int("budget", 4096, "model storage budget in bytes")
+	cpd := flag.String("cpd", "tree", "CPD representation: tree or table")
+	uniform := flag.Bool("uniform-join", false, "learn the BN+UJ baseline instead")
+	verbose := flag.Bool("verbose", false, "also print each variable's CPD")
+	save := flag.String("save", "", "write the learned model (gob) to this path")
+	load := flag.String("load", "", "load a model from this path instead of learning")
+	flag.Parse()
+
+	db, err := cliutil.LoadDB(*csvDir, *name, *rows, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kind := learn.Tree
+	if *cpd == "table" {
+		kind = learn.Table
+	}
+	var model *prmsel.Model
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err = prmsel.LoadModel(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var err error
+		model, err = prmsel.Build(db, prmsel.Config{
+			CPD:         kind,
+			BudgetBytes: *budget,
+			UniformJoin: *uniform,
+			Seed:        *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.Encode(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved model to %s\n", *save)
+	}
+
+	fmt.Println("tables:")
+	for _, tn := range db.TableNames() {
+		t := db.Table(tn)
+		attrs := make([]string, len(t.Attributes))
+		for i, a := range t.Attributes {
+			attrs[i] = fmt.Sprintf("%s(%d)", a.Name, a.Card())
+		}
+		fmt.Printf("  %-12s %7d rows   %s\n", tn, t.Len(), strings.Join(attrs, " "))
+	}
+	fmt.Printf("\nmodel: %d bytes (budget %d), %d parameters, %s CPDs\n\n",
+		model.StorageBytes(), *budget, model.NumParams(), *cpd)
+	fmt.Println("dependency structure:")
+	fmt.Print(model.String())
+	if *verbose {
+		fmt.Println("\nconditional probability distributions:")
+		fmt.Print(model.RenderCPDs())
+	}
+}

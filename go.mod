@@ -1,0 +1,3 @@
+module prmsel
+
+go 1.22

@@ -1,0 +1,333 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prmsel/internal/datagen"
+	"prmsel/internal/dataset"
+	"prmsel/internal/query"
+)
+
+func fig1DB(t *testing.T) *dataset.Database {
+	t.Helper()
+	return datagen.Fig1Example()
+}
+
+func TestAVIExactOnSingleAttribute(t *testing.T) {
+	db := fig1DB(t)
+	a := NewAVI(db)
+	// P(Income = low) = 0.47 exactly; single-attribute selects are exact
+	// under AVI.
+	q := query.New().Over("p", "People").WhereEq("p", "Income", 0)
+	est, err := a.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-470) > 1e-9 {
+		t.Errorf("AVI single-attr = %v, want 470", est)
+	}
+}
+
+func TestAVIIgnoresCorrelation(t *testing.T) {
+	db := fig1DB(t)
+	a := NewAVI(db)
+	// Low-income home-owners: truth 270+135+18... no: E summed, I=l, H=t:
+	// 30+15+2 = 47. AVI predicts 1000·0.47·0.344 = 161.68 — a large
+	// overestimate, the paper's introduction example.
+	q := query.New().Over("p", "People").WhereEq("p", "Income", 0).WhereEq("p", "HomeOwner", 1)
+	truth, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != 47 {
+		t.Fatalf("truth = %d, want 47", truth)
+	}
+	est, err := a.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-161.68) > 0.01 {
+		t.Errorf("AVI = %v, want 161.68", est)
+	}
+}
+
+func TestAVIRangePredicate(t *testing.T) {
+	db := fig1DB(t)
+	a := NewAVI(db)
+	q := query.New().Over("p", "People").Where("p", "Income", 0, 1, 2)
+	est, err := a.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-1000) > 1e-9 {
+		t.Errorf("full-range AVI = %v, want 1000", est)
+	}
+}
+
+func TestAVIJoinUniformity(t *testing.T) {
+	db := datagen.TB(0.05, 1)
+	a := NewAVI(db)
+	q := query.New().
+		Over("c", "Contact").Over("p", "Patient").
+		KeyJoin("c", "Patient", "p")
+	est, err := a.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(db.Table("Contact").Len())
+	if math.Abs(est-want)/want > 1e-9 {
+		t.Errorf("AVI join size = %v, want %v", est, want)
+	}
+}
+
+func TestAVIErrors(t *testing.T) {
+	db := fig1DB(t)
+	a := NewAVI(db)
+	if _, err := a.EstimateCount(query.New().Over("p", "Nope")); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := a.EstimateCount(query.New().Over("p", "People").WhereEq("p", "Nope", 0)); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := a.EstimateCount(query.New().Over("p", "People").WhereEq("p", "Income", 9)); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+}
+
+func TestAVIStorage(t *testing.T) {
+	db := fig1DB(t)
+	a := NewAVI(db)
+	// 3 + 3 + 2 = 8 counts at 4 bytes.
+	if a.StorageBytes() != 32 {
+		t.Errorf("AVI storage = %d, want 32", a.StorageBytes())
+	}
+	if a.Name() != "AVI" {
+		t.Error("name")
+	}
+}
+
+func TestSampleFullTableIsExact(t *testing.T) {
+	db := fig1DB(t)
+	tbl := db.Table("People")
+	s := NewTableSample(tbl, tbl.Len(), rand.New(rand.NewSource(1)))
+	q := query.New().Over("p", "People").WhereEq("p", "Income", 0).WhereEq("p", "HomeOwner", 1)
+	est, err := s.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 47 {
+		t.Errorf("full-table sample = %v, want exact 47", est)
+	}
+}
+
+func TestSampleApproximates(t *testing.T) {
+	db := fig1DB(t)
+	tbl := db.Table("People")
+	s := NewTableSample(tbl, 300, rand.New(rand.NewSource(2)))
+	q := query.New().Over("p", "People").WhereEq("p", "Education", 0)
+	est, err := s.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-500) > 120 {
+		t.Errorf("sampled estimate %v too far from 500", est)
+	}
+	if s.StorageBytes() != 300*3*BytesPerCode {
+		t.Errorf("sample storage = %d, want %d", s.StorageBytes(), 300*3)
+	}
+}
+
+func TestJoinSample(t *testing.T) {
+	db := datagen.TB(0.05, 3)
+	skeleton := query.New().
+		Over("c", "Contact").Over("p", "Patient").Over("s", "Strain").
+		KeyJoin("c", "Patient", "p").
+		KeyJoin("p", "Strain", "s")
+	nContact := db.Table("Contact").Len()
+	js, err := NewJoinSample(db, skeleton, "c", nContact, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the full join sampled, estimates are exact.
+	q := skeleton.Clone().
+		WhereEq("c", "Contype", 3).
+		WhereEq("p", "USBorn", 1)
+	truth, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := js.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-float64(truth)) > 1e-9 {
+		t.Errorf("full join sample = %v, want %d", est, truth)
+	}
+}
+
+func TestJoinSampleRejectsForeignJoin(t *testing.T) {
+	db := datagen.TB(0.05, 3)
+	skeleton := query.New().
+		Over("c", "Contact").Over("p", "Patient").
+		KeyJoin("c", "Patient", "p")
+	js, err := NewJoinSample(db, skeleton, "c", 100, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New().
+		Over("p", "Patient").Over("s", "Strain").
+		KeyJoin("p", "Strain", "s")
+	if _, err := js.EstimateCount(q); err == nil {
+		t.Error("join outside the sampled skeleton accepted")
+	}
+}
+
+func TestJoinSampleUnderivableSkeleton(t *testing.T) {
+	db := datagen.TB(0.05, 3)
+	skeleton := query.New().
+		Over("c", "Contact").Over("p", "Patient").
+		KeyJoin("c", "Patient", "p")
+	// Base "p" cannot derive "c" (the key points the other way).
+	if _, err := NewJoinSample(db, skeleton, "p", 100, rand.New(rand.NewSource(6))); err == nil {
+		t.Error("underivable skeleton accepted")
+	}
+}
+
+func TestMHistExactWithFullBudget(t *testing.T) {
+	db := fig1DB(t)
+	tbl := db.Table("People")
+	// 18 cells; allow many buckets so every non-uniform region splits out.
+	h, err := NewMHist(tbl, []string{"Education", "Income", "HomeOwner"}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New().Over("p", "People").
+		WhereEq("p", "Education", 0).
+		WhereEq("p", "Income", 0).
+		WhereEq("p", "HomeOwner", 0)
+	est, err := h.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-270) > 1 {
+		t.Errorf("MHIST exact-budget estimate = %v, want 270", est)
+	}
+}
+
+func TestMHistDegradesGracefully(t *testing.T) {
+	db := datagen.Census(5000, 5)
+	tbl := db.Table("Census")
+	attrs := []string{"Age", "Income"}
+	tight, err := NewMHist(tbl, attrs, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := NewMHist(tbl, attrs, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.StorageBytes() > 200 || loose.StorageBytes() > 4000 {
+		t.Fatalf("budgets exceeded: %d, %d", tight.StorageBytes(), loose.StorageBytes())
+	}
+	// Average error over the full suite must not get worse with budget.
+	var errTight, errLoose float64
+	n := 0
+	for age := int32(0); age < 18; age++ {
+		for inc := int32(0); inc < 42; inc++ {
+			q := query.New().Over("c", "Census").
+				WhereEq("c", "Age", age).WhereEq("c", "Income", inc)
+			truth, err := db.Count(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e1, err := tight.EstimateCount(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2, err := loose.EstimateCount(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errTight += math.Abs(e1-float64(truth)) / math.Max(float64(truth), 1)
+			errLoose += math.Abs(e2-float64(truth)) / math.Max(float64(truth), 1)
+			n++
+		}
+	}
+	if errLoose > errTight*1.05 {
+		t.Errorf("more budget made MHIST worse: tight %.2f, loose %.2f", errTight/float64(n), errLoose/float64(n))
+	}
+}
+
+func TestMHistRangeAndPartialQueries(t *testing.T) {
+	db := fig1DB(t)
+	tbl := db.Table("People")
+	h, err := NewMHist(tbl, []string{"Education", "Income", "HomeOwner"}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query on a subset of histogram dims: P(Income=low) = 470.
+	q := query.New().Over("p", "People").WhereEq("p", "Income", 0)
+	est, err := h.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-470) > 1 {
+		t.Errorf("partial query = %v, want 470", est)
+	}
+	// Range query.
+	q = query.New().Over("p", "People").Where("p", "Income", 1, 2)
+	est, err = h.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-530) > 1 {
+		t.Errorf("range query = %v, want 530", est)
+	}
+}
+
+func TestMHistErrors(t *testing.T) {
+	db := fig1DB(t)
+	tbl := db.Table("People")
+	if _, err := NewMHist(tbl, []string{"Nope"}, 100); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	h, err := NewMHist(tbl, []string{"Income"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.EstimateCount(query.New().Over("p", "People").WhereEq("p", "Education", 0)); err == nil {
+		t.Error("uncovered attribute accepted")
+	}
+	join := query.New().Over("a", "People").Over("b", "People").KeyJoin("a", "X", "b")
+	if _, err := h.EstimateCount(join); err == nil {
+		t.Error("join query accepted")
+	}
+}
+
+func TestMHistBucketsTileTheSpace(t *testing.T) {
+	db := datagen.Census(3000, 9)
+	tbl := db.Table("Census")
+	h, err := NewMHist(tbl, []string{"Age", "Education", "Income"}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of bucket counts must equal the table size, and the full-range
+	// query must return it.
+	var sum float64
+	for i := range h.buckets {
+		sum += h.buckets[i].count
+	}
+	if math.Abs(sum-3000) > 1e-6 {
+		t.Errorf("bucket counts sum to %v, want 3000", sum)
+	}
+	q := query.New().Over("c", "Census")
+	est, err := h.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-3000) > 1e-6 {
+		t.Errorf("unconstrained query = %v, want 3000", est)
+	}
+}

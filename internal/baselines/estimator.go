@@ -1,0 +1,27 @@
+// Package baselines implements the selectivity estimators the paper
+// compares against: AVI (attribute value independence), MHIST
+// (multidimensional V-Optimal(V,A) histograms), and SAMPLE (uniform row
+// samples, over a single table or over a full foreign-key join). The BN+UJ
+// baseline is core.Learn with Config.UniformJoin set.
+package baselines
+
+import "prmsel/internal/query"
+
+// Estimator is the common contract all selectivity estimators satisfy,
+// including the PRM itself (via an adapter in the public package).
+type Estimator interface {
+	// Name identifies the estimator in experiment output.
+	Name() string
+	// EstimateCount estimates the result size of q.
+	EstimateCount(q *query.Query) (float64, error)
+	// StorageBytes reports the storage consumed, under the shared
+	// accounting (4-byte counts/parameters, 1-byte codes).
+	StorageBytes() int
+}
+
+// BytesPerCount is the storage cost of one stored frequency/count.
+const BytesPerCount = 4
+
+// BytesPerCode is the storage cost of one stored attribute value code
+// (domains are small, so one byte suffices).
+const BytesPerCode = 1

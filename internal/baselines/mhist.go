@@ -1,0 +1,266 @@
+package baselines
+
+import (
+	"fmt"
+
+	"prmsel/internal/dataset"
+	"prmsel/internal/query"
+)
+
+// MHist is a multidimensional histogram over a fixed subset of one table's
+// attributes, built MHIST-style: starting from a single bucket covering the
+// whole joint value space, it repeatedly applies the binary split (over any
+// bucket, dimension, and boundary) that most reduces the within-bucket
+// variance of cell frequencies — the greedy form of Poosala & Ioannidis'
+// V-Optimal(V,A) construction — until the byte budget is exhausted.
+// Frequency is assumed uniform across the cells inside a bucket.
+type MHist struct {
+	table   string
+	attrs   []string
+	cards   []int
+	buckets []mbucket
+	total   int64
+	bytes   int
+}
+
+var _ Estimator = (*MHist)(nil)
+
+// mbucket is one hyperrectangle [lo, hi) with its total frequency and the
+// non-zero cells it contains.
+type mbucket struct {
+	lo, hi []int32 // per dimension, hi exclusive
+	count  float64
+	cells  []mcell
+}
+
+type mcell struct {
+	vals []int32
+	f    float64
+}
+
+// numCells returns the number of (possibly empty) cells in the bucket.
+func (b *mbucket) numCells() float64 {
+	n := 1.0
+	for d := range b.lo {
+		n *= float64(b.hi[d] - b.lo[d])
+	}
+	return n
+}
+
+// sse is the sum of squared deviations of the bucket's cell frequencies
+// from their mean — the quantity greedy V-Optimal splitting minimizes.
+func (b *mbucket) sse() float64 {
+	var sum, sum2 float64
+	for _, c := range b.cells {
+		sum += c.f
+		sum2 += c.f * c.f
+	}
+	n := b.numCells()
+	if n == 0 {
+		return 0
+	}
+	return sum2 - sum*sum/n
+}
+
+// NewMHist builds a histogram over the named attributes of t with at most
+// budgetBytes of storage. Each bucket costs 2·dims boundary codes plus one
+// count.
+func NewMHist(t *dataset.Table, attrs []string, budgetBytes int) (*MHist, error) {
+	h := &MHist{table: t.Name, attrs: append([]string(nil), attrs...), total: int64(t.Len())}
+	cols := make([][]int32, len(attrs))
+	for i, a := range attrs {
+		ai := t.AttrIndex(a)
+		if ai < 0 {
+			return nil, fmt.Errorf("baselines: mhist: table %s has no attribute %q", t.Name, a)
+		}
+		cols[i] = t.Col(ai)
+		h.cards = append(h.cards, t.Attributes[ai].Card())
+	}
+	// Joint contingency (sparse).
+	strides := make([]uint64, len(attrs))
+	s := uint64(1)
+	for i, c := range h.cards {
+		strides[i] = s
+		s *= uint64(c)
+	}
+	freq := make(map[uint64]float64)
+	for r := 0; r < t.Len(); r++ {
+		var k uint64
+		for i := range cols {
+			k += uint64(cols[i][r]) * strides[i]
+		}
+		freq[k]++
+	}
+	root := mbucket{lo: make([]int32, len(attrs)), hi: make([]int32, len(attrs))}
+	for d, c := range h.cards {
+		root.hi[d] = int32(c)
+	}
+	for k, f := range freq {
+		vals := make([]int32, len(attrs))
+		for i := range vals {
+			vals[i] = int32(k / strides[i] % uint64(h.cards[i]))
+		}
+		root.cells = append(root.cells, mcell{vals: vals, f: f})
+		root.count += f
+	}
+	h.buckets = []mbucket{root}
+
+	bucketBytes := 2*len(attrs)*BytesPerCode + BytesPerCount
+	maxBuckets := budgetBytes / bucketBytes
+	if maxBuckets < 1 {
+		maxBuckets = 1
+	}
+	for len(h.buckets) < maxBuckets {
+		bi, d, at, gain := h.bestSplit()
+		if bi < 0 || gain <= 0 {
+			break
+		}
+		left, right := splitBucket(&h.buckets[bi], d, at)
+		h.buckets[bi] = left
+		h.buckets = append(h.buckets, right)
+	}
+	h.bytes = len(h.buckets) * bucketBytes
+	return h, nil
+}
+
+// bestSplit scans every bucket, dimension, and boundary for the split with
+// the largest SSE reduction.
+func (h *MHist) bestSplit() (bucket, dim int, at int32, gain float64) {
+	bucket, dim, at, gain = -1, -1, 0, 0
+	for bi := range h.buckets {
+		b := &h.buckets[bi]
+		base := b.sse()
+		if base <= 0 {
+			continue
+		}
+		for d := range b.lo {
+			if b.hi[d]-b.lo[d] < 2 {
+				continue
+			}
+			// Per-boundary aggregates along dimension d.
+			width := int(b.hi[d] - b.lo[d])
+			sum := make([]float64, width)
+			sum2 := make([]float64, width)
+			for _, c := range b.cells {
+				i := int(c.vals[d] - b.lo[d])
+				sum[i] += c.f
+				sum2[i] += c.f * c.f
+			}
+			cellsPerSlice := b.numCells() / float64(width)
+			var ls, ls2 float64
+			var ts, ts2 float64
+			for i := 0; i < width; i++ {
+				ts += sum[i]
+				ts2 += sum2[i]
+			}
+			for i := 0; i < width-1; i++ {
+				ls += sum[i]
+				ls2 += sum2[i]
+				leftCells := cellsPerSlice * float64(i+1)
+				rightCells := cellsPerSlice * float64(width-i-1)
+				sse := ls2 - ls*ls/leftCells + (ts2 - ls2) - (ts-ls)*(ts-ls)/rightCells
+				if g := base - sse; g > gain {
+					bucket, dim, at, gain = bi, d, b.lo[d]+int32(i+1), g
+				}
+			}
+		}
+	}
+	return bucket, dim, at, gain
+}
+
+// splitBucket cuts b along dimension d at boundary `at` (left gets values
+// < at).
+func splitBucket(b *mbucket, d int, at int32) (left, right mbucket) {
+	left = mbucket{lo: append([]int32(nil), b.lo...), hi: append([]int32(nil), b.hi...)}
+	right = mbucket{lo: append([]int32(nil), b.lo...), hi: append([]int32(nil), b.hi...)}
+	left.hi[d] = at
+	right.lo[d] = at
+	for _, c := range b.cells {
+		if c.vals[d] < at {
+			left.cells = append(left.cells, c)
+			left.count += c.f
+		} else {
+			right.cells = append(right.cells, c)
+			right.count += c.f
+		}
+	}
+	return left, right
+}
+
+// Name implements Estimator.
+func (h *MHist) Name() string { return "MHIST" }
+
+// StorageBytes implements Estimator.
+func (h *MHist) StorageBytes() int { return h.bytes }
+
+// EstimateCount implements Estimator. The query must range over the
+// histogram's table; predicates on attributes outside the histogram's
+// subset are rejected. Each bucket contributes its count scaled by the
+// fraction of its cells that fall inside the query box (uniformity within
+// the bucket).
+func (h *MHist) EstimateCount(q *query.Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if len(q.Vars) != 1 || len(q.Joins) != 0 || len(q.NonKeyJoins) != 0 {
+		return 0, fmt.Errorf("baselines: mhist answers single-table select queries only")
+	}
+	for _, tn := range q.Vars {
+		if tn != h.table {
+			return 0, fmt.Errorf("baselines: mhist is over table %s, query over %s", h.table, tn)
+		}
+	}
+	// accept[d] = allowed codes for dimension d (nil = all).
+	accept := make([]map[int32]bool, len(h.attrs))
+	for _, p := range q.Preds {
+		d := -1
+		for i, a := range h.attrs {
+			if a == p.Attr {
+				d = i
+				break
+			}
+		}
+		if d < 0 {
+			return 0, fmt.Errorf("baselines: mhist does not cover attribute %q", p.Attr)
+		}
+		set, err := p.Accept(h.cards[d])
+		if err != nil {
+			return 0, fmt.Errorf("baselines: %w", err)
+		}
+		if accept[d] != nil {
+			for v := range accept[d] {
+				if !set[v] {
+					delete(accept[d], v)
+				}
+			}
+		} else {
+			accept[d] = set
+		}
+	}
+	var est float64
+	for bi := range h.buckets {
+		b := &h.buckets[bi]
+		if b.count == 0 {
+			continue
+		}
+		// Fraction of the bucket's cells inside the query box.
+		frac := 1.0
+		for d := range h.attrs {
+			if accept[d] == nil {
+				continue
+			}
+			inside := 0
+			for v := b.lo[d]; v < b.hi[d]; v++ {
+				if accept[d][v] {
+					inside++
+				}
+			}
+			frac *= float64(inside) / float64(b.hi[d]-b.lo[d])
+			if frac == 0 {
+				break
+			}
+		}
+		est += b.count * frac
+	}
+	return est, nil
+}

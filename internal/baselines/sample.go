@@ -1,0 +1,245 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prmsel/internal/dataset"
+	"prmsel/internal/query"
+)
+
+// Sample estimates query sizes from a uniform random sample of a relation —
+// either a single table, or the full foreign-key join of several tables
+// (the paper's SAMPLE baseline for select-join queries). The sampled
+// relation is defined by a skeleton: tuple variables plus keyjoin clauses
+// where every variable is reachable from one base variable by following
+// foreign keys, so each base row determines one row of the join.
+//
+// Queries estimated against a Sample must use the same join skeleton (same
+// tables and keys); selection predicates may touch any attribute of any
+// skeleton table.
+type Sample struct {
+	name string
+	// tables in the skeleton, base first.
+	tables []string
+	// attrNames[t] aligns with rows' code layout.
+	attrNames map[string][]string
+	// attrCards[t] aligns with attrNames[t].
+	attrCards map[string][]int
+	// offsets[t] is the first column of table t's attributes in each row.
+	offsets map[string]int
+	// rows holds the sampled joined rows, flattened.
+	rows    [][]int32
+	baseLen int64
+	// joinSet is the set of (fromTable, fk, toTable) clauses of the
+	// skeleton.
+	joinSet map[[3]string]bool
+}
+
+var _ Estimator = (*Sample)(nil)
+
+// NewTableSample samples k rows of a single table.
+func NewTableSample(t *dataset.Table, k int, rng *rand.Rand) *Sample {
+	skeleton := query.New().Over("t", t.Name)
+	s, err := NewJoinSample(singleTableDB(t), skeleton, "t", k, rng)
+	if err != nil {
+		panic(err) // cannot happen: the skeleton is trivially valid
+	}
+	return s
+}
+
+// singleTableDB wraps one table for the join-sample machinery. The table's
+// foreign keys are ignored because the skeleton contains no joins.
+func singleTableDB(t *dataset.Table) *dataset.Database {
+	db := dataset.NewDatabase()
+	stripped := dataset.NewTable(dataset.Schema{Name: t.Name, Attributes: t.Schema.Attributes})
+	for r := 0; r < t.Len(); r++ {
+		attrs := make([]int32, len(t.Attributes))
+		for ai := range t.Attributes {
+			attrs[ai] = t.Col(ai)[r]
+		}
+		stripped.MustAppendRow(attrs, nil)
+	}
+	if err := db.AddTable(stripped); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// NewJoinSample samples k rows of the foreign-key join described by
+// skeleton, whose tuple variable baseVar must determine every other
+// variable by following foreign keys.
+func NewJoinSample(db *dataset.Database, skeleton *query.Query, baseVar string, k int, rng *rand.Rand) (*Sample, error) {
+	if err := skeleton.Validate(); err != nil {
+		return nil, err
+	}
+	base := db.Table(skeleton.Vars[baseVar])
+	if base == nil {
+		return nil, fmt.Errorf("baselines: sample base table %q not found", skeleton.Vars[baseVar])
+	}
+	// Resolve the derivation order: start at baseVar, repeatedly follow
+	// joins fromVar -> toVar where fromVar is resolved.
+	type deriv struct {
+		tv      string
+		tbl     *dataset.Table
+		fromTV  string
+		fkCol   []int32 // on fromTV's table
+		isFirst bool
+	}
+	resolved := map[string]bool{baseVar: true}
+	plan := []deriv{{tv: baseVar, tbl: base, isFirst: true}}
+	joinSet := make(map[[3]string]bool)
+	pending := append([]query.Join(nil), skeleton.Joins...)
+	for len(pending) > 0 {
+		progressed := false
+		rest := pending[:0]
+		for _, j := range pending {
+			fromTable := db.Table(skeleton.Vars[j.FromVar])
+			toTable := db.Table(skeleton.Vars[j.ToVar])
+			if fromTable == nil || toTable == nil {
+				return nil, fmt.Errorf("baselines: sample skeleton references unknown table")
+			}
+			joinSet[[3]string{fromTable.Name, j.FK, toTable.Name}] = true
+			if resolved[j.FromVar] && !resolved[j.ToVar] {
+				col, err := fromTable.FKColByName(j.FK)
+				if err != nil {
+					return nil, err
+				}
+				plan = append(plan, deriv{tv: j.ToVar, tbl: toTable, fromTV: j.FromVar, fkCol: col})
+				resolved[j.ToVar] = true
+				progressed = true
+			} else if !resolved[j.ToVar] {
+				rest = append(rest, j)
+			}
+		}
+		pending = append([]query.Join(nil), rest...)
+		if len(pending) > 0 && !progressed {
+			return nil, fmt.Errorf("baselines: sample skeleton not derivable from base %q", baseVar)
+		}
+	}
+	if len(resolved) != len(skeleton.Vars) {
+		return nil, fmt.Errorf("baselines: sample skeleton has variables unreachable from base %q", baseVar)
+	}
+
+	s := &Sample{
+		name:      "SAMPLE",
+		attrNames: make(map[string][]string),
+		attrCards: make(map[string][]int),
+		offsets:   make(map[string]int),
+		baseLen:   int64(base.Len()),
+		joinSet:   joinSet,
+	}
+	width := 0
+	for _, d := range plan {
+		if _, dup := s.offsets[d.tbl.Name]; dup {
+			return nil, fmt.Errorf("baselines: sample skeleton uses table %s twice (self-joins unsupported)", d.tbl.Name)
+		}
+		s.tables = append(s.tables, d.tbl.Name)
+		s.offsets[d.tbl.Name] = width
+		names := make([]string, len(d.tbl.Attributes))
+		cards := make([]int, len(d.tbl.Attributes))
+		for ai, a := range d.tbl.Attributes {
+			names[ai] = a.Name
+			cards[ai] = a.Card()
+		}
+		s.attrNames[d.tbl.Name] = names
+		s.attrCards[d.tbl.Name] = cards
+		width += len(d.tbl.Attributes)
+	}
+
+	if k > base.Len() {
+		k = base.Len()
+	}
+	perm := rng.Perm(base.Len())
+	rowOf := make(map[string]int32, len(plan))
+	for i := 0; i < k; i++ {
+		rowOf[baseVar] = int32(perm[i])
+		for _, d := range plan[1:] {
+			rowOf[d.tv] = d.fkCol[rowOf[d.fromTV]]
+		}
+		row := make([]int32, width)
+		for _, d := range plan {
+			off := s.offsets[d.tbl.Name]
+			r := rowOf[d.tv]
+			for ai := range d.tbl.Attributes {
+				row[off+ai] = d.tbl.Col(ai)[r]
+			}
+		}
+		s.rows = append(s.rows, row)
+	}
+	return s, nil
+}
+
+// Name implements Estimator.
+func (s *Sample) Name() string { return s.name }
+
+// StorageBytes implements Estimator: one byte per stored code.
+func (s *Sample) StorageBytes() int {
+	if len(s.rows) == 0 {
+		return 0
+	}
+	return len(s.rows) * len(s.rows[0]) * BytesPerCode
+}
+
+// EstimateCount implements Estimator: the fraction of sampled joined rows
+// satisfying the predicates, scaled by the join's true size (the base
+// table's size, since foreign keys are functional).
+func (s *Sample) EstimateCount(q *query.Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if len(q.NonKeyJoins) > 0 {
+		return 0, fmt.Errorf("baselines: sample estimator does not support non-key joins")
+	}
+	for _, j := range q.Joins {
+		key := [3]string{q.Vars[j.FromVar], j.FK, q.Vars[j.ToVar]}
+		if !s.joinSet[key] {
+			return 0, fmt.Errorf("baselines: query join %s.%s->%s not in the sampled skeleton", key[0], key[1], key[2])
+		}
+	}
+	// Resolve predicates to row columns.
+	type pcheck struct {
+		col    int
+		accept map[int32]bool
+	}
+	checks := make([]pcheck, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		tn := q.Vars[p.Var]
+		off, ok := s.offsets[tn]
+		if !ok {
+			return 0, fmt.Errorf("baselines: sample does not cover table %q", tn)
+		}
+		ai := -1
+		for i, n := range s.attrNames[tn] {
+			if n == p.Attr {
+				ai = i
+				break
+			}
+		}
+		if ai < 0 {
+			return 0, fmt.Errorf("baselines: sample has no attribute %s.%s", tn, p.Attr)
+		}
+		accept, err := p.Accept(s.attrCards[tn][ai])
+		if err != nil {
+			return 0, fmt.Errorf("baselines: %w", err)
+		}
+		checks = append(checks, pcheck{col: off + ai, accept: accept})
+	}
+	if len(s.rows) == 0 {
+		return 0, nil
+	}
+	matched := 0
+	for _, row := range s.rows {
+		ok := true
+		for _, c := range checks {
+			if !c.accept[row[c.col]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matched++
+		}
+	}
+	return float64(matched) / float64(len(s.rows)) * float64(s.baseLen), nil
+}

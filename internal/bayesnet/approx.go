@@ -1,0 +1,108 @@
+package bayesnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LikelihoodWeighting estimates P(evt) by importance sampling: ancestral
+// sampling where event variables are not sampled but clamped, with each
+// particle weighted by the probability of the clamping. It is the
+// approximate fallback for networks whose exact inference is intractable
+// (BN inference is NP-hard in general, paper §2.3; the junction tree
+// compiler rejects huge cliques and even variable elimination can blow up
+// on dense structures).
+//
+// For multi-value (range) evidence the sampler draws the variable from its
+// conditional restricted to the accepted set and weights by the accepted
+// mass. The estimator is unbiased; its variance shrinks as O(1/samples).
+func (n *Network) LikelihoodWeighting(evt Event, samples int, rng *rand.Rand) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("bayesnet: need a positive sample count, got %d", samples)
+	}
+	accept := make(map[int]map[int32]bool, len(evt))
+	for v, set := range evt {
+		if v < 0 || v >= len(n.vars) {
+			return 0, fmt.Errorf("bayesnet: event references unknown variable %d", v)
+		}
+		if len(set) == 0 {
+			return 0, fmt.Errorf("bayesnet: event on %s has empty value set", n.vars[v].Name)
+		}
+		m := make(map[int32]bool, len(set))
+		for _, val := range set {
+			if val < 0 || int(val) >= n.vars[v].Card {
+				return 0, fmt.Errorf("bayesnet: event value %d out of domain for %s", val, n.vars[v].Name)
+			}
+			m[val] = true
+		}
+		accept[v] = m
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+
+	assignment := make([]int32, len(n.vars))
+	var total float64
+	for s := 0; s < samples; s++ {
+		weight := 1.0
+		for _, v := range order {
+			pvals := make([]int32, len(n.parents[v]))
+			for i, q := range n.parents[v] {
+				pvals[i] = assignment[q]
+			}
+			set, observed := accept[v]
+			if !observed {
+				assignment[v] = n.sampleVar(v, pvals, nil, rng)
+				continue
+			}
+			// Clamp: weight by the accepted mass, then draw within it so
+			// descendants see a consistent configuration.
+			var mass float64
+			for val := range set {
+				mass += n.cpds[v].Prob(val, pvals)
+			}
+			weight *= mass
+			if mass <= 0 {
+				break // this particle contributes zero
+			}
+			assignment[v] = n.sampleVar(v, pvals, set, rng)
+		}
+		total += weight
+	}
+	return total / float64(samples), nil
+}
+
+// sampleVar draws a value for v given parent values, optionally restricted
+// to an accept set (renormalized).
+func (n *Network) sampleVar(v int, pvals []int32, accept map[int32]bool, rng *rand.Rand) int32 {
+	var mass float64
+	if accept == nil {
+		mass = 1
+	} else {
+		for val := range accept {
+			mass += n.cpds[v].Prob(val, pvals)
+		}
+		if mass <= 0 {
+			// Degenerate: fall back to any accepted value.
+			for val := range accept {
+				return val
+			}
+		}
+	}
+	u := rng.Float64() * mass
+	var cum float64
+	last := int32(n.vars[v].Card - 1)
+	for x := 0; x < n.vars[v].Card; x++ {
+		val := int32(x)
+		if accept != nil && !accept[val] {
+			continue
+		}
+		last = val
+		cum += n.cpds[v].Prob(val, pvals)
+		if u < cum {
+			return val
+		}
+	}
+	return last
+}

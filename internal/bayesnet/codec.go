@@ -1,0 +1,61 @@
+package bayesnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// netDTO is the wire form of a Network.
+type netDTO struct {
+	Vars    []Variable
+	Parents [][]int
+	Tables  map[int]*TableCPD
+	Trees   map[int]*TreeCPD
+}
+
+// Encode writes the network to w in gob form. Only Table and Tree CPDs are
+// supported (the two kinds the system produces).
+func (n *Network) Encode(w io.Writer) error {
+	dto := netDTO{
+		Vars:    n.vars,
+		Parents: n.parents,
+		Tables:  make(map[int]*TableCPD),
+		Trees:   make(map[int]*TreeCPD),
+	}
+	for v, c := range n.cpds {
+		switch c := c.(type) {
+		case *TableCPD:
+			dto.Tables[v] = c
+		case *TreeCPD:
+			dto.Trees[v] = c
+		case nil:
+			return fmt.Errorf("bayesnet: encode: variable %s has no CPD", n.vars[v].Name)
+		default:
+			return fmt.Errorf("bayesnet: encode: unsupported CPD kind %q", c.Kind())
+		}
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// Decode reads a network previously written by Encode.
+func Decode(r io.Reader) (*Network, error) {
+	var dto netDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("bayesnet: decode: %w", err)
+	}
+	n := New(dto.Vars)
+	for v, ps := range dto.Parents {
+		n.SetParents(v, ps)
+	}
+	for v, c := range dto.Tables {
+		n.SetCPD(v, c)
+	}
+	for v, c := range dto.Trees {
+		n.SetCPD(v, c)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("bayesnet: decode: %w", err)
+	}
+	return n, nil
+}

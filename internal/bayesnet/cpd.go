@@ -1,0 +1,353 @@
+package bayesnet
+
+import (
+	"fmt"
+
+	"prmsel/internal/factor"
+)
+
+// SizeAccounting: model storage is measured in bytes, the way the paper's
+// evaluation allocates space to each estimator. One free parameter costs
+// ParamBytes; one interior split vertex of a tree CPD costs SplitBytes
+// (split-variable id plus branch bookkeeping); every parent edge costs one
+// byte of structure (charged by Network.StorageBytes).
+const (
+	// ParamBytes is the cost of one free CPD parameter.
+	ParamBytes = 4
+	// SplitBytes is the cost of one interior vertex of a tree CPD.
+	SplitBytes = 4
+)
+
+// CPD is a conditional probability distribution P(X | Parents).
+type CPD interface {
+	// Prob returns P(X = childVal | Parents = parentVals); parentVals align
+	// with the owning variable's parent list.
+	Prob(childVal int32, parentVals []int32) float64
+	// Factor materializes P(X | Pa) as a dense factor over the child and
+	// parent variable ids.
+	Factor(childID int, parentIDs []int, childCard int, parentCards []int) *factor.Factor
+	// NumParams returns the number of free parameters.
+	NumParams() int
+	// StorageBytes returns the storage cost under SizeAccounting.
+	StorageBytes() int
+	// Kind returns "table" or "tree".
+	Kind() string
+
+	check(childCard int, parentCards []int) error
+}
+
+// TableCPD stores one distribution over the child per full parent
+// configuration.
+type TableCPD struct {
+	ChildCard   int
+	ParentCards []int
+	// Dist is indexed childVal + ChildCard*config where config is the
+	// mixed-radix encoding of the parent values (first parent fastest).
+	Dist []float64
+}
+
+// NewTableCPD returns a table CPD with all distributions uniform.
+func NewTableCPD(childCard int, parentCards []int) *TableCPD {
+	configs := 1
+	for _, c := range parentCards {
+		configs *= c
+	}
+	t := &TableCPD{
+		ChildCard:   childCard,
+		ParentCards: append([]int(nil), parentCards...),
+		Dist:        make([]float64, childCard*configs),
+	}
+	u := 1 / float64(childCard)
+	for i := range t.Dist {
+		t.Dist[i] = u
+	}
+	return t
+}
+
+// Config returns the mixed-radix index of parentVals.
+func (t *TableCPD) Config(parentVals []int32) int {
+	cfg, stride := 0, 1
+	for i, v := range parentVals {
+		cfg += int(v) * stride
+		stride *= t.ParentCards[i]
+	}
+	return cfg
+}
+
+// SetDist installs the child distribution for one parent configuration.
+func (t *TableCPD) SetDist(parentVals []int32, dist []float64) {
+	if len(dist) != t.ChildCard {
+		panic(fmt.Sprintf("bayesnet: SetDist got %d values for child card %d", len(dist), t.ChildCard))
+	}
+	base := t.Config(parentVals) * t.ChildCard
+	copy(t.Dist[base:base+t.ChildCard], dist)
+}
+
+// Prob implements CPD.
+func (t *TableCPD) Prob(childVal int32, parentVals []int32) float64 {
+	return t.Dist[t.Config(parentVals)*t.ChildCard+int(childVal)]
+}
+
+// Factor implements CPD.
+func (t *TableCPD) Factor(childID int, parentIDs []int, childCard int, parentCards []int) *factor.Factor {
+	vars := append([]int{childID}, parentIDs...)
+	cards := append([]int{childCard}, parentCards...)
+	f := factor.New(vars, cards)
+	assignment := make([]int32, len(vars)) // child first, then parents
+	aligned := make([]int32, len(vars))    // aligned with f.Vars
+	pos := make([]int, len(vars))          // position of vars[i] in f.Vars
+	for i, v := range vars {
+		for j, fv := range f.Vars {
+			if fv == v {
+				pos[i] = j
+			}
+		}
+	}
+	total := len(f.Data)
+	for c := 0; c < total; c++ {
+		// Decode c in the child-first mixed radix.
+		rem := c
+		for i := range vars {
+			assignment[i] = int32(rem % cards[i])
+			rem /= cards[i]
+		}
+		for i := range vars {
+			aligned[pos[i]] = assignment[i]
+		}
+		f.Set(aligned, t.Prob(assignment[0], assignment[1:]))
+	}
+	return f
+}
+
+// NumParams implements CPD.
+func (t *TableCPD) NumParams() int {
+	return len(t.Dist) / t.ChildCard * (t.ChildCard - 1)
+}
+
+// StorageBytes implements CPD.
+func (t *TableCPD) StorageBytes() int { return t.NumParams() * ParamBytes }
+
+// Kind implements CPD.
+func (t *TableCPD) Kind() string { return "table" }
+
+func (t *TableCPD) check(childCard int, parentCards []int) error {
+	if t.ChildCard != childCard {
+		return fmt.Errorf("table CPD child card %d, want %d", t.ChildCard, childCard)
+	}
+	if len(t.ParentCards) != len(parentCards) {
+		return fmt.Errorf("table CPD over %d parents, want %d", len(t.ParentCards), len(parentCards))
+	}
+	for i, c := range parentCards {
+		if t.ParentCards[i] != c {
+			return fmt.Errorf("table CPD parent %d card %d, want %d", i, t.ParentCards[i], c)
+		}
+	}
+	want := childCard
+	for _, c := range parentCards {
+		want *= c
+	}
+	if len(t.Dist) != want {
+		return fmt.Errorf("table CPD has %d entries, want %d", len(t.Dist), want)
+	}
+	return nil
+}
+
+// SplitOp is the predicate kind of an interior tree-CPD vertex.
+type SplitOp int
+
+const (
+	// OpValue is a k-way split: one child per value of the split parent.
+	// The zero value, so hand-built trees default to it.
+	OpValue SplitOp = iota
+	// OpEQ is a binary split "parent == Arg": Children[0] is the equal
+	// branch, Children[1] the rest.
+	OpEQ
+	// OpLE is a binary split "parent <= Arg" for ordinal parents:
+	// Children[0] is the ≤ branch, Children[1] the rest.
+	OpLE
+)
+
+// TreeNode is one vertex of a tree CPD: either a leaf carrying a child
+// distribution, or an interior split on one parent.
+type TreeNode struct {
+	// Dist is non-nil exactly at leaves and has ChildCard entries.
+	Dist []float64
+	// Split is the index (into the parent list) of the parent this interior
+	// vertex splits on.
+	Split int
+	// Op selects the predicate kind; Arg is its operand for OpEQ/OpLE.
+	Op  SplitOp
+	Arg int32
+	// Children has one subtree per value of the split parent for OpValue,
+	// and exactly two subtrees for OpEQ/OpLE.
+	Children []*TreeNode
+}
+
+// child returns the subtree the parent value val routes to.
+func (n *TreeNode) child(val int32) *TreeNode {
+	switch n.Op {
+	case OpEQ:
+		if val == n.Arg {
+			return n.Children[0]
+		}
+		return n.Children[1]
+	case OpLE:
+		if val <= n.Arg {
+			return n.Children[0]
+		}
+		return n.Children[1]
+	default:
+		return n.Children[val]
+	}
+}
+
+// IsLeaf reports whether n is a leaf.
+func (n *TreeNode) IsLeaf() bool { return n.Dist != nil }
+
+// TreeCPD is a CPD whose parent-configuration space is partitioned by a
+// decision tree, so configurations that induce the same child distribution
+// share parameters (paper §2.2, Fig 2b).
+type TreeCPD struct {
+	ChildCard   int
+	ParentCards []int
+	Root        *TreeNode
+}
+
+// NewTreeCPD returns a tree CPD consisting of a single uniform leaf.
+func NewTreeCPD(childCard int, parentCards []int) *TreeCPD {
+	dist := make([]float64, childCard)
+	u := 1 / float64(childCard)
+	for i := range dist {
+		dist[i] = u
+	}
+	return &TreeCPD{
+		ChildCard:   childCard,
+		ParentCards: append([]int(nil), parentCards...),
+		Root:        &TreeNode{Dist: dist},
+	}
+}
+
+// Leaf returns the leaf reached by parentVals.
+func (t *TreeCPD) Leaf(parentVals []int32) *TreeNode {
+	n := t.Root
+	for !n.IsLeaf() {
+		n = n.child(parentVals[n.Split])
+	}
+	return n
+}
+
+// Prob implements CPD.
+func (t *TreeCPD) Prob(childVal int32, parentVals []int32) float64 {
+	return t.Leaf(parentVals).Dist[childVal]
+}
+
+// Factor implements CPD.
+func (t *TreeCPD) Factor(childID int, parentIDs []int, childCard int, parentCards []int) *factor.Factor {
+	// Reuse the table path: walk all configurations through the tree.
+	vars := append([]int{childID}, parentIDs...)
+	cards := append([]int{childCard}, parentCards...)
+	f := factor.New(vars, cards)
+	assignment := make([]int32, len(vars))
+	aligned := make([]int32, len(vars))
+	pos := make([]int, len(vars))
+	for i, v := range vars {
+		for j, fv := range f.Vars {
+			if fv == v {
+				pos[i] = j
+			}
+		}
+	}
+	for c := 0; c < len(f.Data); c++ {
+		rem := c
+		for i := range vars {
+			assignment[i] = int32(rem % cards[i])
+			rem /= cards[i]
+		}
+		for i := range vars {
+			aligned[pos[i]] = assignment[i]
+		}
+		f.Set(aligned, t.Prob(assignment[0], assignment[1:]))
+	}
+	return f
+}
+
+// Walk visits every node of the tree depth-first.
+func (t *TreeCPD) Walk(fn func(*TreeNode)) {
+	var rec func(*TreeNode)
+	rec = func(n *TreeNode) {
+		fn(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// Leaves returns the number of leaves.
+func (t *TreeCPD) Leaves() int {
+	leaves := 0
+	t.Walk(func(n *TreeNode) {
+		if n.IsLeaf() {
+			leaves++
+		}
+	})
+	return leaves
+}
+
+// NumParams implements CPD.
+func (t *TreeCPD) NumParams() int { return t.Leaves() * (t.ChildCard - 1) }
+
+// StorageBytes implements CPD.
+func (t *TreeCPD) StorageBytes() int {
+	interior := 0
+	t.Walk(func(n *TreeNode) {
+		if !n.IsLeaf() {
+			interior++
+		}
+	})
+	return t.NumParams()*ParamBytes + interior*SplitBytes
+}
+
+// Kind implements CPD.
+func (t *TreeCPD) Kind() string { return "tree" }
+
+func (t *TreeCPD) check(childCard int, parentCards []int) error {
+	if t.ChildCard != childCard {
+		return fmt.Errorf("tree CPD child card %d, want %d", t.ChildCard, childCard)
+	}
+	if len(t.ParentCards) != len(parentCards) {
+		return fmt.Errorf("tree CPD over %d parents, want %d", len(t.ParentCards), len(parentCards))
+	}
+	var err error
+	t.Walk(func(n *TreeNode) {
+		if err != nil {
+			return
+		}
+		if n.IsLeaf() {
+			if len(n.Dist) != childCard {
+				err = fmt.Errorf("tree CPD leaf has %d entries, want %d", len(n.Dist), childCard)
+			}
+			return
+		}
+		if n.Split < 0 || n.Split >= len(parentCards) {
+			err = fmt.Errorf("tree CPD splits on parent %d of %d", n.Split, len(parentCards))
+			return
+		}
+		switch n.Op {
+		case OpValue:
+			if len(n.Children) != parentCards[n.Split] {
+				err = fmt.Errorf("tree CPD split on parent %d has %d branches, want %d", n.Split, len(n.Children), parentCards[n.Split])
+			}
+		case OpEQ, OpLE:
+			if len(n.Children) != 2 {
+				err = fmt.Errorf("tree CPD binary split has %d branches", len(n.Children))
+			}
+			if n.Arg < 0 || int(n.Arg) >= parentCards[n.Split] {
+				err = fmt.Errorf("tree CPD split operand %d out of domain [0,%d)", n.Arg, parentCards[n.Split])
+			}
+		default:
+			err = fmt.Errorf("tree CPD has unknown split op %d", n.Op)
+		}
+	})
+	return err
+}

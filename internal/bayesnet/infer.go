@@ -1,0 +1,302 @@
+package bayesnet
+
+import (
+	"fmt"
+	"sort"
+
+	"prmsel/internal/factor"
+)
+
+// Event is the query form inference answers: a conjunction over variables,
+// each restricted to a set of accepted values. A single-value set is an
+// equality predicate; larger sets encode range/IN predicates.
+type Event map[int][]int32
+
+// ElimOrder selects the variable-elimination ordering heuristic.
+type ElimOrder int
+
+const (
+	// MinFill greedily eliminates the variable introducing the fewest fill
+	// edges in the interaction graph. Default.
+	MinFill ElimOrder = iota
+	// ReverseTopo eliminates in reverse topological order; used as the
+	// ablation baseline for ordering quality.
+	ReverseTopo
+)
+
+// Probability returns P(evt) under the network's joint distribution,
+// computed by variable elimination over the ancestral closure of the event
+// variables. Only the queried variables and their ancestors enter the
+// computation (paper §3.3).
+func (n *Network) Probability(evt Event) (float64, error) {
+	return n.ProbabilityOrd(evt, MinFill)
+}
+
+// ProbabilityOrd is Probability with an explicit elimination-order
+// heuristic.
+func (n *Network) ProbabilityOrd(evt Event, ord ElimOrder) (float64, error) {
+	if len(evt) == 0 {
+		return 1, nil
+	}
+	for v, set := range evt {
+		if v < 0 || v >= len(n.vars) {
+			return 0, fmt.Errorf("bayesnet: event references unknown variable %d", v)
+		}
+		if len(set) == 0 {
+			return 0, fmt.Errorf("bayesnet: event on %s has empty value set", n.vars[v].Name)
+		}
+		for _, val := range set {
+			if val < 0 || int(val) >= n.vars[v].Card {
+				return 0, fmt.Errorf("bayesnet: event value %d out of domain for %s", val, n.vars[v].Name)
+			}
+		}
+	}
+
+	closure := n.ancestralClosure(evt)
+	// Single-value (equality) evidence clamps the variable and removes its
+	// dimension from every factor — the big inference win for the equality
+	// selects that dominate workloads. Multi-value (range/IN) evidence
+	// keeps the dimension and zeroes rejected values.
+	fixed := make(map[int]int32)
+	restricted := make(map[int]map[int32]bool)
+	for v, set := range evt {
+		if len(set) == 1 {
+			fixed[v] = set[0]
+			continue
+		}
+		accept := make(map[int32]bool, len(set))
+		for _, val := range set {
+			accept[val] = true
+		}
+		restricted[v] = accept
+	}
+	factors := make([]*factor.Factor, 0, len(closure))
+	for _, v := range closure {
+		f := n.cpdFactor(v)
+		for _, u := range f.Vars {
+			if val, ok := fixed[u]; ok {
+				f = f.Fix(u, val)
+			} else if accept, ok := restricted[u]; ok && u == v {
+				f = f.Restrict(u, accept)
+			}
+		}
+		factors = append(factors, f)
+	}
+
+	elim := make([]int, 0, len(closure))
+	for _, v := range closure {
+		if _, ok := fixed[v]; !ok {
+			elim = append(elim, v)
+		}
+	}
+	order := n.eliminationOrder(elim, factors, ord)
+	for _, v := range order {
+		factors = eliminate(factors, v)
+	}
+	p := 1.0
+	for _, f := range factors {
+		p *= f.Sum()
+	}
+	return p, nil
+}
+
+// ancestralClosure returns the event variables plus all their ancestors, in
+// ascending id order.
+func (n *Network) ancestralClosure(evt Event) []int {
+	seen := make(map[int]bool, len(evt))
+	var stack []int
+	for v := range evt {
+		if !seen[v] {
+			seen[v] = true
+			stack = append(stack, v)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range n.parents[v] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// eliminationOrder produces the order in which every variable of the
+// closure is summed out.
+func (n *Network) eliminationOrder(closure []int, factors []*factor.Factor, ord ElimOrder) []int {
+	switch ord {
+	case ReverseTopo:
+		topo, err := n.TopoOrder()
+		if err != nil {
+			panic(err)
+		}
+		inClosure := make(map[int]bool, len(closure))
+		for _, v := range closure {
+			inClosure[v] = true
+		}
+		out := make([]int, 0, len(closure))
+		for i := len(topo) - 1; i >= 0; i-- {
+			if inClosure[topo[i]] {
+				out = append(out, topo[i])
+			}
+		}
+		return out
+	default:
+		return minFillOrder(closure, factors, n)
+	}
+}
+
+// minFillOrder greedily orders closure by fewest fill-in edges in the
+// factor interaction graph, breaking ties by smaller intermediate-factor
+// size, then by id for determinism.
+func minFillOrder(closure []int, factors []*factor.Factor, n *Network) []int {
+	adj := make(map[int]map[int]bool, len(closure))
+	touch := func(v int) map[int]bool {
+		m, ok := adj[v]
+		if !ok {
+			m = make(map[int]bool)
+			adj[v] = m
+		}
+		return m
+	}
+	for _, v := range closure {
+		touch(v)
+	}
+	for _, f := range factors {
+		for _, a := range f.Vars {
+			m := touch(a)
+			for _, b := range f.Vars {
+				if a != b {
+					m[b] = true
+				}
+			}
+		}
+	}
+	remaining := append([]int(nil), closure...)
+	out := make([]int, 0, len(closure))
+	for len(remaining) > 0 {
+		best, bestFill, bestSize := -1, 1<<62, 1<<62
+		for _, v := range remaining {
+			fill := 0
+			size := n.vars[v].Card
+			nbrs := make([]int, 0, len(adj[v]))
+			for u := range adj[v] {
+				nbrs = append(nbrs, u)
+				size *= n.vars[u].Card
+				if size > 1<<40 {
+					size = 1 << 40
+				}
+			}
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !adj[nbrs[i]][nbrs[j]] {
+						fill++
+					}
+				}
+			}
+			if fill < bestFill || (fill == bestFill && size < bestSize) ||
+				(fill == bestFill && size == bestSize && v < best) {
+				best, bestFill, bestSize = v, fill, size
+			}
+		}
+		out = append(out, best)
+		// Connect best's neighbours (the fill edges) and remove best.
+		nbrs := make([]int, 0, len(adj[best]))
+		for u := range adj[best] {
+			nbrs = append(nbrs, u)
+		}
+		for i := 0; i < len(nbrs); i++ {
+			m := touch(nbrs[i])
+			for j := 0; j < len(nbrs); j++ {
+				if i != j {
+					m[nbrs[j]] = true
+				}
+			}
+		}
+		for _, u := range nbrs {
+			delete(adj[u], best)
+		}
+		delete(adj, best)
+		for i, v := range remaining {
+			if v == best {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// eliminate multiplies all factors whose scope contains v and sums v out,
+// returning the updated factor list.
+func eliminate(factors []*factor.Factor, v int) []*factor.Factor {
+	out := factors[:0]
+	var prod *factor.Factor
+	for _, f := range factors {
+		contains := false
+		for _, x := range f.Vars {
+			if x == v {
+				contains = true
+				break
+			}
+		}
+		if !contains {
+			out = append(out, f)
+			continue
+		}
+		if prod == nil {
+			prod = f
+		} else {
+			prod = factor.Product(prod, f)
+		}
+	}
+	if prod != nil {
+		out = append(out, prod.SumOut(v))
+	}
+	return out
+}
+
+// Marginal returns the (normalized) joint marginal over the given
+// variables, computed by eliminating everything else from the ancestral
+// closure.
+func (n *Network) Marginal(vars []int) (*factor.Factor, error) {
+	evt := make(Event, len(vars))
+	for _, v := range vars {
+		all := make([]int32, n.vars[v].Card)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		evt[v] = all
+	}
+	closure := n.ancestralClosure(evt)
+	factors := make([]*factor.Factor, 0, len(closure))
+	for _, v := range closure {
+		factors = append(factors, n.cpdFactor(v))
+	}
+	keep := make(map[int]bool, len(vars))
+	for _, v := range vars {
+		keep[v] = true
+	}
+	elim := make([]int, 0, len(closure))
+	for _, v := range closure {
+		if !keep[v] {
+			elim = append(elim, v)
+		}
+	}
+	for _, v := range minFillOrder(elim, factors, n) {
+		factors = eliminate(factors, v)
+	}
+	result := factor.Scalar(1)
+	for _, f := range factors {
+		result = factor.Product(result, f)
+	}
+	return result.Normalize(), nil
+}

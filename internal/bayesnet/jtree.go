@@ -1,0 +1,407 @@
+package bayesnet
+
+import (
+	"fmt"
+	"sort"
+
+	"prmsel/internal/factor"
+)
+
+// JunctionTree is a compiled clique-tree representation of a network for
+// repeated exact inference — the Lauritzen–Spiegelhalter architecture the
+// paper cites as the standard BN inference engine. Compile once with
+// Network.CompileJunctionTree, then answer many Probability queries; each
+// query applies evidence to the clique potentials and runs a single
+// collect pass.
+type JunctionTree struct {
+	net *Network
+	// cliques[i] is the sorted variable set of clique i.
+	cliques [][]int
+	// parent[i] is the clique messages from i flow to (-1 at the root).
+	parent []int
+	// separator[i] = cliques[i] ∩ cliques[parent[i]].
+	separator [][]int
+	// assigned[i] lists the variables whose CPD factor multiplies into
+	// clique i.
+	assigned [][]int
+	// order visits children before parents (collect order).
+	order []int
+}
+
+// CompileJunctionTree builds a clique tree for the network: moralize,
+// triangulate with the min-fill heuristic, extract maximal cliques, and
+// connect them so the running-intersection property holds.
+func (n *Network) CompileJunctionTree() (*JunctionTree, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	nv := n.NumVars()
+
+	// Moral graph: each CPD's family {v} ∪ Pa(v) becomes a clique.
+	adj := make([]map[int]bool, nv)
+	for v := 0; v < nv; v++ {
+		adj[v] = make(map[int]bool)
+	}
+	connect := func(vs []int) {
+		for _, a := range vs {
+			for _, b := range vs {
+				if a != b {
+					adj[a][b] = true
+				}
+			}
+		}
+	}
+	for v := 0; v < nv; v++ {
+		connect(append([]int{v}, n.Parents(v)...))
+	}
+
+	// Triangulate by min-fill elimination, recording elimination cliques.
+	remaining := make(map[int]bool, nv)
+	for v := 0; v < nv; v++ {
+		remaining[v] = true
+	}
+	elimCliques := make([][]int, 0, nv)
+	for len(remaining) > 0 {
+		best, bestFill, bestSize := -1, 1<<62, 1<<62
+		for v := range remaining {
+			var nbrs []int
+			size := n.Var(v).Card
+			for u := range adj[v] {
+				if remaining[u] {
+					nbrs = append(nbrs, u)
+					size *= n.Var(u).Card
+					if size > 1<<40 {
+						size = 1 << 40
+					}
+				}
+			}
+			fill := 0
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !adj[nbrs[i]][nbrs[j]] {
+						fill++
+					}
+				}
+			}
+			if fill < bestFill || (fill == bestFill && size < bestSize) ||
+				(fill == bestFill && size == bestSize && v < best) {
+				best, bestFill, bestSize = v, fill, size
+			}
+		}
+		clique := []int{best}
+		for u := range adj[best] {
+			if remaining[u] {
+				clique = append(clique, u)
+			}
+		}
+		sort.Ints(clique)
+		elimCliques = append(elimCliques, clique)
+		// Add fill edges among the remaining neighbours.
+		var nbrs []int
+		for u := range adj[best] {
+			if remaining[u] {
+				nbrs = append(nbrs, u)
+			}
+		}
+		for i := 0; i < len(nbrs); i++ {
+			for j := 0; j < len(nbrs); j++ {
+				if i != j {
+					adj[nbrs[i]][nbrs[j]] = true
+				}
+			}
+		}
+		delete(remaining, best)
+	}
+
+	// Keep maximal cliques only: drop any elimination clique strictly
+	// contained in another (and deduplicate equals, keeping the first).
+	var cliques [][]int
+	for i, c := range elimCliques {
+		maximal := true
+		for j, d := range elimCliques {
+			if i == j {
+				continue
+			}
+			if subset(c, d) && (len(c) < len(d) || j < i) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			cliques = append(cliques, c)
+		}
+	}
+
+	// Junction tree by maximum spanning tree over separator sizes
+	// (Kruskal): for a triangulated graph this yields a tree with the
+	// running-intersection property. Disconnected components form a
+	// forest, each with its own root.
+	type edge struct{ i, j, w int }
+	var edges []edge
+	for i := 0; i < len(cliques); i++ {
+		for j := i + 1; j < len(cliques); j++ {
+			w := intersectionSize(cliques[i], cliques[j])
+			if w > 0 {
+				edges = append(edges, edge{i, j, w})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].w != edges[b].w {
+			return edges[a].w > edges[b].w
+		}
+		if edges[a].i != edges[b].i {
+			return edges[a].i < edges[b].i
+		}
+		return edges[a].j < edges[b].j
+	})
+	comp := make([]int, len(cliques))
+	for i := range comp {
+		comp[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if comp[x] != x {
+			comp[x] = find(comp[x])
+		}
+		return comp[x]
+	}
+	treeAdj := make([][]int, len(cliques))
+	for _, e := range edges {
+		ri, rj := find(e.i), find(e.j)
+		if ri == rj {
+			continue
+		}
+		comp[ri] = rj
+		treeAdj[e.i] = append(treeAdj[e.i], e.j)
+		treeAdj[e.j] = append(treeAdj[e.j], e.i)
+	}
+
+	// Orient the forest: BFS from each unvisited clique; collect order is
+	// the reversed BFS order (children before parents).
+	parent := make([]int, len(cliques))
+	separator := make([][]int, len(cliques))
+	visited := make([]bool, len(cliques))
+	var bfs []int
+	for r := 0; r < len(cliques); r++ {
+		if visited[r] {
+			continue
+		}
+		parent[r] = -1
+		visited[r] = true
+		queue := []int{r}
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			bfs = append(bfs, c)
+			for _, nb := range treeAdj[c] {
+				if !visited[nb] {
+					visited[nb] = true
+					parent[nb] = c
+					separator[nb] = intersection(cliques[nb], cliques[c])
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	order := make([]int, len(bfs))
+	for i, c := range bfs {
+		order[len(bfs)-1-i] = c
+	}
+
+	// Assign each family to a clique that contains it.
+	assigned := make([][]int, len(cliques))
+	for v := 0; v < nv; v++ {
+		family := append([]int{v}, n.Parents(v)...)
+		sort.Ints(family)
+		placed := false
+		for i, c := range cliques {
+			if subset(family, c) {
+				assigned[i] = append(assigned[i], v)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("bayesnet: no clique contains the family of %s", n.Var(v).Name)
+		}
+	}
+
+	jt := &JunctionTree{
+		net:       n,
+		cliques:   cliques,
+		parent:    parent,
+		separator: separator,
+		assigned:  assigned,
+		order:     order,
+	}
+	// Guard against treewidth blow-ups: a clique potential beyond the cell
+	// limit would allocate gigabytes. Callers should fall back to
+	// variable elimination (which exploits evidence) on this error.
+	const maxPotentialCells = 1 << 24
+	for _, c := range cliques {
+		cells := 1
+		for _, v := range c {
+			cells *= n.Var(v).Card
+			if cells > maxPotentialCells {
+				return nil, fmt.Errorf("bayesnet: junction tree clique over %v exceeds %d cells; use variable elimination",
+					cliqueNames(n, c), maxPotentialCells)
+			}
+		}
+	}
+	return jt, nil
+}
+
+func cliqueNames(n *Network, c []int) []string {
+	names := make([]string, len(c))
+	for i, v := range c {
+		names[i] = n.Var(v).Name
+	}
+	return names
+}
+
+// subset reports whether sorted slice a ⊆ sorted slice b.
+func subset(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// intersection returns the sorted intersection of two sorted slices.
+func intersection(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// intersectionSize counts the common elements of two sorted slices.
+func intersectionSize(a, b []int) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// NumCliques returns the number of cliques.
+func (jt *JunctionTree) NumCliques() int { return len(jt.cliques) }
+
+// MaxCliqueSize returns the largest clique's variable count (treewidth+1).
+func (jt *JunctionTree) MaxCliqueSize() int {
+	m := 0
+	for _, c := range jt.cliques {
+		if len(c) > m {
+			m = len(c)
+		}
+	}
+	return m
+}
+
+// Probability returns P(evt), computed by applying the evidence to the
+// clique potentials and collecting messages to the root; the root
+// potential's total mass is the probability of the evidence.
+func (jt *JunctionTree) Probability(evt Event) (float64, error) {
+	if len(evt) == 0 {
+		return 1, nil
+	}
+	accept := make(map[int]map[int32]bool, len(evt))
+	for v, set := range evt {
+		if v < 0 || v >= jt.net.NumVars() {
+			return 0, fmt.Errorf("bayesnet: event references unknown variable %d", v)
+		}
+		if len(set) == 0 {
+			return 0, fmt.Errorf("bayesnet: event on %s has empty value set", jt.net.Var(v).Name)
+		}
+		m := make(map[int32]bool, len(set))
+		for _, val := range set {
+			if val < 0 || int(val) >= jt.net.Var(v).Card {
+				return 0, fmt.Errorf("bayesnet: event value %d out of domain for %s", val, jt.net.Var(v).Name)
+			}
+			m[val] = true
+		}
+		accept[v] = m
+	}
+
+	// Initialize potentials: product of assigned CPD factors with evidence
+	// applied per factor before multiplying — equality evidence clamps and
+	// drops the dimension (keeping potentials small), range evidence zeroes
+	// rejected values.
+	potentials := make([]*factor.Factor, len(jt.cliques))
+	for i := range jt.cliques {
+		pot := factor.Scalar(1)
+		for _, v := range jt.assigned[i] {
+			f := jt.net.cpdFactor(v)
+			for _, u := range f.Vars {
+				if m, ok := accept[u]; ok {
+					if len(m) == 1 {
+						for val := range m {
+							f = f.Fix(u, val)
+						}
+					} else {
+						f = f.Restrict(u, m)
+					}
+				}
+			}
+			pot = factor.Product(pot, f)
+		}
+		potentials[i] = pot
+	}
+
+	// Collect pass: each clique marginalizes onto its separator and sends
+	// the message to its parent.
+	var rootMass float64
+	counted := false
+	for _, i := range jt.order {
+		if jt.parent[i] < 0 {
+			// A root: its mass, times the masses of any other roots
+			// (disconnected networks), is the total probability.
+			if !counted {
+				rootMass = 1
+				counted = true
+			}
+			rootMass *= potentials[i].Sum()
+			continue
+		}
+		msg := potentials[i]
+		keep := make(map[int]bool, len(jt.separator[i]))
+		for _, v := range jt.separator[i] {
+			keep[v] = true
+		}
+		for _, v := range jt.cliques[i] {
+			if !keep[v] {
+				msg = msg.SumOut(v)
+			}
+		}
+		potentials[jt.parent[i]] = factor.Product(potentials[jt.parent[i]], msg)
+	}
+	return rootMass, nil
+}

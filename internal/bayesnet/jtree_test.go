@@ -1,0 +1,158 @@
+package bayesnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJunctionTreeMatchesVariableElimination(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomNet(rng, 2+rng.Intn(5))
+		jt, err := net.CompileJunctionTree()
+		if err != nil {
+			t.Logf("seed %d: compile: %v", seed, err)
+			return false
+		}
+		evt := Event{}
+		for v := 0; v < net.NumVars(); v++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			var set []int32
+			for x := 0; x < net.Var(v).Card; x++ {
+				if rng.Intn(2) == 0 {
+					set = append(set, int32(x))
+				}
+			}
+			if len(set) == 0 {
+				set = []int32{0}
+			}
+			evt[v] = set
+		}
+		ve, err := net.Probability(evt)
+		if err != nil {
+			return false
+		}
+		jp, err := jt.Probability(evt)
+		if err != nil {
+			t.Logf("seed %d: jt: %v", seed, err)
+			return false
+		}
+		if math.Abs(ve-jp) > 1e-9 {
+			t.Logf("seed %d: VE %v vs JT %v", seed, ve, jp)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJunctionTreeFig1(t *testing.T) {
+	net := fig1Net(t)
+	jt, err := net.CompileJunctionTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain E→I→H triangulates into two 2-cliques.
+	if jt.NumCliques() != 2 {
+		t.Errorf("cliques = %d, want 2", jt.NumCliques())
+	}
+	if jt.MaxCliqueSize() != 2 {
+		t.Errorf("max clique = %d, want 2", jt.MaxCliqueSize())
+	}
+	p, err := jt.Probability(Event{0: {0}, 1: {0}, 2: {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.27) > 1e-12 {
+		t.Errorf("P = %v, want 0.27", p)
+	}
+	// Range event.
+	p, err = jt.Probability(Event{1: {1, 2}, 2: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.297) > 1e-12 {
+		t.Errorf("range P = %v, want 0.297", p)
+	}
+}
+
+func TestJunctionTreeEmptyEventAndErrors(t *testing.T) {
+	net := fig1Net(t)
+	jt, err := net.CompileJunctionTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := jt.Probability(Event{})
+	if err != nil || p != 1 {
+		t.Errorf("P(∅) = %v, %v", p, err)
+	}
+	if _, err := jt.Probability(Event{9: {0}}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if _, err := jt.Probability(Event{0: {}}); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := jt.Probability(Event{0: {7}}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+}
+
+func TestJunctionTreeDisconnectedNetwork(t *testing.T) {
+	// Two independent variables: P(A=0, B=1) = P(A=0)·P(B=1).
+	net := New([]Variable{{Name: "A", Card: 2}, {Name: "B", Card: 3}})
+	a := NewTableCPD(2, nil)
+	copy(a.Dist, []float64{0.3, 0.7})
+	b := NewTableCPD(3, nil)
+	copy(b.Dist, []float64{0.2, 0.5, 0.3})
+	net.SetCPD(0, a)
+	net.SetCPD(1, b)
+	jt, err := net.CompileJunctionTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := jt.Probability(Event{0: {0}, 1: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.15) > 1e-12 {
+		t.Errorf("P = %v, want 0.15", p)
+	}
+}
+
+func TestCompileRejectsInvalidNetwork(t *testing.T) {
+	net := New([]Variable{{Name: "A", Card: 2}})
+	if _, err := net.CompileJunctionTree(); err == nil {
+		t.Error("network without CPDs compiled")
+	}
+}
+
+func TestCompileRejectsHugeCliques(t *testing.T) {
+	// A star network: one child with many wide parents triangulates into a
+	// single clique whose potential would exceed the cell guard.
+	vars := []Variable{{Name: "X", Card: 40}}
+	for i := 0; i < 6; i++ {
+		vars = append(vars, Variable{Name: string(rune('A' + i)), Card: 40})
+	}
+	net := New(vars)
+	parents := make([]int, 6)
+	for i := range parents {
+		parents[i] = i + 1
+		net.SetCPD(i+1, NewTableCPD(40, nil))
+	}
+	net.SetParents(0, parents)
+	// A single-leaf tree CPD keeps the *model* tiny; only the junction
+	// tree's clique potential would blow up.
+	net.SetCPD(0, NewTreeCPD(40, net.ParentCards(0)))
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.CompileJunctionTree(); err == nil {
+		t.Error("40^7-cell clique compiled without error")
+	}
+}

@@ -1,0 +1,81 @@
+package bayesnet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderCPD pretty-prints a CPD for inspection: tree CPDs as an indented
+// decision tree with the supplied parent and value names, table CPDs as a
+// per-configuration summary (capped to keep output readable).
+func RenderCPD(c CPD, parentNames []string, valueNames func(parent int, value int32) string) string {
+	var b strings.Builder
+	switch c := c.(type) {
+	case *TreeCPD:
+		renderTree(&b, c.Root, parentNames, valueNames, 0)
+	case *TableCPD:
+		configs := len(c.Dist) / c.ChildCard
+		const maxConfigs = 16
+		for cfg := 0; cfg < configs && cfg < maxConfigs; cfg++ {
+			vals := decodeConfig(cfg, c.ParentCards)
+			parts := make([]string, len(vals))
+			for i, v := range vals {
+				parts[i] = fmt.Sprintf("%s=%s", parentNames[i], valueNames(i, v))
+			}
+			ctx := strings.Join(parts, ", ")
+			if ctx == "" {
+				ctx = "(no parents)"
+			}
+			fmt.Fprintf(&b, "%s: %s\n", ctx, distString(c.Dist[cfg*c.ChildCard:(cfg+1)*c.ChildCard]))
+		}
+		if configs > maxConfigs {
+			fmt.Fprintf(&b, "… %d more configurations\n", configs-maxConfigs)
+		}
+	default:
+		fmt.Fprintf(&b, "<%s CPD>\n", c.Kind())
+	}
+	return b.String()
+}
+
+func renderTree(b *strings.Builder, n *TreeNode, parentNames []string, valueNames func(int, int32) string, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%s-> %s\n", indent, distString(n.Dist))
+		return
+	}
+	name := parentNames[n.Split]
+	switch n.Op {
+	case OpEQ:
+		fmt.Fprintf(b, "%sif %s = %s:\n", indent, name, valueNames(n.Split, n.Arg))
+		renderTree(b, n.Children[0], parentNames, valueNames, depth+1)
+		fmt.Fprintf(b, "%selse:\n", indent)
+		renderTree(b, n.Children[1], parentNames, valueNames, depth+1)
+	case OpLE:
+		fmt.Fprintf(b, "%sif %s <= %s:\n", indent, name, valueNames(n.Split, n.Arg))
+		renderTree(b, n.Children[0], parentNames, valueNames, depth+1)
+		fmt.Fprintf(b, "%selse:\n", indent)
+		renderTree(b, n.Children[1], parentNames, valueNames, depth+1)
+	default: // OpValue
+		for v, child := range n.Children {
+			fmt.Fprintf(b, "%scase %s = %s:\n", indent, name, valueNames(n.Split, int32(v)))
+			renderTree(b, child, parentNames, valueNames, depth+1)
+		}
+	}
+}
+
+func decodeConfig(cfg int, cards []int) []int32 {
+	vals := make([]int32, len(cards))
+	for i, c := range cards {
+		vals[i] = int32(cfg % c)
+		cfg /= c
+	}
+	return vals
+}
+
+func distString(dist []float64) string {
+	parts := make([]string, len(dist))
+	for i, p := range dist {
+		parts[i] = fmt.Sprintf("%.3f", p)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,61 @@
+// Package cliutil holds the dataset-loading logic shared by the command
+// line tools: built-in synthetic datasets by name, or a directory of CSVs
+// in the prmgen layout.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prmsel/internal/datagen"
+	"prmsel/internal/dataset"
+)
+
+// DatasetHelp documents the -dataset flag values.
+const DatasetHelp = "built-in dataset: census, tb, fin, shop or fig1"
+
+// LoadDB loads a database: from csvDir when non-empty (one <table>.csv per
+// table), else the named synthetic dataset.
+func LoadDB(csvDir, name string, rows int, scale float64, seed int64) (*dataset.Database, error) {
+	if csvDir != "" {
+		paths, err := filepath.Glob(filepath.Join(csvDir, "*.csv"))
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("no CSV files in %s", csvDir)
+		}
+		files := make(map[string]io.Reader, len(paths))
+		closers := make([]*os.File, 0, len(paths))
+		defer func() {
+			for _, f := range closers {
+				f.Close()
+			}
+		}()
+		for _, p := range paths {
+			f, err := os.Open(p)
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, f)
+			files[strings.TrimSuffix(filepath.Base(p), ".csv")] = f
+		}
+		return dataset.ReadDatabaseCSV(files)
+	}
+	switch name {
+	case "census":
+		return datagen.Census(rows, seed), nil
+	case "tb":
+		return datagen.TB(scale, seed), nil
+	case "fin":
+		return datagen.FIN(scale, seed), nil
+	case "shop":
+		return datagen.Shop(scale, seed), nil
+	case "fig1":
+		return datagen.Fig1Example(), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", name)
+}

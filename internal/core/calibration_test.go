@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prmsel/internal/dataset"
+	"prmsel/internal/learn"
+	"prmsel/internal/query"
+)
+
+// randomRelDB generates a small random two-table database with a foreign
+// key, random attribute domains and random (correlated) contents.
+func randomRelDB(rng *rand.Rand) *dataset.Database {
+	cardA := 2 + rng.Intn(4)
+	cardB := 2 + rng.Intn(3)
+	cardC := 2 + rng.Intn(4)
+	nParent := 3 + rng.Intn(30)
+	nChild := rng.Intn(120)
+
+	parent := dataset.NewTable(dataset.Schema{
+		Name: "P",
+		Attributes: []dataset.Attribute{
+			{Name: "A", Values: labels(cardA)},
+			{Name: "B", Values: labels(cardB)},
+		},
+	})
+	for i := 0; i < nParent; i++ {
+		a := int32(rng.Intn(cardA))
+		b := a % int32(cardB) // correlated
+		if rng.Intn(3) == 0 {
+			b = int32(rng.Intn(cardB))
+		}
+		parent.MustAppendRow([]int32{a, b}, nil)
+	}
+	child := dataset.NewTable(dataset.Schema{
+		Name:        "C",
+		Attributes:  []dataset.Attribute{{Name: "X", Values: labels(cardC)}},
+		ForeignKeys: []dataset.ForeignKey{{Name: "P", To: "P"}},
+	})
+	for i := 0; i < nChild; i++ {
+		ref := int32(rng.Intn(nParent))
+		x := parent.Value(int(ref), 0) % int32(cardC)
+		if rng.Intn(3) == 0 {
+			x = int32(rng.Intn(cardC))
+		}
+		child.MustAppendRow([]int32{x}, []int32{ref})
+	}
+	db := dataset.NewDatabase()
+	if err := db.AddTable(parent); err != nil {
+		panic(err)
+	}
+	if err := db.AddTable(child); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func labels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + i))
+	}
+	return out
+}
+
+// TestCalibrationProperties checks model-level invariants on random
+// databases:
+//  1. estimates are non-negative and finite;
+//  2. the unconstrained single-table estimate is exactly |T|;
+//  3. summing estimates over every value of one attribute reproduces the
+//     unconstrained estimate (the model is a proper distribution);
+//  4. the full-range predicate equals the unconstrained estimate.
+func TestCalibrationProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomRelDB(rng)
+		m, err := Learn(db, Config{
+			Fit:    learn.FitConfig{Kind: learn.Tree},
+			Search: learn.Options{Criterion: learn.SSN, BudgetBytes: 2000, MaxParents: 3},
+		})
+		if err != nil {
+			t.Logf("seed %d: learn failed: %v", seed, err)
+			return false
+		}
+		parent := db.Table("P")
+		cardA := parent.Attributes[0].Card()
+
+		// (2) unconstrained estimate = |P|.
+		base := query.New().Over("p", "P")
+		est, err := m.EstimateCount(base)
+		if err != nil || math.Abs(est-float64(parent.Len())) > 1e-6 {
+			t.Logf("seed %d: unconstrained estimate %v vs %d (%v)", seed, est, parent.Len(), err)
+			return false
+		}
+
+		// (3) Σ_v est(A=v) = |P|.
+		var sum float64
+		for v := 0; v < cardA; v++ {
+			e, err := m.EstimateCount(base.Clone().WhereEq("p", "A", int32(v)))
+			if err != nil || e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+				return false
+			}
+			sum += e
+		}
+		if math.Abs(sum-float64(parent.Len())) > 1e-6*float64(parent.Len()+1) {
+			t.Logf("seed %d: Σ_v est = %v vs %d", seed, sum, parent.Len())
+			return false
+		}
+
+		// (4) full-range predicate = unconstrained.
+		all := make([]int32, cardA)
+		for v := range all {
+			all[v] = int32(v)
+		}
+		er, err := m.EstimateCount(base.Clone().Where("p", "A", all...))
+		if err != nil || math.Abs(er-float64(parent.Len())) > 1e-6*float64(parent.Len()+1) {
+			t.Logf("seed %d: full-range estimate %v vs %d (%v)", seed, er, parent.Len(), err)
+			return false
+		}
+
+		// (1)+keyjoin: a join estimate is non-negative/finite and the
+		// unconstrained join is close to |C| (referential integrity). It
+		// is not exact in general: when the join indicator's parents have
+		// pruned (approximate) CPDs, the modeled parent joint re-weights
+		// the join rate slightly — inherent model approximation, so the
+		// bound is loose.
+		if db.Table("C").Len() > 0 {
+			jq := query.New().Over("c", "C").Over("p", "P").KeyJoin("c", "P", "p")
+			je, err := m.EstimateCount(jq)
+			if err != nil || je < 0 || math.IsNaN(je) {
+				return false
+			}
+			if math.Abs(je-float64(db.Table("C").Len())) > 0.1*float64(db.Table("C").Len())+1e-6 {
+				t.Logf("seed %d: join estimate %v vs |C| %d", seed, je, db.Table("C").Len())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimatesMatchExactOnSaturatedModel: with unlimited budget and table
+// CPDs over a tiny schema, the model reproduces the exact joint, so every
+// single-table estimate matches the exact count.
+func TestEstimatesMatchExactOnSaturatedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	db := randomRelDB(rng)
+	m, err := Learn(db, Config{
+		Fit:    learn.FitConfig{Kind: learn.Table},
+		Search: learn.Options{Criterion: learn.Naive, MaxParents: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := db.Table("P")
+	for a := int32(0); int(a) < parent.Attributes[0].Card(); a++ {
+		for b := int32(0); int(b) < parent.Attributes[1].Card(); b++ {
+			q := query.New().Over("p", "P").WhereEq("p", "A", a).WhereEq("p", "B", b)
+			truth, err := db.Count(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := m.EstimateCount(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(est-float64(truth)) > 1e-6 {
+				t.Errorf("cell (%d,%d): est %v, truth %d", a, b, est, truth)
+			}
+		}
+	}
+}
+
+// TestShapeCacheDistinguishesValues guards the query-shape cache: two
+// queries with identical shape but different predicate values must give
+// different (correct) answers.
+func TestShapeCacheDistinguishesValues(t *testing.T) {
+	db := skewDB(t, 400, 2000, 71)
+	m := learnPRM(t, db, false)
+	base := query.New().Over("p", "Person")
+	e0, err := m.EstimateCount(base.Clone().WhereEq("p", "Income", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := m.EstimateCount(base.Clone().WhereEq("p", "Income", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e0-e1) < 1 {
+		t.Fatalf("estimates suspiciously equal across different values: %v vs %v", e0, e1)
+	}
+	if math.Abs(e0+e1-400) > 1e-6 {
+		t.Errorf("estimates do not sum to |Person|: %v + %v", e0, e1)
+	}
+	// Re-ask the first query: the cached shape must not have been polluted.
+	again, err := m.EstimateCount(base.Clone().WhereEq("p", "Income", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != e0 {
+		t.Errorf("cached shape returned different answer: %v vs %v", again, e0)
+	}
+}
+
+// TestEstimateMonotonicity: adding a predicate can only shrink the
+// estimate — the model is a proper probability distribution.
+func TestEstimateMonotonicity(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomRelDB(rng)
+		m, err := Learn(db, Config{
+			Fit:    learn.FitConfig{Kind: learn.Tree},
+			Search: learn.Options{Criterion: learn.SSN, BudgetBytes: 2000, MaxParents: 3},
+		})
+		if err != nil {
+			return false
+		}
+		parent := db.Table("P")
+		a := int32(rng.Intn(parent.Attributes[0].Card()))
+		b := int32(rng.Intn(parent.Attributes[1].Card()))
+		loose := query.New().Over("p", "P").WhereEq("p", "A", a)
+		tight := loose.Clone().WhereEq("p", "B", b)
+		el, err := m.EstimateCount(loose)
+		if err != nil {
+			return false
+		}
+		et, err := m.EstimateCount(tight)
+		if err != nil {
+			return false
+		}
+		if et > el+1e-9 {
+			t.Logf("seed %d: tighter query estimated larger: %v > %v", seed, et, el)
+			return false
+		}
+		// Same with a join attached.
+		if db.Table("C").Len() == 0 {
+			return true
+		}
+		jl := query.New().Over("c", "C").Over("p", "P").KeyJoin("c", "P", "p").WhereEq("p", "A", a)
+		jt := jl.Clone().WhereEq("c", "X", int32(rng.Intn(db.Table("C").Attributes[0].Card())))
+		ejl, err := m.EstimateCount(jl)
+		if err != nil {
+			return false
+		}
+		ejt, err := m.EstimateCount(jt)
+		if err != nil {
+			return false
+		}
+		return ejt <= ejl+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"prmsel/internal/bayesnet"
+)
+
+// prmDTO is the wire form of a PRM.
+type prmDTO struct {
+	Vars      []Var
+	Parents   [][]int
+	Tables    map[int]*bayesnet.TableCPD
+	Trees     map[int]*bayesnet.TreeCPD
+	TableSize map[string]int64
+	Strata    []string
+}
+
+// Encode writes the model to w in gob form, so a model constructed offline
+// can be shipped to the query optimizer that uses it online.
+func (m *PRM) Encode(w io.Writer) error {
+	dto := prmDTO{
+		Vars:      m.vars,
+		Parents:   m.parents,
+		Tables:    make(map[int]*bayesnet.TableCPD),
+		Trees:     make(map[int]*bayesnet.TreeCPD),
+		TableSize: m.tableSize,
+		Strata:    m.strata,
+	}
+	for id, c := range m.cpds {
+		switch c := c.(type) {
+		case *bayesnet.TableCPD:
+			dto.Tables[id] = c
+		case *bayesnet.TreeCPD:
+			dto.Trees[id] = c
+		case nil:
+			return fmt.Errorf("core: encode: variable %s has no CPD", m.vars[id].Name())
+		default:
+			return fmt.Errorf("core: encode: unsupported CPD kind %q", c.Kind())
+		}
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// Decode reads a model previously written by Encode and validates it.
+func Decode(r io.Reader) (*PRM, error) {
+	var dto prmDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	m := &PRM{
+		vars:      dto.Vars,
+		index:     make(map[string]int, len(dto.Vars)),
+		parents:   dto.Parents,
+		cpds:      make([]bayesnet.CPD, len(dto.Vars)),
+		tableSize: dto.TableSize,
+		strata:    dto.Strata,
+	}
+	for id, v := range dto.Vars {
+		m.index[v.Name()] = id
+	}
+	for id, c := range dto.Tables {
+		if id < 0 || id >= len(m.cpds) {
+			return nil, fmt.Errorf("core: decode: CPD for unknown variable %d", id)
+		}
+		m.cpds[id] = c
+	}
+	for id, c := range dto.Trees {
+		if id < 0 || id >= len(m.cpds) {
+			return nil, fmt.Errorf("core: decode: CPD for unknown variable %d", id)
+		}
+		m.cpds[id] = c
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	return m, nil
+}

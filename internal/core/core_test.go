@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prmsel/internal/dataset"
+	"prmsel/internal/learn"
+	"prmsel/internal/query"
+)
+
+// skewDB builds a two-table database with deliberately skewed join
+// behaviour: each Purchase references a Person, and high-income people have
+// many more purchases. Attribute correlation across the key: purchase
+// amounts are high exactly for high-income buyers.
+func skewDB(t testing.TB, nPeople, nPurch int, seed int64) *dataset.Database {
+	rng := rand.New(rand.NewSource(seed))
+	person := dataset.NewTable(dataset.Schema{
+		Name: "Person",
+		Attributes: []dataset.Attribute{
+			{Name: "Income", Values: []string{"low", "high"}},
+			{Name: "Owner", Values: []string{"no", "yes"}},
+		},
+	})
+	for i := 0; i < nPeople; i++ {
+		inc := int32(0)
+		if rng.Float64() < 0.3 {
+			inc = 1
+		}
+		own := int32(0)
+		if (inc == 1 && rng.Float64() < 0.9) || (inc == 0 && rng.Float64() < 0.2) {
+			own = 1
+		}
+		person.MustAppendRow([]int32{inc, own}, nil)
+	}
+	// Purchases: high-income people 8x more likely per purchase.
+	weights := make([]float64, person.Len())
+	var total float64
+	for r := 0; r < person.Len(); r++ {
+		w := 1.0
+		if person.Value(r, 0) == 1 {
+			w = 8
+		}
+		weights[r] = w
+		total += w
+	}
+	purch := dataset.NewTable(dataset.Schema{
+		Name: "Purchase",
+		Attributes: []dataset.Attribute{
+			{Name: "Amount", Values: []string{"small", "large"}},
+		},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Buyer", To: "Person"}},
+	})
+	for i := 0; i < nPurch; i++ {
+		u := rng.Float64() * total
+		var cum float64
+		row := 0
+		for r, w := range weights {
+			cum += w
+			if u < cum {
+				row = r
+				break
+			}
+		}
+		amt := int32(0)
+		if person.Value(row, 0) == 1 && rng.Float64() < 0.8 {
+			amt = 1
+		} else if rng.Float64() < 0.1 {
+			amt = 1
+		}
+		purch.MustAppendRow([]int32{amt}, []int32{int32(row)})
+	}
+	db := dataset.NewDatabase()
+	for _, tbl := range []*dataset.Table{person, purch} {
+		if err := db.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func learnPRM(t testing.TB, db *dataset.Database, uniform bool) *PRM {
+	t.Helper()
+	cfg := Config{
+		Fit:         learn.FitConfig{Kind: learn.Tree},
+		Search:      learn.Options{Criterion: learn.SSN, BudgetBytes: 4000},
+		UniformJoin: uniform,
+	}
+	m, err := Learn(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func relErr(est float64, truth int64) float64 {
+	return math.Abs(est-float64(truth)) / math.Max(float64(truth), 1)
+}
+
+func TestPRMVarEnumeration(t *testing.T) {
+	db := skewDB(t, 200, 1000, 1)
+	m := learnPRM(t, db, false)
+	if m.NumVars() != 4 { // Income, Owner, Amount, Purchase~Buyer
+		t.Fatalf("NumVars = %d, want 4", m.NumVars())
+	}
+	if m.AttrVarID("Person", "Income") < 0 || m.JoinVarID("Purchase", "Buyer") < 0 {
+		t.Error("variable lookup failed")
+	}
+	if m.VarID("nope") != -1 {
+		t.Error("unknown variable lookup should return -1")
+	}
+	if m.TableSize("Person") != 200 || m.TableSize("Purchase") != 1000 {
+		t.Error("table sizes not recorded")
+	}
+}
+
+func TestPRMSingleTableEstimate(t *testing.T) {
+	db := skewDB(t, 500, 3000, 2)
+	m := learnPRM(t, db, false)
+	q := query.New().Over("p", "Person").WhereEq("p", "Income", 1).WhereEq("p", "Owner", 1)
+	truth, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(est, truth) > 0.15 {
+		t.Errorf("estimate %v vs truth %d (rel err %.2f)", est, truth, relErr(est, truth))
+	}
+}
+
+func TestPRMJoinSizeEstimate(t *testing.T) {
+	db := skewDB(t, 500, 3000, 3)
+	m := learnPRM(t, db, false)
+	q := query.New().Over("u", "Purchase").Over("p", "Person").KeyJoin("u", "Buyer", "p")
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Referential integrity: join size is exactly |Purchase|.
+	if relErr(est, 3000) > 0.05 {
+		t.Errorf("join size estimate %v, want ≈3000", est)
+	}
+}
+
+// TestPRMBeatsUniformJoinOnSkew is the paper's central claim (§3.1, Fig 6):
+// with join skew and cross-key correlation, the full PRM estimates
+// select-join sizes far better than per-table BNs with the uniform-join
+// assumption.
+func TestPRMBeatsUniformJoinOnSkew(t *testing.T) {
+	db := skewDB(t, 500, 5000, 4)
+	prm := learnPRM(t, db, false)
+	uj := learnPRM(t, db, true)
+
+	q := query.New().
+		Over("u", "Purchase").Over("p", "Person").
+		KeyJoin("u", "Buyer", "p").
+		WhereEq("p", "Income", 1).
+		WhereEq("u", "Amount", 1)
+	truth, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estPRM, err := prm.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estUJ, err := uj.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(estPRM, truth) > 0.25 {
+		t.Errorf("PRM estimate %v vs truth %d (rel err %.2f)", estPRM, truth, relErr(estPRM, truth))
+	}
+	if relErr(estUJ, truth) < 2*relErr(estPRM, truth) {
+		t.Errorf("uniform-join (err %.3f) unexpectedly close to PRM (err %.3f) on skewed data",
+			relErr(estUJ, truth), relErr(estPRM, truth))
+	}
+}
+
+// TestUpwardClosure: a query over only the referencing table whose selected
+// attribute has a cross-table parent must still estimate correctly — the
+// closure silently brings in the referenced tuple variable (Def. 3.3) and
+// the estimate stays calibrated to the single-table truth.
+func TestUpwardClosure(t *testing.T) {
+	db := skewDB(t, 500, 5000, 5)
+	m := learnPRM(t, db, false)
+	q := query.New().Over("u", "Purchase").WhereEq("u", "Amount", 1)
+	truth, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(est, truth) > 0.15 {
+		t.Errorf("closure estimate %v vs truth %d", est, truth)
+	}
+}
+
+func TestEstimateSelectivity(t *testing.T) {
+	db := skewDB(t, 500, 3000, 6)
+	m := learnPRM(t, db, false)
+	q := query.New().Over("p", "Person").WhereEq("p", "Income", 1)
+	sel, err := m.EstimateSelectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sel*500-est) > 1e-6 {
+		t.Errorf("selectivity %v inconsistent with count %v", sel, est)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	db := skewDB(t, 100, 300, 7)
+	m := learnPRM(t, db, false)
+	cases := []*query.Query{
+		query.New().Over("x", "Nope"),
+		query.New().Over("p", "Person").WhereEq("p", "Nope", 0),
+		query.New().Over("p", "Person").WhereEq("p", "Income", 9),
+		query.New().Over("u", "Purchase").Over("p", "Person").KeyJoin("u", "Nope", "p"),
+		query.New().Over("u", "Purchase").Over("p", "Purchase").KeyJoin("u", "Buyer", "p"),
+	}
+	for i, q := range cases {
+		if _, err := m.EstimateCount(q); err == nil {
+			t.Errorf("case %d: invalid query accepted", i)
+		}
+	}
+}
+
+func TestContradictoryPredicatesEstimateZero(t *testing.T) {
+	db := skewDB(t, 100, 300, 8)
+	m := learnPRM(t, db, false)
+	q := query.New().Over("p", "Person").
+		WhereEq("p", "Income", 0).
+		WhereEq("p", "Income", 1)
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Errorf("contradictory query estimated %v, want 0", est)
+	}
+}
+
+func TestPRMValidate(t *testing.T) {
+	db := skewDB(t, 200, 600, 9)
+	m := learnPRM(t, db, false)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestUniformJoinHasNoCrossTableEdges(t *testing.T) {
+	db := skewDB(t, 300, 2000, 10)
+	m := learnPRM(t, db, true)
+	for id := range m.vars {
+		v := m.Var(id)
+		for _, p := range m.Parents(id) {
+			pv := m.Var(p)
+			if v.Kind == JoinVar {
+				t.Errorf("BN+UJ join indicator %s has parent %s", v.Name(), pv.Name())
+			}
+			if pv.Table != v.Table {
+				t.Errorf("BN+UJ cross-table edge %s <- %s", v.Name(), pv.Name())
+			}
+		}
+	}
+	// The join indicator's CPD must be the uniform-join probability 1/|S|.
+	jid := m.JoinVarID("Purchase", "Buyer")
+	p := m.CPD(jid).Prob(JoinTrue, nil)
+	if math.Abs(p-1.0/300) > 1e-9 {
+		t.Errorf("P(join) = %v, want 1/300", p)
+	}
+}
+
+func TestLearnRejectsCyclicSchema(t *testing.T) {
+	db := dataset.NewDatabase()
+	a := dataset.NewTable(dataset.Schema{Name: "A", ForeignKeys: []dataset.ForeignKey{{Name: "F", To: "B"}}})
+	b := dataset.NewTable(dataset.Schema{Name: "B", ForeignKeys: []dataset.ForeignKey{{Name: "G", To: "A"}}})
+	if err := db.AddTable(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Learn(db, Config{}); err == nil {
+		t.Error("cyclic schema accepted")
+	}
+}
+
+func TestPRMBudgetRespected(t *testing.T) {
+	db := skewDB(t, 300, 2000, 11)
+	for _, budget := range []int{100, 500, 2000} {
+		cfg := Config{
+			Fit:    learn.FitConfig{Kind: learn.Tree},
+			Search: learn.Options{Criterion: learn.SSN, BudgetBytes: budget},
+		}
+		m, err := Learn(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.StorageBytes() > budget {
+			t.Errorf("budget %d: model uses %d bytes", budget, m.StorageBytes())
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"prmsel/internal/dataset"
+	"prmsel/internal/learn"
+	"prmsel/internal/query"
+)
+
+func TestEmptyTables(t *testing.T) {
+	db := dataset.NewDatabase()
+	person := dataset.NewTable(dataset.Schema{
+		Name:       "Person",
+		Attributes: []dataset.Attribute{{Name: "A", Values: []string{"x", "y"}}},
+	})
+	purch := dataset.NewTable(dataset.Schema{
+		Name:        "Purchase",
+		Attributes:  []dataset.Attribute{{Name: "B", Values: []string{"s", "l"}}},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Buyer", To: "Person"}},
+	})
+	if err := db.AddTable(person); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(purch); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Learn(db, Config{Fit: learn.FitConfig{Kind: learn.Tree}, Search: learn.Options{Criterion: learn.SSN}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New().Over("p", "Person").WhereEq("p", "A", 0)
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Errorf("empty-table estimate = %v", est)
+	}
+	jq := query.New().Over("u", "Purchase").Over("p", "Person").KeyJoin("u", "Buyer", "p")
+	est, err = m.EstimateCount(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Errorf("empty join estimate = %v", est)
+	}
+}

@@ -1,0 +1,468 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prmsel/internal/bayesnet"
+	"prmsel/internal/query"
+)
+
+// EstimateCount estimates the result size of a select/keyjoin query: it
+// upward-closes the query (Def. 3.3), unrolls the query-evaluation Bayesian
+// network over the closure's tuple variables (Def. 3.5), computes the
+// probability of the selection event conjoined with all join indicators
+// being true, and scales by the product of the closure tables' sizes.
+// Non-key equality joins (paper §6) are handled by decomposition: the
+// query is summed over the possible shared values of each joined
+// attribute pair.
+func (m *PRM) EstimateCount(q *query.Query) (float64, error) {
+	if len(q.NonKeyJoins) > 0 {
+		return m.estimateNonKeyJoin(q)
+	}
+	p, sizes, err := m.eventProbability(q)
+	if err != nil {
+		return 0, err
+	}
+	return p * sizes, nil
+}
+
+// EstimateSelectivity returns the estimated fraction of the cross product
+// of the query's tables that satisfies the query.
+func (m *PRM) EstimateSelectivity(q *query.Query) (float64, error) {
+	count, err := m.EstimateCount(q)
+	if err != nil {
+		return 0, err
+	}
+	var queryProduct float64 = 1
+	for _, t := range q.Vars {
+		queryProduct *= float64(m.tableSize[t])
+	}
+	if queryProduct == 0 {
+		return 0, nil
+	}
+	return count / queryProduct, nil
+}
+
+// estimateNonKeyJoin rewrites each non-key join L.A = R.B into a pair of
+// equality predicates sharing one value slot, and sums the keyjoin-only
+// estimate over every assignment of the slots — the §6 strategy of summing
+// over the possible values of the joined attributes. Joined attribute
+// pairs must share their domain encoding; values beyond the smaller domain
+// cannot match and are not enumerated.
+func (m *PRM) estimateNonKeyJoin(q *query.Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	base := q.Clone()
+	base.NonKeyJoins = nil
+	vals := make([]int32, len(q.NonKeyJoins))
+	cards := make([]int, len(q.NonKeyJoins))
+	for i, j := range q.NonKeyJoins {
+		lv := m.AttrVarID(q.Vars[j.LeftVar], j.LeftAttr)
+		rv := m.AttrVarID(q.Vars[j.RightVar], j.RightAttr)
+		if lv < 0 {
+			return 0, fmt.Errorf("core: table %s has no attribute %q", q.Vars[j.LeftVar], j.LeftAttr)
+		}
+		if rv < 0 {
+			return 0, fmt.Errorf("core: table %s has no attribute %q", q.Vars[j.RightVar], j.RightAttr)
+		}
+		cards[i] = m.vars[lv].Card
+		if c := m.vars[rv].Card; c < cards[i] {
+			cards[i] = c
+		}
+		slot := vals[i : i+1]
+		base.Preds = append(base.Preds,
+			query.Pred{Var: j.LeftVar, Attr: j.LeftAttr, Values: slot},
+			query.Pred{Var: j.RightVar, Attr: j.RightAttr, Values: slot},
+		)
+	}
+	var total float64
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(vals) {
+			p, sizes, err := m.eventProbability(base)
+			if err != nil {
+				return err
+			}
+			total += p * sizes
+			return nil
+		}
+		for v := 0; v < cards[i]; v++ {
+			vals[i] = int32(v)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// EstimateGroupBy approximately answers SELECT attr, COUNT(*) ... GROUP BY
+// attr: it returns, for each value of tv's attribute, the estimated result
+// size of q restricted to that value (the approximate-query-answering
+// application from the paper's introduction). The returned slice indexes by
+// value code.
+func (m *PRM) EstimateGroupBy(q *query.Query, tv, attr string) ([]float64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	table, ok := q.Vars[tv]
+	if !ok {
+		return nil, fmt.Errorf("core: group-by references undeclared variable %q", tv)
+	}
+	vid := m.AttrVarID(table, attr)
+	if vid < 0 {
+		return nil, fmt.Errorf("core: table %s has no attribute %q", table, attr)
+	}
+	grouped := q.Clone()
+	slot := []int32{0}
+	grouped.Preds = append(grouped.Preds, query.Pred{Var: tv, Attr: attr, Values: slot})
+	out := make([]float64, m.vars[vid].Card)
+	for v := range out {
+		slot[0] = int32(v)
+		est, err := m.EstimateCount(grouped)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = est
+	}
+	return out, nil
+}
+
+// evalBuilder incrementally unrolls the query-evaluation BN.
+type evalBuilder struct {
+	m *PRM
+	// tuple variables of the upward closure: name -> table.
+	tupleVars map[string]string
+	// joinTo maps (tupleVar, fk) -> referenced tuple variable.
+	joinTo map[[2]string]string
+	// nodes maps (tupleVar, prm var id) -> BN node id.
+	nodes map[nodeKey]int
+	vars  []bayesnet.Variable
+	pars  [][]int
+	cpds  []bayesnet.CPD
+	evt   bayesnet.Event
+	fresh int
+}
+
+type nodeKey struct {
+	tv  string
+	vid int
+}
+
+// evalModel is a fully-unrolled query-evaluation BN for one query *shape*
+// (tables, joins, and predicated attributes, ignoring predicate values).
+// Every query of a suite shares one shape, so the network — and its
+// memoized CPD factors — are built once and reused.
+type evalModel struct {
+	net       *bayesnet.Network
+	nodes     map[nodeKey]int
+	tvs       map[string]string // closure tuple variables -> table
+	joinNodes []int             // asserted JoinTrue on every evaluation
+	sizeProd  float64
+	predNode  []int // node id per query predicate, aligned with q.Preds
+	predVID   []int // PRM variable id per predicate
+}
+
+// shapeKey builds the cache key of a query's shape.
+func shapeKey(q *query.Query) string {
+	var b strings.Builder
+	names := q.VarNames()
+	for _, tv := range names {
+		b.WriteString(tv)
+		b.WriteByte('=')
+		b.WriteString(q.Vars[tv])
+		b.WriteByte(';')
+	}
+	joins := make([]string, len(q.Joins))
+	for i, j := range q.Joins {
+		joins[i] = j.FromVar + "." + j.FK + ">" + j.ToVar
+	}
+	sort.Strings(joins)
+	for _, j := range joins {
+		b.WriteString(j)
+		b.WriteByte(';')
+	}
+	for _, p := range q.Preds {
+		b.WriteString(p.Var)
+		b.WriteByte('.')
+		b.WriteString(p.Attr)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// model returns the (cached) evaluation model for q's shape.
+func (m *PRM) model(q *query.Query) (*evalModel, error) {
+	key := shapeKey(q)
+	m.mu.Lock()
+	if m.evalCache == nil {
+		m.evalCache = make(map[string]*evalModel)
+	}
+	if em, ok := m.evalCache[key]; ok {
+		m.mu.Unlock()
+		return em, nil
+	}
+	m.mu.Unlock()
+
+	b := &evalBuilder{
+		m:         m,
+		tupleVars: make(map[string]string),
+		joinTo:    make(map[[2]string]string),
+		nodes:     make(map[nodeKey]int),
+		evt:       make(bayesnet.Event),
+	}
+	for tv, table := range q.Vars {
+		if _, ok := m.tableSize[table]; !ok {
+			return nil, fmt.Errorf("core: query over unknown table %q", table)
+		}
+		b.tupleVars[tv] = table
+	}
+
+	// Register the query's own joins first so closure reuses them
+	// (Def. 3.3: no new tuple variable when one is already present).
+	for _, j := range q.Joins {
+		table := b.tupleVars[j.FromVar]
+		jid := m.JoinVarID(table, j.FK)
+		if jid < 0 {
+			return nil, fmt.Errorf("core: table %s has no foreign key %q", table, j.FK)
+		}
+		if ref := m.vars[jid].Ref; ref != b.tupleVars[j.ToVar] {
+			return nil, fmt.Errorf("core: foreign key %s.%s references %s, but %s ranges over %s",
+				table, j.FK, ref, j.ToVar, b.tupleVars[j.ToVar])
+		}
+		key := [2]string{j.FromVar, j.FK}
+		if prev, dup := b.joinTo[key]; dup && prev != j.ToVar {
+			return nil, fmt.Errorf("core: %s.%s joined to two different variables (%s, %s)", j.FromVar, j.FK, prev, j.ToVar)
+		}
+		b.joinTo[key] = j.ToVar
+	}
+	for _, j := range q.Joins {
+		table := b.tupleVars[j.FromVar]
+		node, err := b.need(j.FromVar, m.JoinVarID(table, j.FK))
+		if err != nil {
+			return nil, err
+		}
+		b.evt[node] = []int32{JoinTrue}
+	}
+
+	em := &evalModel{
+		nodes:    b.nodes,
+		predNode: make([]int, len(q.Preds)),
+		predVID:  make([]int, len(q.Preds)),
+	}
+	for i, pred := range q.Preds {
+		table := b.tupleVars[pred.Var]
+		vid := m.AttrVarID(table, pred.Attr)
+		if vid < 0 {
+			return nil, fmt.Errorf("core: table %s has no attribute %q", table, pred.Attr)
+		}
+		node, err := b.need(pred.Var, vid)
+		if err != nil {
+			return nil, err
+		}
+		em.predNode[i] = node
+		em.predVID[i] = vid
+	}
+
+	for node := range b.evt {
+		em.joinNodes = append(em.joinNodes, node)
+	}
+	sort.Ints(em.joinNodes)
+	em.tvs = b.tupleVars
+	em.sizeProd = 1
+	for _, table := range b.tupleVars {
+		em.sizeProd *= float64(m.tableSize[table])
+	}
+	em.net = bayesnet.New(b.vars)
+	for id := range b.vars {
+		em.net.SetParents(id, b.pars[id])
+		em.net.SetCPD(id, b.cpds[id])
+	}
+
+	m.mu.Lock()
+	m.evalCache[key] = em
+	m.mu.Unlock()
+	return em, nil
+}
+
+func (m *PRM) eventProbability(q *query.Query) (p float64, sizeProduct float64, err error) {
+	if err := q.Validate(); err != nil {
+		return 0, 0, err
+	}
+	em, err := m.model(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	evt := make(bayesnet.Event, len(em.joinNodes)+len(em.predNode))
+	for _, node := range em.joinNodes {
+		evt[node] = []int32{JoinTrue}
+	}
+	// Conjoin accept sets per predicated node.
+	accept := make(map[int]map[int32]bool)
+	for i, pred := range q.Preds {
+		vid := em.predVID[i]
+		set, err := pred.Accept(m.vars[vid].Card)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: %w", err)
+		}
+		node := em.predNode[i]
+		if prev, ok := accept[node]; ok {
+			for v := range prev {
+				if !set[v] {
+					delete(prev, v)
+				}
+			}
+		} else {
+			accept[node] = set
+		}
+	}
+	for node, set := range accept {
+		if len(set) == 0 {
+			return 0, em.sizeProd, nil // contradictory predicates
+		}
+		vals := make([]int32, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		evt[node] = vals
+	}
+	prob, err := em.net.Probability(evt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return prob, em.sizeProd, nil
+}
+
+// need returns (creating if necessary) the BN node for PRM variable vid
+// instantiated at tuple variable tv, recursively materializing its parents
+// and any closure tuple variables they require.
+func (b *evalBuilder) need(tv string, vid int) (int, error) {
+	key := nodeKey{tv: tv, vid: vid}
+	if id, ok := b.nodes[key]; ok {
+		return id, nil
+	}
+	v := b.m.vars[vid]
+	id := len(b.vars)
+	b.nodes[key] = id
+	b.vars = append(b.vars, bayesnet.Variable{Name: tv + ":" + v.Name(), Card: v.Card})
+	b.pars = append(b.pars, nil)
+	b.cpds = append(b.cpds, b.m.cpds[vid])
+
+	parentIDs := make([]int, len(b.m.parents[vid]))
+	for i, pid := range b.m.parents[vid] {
+		pv := b.m.vars[pid]
+		var ptv string
+		switch {
+		case pv.Table == v.Table:
+			// Same-table parent (including the join indicators of v's own
+			// table when v is an attribute with cross-table parents).
+			ptv = tv
+		case v.Kind == JoinVar && pv.Table == v.Ref:
+			// Parent on the referenced side of this very join.
+			target, err := b.joinTarget(tv, v.Table, v.FK, v.Ref)
+			if err != nil {
+				return 0, err
+			}
+			ptv = target
+		case v.Kind == AttrVar:
+			// Cross-table attribute parent: route through the foreign key
+			// whose join indicator accompanies it in the parent list.
+			fk := ""
+			for _, q := range b.m.parents[vid] {
+				qv := b.m.vars[q]
+				if qv.Kind == JoinVar && qv.Table == v.Table && qv.Ref == pv.Table {
+					fk = qv.FK
+					break
+				}
+			}
+			if fk == "" {
+				return 0, fmt.Errorf("core: %s has cross-table parent %s without a join indicator", v.Name(), pv.Name())
+			}
+			target, err := b.joinTarget(tv, v.Table, fk, pv.Table)
+			if err != nil {
+				return 0, err
+			}
+			ptv = target
+		default:
+			return 0, fmt.Errorf("core: cannot place parent %s of %s", pv.Name(), v.Name())
+		}
+		pnode, err := b.need(ptv, pid)
+		if err != nil {
+			return 0, err
+		}
+		parentIDs[i] = pnode
+	}
+	b.pars[id] = parentIDs
+	return id, nil
+}
+
+// joinTarget returns the tuple variable that tv's foreign key fk joins to,
+// creating a closure variable (and asserting its join indicator true) when
+// the query does not already join it.
+func (b *evalBuilder) joinTarget(tv, table, fk, refTable string) (string, error) {
+	key := [2]string{tv, fk}
+	if target, ok := b.joinTo[key]; ok {
+		return target, nil
+	}
+	b.fresh++
+	target := fmt.Sprintf("_closure%d", b.fresh)
+	b.tupleVars[target] = refTable
+	b.joinTo[key] = target
+	jid := b.m.JoinVarID(table, fk)
+	node, err := b.need(tv, jid)
+	if err != nil {
+		return "", err
+	}
+	b.evt[node] = []int32{JoinTrue}
+	return target, nil
+}
+
+// Explanation describes how an estimate was produced: the upward closure's
+// tuple variables (including the ones Def. 3.3 added), the event
+// probability, and the size scaling.
+type Explanation struct {
+	// TupleVars maps every closure tuple variable to its table; names
+	// beginning with "_closure" were added by upward closure.
+	TupleVars map[string]string
+	// Probability is P(selections ∧ all join indicators true).
+	Probability float64
+	// SizeProduct is the product of the closure tables' sizes.
+	SizeProduct float64
+	// Estimate = Probability × SizeProduct.
+	Estimate float64
+}
+
+// Explain estimates q and reports how the number was assembled. Queries
+// with non-key joins are not explained (their estimate is a sum of many
+// closure evaluations).
+func (m *PRM) Explain(q *query.Query) (*Explanation, error) {
+	if len(q.NonKeyJoins) > 0 {
+		return nil, fmt.Errorf("core: Explain does not support non-key joins")
+	}
+	p, sizes, err := m.eventProbability(q)
+	if err != nil {
+		return nil, err
+	}
+	em, err := m.model(q)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{
+		TupleVars:   make(map[string]string, len(em.tvs)),
+		Probability: p,
+		SizeProduct: sizes,
+		Estimate:    p * sizes,
+	}
+	for tv, table := range em.tvs {
+		ex.TupleVars[tv] = table
+	}
+	return ex, nil
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"prmsel/internal/datagen"
+	"prmsel/internal/dataset"
+	"prmsel/internal/learn"
+	"prmsel/internal/query"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	db := skewDB(t, 300, 2000, 21)
+	m := learnPRM(t, db, false)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New().
+		Over("u", "Purchase").Over("p", "Person").
+		KeyJoin("u", "Buyer", "p").
+		WhereEq("p", "Income", 1).
+		WhereEq("u", "Amount", 1)
+	a, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("estimates differ after round trip: %v vs %v", a, b)
+	}
+	if back.StorageBytes() != m.StorageBytes() {
+		t.Errorf("storage changed: %d -> %d", m.StorageBytes(), back.StorageBytes())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+// TestRefitParametersTracksNewData: learn on one snapshot, refit on a
+// second snapshot with very different statistics, and check estimates track
+// the new data while the structure stays fixed.
+func TestRefitParametersTracksNewData(t *testing.T) {
+	old := skewDB(t, 400, 3000, 31)
+	m := learnPRM(t, old, false)
+
+	fresh := skewDB(t, 400, 3000, 99) // same schema, different sample
+	if err := m.RefitParameters(fresh); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New().
+		Over("u", "Purchase").Over("p", "Person").
+		KeyJoin("u", "Buyer", "p").
+		WhereEq("p", "Income", 1).
+		WhereEq("u", "Amount", 1)
+	truth, err := fresh.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(est, truth) > 0.25 {
+		t.Errorf("after refit: estimate %v vs fresh truth %d", est, truth)
+	}
+}
+
+func TestRefitRejectsSchemaMismatch(t *testing.T) {
+	db := skewDB(t, 100, 500, 32)
+	m := learnPRM(t, db, false)
+	// A database missing the Purchase table must be rejected.
+	bad := dataset.NewDatabase()
+	person := dataset.NewTable(dataset.Schema{
+		Name: "Person",
+		Attributes: []dataset.Attribute{
+			{Name: "Income", Values: []string{"low", "high"}},
+			{Name: "Owner", Values: []string{"no", "yes"}},
+		},
+	})
+	person.MustAppendRow([]int32{0, 0}, nil)
+	if err := bad.AddTable(person); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RefitParameters(bad); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	// A database with a resized domain must also be rejected.
+	bad2 := dataset.NewDatabase()
+	person2 := dataset.NewTable(dataset.Schema{
+		Name: "Person",
+		Attributes: []dataset.Attribute{
+			{Name: "Income", Values: []string{"low", "mid", "high"}},
+			{Name: "Owner", Values: []string{"no", "yes"}},
+		},
+	})
+	person2.MustAppendRow([]int32{0, 0}, nil)
+	purch2 := dataset.NewTable(dataset.Schema{
+		Name:        "Purchase",
+		Attributes:  []dataset.Attribute{{Name: "Amount", Values: []string{"small", "large"}}},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Buyer", To: "Person"}},
+	})
+	purch2.MustAppendRow([]int32{0}, []int32{0})
+	if err := bad2.AddTable(person2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad2.AddTable(purch2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RefitParameters(bad2); err == nil {
+		t.Error("domain-size mismatch accepted")
+	}
+}
+
+// invertIncome builds a database with the skewDB schema whose statistics
+// are deliberately inverted (income flipped, amounts decoupled), to look
+// like drifted data.
+func invertIncome(t *testing.T) *dataset.Database {
+	t.Helper()
+	person := dataset.NewTable(dataset.Schema{
+		Name: "Person",
+		Attributes: []dataset.Attribute{
+			{Name: "Income", Values: []string{"low", "high"}},
+			{Name: "Owner", Values: []string{"no", "yes"}},
+		},
+	})
+	for i := 0; i < 500; i++ {
+		inc := int32(1)
+		if i%10 == 0 {
+			inc = 0
+		}
+		person.MustAppendRow([]int32{inc, 1 - inc}, nil)
+	}
+	purch := dataset.NewTable(dataset.Schema{
+		Name:        "Purchase",
+		Attributes:  []dataset.Attribute{{Name: "Amount", Values: []string{"small", "large"}}},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Buyer", To: "Person"}},
+	})
+	for i := 0; i < 4000; i++ {
+		purch.MustAppendRow([]int32{int32(i % 2)}, []int32{int32(i % 500)})
+	}
+	db := dataset.NewDatabase()
+	for _, tbl := range []*dataset.Table{person, purch} {
+		if err := db.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestLogLikelihoodDetectsDrift: the model's score on fresh data from the
+// same process stays near its score on the training data, while data from
+// a shifted process scores visibly lower — the §6 relearn trigger.
+func TestLogLikelihoodDetectsDrift(t *testing.T) {
+	train := skewDB(t, 500, 4000, 41)
+	m := learnPRM(t, train, false)
+	selfLL, err := m.LogLikelihood(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := m.LogLikelihood(skewDB(t, 500, 4000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(selfLL-same)/math.Abs(selfLL) > 0.05 {
+		t.Errorf("same-process score drifted: %v vs %v", selfLL, same)
+	}
+	shifted, err := m.LogLikelihood(invertIncome(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted > same {
+		t.Errorf("shifted-process score %v not below same-process %v", shifted, same)
+	}
+}
+
+func TestNonKeyJoinEstimate(t *testing.T) {
+	db := skewDB(t, 300, 2000, 51)
+	m := learnPRM(t, db, false)
+	// Non-key join Person.Income = Purchase.Amount (both binary domains):
+	// semantically meaningless but statistically well-defined.
+	q := query.New().
+		Over("p", "Person").Over("u", "Purchase").
+		NonKeyJoinOn("p", "Income", "u", "Amount")
+	truth, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(est, truth) > 0.15 {
+		t.Errorf("non-key join estimate %v vs truth %d", est, truth)
+	}
+}
+
+func TestNonKeyJoinWithSelectsAndKeyJoin(t *testing.T) {
+	db := skewDB(t, 300, 2000, 52)
+	m := learnPRM(t, db, false)
+	// Two purchases whose amounts match, one joined to its buyer with a
+	// selection — exercises decomposition composed with keyjoins.
+	q := query.New().
+		Over("u", "Purchase").Over("v", "Purchase").Over("p", "Person").
+		KeyJoin("u", "Buyer", "p").
+		NonKeyJoinOn("u", "Amount", "v", "Amount").
+		WhereEq("p", "Income", 1)
+	truth, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(est, truth) > 0.2 {
+		t.Errorf("mixed join estimate %v vs truth %d", est, truth)
+	}
+}
+
+func TestNonKeyJoinErrors(t *testing.T) {
+	db := skewDB(t, 100, 500, 53)
+	m := learnPRM(t, db, false)
+	q := query.New().
+		Over("p", "Person").Over("u", "Purchase").
+		NonKeyJoinOn("p", "Nope", "u", "Amount")
+	if _, err := m.EstimateCount(q); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestEstimateGroupBy(t *testing.T) {
+	db := skewDB(t, 400, 3000, 61)
+	m := learnPRM(t, db, false)
+	q := query.New().
+		Over("u", "Purchase").Over("p", "Person").
+		KeyJoin("u", "Buyer", "p")
+	groups, err := m.EstimateGroupBy(q, "p", "Income")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	// Group estimates must sum to the ungrouped estimate.
+	total, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(groups[0]+groups[1]-total) > 1e-6*total {
+		t.Errorf("groups sum %v != total %v", groups[0]+groups[1], total)
+	}
+	// And track the exact group counts.
+	for v := int32(0); v < 2; v++ {
+		truth, err := db.Count(q.Clone().WhereEq("p", "Income", v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(groups[v], truth) > 0.2 {
+			t.Errorf("group %d estimate %v vs truth %d", v, groups[v], truth)
+		}
+	}
+}
+
+func TestEstimateGroupByErrors(t *testing.T) {
+	db := skewDB(t, 100, 500, 62)
+	m := learnPRM(t, db, false)
+	q := query.New().Over("p", "Person")
+	if _, err := m.EstimateGroupBy(q, "x", "Income"); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if _, err := m.EstimateGroupBy(q, "p", "Nope"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+// TestNegatedPredicates: NOT IN must agree between the exact executor and
+// the model, and complement the positive predicate.
+func TestNegatedPredicates(t *testing.T) {
+	db := skewDB(t, 400, 2000, 81)
+	m := learnPRM(t, db, false)
+	pos := query.New().Over("p", "Person").WhereEq("p", "Income", 1)
+	neg := query.New().Over("p", "Person").WhereNot("p", "Income", 1)
+	posTruth, err := db.Count(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negTruth, err := db.Count(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posTruth+negTruth != 400 {
+		t.Fatalf("executor complement broken: %d + %d != 400", posTruth, negTruth)
+	}
+	posEst, err := m.EstimateCount(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negEst, err := m.EstimateCount(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(posEst+negEst-400) > 1e-6 {
+		t.Errorf("model complement broken: %v + %v != 400", posEst, negEst)
+	}
+	if relErr(negEst, negTruth) > 0.1 {
+		t.Errorf("negated estimate %v vs truth %d", negEst, negTruth)
+	}
+}
+
+// TestDeepChainClosure: on the four-level Shop schema, a query selecting
+// only LineItem attributes must estimate well even though the model's
+// dependencies reach through LineItem→Order→Customer→Region — the upward
+// closure silently materializes the whole chain.
+func TestDeepChainClosure(t *testing.T) {
+	db := datagen.Shop(0.2, 5)
+	cfg := Config{
+		Fit:    learn.FitConfig{Kind: learn.Tree},
+		Search: learn.Options{Criterion: learn.SSN, BudgetBytes: 6000, MaxParents: 3},
+	}
+	m, err := Learn(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []*query.Query{
+		query.New().Over("l", "LineItem").Where("l", "Quantity", 5, 6, 7),
+		query.New().Over("l", "LineItem").Over("o", "Order").
+			KeyJoin("l", "Order", "o").
+			WhereEq("o", "Priority", 2).
+			WhereEq("l", "Discount", 3),
+		query.New().Over("l", "LineItem").Over("o", "Order").Over("c", "Customer").Over("r", "Region").
+			KeyJoin("l", "Order", "o").
+			KeyJoin("o", "Customer", "c").
+			KeyJoin("c", "Region", "r").
+			WhereEq("c", "Segment", 2).
+			Where("r", "Wealth", 2, 3).
+			Where("l", "Quantity", 4, 5, 6, 7),
+	}
+	for i, q := range cases {
+		truth, err := db.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := m.EstimateCount(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(est, truth) > 0.3 {
+			t.Errorf("case %d: estimate %v vs truth %d (rel err %.2f)", i, est, truth, relErr(est, truth))
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := skewDB(t, 300, 2000, 91)
+	m := learnPRM(t, db, false)
+	// Select on Purchase only: if Amount has a cross-table parent, the
+	// closure adds a Person tuple variable; either way the explanation must
+	// be consistent with the estimate.
+	q := query.New().Over("u", "Purchase").WhereEq("u", "Amount", 1)
+	ex, err := m.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ex.Estimate-est) > 1e-9 {
+		t.Errorf("explanation estimate %v != EstimateCount %v", ex.Estimate, est)
+	}
+	if math.Abs(ex.Probability*ex.SizeProduct-ex.Estimate) > 1e-9 {
+		t.Error("explanation is internally inconsistent")
+	}
+	if _, ok := ex.TupleVars["u"]; !ok {
+		t.Error("explanation lost the query's own tuple variable")
+	}
+	nk := query.New().Over("u", "Purchase").Over("p", "Person").
+		NonKeyJoinOn("u", "Amount", "p", "Income")
+	if _, err := m.Explain(nk); err == nil {
+		t.Error("non-key join explained")
+	}
+}

@@ -1,0 +1,254 @@
+// Package core implements Probabilistic Relational Models (PRMs) for
+// selectivity estimation — the paper's primary contribution. A PRM extends
+// a Bayesian network across foreign-key joins: attributes may have parents
+// in foreign-key-related tables, and a binary join indicator variable per
+// foreign key models join skew. One learned PRM estimates the result size
+// of any select/keyjoin query over the database.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"prmsel/internal/bayesnet"
+	"prmsel/internal/dataset"
+)
+
+// VarKind distinguishes the two kinds of PRM variables.
+type VarKind int
+
+const (
+	// AttrVar is a value attribute of some table.
+	AttrVar VarKind = iota
+	// JoinVar is the join indicator of one foreign key (binary; value 1
+	// means "the two sampled tuples join").
+	JoinVar
+)
+
+// JoinTrue and JoinFalse are the value codes of join indicator variables.
+const (
+	JoinFalse int32 = 0
+	JoinTrue  int32 = 1
+)
+
+// Var is one PRM-level variable.
+type Var struct {
+	Kind  VarKind
+	Table string
+	Attr  string // attribute name (AttrVar)
+	FK    string // foreign key name (JoinVar); references RefTable
+	Ref   string // referenced table (JoinVar)
+	Card  int
+}
+
+// Name returns the canonical variable name: "T.A" for attributes and
+// "T~F" for the join indicator of foreign key F on table T.
+func (v Var) Name() string {
+	if v.Kind == JoinVar {
+		return v.Table + "~" + v.FK
+	}
+	return v.Table + "." + v.Attr
+}
+
+// PRM is a learned probabilistic relational model.
+type PRM struct {
+	vars    []Var
+	index   map[string]int // Var.Name() -> id
+	parents [][]int
+	cpds    []bayesnet.CPD
+	// tableSize records |R| per table at learning time, used to scale
+	// probabilities to counts.
+	tableSize map[string]int64
+	// strata is the table stratification order used during learning.
+	strata []string
+	// evalCache memoizes unrolled query-evaluation networks per query
+	// shape; mu guards it. Estimation is safe for concurrent use: the
+	// cached networks synchronize their own factor memoization.
+	mu        sync.Mutex
+	evalCache map[string]*evalModel
+}
+
+// NumVars returns the number of PRM variables.
+func (m *PRM) NumVars() int { return len(m.vars) }
+
+// Var returns variable metadata.
+func (m *PRM) Var(id int) Var { return m.vars[id] }
+
+// VarID returns the id of the named variable ("T.A" or "T~F"), or -1.
+func (m *PRM) VarID(name string) int {
+	id, ok := m.index[name]
+	if !ok {
+		return -1
+	}
+	return id
+}
+
+// AttrVarID returns the id of table's attribute attr, or -1.
+func (m *PRM) AttrVarID(table, attr string) int { return m.VarID(table + "." + attr) }
+
+// JoinVarID returns the id of the join indicator for fk on table, or -1.
+func (m *PRM) JoinVarID(table, fk string) int { return m.VarID(table + "~" + fk) }
+
+// Parents returns the parent ids of id (do not mutate).
+func (m *PRM) Parents(id int) []int { return m.parents[id] }
+
+// CPD returns the CPD of id.
+func (m *PRM) CPD(id int) bayesnet.CPD { return m.cpds[id] }
+
+// TableSize returns |table| recorded at learning time.
+func (m *PRM) TableSize(table string) int64 { return m.tableSize[table] }
+
+// StorageBytes returns the model's storage cost: CPD bytes plus one byte
+// per dependency edge (same accounting as bayesnet.Network).
+func (m *PRM) StorageBytes() int {
+	total := 0
+	for id, c := range m.cpds {
+		if c != nil {
+			total += c.StorageBytes()
+		}
+		total += len(m.parents[id])
+	}
+	return total
+}
+
+// NumParams returns the total free parameters across CPDs.
+func (m *PRM) NumParams() int {
+	total := 0
+	for _, c := range m.cpds {
+		if c != nil {
+			total += c.NumParams()
+		}
+	}
+	return total
+}
+
+// String renders the dependency structure, one line per variable.
+func (m *PRM) String() string {
+	var b strings.Builder
+	for id, v := range m.vars {
+		fmt.Fprintf(&b, "%s", v.Name())
+		if len(m.parents[id]) > 0 {
+			names := make([]string, len(m.parents[id]))
+			for i, p := range m.parents[id] {
+				names[i] = m.vars[p].Name()
+			}
+			fmt.Fprintf(&b, " <- %s", strings.Join(names, ", "))
+		}
+		if m.cpds[id] != nil {
+			fmt.Fprintf(&b, "  [%s, %dB]", m.cpds[id].Kind(), m.cpds[id].StorageBytes())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks structural invariants: CPDs present with matching shapes,
+// the attribute/join-parent coupling (a cross-table parent requires the
+// corresponding join indicator to precede it in the parent list), and
+// table stratification of cross-table edges.
+func (m *PRM) Validate() error {
+	for id, v := range m.vars {
+		if m.cpds[id] == nil {
+			return fmt.Errorf("core: variable %s has no CPD", v.Name())
+		}
+		for _, p := range m.parents[id] {
+			pv := m.vars[p]
+			switch v.Kind {
+			case AttrVar:
+				if pv.Kind == AttrVar && pv.Table != v.Table {
+					// Cross-table parent: the join indicator of some FK of
+					// v.Table referencing pv.Table must also be a parent.
+					found := false
+					for _, q := range m.parents[id] {
+						qv := m.vars[q]
+						if qv.Kind == JoinVar && qv.Table == v.Table && qv.Ref == pv.Table {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return fmt.Errorf("core: %s has cross-table parent %s without its join indicator", v.Name(), pv.Name())
+					}
+				}
+			case JoinVar:
+				if pv.Kind != AttrVar {
+					return fmt.Errorf("core: join indicator %s has non-attribute parent %s", v.Name(), pv.Name())
+				}
+				if pv.Table != v.Table && pv.Table != v.Ref {
+					return fmt.Errorf("core: join indicator %s has parent %s outside its two tables", v.Name(), pv.Name())
+				}
+			}
+		}
+	}
+	// Acyclicity of the class-level dependency graph.
+	state := make([]int8, len(m.vars))
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		switch state[v] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		state[v] = 1
+		for _, p := range m.parents[v] {
+			if visit(p) {
+				return true
+			}
+		}
+		state[v] = 2
+		return false
+	}
+	for v := range m.vars {
+		if visit(v) {
+			return fmt.Errorf("core: dependency structure is cyclic")
+		}
+	}
+	return nil
+}
+
+// buildVars enumerates the PRM variables of a database in stratified table
+// order, attributes first then join indicators per table.
+func buildVars(db *dataset.Database) ([]Var, map[string]int, []string, error) {
+	strata, err := db.Stratification()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var vars []Var
+	index := make(map[string]int)
+	for _, tn := range strata {
+		t := db.Table(tn)
+		for _, a := range t.Attributes {
+			v := Var{Kind: AttrVar, Table: tn, Attr: a.Name, Card: a.Card()}
+			index[v.Name()] = len(vars)
+			vars = append(vars, v)
+		}
+		for _, fk := range t.ForeignKeys {
+			v := Var{Kind: JoinVar, Table: tn, FK: fk.Name, Ref: fk.To, Card: 2}
+			index[v.Name()] = len(vars)
+			vars = append(vars, v)
+		}
+	}
+	return vars, index, strata, nil
+}
+
+// RenderCPD pretty-prints variable id's CPD with parent names; values are
+// shown as codes (join indicators as false/true).
+func (m *PRM) RenderCPD(id int) string {
+	parents := m.parents[id]
+	names := make([]string, len(parents))
+	for i, p := range parents {
+		names[i] = m.vars[p].Name()
+	}
+	valueName := func(parent int, value int32) string {
+		if m.vars[parents[parent]].Kind == JoinVar {
+			if value == JoinTrue {
+				return "true"
+			}
+			return "false"
+		}
+		return fmt.Sprint(value)
+	}
+	return bayesnet.RenderCPD(m.cpds[id], names, valueName)
+}

@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"prmsel/internal/dataset"
+)
+
+// CensusAttrs lists the synthetic Census table's attributes and domain
+// sizes. They follow the paper's 12-attribute CPS extract (domain sizes 18,
+// 9, 17, 7, 24, 5, 2, …, 42, 4), with HoursPerWeek standing in for the
+// unlisted hours attribute that the paper's Figure 4 query suites use.
+var CensusAttrs = []dataset.Attribute{
+	{Name: "Age", Values: labels("age", 18)},
+	{Name: "WorkerClass", Values: labels("wc", 9)},
+	{Name: "Education", Values: labels("edu", 17)},
+	{Name: "MaritalStatus", Values: labels("ms", 7)},
+	{Name: "Industry", Values: labels("ind", 24)},
+	{Name: "Race", Values: labels("race", 5)},
+	{Name: "Sex", Values: labels("sex", 2)},
+	{Name: "HoursPerWeek", Values: labels("hrs", 10)},
+	{Name: "Earner", Values: labels("earn", 3)},
+	{Name: "Children", Values: labels("child", 3)},
+	{Name: "Income", Values: labels("inc", 42)},
+	{Name: "EmployType", Values: labels("emp", 4)},
+}
+
+// Census generates a single-table census database of n rows. The ground
+// truth is a latent dependency program: education depends on age; worker
+// class on education; industry on worker class; hours on worker class and
+// sex; income on education, hours and age; earner on income; children on
+// income, age and marital status (mirroring the paper's Figure 2 CPD);
+// employment type on worker class. Race is independent. This plants the
+// conditional-independence structure the PRM is supposed to recover and the
+// correlations AVI is supposed to miss.
+func Census(n int, seed int64) *dataset.Database {
+	rng := rand.New(rand.NewSource(seed))
+	t := dataset.NewTable(dataset.Schema{Name: "Census", Attributes: CensusAttrs})
+
+	row := make([]int32, len(CensusAttrs))
+	for i := 0; i < n; i++ {
+		age := gaussBucket(rng, 7.5, 4.5, 18)               // ages 15..104 in 5y buckets
+		edu := gaussBucket(rng, 4+0.45*float64(age), 2, 17) // older cohorts more schooling in-band
+		if age < 2 {                                        // the young can't have finished college
+			edu = min32(edu, 6)
+		}
+		workerClass := pick(rng, workerClassWeights(edu))
+		industry := gaussBucket(rng, 2.6*float64(workerClass), 2.5, 24)
+		marital := maritalFromAge(rng, age)
+		race := geomBucket(rng, 0.55, 5)
+		sex := int32(rng.Intn(2))
+		hours := hoursFrom(rng, workerClass, sex)
+		income := incomeFrom(rng, edu, hours, age)
+		earner := earnerFrom(rng, income)
+		children := childrenFrom(rng, income, age, marital)
+		employ := gaussBucket(rng, float64(workerClass)*0.45, 0.8, 4)
+
+		row[0], row[1], row[2], row[3] = age, workerClass, edu, marital
+		row[4], row[5], row[6], row[7] = industry, race, sex, hours
+		row[8], row[9], row[10], row[11] = earner, children, income, employ
+		t.MustAppendRow(row, nil)
+	}
+	db := dataset.NewDatabase()
+	if err := db.AddTable(t); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// workerClassWeights skews worker class with education: little education
+// concentrates in classes 0-2, advanced degrees in 5-8.
+func workerClassWeights(edu int32) []float64 {
+	w := make([]float64, 9)
+	center := float64(edu) / 16 * 8
+	for i := range w {
+		d := float64(i) - center
+		w[i] = 1 / (1 + d*d)
+	}
+	return w
+}
+
+// maritalFromAge: the young are overwhelmingly never-married (6); the
+// middle-aged married (0); widowhood (2) grows with age.
+func maritalFromAge(rng *rand.Rand, age int32) int32 {
+	switch {
+	case age < 2:
+		return pick(rng, []float64{0.05, 0.01, 0, 0.01, 0.01, 0.02, 0.90})
+	case age < 6:
+		return pick(rng, []float64{0.55, 0.03, 0.01, 0.06, 0.05, 0.05, 0.25})
+	case age < 10:
+		return pick(rng, []float64{0.70, 0.04, 0.03, 0.08, 0.06, 0.04, 0.05})
+	default:
+		return pick(rng, []float64{0.55, 0.05, 0.25, 0.06, 0.05, 0.02, 0.02})
+	}
+}
+
+// hoursFrom: employed classes work near-full-time; sex shifts part-time
+// probability (planting a Sex→Hours dependence).
+func hoursFrom(rng *rand.Rand, workerClass, sex int32) int32 {
+	if workerClass == 0 { // not in labour force
+		return geomBucket(rng, 0.7, 10)
+	}
+	mean := 7.2 - 1.4*float64(sex)
+	return gaussBucket(rng, mean, 1.6, 10)
+}
+
+// incomeFrom is the load-bearing correlation of the dataset: income rises
+// strongly with education and hours, with an age (experience) bump.
+func incomeFrom(rng *rand.Rand, edu, hours, age int32) int32 {
+	expBump := float64(age)
+	if expBump > 9 {
+		expBump = 9 - 0.6*(expBump-9) // declines after retirement
+	}
+	mean := 1.8*float64(edu) + 1.1*float64(hours) + 0.8*expBump
+	return gaussBucket(rng, mean*41/35, 3.2, 42)
+}
+
+// earnerFrom: top earners are primary earners.
+func earnerFrom(rng *rand.Rand, income int32) int32 {
+	switch {
+	case income >= 28:
+		return pick(rng, []float64{0.85, 0.12, 0.03})
+	case income >= 12:
+		return pick(rng, []float64{0.55, 0.35, 0.10})
+	default:
+		return pick(rng, []float64{0.15, 0.30, 0.55})
+	}
+}
+
+// childrenFrom mirrors the paper's Figure 2(b) tree: children in the
+// household depend on income, age and marital status. 0 = N/A, 1 = yes,
+// 2 = no.
+func childrenFrom(rng *rand.Rand, income, age, marital int32) int32 {
+	lowIncome := income < 17
+	switch {
+	case lowIncome && age >= 8: // older, low income
+		return pick(rng, []float64{0.2, 0.05, 0.75})
+	case lowIncome && marital == 6: // never married, younger
+		return pick(rng, []float64{0.17, 0.23, 0.60})
+	case lowIncome:
+		return pick(rng, []float64{0.19, 0.04, 0.77})
+	case age >= 10:
+		return pick(rng, []float64{0.23, 0.24, 0.53})
+	case marital == 6:
+		return pick(rng, []float64{0.60, 0.17, 0.23})
+	default:
+		return pick(rng, []float64{0.26, 0.47, 0.27})
+	}
+}

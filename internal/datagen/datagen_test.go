@@ -1,0 +1,308 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"prmsel/internal/query"
+)
+
+func TestFig1ExampleExactJoint(t *testing.T) {
+	db := Fig1Example()
+	tbl := db.Table("People")
+	if tbl.Len() != 1000 {
+		t.Fatalf("rows = %d, want 1000", tbl.Len())
+	}
+	// Spot-check three cells of Figure 1(a).
+	cases := []struct {
+		e, i, h int32
+		want    int64
+	}{
+		{0, 0, 0, 270}, {2, 2, 1, 108}, {0, 2, 0, 5},
+	}
+	for _, c := range cases {
+		q := query.New().Over("p", "People").
+			WhereEq("p", "Education", c.e).
+			WhereEq("p", "Income", c.i).
+			WhereEq("p", "HomeOwner", c.h)
+		n, err := db.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != c.want {
+			t.Errorf("cell (%d,%d,%d) = %d, want %d", c.e, c.i, c.h, n, c.want)
+		}
+	}
+}
+
+func TestCensusShapeAndDeterminism(t *testing.T) {
+	db := Census(5000, 42)
+	tbl := db.Table("Census")
+	if tbl.Len() != 5000 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	if len(tbl.Attributes) != 12 {
+		t.Fatalf("attrs = %d, want 12", len(tbl.Attributes))
+	}
+	wantCards := []int{18, 9, 17, 7, 24, 5, 2, 10, 3, 3, 42, 4}
+	for i, c := range wantCards {
+		if tbl.Attributes[i].Card() != c {
+			t.Errorf("attr %s card = %d, want %d", tbl.Attributes[i].Name, tbl.Attributes[i].Card(), c)
+		}
+	}
+	db2 := Census(5000, 42)
+	tbl2 := db2.Table("Census")
+	for ai := range tbl.Attributes {
+		for r := 0; r < 100; r++ {
+			if tbl.Value(r, ai) != tbl2.Value(r, ai) {
+				t.Fatalf("same seed produced different data at row %d attr %d", r, ai)
+			}
+		}
+	}
+	db3 := Census(5000, 43)
+	diff := 0
+	for r := 0; r < 100; r++ {
+		if tbl.Value(r, 0) != db3.Table("Census").Value(r, 0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// mi computes the mutual information of two columns.
+func mi(a, b []int32, cardA, cardB int) float64 {
+	n := float64(len(a))
+	joint := make([]float64, cardA*cardB)
+	ma := make([]float64, cardA)
+	mb := make([]float64, cardB)
+	for i := range a {
+		joint[int(a[i])*cardB+int(b[i])]++
+		ma[a[i]]++
+		mb[b[i]]++
+	}
+	var m float64
+	for x := 0; x < cardA; x++ {
+		for y := 0; y < cardB; y++ {
+			pxy := joint[x*cardB+y] / n
+			if pxy > 0 {
+				m += pxy * math.Log(pxy/((ma[x]/n)*(mb[y]/n)))
+			}
+		}
+	}
+	return m
+}
+
+func TestCensusPlantsCorrelations(t *testing.T) {
+	db := Census(20000, 7)
+	tbl := db.Table("Census")
+	edu, _ := tbl.ColByName("Education")
+	inc, _ := tbl.ColByName("Income")
+	race, _ := tbl.ColByName("Race")
+	if got := mi(edu, inc, 17, 42); got < 0.2 {
+		t.Errorf("MI(Education;Income) = %v, want strong (>0.2)", got)
+	}
+	if got := mi(race, inc, 5, 42); got > 0.05 {
+		t.Errorf("MI(Race;Income) = %v, want near zero", got)
+	}
+}
+
+func TestTBShapeAndIntegrity(t *testing.T) {
+	db := TB(0.1, 11)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("Strain").Len(); got != 200 {
+		t.Errorf("strains = %d, want 200", got)
+	}
+	if got := db.Table("Patient").Len(); got != 250 {
+		t.Errorf("patients = %d, want 250", got)
+	}
+	if got := db.Table("Contact").Len(); got != 1900 {
+		t.Errorf("contacts = %d, want 1900", got)
+	}
+	if _, err := db.Stratification(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTBPlantsJoinSkew(t *testing.T) {
+	db := TB(0.5, 13)
+	patient := db.Table("Patient")
+	contact := db.Table("Contact")
+	// Contacts per patient by age band: middle-aged must exceed elderly.
+	fanout := make([]float64, patient.Len())
+	for r := 0; r < contact.Len(); r++ {
+		fanout[contact.FKCol(0)[r]]++
+	}
+	var midSum, midN, oldSum, oldN float64
+	for r := 0; r < patient.Len(); r++ {
+		age := patient.Value(r, 0)
+		switch {
+		case age >= 2 && age <= 4:
+			midSum += fanout[r]
+			midN++
+		case age >= 6:
+			oldSum += fanout[r]
+			oldN++
+		}
+	}
+	if midN == 0 || oldN == 0 {
+		t.Skip("age bands unpopulated at this scale")
+	}
+	if midSum/midN < 2*(oldSum/oldN) {
+		t.Errorf("fan-out skew missing: mid %.2f vs old %.2f", midSum/midN, oldSum/oldN)
+	}
+}
+
+func TestTBPlantsStrainClusterSkew(t *testing.T) {
+	db := TB(0.5, 14)
+	patient := db.Table("Patient")
+	strain := db.Table("Strain")
+	// P(strain unique | US-born) must be well below P(unique | foreign).
+	var usUnique, usN, fUnique, fN float64
+	for r := 0; r < patient.Len(); r++ {
+		unique := strain.Value(int(patient.FKCol(0)[r]), 0) == 1
+		if patient.Value(r, 3) == 1 {
+			usN++
+			if unique {
+				usUnique++
+			}
+		} else {
+			fN++
+			if unique {
+				fUnique++
+			}
+		}
+	}
+	if usUnique/usN > 0.5*(fUnique/fN) {
+		t.Errorf("strain cluster skew missing: US %.2f vs foreign %.2f", usUnique/usN, fUnique/fN)
+	}
+}
+
+func TestTBPlantsCrossTableCorrelation(t *testing.T) {
+	db := TB(0.5, 15)
+	patient := db.Table("Patient")
+	contact := db.Table("Contact")
+	// Roommate rate for elderly patients must be well below young patients.
+	var oldRoommate, oldN, youngRoommate, youngN float64
+	for r := 0; r < contact.Len(); r++ {
+		pAge := patient.Value(int(contact.FKCol(0)[r]), 0)
+		roommate := contact.Value(r, 0) == 3
+		if pAge >= 6 {
+			oldN++
+			if roommate {
+				oldRoommate++
+			}
+		} else if pAge <= 2 {
+			youngN++
+			if roommate {
+				youngRoommate++
+			}
+		}
+	}
+	if oldRoommate/oldN > 0.3*(youngRoommate/youngN) {
+		t.Errorf("contype correlation missing: old %.3f vs young %.3f", oldRoommate/oldN, youngRoommate/youngN)
+	}
+}
+
+func TestFINShapeAndIntegrity(t *testing.T) {
+	db := FIN(0.05, 21)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("District").Len(); got != 77 {
+		t.Errorf("districts = %d, want 77", got)
+	}
+	if got := db.Table("Account").Len(); got != 225 {
+		t.Errorf("accounts = %d, want 225", got)
+	}
+	if got := db.Table("Transaction").Len(); got != 5300 {
+		t.Errorf("transactions = %d, want 5300", got)
+	}
+}
+
+func TestFINPlantsBalanceSalaryCorrelation(t *testing.T) {
+	db := FIN(0.5, 23)
+	account := db.Table("Account")
+	district := db.Table("District")
+	bal, _ := account.ColByName("Balance")
+	salOfAccount := make([]int32, account.Len())
+	for r := 0; r < account.Len(); r++ {
+		salOfAccount[r] = district.Value(int(account.FKCol(0)[r]), 2)
+	}
+	if got := mi(bal, salOfAccount, 8, 6); got < 0.1 {
+		t.Errorf("MI(Balance;District.AvgSalary) = %v, want > 0.1", got)
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	db := TB(0, 1) // scale<=0 falls back to 1
+	if db.Table("Patient").Len() != 2500 {
+		t.Errorf("default scale wrong: %d", db.Table("Patient").Len())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if itoa(0) != "0" || itoa(1234) != "1234" {
+		t.Error("itoa broken")
+	}
+	ls := labels("x", 3)
+	if len(ls) != 3 || ls[2] != "x2" {
+		t.Errorf("labels = %v", ls)
+	}
+}
+
+func TestShopShapeAndIntegrity(t *testing.T) {
+	db := Shop(0.1, 31)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("Region").Len(); got != 12 {
+		t.Errorf("regions = %d, want 12", got)
+	}
+	if got := db.Table("Customer").Len(); got != 300 {
+		t.Errorf("customers = %d, want 300", got)
+	}
+	if got := db.Table("Order").Len(); got != 1500 {
+		t.Errorf("orders = %d, want 1500", got)
+	}
+	if got := db.Table("LineItem").Len(); got != 6000 {
+		t.Errorf("line items = %d, want 6000", got)
+	}
+	strata, err := db.Stratification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range strata {
+		pos[n] = i
+	}
+	if !(pos["Region"] < pos["Customer"] && pos["Customer"] < pos["Order"] && pos["Order"] < pos["LineItem"]) {
+		t.Errorf("stratification wrong: %v", strata)
+	}
+}
+
+func TestShopPlantsDeepCorrelation(t *testing.T) {
+	db := Shop(0.3, 32)
+	// Quantity should correlate with order priority (one hop) and, through
+	// the chain, with customer segment (two hops).
+	li := db.Table("LineItem")
+	ord := db.Table("Order")
+	cust := db.Table("Customer")
+	qty, _ := li.ColByName("Quantity")
+	prio := make([]int32, li.Len())
+	segment := make([]int32, li.Len())
+	for r := 0; r < li.Len(); r++ {
+		o := li.FKCol(0)[r]
+		prio[r] = ord.Value(int(o), 0)
+		segment[r] = cust.Value(int(ord.FKCol(0)[o]), 0)
+	}
+	if got := mi(qty, prio, 8, 3); got < 0.1 {
+		t.Errorf("MI(Quantity;Priority) = %v, want > 0.1", got)
+	}
+	if got := mi(qty, segment, 8, 3); got < 0.02 {
+		t.Errorf("MI(Quantity;Customer.Segment) = %v, want > 0.02 (two-hop)", got)
+	}
+}

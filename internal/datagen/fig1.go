@@ -1,0 +1,47 @@
+package datagen
+
+import "prmsel/internal/dataset"
+
+// fig1Cells is the exact joint distribution of the paper's Figure 1(a)
+// over Education (h, c, a), Income (l, m, h) and HomeOwner (f, t),
+// expressed as counts out of 1000.
+var fig1Cells = []struct {
+	e, i, h int32
+	n       int
+}{
+	{0, 0, 0, 270}, {0, 0, 1, 30},
+	{0, 1, 0, 105}, {0, 1, 1, 45},
+	{0, 2, 0, 5}, {0, 2, 1, 45},
+	{1, 0, 0, 135}, {1, 0, 1, 15},
+	{1, 1, 0, 63}, {1, 1, 1, 27},
+	{1, 2, 0, 6}, {1, 2, 1, 54},
+	{2, 0, 0, 18}, {2, 0, 1, 2},
+	{2, 1, 0, 42}, {2, 1, 1, 18},
+	{2, 2, 0, 12}, {2, 2, 1, 108},
+}
+
+// Fig1Example returns a 1000-row single-table database whose joint
+// frequency distribution over Education, Income and HomeOwner exactly
+// matches the paper's Figure 1(a). Home ownership is conditionally
+// independent of education given income in this distribution, which tests
+// verify end to end.
+func Fig1Example() *dataset.Database {
+	t := dataset.NewTable(dataset.Schema{
+		Name: "People",
+		Attributes: []dataset.Attribute{
+			{Name: "Education", Values: []string{"high-school", "college", "advanced"}},
+			{Name: "Income", Values: []string{"low", "medium", "high"}},
+			{Name: "HomeOwner", Values: []string{"false", "true"}},
+		},
+	})
+	for _, c := range fig1Cells {
+		for k := 0; k < c.n; k++ {
+			t.MustAppendRow([]int32{c.e, c.i, c.h}, nil)
+		}
+	}
+	db := dataset.NewDatabase()
+	if err := db.AddTable(t); err != nil {
+		panic(err)
+	}
+	return db
+}

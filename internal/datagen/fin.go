@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"prmsel/internal/dataset"
+)
+
+// FIN generates the three-table financial database (PKDD'99 shape, paper
+// §5): District (77 rows), Account (≈4.5K·scale rows, FK District) and
+// Transaction (≈106K·scale rows, FK Account). Planted structure:
+//
+//   - account balances correlate with district salaries (cross-key
+//     correlation one hop up);
+//   - transaction amounts and types correlate with the account's balance
+//     band and statement frequency;
+//   - join fan-out skew: high-balance, frequently-billed accounts
+//     transact far more, so the Transaction~Account join indicator depends
+//     on account attributes.
+func FIN(scale float64, seed int64) *dataset.Database {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nDistrict := 77
+	nAccount := int(4500 * scale)
+	nTransaction := int(106000 * scale)
+
+	district := dataset.NewTable(dataset.Schema{
+		Name: "District",
+		Attributes: []dataset.Attribute{
+			{Name: "Region", Values: labels("reg", 8)},
+			{Name: "Urban", Values: []string{"rural", "town", "city", "metro"}},
+			{Name: "AvgSalary", Values: labels("sal", 6)},
+		},
+	})
+	for i := 0; i < nDistrict; i++ {
+		region := int32(rng.Intn(8))
+		urban := geomBucket(rng, 0.4, 4)
+		sal := gaussBucket(rng, 1.2+1.1*float64(urban), 0.8, 6)
+		district.MustAppendRow([]int32{region, urban, sal}, nil)
+	}
+
+	account := dataset.NewTable(dataset.Schema{
+		Name: "Account",
+		Attributes: []dataset.Attribute{
+			{Name: "Frequency", Values: []string{"monthly", "weekly", "after-txn"}},
+			{Name: "Balance", Values: labels("bal", 8)},
+			{Name: "CardType", Values: []string{"none", "classic", "gold"}},
+		},
+		ForeignKeys: []dataset.ForeignKey{{Name: "District", To: "District"}},
+	})
+	for i := 0; i < nAccount; i++ {
+		dRow := int32(rng.Intn(nDistrict))
+		sal := district.Value(int(dRow), 2)
+		balance := gaussBucket(rng, 1.0+1.05*float64(sal), 1.3, 8)
+		freq := pick(rng, []float64{0.75, 0.15, 0.10})
+		if balance >= 5 {
+			freq = pick(rng, []float64{0.45, 0.35, 0.20})
+		}
+		var card int32
+		switch {
+		case balance >= 6:
+			card = pick(rng, []float64{0.25, 0.40, 0.35})
+		case balance >= 3:
+			card = pick(rng, []float64{0.55, 0.38, 0.07})
+		default:
+			card = pick(rng, []float64{0.88, 0.11, 0.01})
+		}
+		account.MustAppendRow([]int32{freq, balance, card}, []int32{dRow})
+	}
+
+	transaction := dataset.NewTable(dataset.Schema{
+		Name: "Transaction",
+		Attributes: []dataset.Attribute{
+			{Name: "Type", Values: []string{"credit", "withdrawal", "transfer"}},
+			{Name: "Amount", Values: labels("amt", 8)},
+			{Name: "Channel", Values: []string{"branch", "atm", "bank-to-bank", "card"}},
+		},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Account", To: "Account"}},
+	})
+	// Fan-out skew by balance and frequency.
+	weights := make([]float64, account.Len())
+	for r := 0; r < account.Len(); r++ {
+		bal := float64(account.Value(r, 1))
+		freq := float64(account.Value(r, 0))
+		weights[r] = 0.4 + 0.5*bal + 1.2*freq
+	}
+	cum := cumulative(weights)
+	for i := 0; i < nTransaction; i++ {
+		aRow := sampleCum(rng, cum)
+		bal := account.Value(int(aRow), 1)
+		card := account.Value(int(aRow), 2)
+		txType := pick(rng, []float64{0.35, 0.45, 0.20})
+		amount := gaussBucket(rng, 0.8+0.75*float64(bal), 1.2, 8)
+		var channel int32
+		switch {
+		case card == 2:
+			channel = pick(rng, []float64{0.10, 0.20, 0.15, 0.55})
+		case card == 1:
+			channel = pick(rng, []float64{0.20, 0.35, 0.15, 0.30})
+		default:
+			channel = pick(rng, []float64{0.40, 0.42, 0.18, 0.0})
+		}
+		transaction.MustAppendRow([]int32{txType, amount, channel}, []int32{aRow})
+	}
+
+	db := dataset.NewDatabase()
+	for _, t := range []*dataset.Table{district, account, transaction} {
+		if err := db.AddTable(t); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}

@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"prmsel/internal/dataset"
+)
+
+// Shop generates a four-level retail schema — LineItem → Order → Customer
+// → Region — to exercise transitive upward closure: a selection on a line
+// item whose model dependencies reach through three foreign keys. Planted
+// structure:
+//
+//   - region wealth drives customer segment;
+//   - customer segment drives order priority and fan-out (premium
+//     customers order more, and their orders carry more line items);
+//   - line-item quantity and discount correlate with order priority.
+func Shop(scale float64, seed int64) *dataset.Database {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nRegion := 12
+	nCustomer := int(3000 * scale)
+	nOrder := int(15000 * scale)
+	nLineItem := int(60000 * scale)
+
+	region := dataset.NewTable(dataset.Schema{
+		Name: "Region",
+		Attributes: []dataset.Attribute{
+			{Name: "Wealth", Values: labels("wealth", 4)},
+			{Name: "Zone", Values: labels("zone", 5)},
+		},
+	})
+	for i := 0; i < nRegion; i++ {
+		region.MustAppendRow([]int32{geomBucket(rng, 0.45, 4), int32(rng.Intn(5))}, nil)
+	}
+
+	customer := dataset.NewTable(dataset.Schema{
+		Name: "Customer",
+		Attributes: []dataset.Attribute{
+			{Name: "Segment", Values: []string{"basic", "plus", "premium"}},
+			{Name: "Tenure", Values: labels("tenure", 5)},
+		},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Region", To: "Region"}},
+	})
+	for i := 0; i < nCustomer; i++ {
+		rRow := int32(rng.Intn(nRegion))
+		wealth := region.Value(int(rRow), 0)
+		var segment int32
+		switch {
+		case wealth >= 3:
+			segment = pick(rng, []float64{0.2, 0.35, 0.45})
+		case wealth == 2:
+			segment = pick(rng, []float64{0.45, 0.35, 0.2})
+		default:
+			segment = pick(rng, []float64{0.7, 0.25, 0.05})
+		}
+		tenure := geomBucket(rng, 0.35, 5)
+		customer.MustAppendRow([]int32{segment, tenure}, []int32{rRow})
+	}
+
+	order := dataset.NewTable(dataset.Schema{
+		Name: "Order",
+		Attributes: []dataset.Attribute{
+			{Name: "Priority", Values: []string{"low", "normal", "high"}},
+			{Name: "Channel", Values: []string{"web", "store", "phone"}},
+		},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Customer", To: "Customer"}},
+	})
+	// Fan-out skew: premium customers place ~4x the orders of basic ones.
+	custWeights := make([]float64, customer.Len())
+	for r := 0; r < customer.Len(); r++ {
+		custWeights[r] = 1 + 1.5*float64(customer.Value(r, 0))
+	}
+	custCum := cumulative(custWeights)
+	for i := 0; i < nOrder; i++ {
+		cRow := sampleCum(rng, custCum)
+		segment := customer.Value(int(cRow), 0)
+		var priority int32
+		switch segment {
+		case 2:
+			priority = pick(rng, []float64{0.1, 0.3, 0.6})
+		case 1:
+			priority = pick(rng, []float64{0.25, 0.5, 0.25})
+		default:
+			priority = pick(rng, []float64{0.55, 0.4, 0.05})
+		}
+		channel := pick(rng, []float64{0.5, 0.35, 0.15})
+		if segment == 2 {
+			channel = pick(rng, []float64{0.7, 0.1, 0.2})
+		}
+		order.MustAppendRow([]int32{priority, channel}, []int32{cRow})
+	}
+
+	lineItem := dataset.NewTable(dataset.Schema{
+		Name: "LineItem",
+		Attributes: []dataset.Attribute{
+			{Name: "Quantity", Values: labels("qty", 8)},
+			{Name: "Discount", Values: labels("disc", 5)},
+			{Name: "Category", Values: labels("cat", 10)},
+		},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Order", To: "Order"}},
+	})
+	// High-priority orders carry more items.
+	orderWeights := make([]float64, order.Len())
+	for r := 0; r < order.Len(); r++ {
+		orderWeights[r] = 1 + 1.2*float64(order.Value(r, 0))
+	}
+	orderCum := cumulative(orderWeights)
+	for i := 0; i < nLineItem; i++ {
+		oRow := sampleCum(rng, orderCum)
+		priority := order.Value(int(oRow), 0)
+		qty := gaussBucket(rng, 1.5+1.6*float64(priority), 1.3, 8)
+		var disc int32
+		if priority == 2 {
+			disc = geomBucket(rng, 0.3, 5) // big orders negotiate discounts
+		} else {
+			disc = geomBucket(rng, 0.65, 5)
+		}
+		category := geomBucket(rng, 0.25, 10)
+		lineItem.MustAppendRow([]int32{qty, disc, category}, []int32{oRow})
+	}
+
+	db := dataset.NewDatabase()
+	for _, t := range []*dataset.Table{region, customer, order, lineItem} {
+		if err := db.AddTable(t); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+// cumulative builds the cumulative weight array for sampleCum.
+func cumulative(weights []float64) []float64 {
+	cum := make([]float64, len(weights)+1)
+	for i, w := range weights {
+		cum[i+1] = cum[i] + w
+	}
+	return cum
+}
+
+// sampleCum draws an index proportionally to the weights behind cum.
+func sampleCum(rng *rand.Rand, cum []float64) int32 {
+	u := rng.Float64() * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid+1] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}

@@ -1,0 +1,184 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"prmsel/internal/dataset"
+)
+
+// TB generates the three-table tuberculosis database (paper §3.1, §5):
+// Strain (≈2K·scale rows), Patient (≈2.5K·scale rows, FK Strain) and
+// Contact (≈19K·scale rows, FK Patient). The generator plants the exact
+// phenomena the paper's running example describes:
+//
+//   - join skew between Patient and Strain: foreign-born patients carry
+//     unique strains; U.S.-born patients cluster on shared strains, so the
+//     join indicator depends on Patient.USBorn and Strain.Unique;
+//   - cross-table correlation: a contact's type and age depend on the
+//     patient's age (elderly patients rarely have roommates);
+//   - join fan-out skew between Contact and Patient: middle-aged patients
+//     have more contacts than older ones.
+func TB(scale float64, seed int64) *dataset.Database {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nStrain := int(2000 * scale)
+	nPatient := int(2500 * scale)
+	nContact := int(19000 * scale)
+
+	strain := dataset.NewTable(dataset.Schema{
+		Name: "Strain",
+		Attributes: []dataset.Attribute{
+			{Name: "Unique", Values: []string{"false", "true"}},
+			{Name: "DrugResistant", Values: []string{"none", "single", "multi"}},
+			{Name: "Lineage", Values: labels("lin", 6)},
+		},
+	})
+	// Roughly 70% of strains are unique to one patient; resistance varies
+	// by lineage.
+	for i := 0; i < nStrain; i++ {
+		unique := int32(0)
+		if rng.Float64() < 0.7 {
+			unique = 1
+		}
+		lineage := geomBucket(rng, 0.35, 6)
+		var resist int32
+		if lineage >= 4 {
+			resist = pick(rng, []float64{0.5, 0.3, 0.2})
+		} else {
+			resist = pick(rng, []float64{0.85, 0.12, 0.03})
+		}
+		strain.MustAppendRow([]int32{unique, resist, lineage}, nil)
+	}
+	// Index strains by uniqueness for skewed assignment.
+	var uniqueStrains, clusterStrains []int32
+	for r := 0; r < strain.Len(); r++ {
+		if strain.Value(r, 0) == 1 {
+			uniqueStrains = append(uniqueStrains, int32(r))
+		} else {
+			clusterStrains = append(clusterStrains, int32(r))
+		}
+	}
+
+	patient := dataset.NewTable(dataset.Schema{
+		Name: "Patient",
+		Attributes: []dataset.Attribute{
+			{Name: "Age", Values: labels("age", 8)}, // decades 0-9 .. 70+
+			{Name: "Gender", Values: []string{"female", "male"}},
+			{Name: "HIV", Values: []string{"negative", "positive", "unknown"}},
+			{Name: "USBorn", Values: []string{"false", "true"}},
+		},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Strain", To: "Strain"}},
+	})
+	for i := 0; i < nPatient; i++ {
+		age := gaussBucket(rng, 4.2, 1.8, 8)
+		gender := int32(rng.Intn(2))
+		hiv := pick(rng, []float64{0.62, 0.23, 0.15})
+		if age >= 2 && age <= 4 {
+			hiv = pick(rng, []float64{0.45, 0.40, 0.15}) // HIV concentrated mid-age
+		}
+		usBorn := int32(0)
+		if rng.Float64() < 0.45 {
+			usBorn = 1
+		}
+		// Foreign-born patients bring their own (unique) strain; U.S.-born
+		// patients mostly catch cluster strains.
+		var sRow int32
+		if usBorn == 0 {
+			if rng.Float64() < 0.85 && len(uniqueStrains) > 0 {
+				sRow = uniqueStrains[rng.Intn(len(uniqueStrains))]
+			} else {
+				sRow = clusterStrains[rng.Intn(len(clusterStrains))]
+			}
+		} else {
+			if rng.Float64() < 0.75 && len(clusterStrains) > 0 {
+				sRow = clusterStrains[rng.Intn(len(clusterStrains))]
+			} else {
+				sRow = uniqueStrains[rng.Intn(len(uniqueStrains))]
+			}
+		}
+		patient.MustAppendRow([]int32{age, gender, hiv, usBorn}, []int32{sRow})
+	}
+
+	contact := dataset.NewTable(dataset.Schema{
+		Name: "Contact",
+		Attributes: []dataset.Attribute{
+			{Name: "Contype", Values: []string{"household", "coworker", "friend", "roommate", "relative", "casual"}},
+			{Name: "Age", Values: labels("age", 8)},
+			{Name: "Infected", Values: []string{"false", "true"}},
+		},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Patient", To: "Patient"}},
+	})
+	// Fan-out skew: middle-aged patients have the most contacts. Draw the
+	// patient for each contact from a weight proportional to λ(age).
+	weights := make([]float64, patient.Len())
+	for r := 0; r < patient.Len(); r++ {
+		age := patient.Value(r, 0)
+		switch {
+		case age >= 2 && age <= 4:
+			weights[r] = 3.0
+		case age >= 6:
+			weights[r] = 0.6
+		default:
+			weights[r] = 1.5
+		}
+	}
+	cum := cumulative(weights)
+	for i := 0; i < nContact; i++ {
+		pRow := sampleCum(rng, cum)
+		pAge := patient.Value(int(pRow), 0)
+		contype := contypeFrom(rng, pAge)
+		// Household/relative contacts share the patient's generation;
+		// coworkers are working-age.
+		var cAge int32
+		switch contype {
+		case 0, 4: // household, relative
+			cAge = gaussBucket(rng, float64(pAge), 1.6, 8)
+		case 1: // coworker
+			cAge = gaussBucket(rng, 3.5, 1.0, 8)
+		default:
+			cAge = gaussBucket(rng, float64(pAge)*0.6+1.5, 1.8, 8)
+		}
+		infected := int32(0)
+		if rng.Float64() < infectProb(contype) {
+			infected = 1
+		}
+		contact.MustAppendRow([]int32{contype, cAge, infected}, []int32{pRow})
+	}
+
+	db := dataset.NewDatabase()
+	for _, t := range []*dataset.Table{strain, patient, contact} {
+		if err := db.AddTable(t); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+// contypeFrom plants the paper's example correlation: elderly patients with
+// roommates are rare; the young have more casual/roommate contacts.
+func contypeFrom(rng *rand.Rand, patientAge int32) int32 {
+	switch {
+	case patientAge >= 6: // 60+
+		return pick(rng, []float64{0.42, 0.03, 0.12, 0.015, 0.32, 0.095})
+	case patientAge <= 2:
+		return pick(rng, []float64{0.22, 0.12, 0.22, 0.18, 0.10, 0.16})
+	default:
+		return pick(rng, []float64{0.30, 0.22, 0.15, 0.08, 0.15, 0.10})
+	}
+}
+
+// infectProb: closer contact types transmit more.
+func infectProb(contype int32) float64 {
+	switch contype {
+	case 0, 3: // household, roommate
+		return 0.32
+	case 4: // relative
+		return 0.2
+	case 5: // casual
+		return 0.04
+	default:
+		return 0.11
+	}
+}

@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CSV layout: the first column is "_pk" holding an arbitrary unique key
+// string for the row; value attributes appear as plain named columns holding
+// value labels; a foreign key named F referencing table T appears as a
+// column "fk_F@T" holding the _pk of the referenced row. This lets
+// externally-keyed data round-trip while the in-memory representation keeps
+// row-index references.
+
+// WriteCSV writes t in the CSV layout described above. Row indexes are used
+// as the _pk strings.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := []string{"_pk"}
+	for _, a := range t.Attributes {
+		header = append(header, a.Name)
+	}
+	for _, fk := range t.ForeignKeys {
+		header = append(header, "fk_"+fk.Name+"@"+fk.To)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for r := 0; r < t.Len(); r++ {
+		rec[0] = strconv.Itoa(r)
+		for i, a := range t.Attributes {
+			rec[1+i] = a.Values[t.cols[i][r]]
+		}
+		for i := range t.ForeignKeys {
+			rec[1+len(t.Attributes)+i] = strconv.Itoa(int(t.fks[i][r]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDatabaseCSV reads a database from per-table CSV readers keyed by table
+// name. Attribute domains are inferred as the sorted set of distinct labels.
+// Foreign keys may reference rows in any order; resolution is two-pass.
+func ReadDatabaseCSV(files map[string]io.Reader) (*Database, error) {
+	type rawTable struct {
+		name     string
+		attrs    []string
+		fkNames  []string
+		fkTo     []string
+		cells    [][]string // per attr column
+		fkCells  [][]string // per fk column
+		pkToRow  map[string]int32
+		pkOfRow  []string
+		fkLabels [][]string
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	raws := make(map[string]*rawTable, len(files))
+	for _, name := range names {
+		cr := csv.NewReader(files[name])
+		cr.FieldsPerRecord = -1
+		records, err := cr.ReadAll()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv %s: %w", name, err)
+		}
+		if len(records) == 0 {
+			return nil, fmt.Errorf("dataset: csv %s: missing header", name)
+		}
+		header := records[0]
+		if len(header) == 0 || header[0] != "_pk" {
+			return nil, fmt.Errorf("dataset: csv %s: first column must be _pk", name)
+		}
+		rt := &rawTable{name: name, pkToRow: make(map[string]int32)}
+		seen := make(map[string]bool, len(header))
+		for _, h := range header {
+			if seen[h] {
+				return nil, fmt.Errorf("dataset: csv %s: duplicate column %q", name, h)
+			}
+			seen[h] = true
+		}
+		for _, h := range header[1:] {
+			if rest, ok := strings.CutPrefix(h, "fk_"); ok {
+				fkName, to, found := strings.Cut(rest, "@")
+				if !found {
+					return nil, fmt.Errorf("dataset: csv %s: foreign key column %q must be fk_<name>@<table>", name, h)
+				}
+				rt.fkNames = append(rt.fkNames, fkName)
+				rt.fkTo = append(rt.fkTo, to)
+			} else {
+				rt.attrs = append(rt.attrs, h)
+			}
+		}
+		rt.cells = make([][]string, len(rt.attrs))
+		rt.fkCells = make([][]string, len(rt.fkNames))
+		for ri, rec := range records[1:] {
+			if len(rec) != len(header) {
+				return nil, fmt.Errorf("dataset: csv %s row %d: %d fields, want %d", name, ri+1, len(rec), len(header))
+			}
+			pk := rec[0]
+			if _, dup := rt.pkToRow[pk]; dup {
+				return nil, fmt.Errorf("dataset: csv %s: duplicate _pk %q", name, pk)
+			}
+			rt.pkToRow[pk] = int32(len(rt.pkOfRow))
+			rt.pkOfRow = append(rt.pkOfRow, pk)
+			col := 1
+			for i := range rt.attrs {
+				rt.cells[i] = append(rt.cells[i], rec[col])
+				col++
+			}
+			for i := range rt.fkNames {
+				rt.fkCells[i] = append(rt.fkCells[i], rec[col])
+				col++
+			}
+		}
+		raws[name] = rt
+	}
+
+	db := NewDatabase()
+	for _, name := range names {
+		rt := raws[name]
+		schema := Schema{Name: name}
+		codeMaps := make([]map[string]int32, len(rt.attrs))
+		for i, an := range rt.attrs {
+			distinct := make(map[string]bool)
+			for _, v := range rt.cells[i] {
+				distinct[v] = true
+			}
+			labels := make([]string, 0, len(distinct))
+			for v := range distinct {
+				labels = append(labels, v)
+			}
+			sort.Strings(labels)
+			codeMaps[i] = make(map[string]int32, len(labels))
+			for c, l := range labels {
+				codeMaps[i][l] = int32(c)
+			}
+			schema.Attributes = append(schema.Attributes, Attribute{Name: an, Values: labels})
+		}
+		for i, fn := range rt.fkNames {
+			schema.ForeignKeys = append(schema.ForeignKeys, ForeignKey{Name: fn, To: rt.fkTo[i]})
+		}
+		t := NewTable(schema)
+		attrs := make([]int32, len(rt.attrs))
+		refs := make([]int32, len(rt.fkNames))
+		for r := range rt.pkOfRow {
+			for i := range rt.attrs {
+				attrs[i] = codeMaps[i][rt.cells[i][r]]
+			}
+			for i, to := range rt.fkTo {
+				target, ok := raws[to]
+				if !ok {
+					return nil, fmt.Errorf("dataset: csv %s: foreign key %s references missing table %q", name, rt.fkNames[i], to)
+				}
+				ref, ok := target.pkToRow[rt.fkCells[i][r]]
+				if !ok {
+					return nil, fmt.Errorf("dataset: csv %s row %d: foreign key %s references missing _pk %q in %s",
+						name, r, rt.fkNames[i], rt.fkCells[i][r], to)
+				}
+				refs[i] = ref
+			}
+			if err := t.AppendRow(attrs, refs); err != nil {
+				return nil, err
+			}
+		}
+		if err := db.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

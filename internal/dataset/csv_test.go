@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"prmsel/internal/query"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := tinyDB(t)
+	files := make(map[string]io.Reader)
+	for _, name := range db.TableNames() {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, db.Table(name)); err != nil {
+			t.Fatal(err)
+		}
+		files[name] = bytes.NewReader(buf.Bytes())
+	}
+	back, err := ReadDatabaseCSV(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codes may be renumbered (labels are sorted on import), so compare by
+	// label-level query counts.
+	petBack := back.Table("Pet")
+	dogCode := int32(-1)
+	for i, v := range petBack.Attributes[petBack.AttrIndex("Species")].Values {
+		if v == "dog" {
+			dogCode = int32(i)
+		}
+	}
+	if dogCode < 0 {
+		t.Fatal("dog label lost in round trip")
+	}
+	ownerBack := back.Table("Owner")
+	highCode := int32(-1)
+	for i, v := range ownerBack.Attributes[ownerBack.AttrIndex("Income")].Values {
+		if v == "high" {
+			highCode = int32(i)
+		}
+	}
+	q := query.New().
+		Over("p", "Pet").Over("o", "Owner").
+		KeyJoin("p", "Owner", "o").
+		WhereEq("p", "Species", dogCode).
+		WhereEq("o", "Income", highCode)
+	n, err := back.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("round-tripped count = %d, want 2", n)
+	}
+}
+
+func TestReadDatabaseCSVErrors(t *testing.T) {
+	cases := map[string]map[string]string{
+		"missing header pk": {"T": "A,B\nx,y\n"},
+		"duplicate pk":      {"T": "_pk,A\n1,x\n1,y\n"},
+		"bad fk column":     {"T": "_pk,fk_F\n1,2\n"},
+		"missing ref table": {"T": "_pk,fk_F@U\n1,2\n"},
+		"dangling ref":      {"T": "_pk,fk_F@U\n1,9\n", "U": "_pk,A\n1,x\n"},
+		"ragged row":        {"T": "_pk,A\n1\n"},
+	}
+	for name, files := range cases {
+		readers := make(map[string]io.Reader, len(files))
+		for tn, content := range files {
+			readers[tn] = strings.NewReader(content)
+		}
+		if _, err := ReadDatabaseCSV(readers); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestCountMatchesBruteForce cross-checks the backtracking join counter
+// against a naive nested-loop evaluation on random two-table databases and
+// random queries.
+func TestCountMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nOwner := 1 + rng.Intn(6)
+		nPet := rng.Intn(12)
+		owner := NewTable(Schema{
+			Name:       "Owner",
+			Attributes: []Attribute{{Name: "A", Values: []string{"0", "1", "2"}}},
+		})
+		for i := 0; i < nOwner; i++ {
+			owner.MustAppendRow([]int32{int32(rng.Intn(3))}, nil)
+		}
+		pet := NewTable(Schema{
+			Name:        "Pet",
+			Attributes:  []Attribute{{Name: "B", Values: []string{"0", "1"}}},
+			ForeignKeys: []ForeignKey{{Name: "Owner", To: "Owner"}},
+		})
+		for i := 0; i < nPet; i++ {
+			pet.MustAppendRow([]int32{int32(rng.Intn(2))}, []int32{int32(rng.Intn(nOwner))})
+		}
+		db := NewDatabase()
+		if err := db.AddTable(owner); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AddTable(pet); err != nil {
+			t.Fatal(err)
+		}
+
+		aVal := int32(rng.Intn(3))
+		bVal := int32(rng.Intn(2))
+		q := query.New().
+			Over("p", "Pet").Over("o", "Owner").
+			KeyJoin("p", "Owner", "o").
+			WhereEq("o", "A", aVal).
+			WhereEq("p", "B", bVal)
+		got, err := db.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for r := 0; r < pet.Len(); r++ {
+			o := pet.FKCol(0)[r]
+			if pet.Value(r, 0) == bVal && owner.Value(int(o), 0) == aVal {
+				want++
+			}
+		}
+		if got != want {
+			t.Errorf("seed %d: Count = %d, brute force = %d", seed, got, want)
+		}
+	}
+}

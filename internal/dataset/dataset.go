@@ -1,0 +1,291 @@
+// Package dataset is the in-memory relational substrate the estimators are
+// built on: categorical attributes, columnar tables, primary/foreign keys
+// with referential integrity, exact query execution for ground truth, and
+// the count/group-by machinery that produces sufficient statistics for
+// model construction.
+//
+// Primary keys are implicit: the primary key of a row is its index in the
+// table. A foreign-key column stores the row index of the referenced tuple,
+// which makes referential integrity a simple bounds check and foreign-key
+// joins a single array lookup. The CSV loader maps arbitrary external key
+// strings onto row indexes, so externally-keyed data round-trips losslessly.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Attribute is a categorical (or discretized) value attribute. Codes are
+// indexes into Values; every stored cell is a code in [0, len(Values)).
+type Attribute struct {
+	Name   string
+	Values []string
+}
+
+// Card returns the attribute's domain size.
+func (a Attribute) Card() int { return len(a.Values) }
+
+// ForeignKey declares that a table holds references into table To.
+type ForeignKey struct {
+	Name string // column name of the key, e.g. "Patient"
+	To   string // referenced table name
+}
+
+// Schema describes one table: its value (non-key) attributes and its
+// foreign keys. The primary key is implicit (row index).
+type Schema struct {
+	Name        string
+	Attributes  []Attribute
+	ForeignKeys []ForeignKey
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	for i, a := range s.Attributes {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FKIndex returns the position of the named foreign key, or -1.
+func (s *Schema) FKIndex(name string) int {
+	for i, fk := range s.ForeignKeys {
+		if fk.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is a columnar table: one []int32 column per value attribute holding
+// value codes, and one []int32 column per foreign key holding row indexes
+// into the referenced table.
+type Table struct {
+	Schema
+	cols [][]int32 // len(Attributes) columns
+	fks  [][]int32 // len(ForeignKeys) columns
+	n    int
+	// labelCodes lazily maps value labels to codes, per attribute.
+	labelCodes []map[string]int32
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(s Schema) *Table {
+	t := &Table{Schema: s}
+	t.cols = make([][]int32, len(s.Attributes))
+	t.fks = make([][]int32, len(s.ForeignKeys))
+	return t
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return t.n }
+
+// AppendRow appends one row. attrs must align with Schema.Attributes and
+// fkRefs with Schema.ForeignKeys; fkRefs holds row indexes of the referenced
+// tables. Codes are validated against the attribute domains.
+func (t *Table) AppendRow(attrs []int32, fkRefs []int32) error {
+	if len(attrs) != len(t.Attributes) {
+		return fmt.Errorf("dataset: table %s: AppendRow got %d attrs, want %d", t.Name, len(attrs), len(t.Attributes))
+	}
+	if len(fkRefs) != len(t.ForeignKeys) {
+		return fmt.Errorf("dataset: table %s: AppendRow got %d fk refs, want %d", t.Name, len(fkRefs), len(t.ForeignKeys))
+	}
+	for i, v := range attrs {
+		if v < 0 || int(v) >= t.Attributes[i].Card() {
+			return fmt.Errorf("dataset: table %s: attribute %s code %d out of domain [0,%d)",
+				t.Name, t.Attributes[i].Name, v, t.Attributes[i].Card())
+		}
+	}
+	for i, v := range attrs {
+		t.cols[i] = append(t.cols[i], v)
+	}
+	for i, r := range fkRefs {
+		t.fks[i] = append(t.fks[i], r)
+	}
+	t.n++
+	return nil
+}
+
+// MustAppendRow is AppendRow that panics on error; intended for generators
+// whose inputs are constructed in-process.
+func (t *Table) MustAppendRow(attrs []int32, fkRefs []int32) {
+	if err := t.AppendRow(attrs, fkRefs); err != nil {
+		panic(err)
+	}
+}
+
+// AppendRowLabels appends one row given attribute value labels instead of
+// codes — the convenient form for hand-built databases. Label lookup maps
+// are built lazily on first use.
+func (t *Table) AppendRowLabels(labels []string, fkRefs []int32) error {
+	if len(labels) != len(t.Attributes) {
+		return fmt.Errorf("dataset: table %s: AppendRowLabels got %d labels, want %d", t.Name, len(labels), len(t.Attributes))
+	}
+	if t.labelCodes == nil {
+		t.labelCodes = make([]map[string]int32, len(t.Attributes))
+		for i, a := range t.Attributes {
+			m := make(map[string]int32, a.Card())
+			for c, v := range a.Values {
+				m[v] = int32(c)
+			}
+			t.labelCodes[i] = m
+		}
+	}
+	attrs := make([]int32, len(labels))
+	for i, l := range labels {
+		code, ok := t.labelCodes[i][l]
+		if !ok {
+			return fmt.Errorf("dataset: table %s: attribute %s has no value %q", t.Name, t.Attributes[i].Name, l)
+		}
+		attrs[i] = code
+	}
+	return t.AppendRow(attrs, fkRefs)
+}
+
+// Code returns the value code of the given label for attribute attr, or an
+// error when either is unknown.
+func (t *Table) Code(attr, label string) (int32, error) {
+	ai := t.AttrIndex(attr)
+	if ai < 0 {
+		return 0, fmt.Errorf("dataset: table %s has no attribute %q", t.Name, attr)
+	}
+	for c, v := range t.Attributes[ai].Values {
+		if v == label {
+			return int32(c), nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: attribute %s.%s has no value %q", t.Name, attr, label)
+}
+
+// Col returns the column of value codes for attribute index i.
+func (t *Table) Col(i int) []int32 { return t.cols[i] }
+
+// ColByName returns the column for the named attribute.
+func (t *Table) ColByName(name string) ([]int32, error) {
+	i := t.AttrIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("dataset: table %s has no attribute %q", t.Name, name)
+	}
+	return t.cols[i], nil
+}
+
+// FKCol returns the referenced-row column for foreign key index i.
+func (t *Table) FKCol(i int) []int32 { return t.fks[i] }
+
+// FKColByName returns the referenced-row column for the named foreign key.
+func (t *Table) FKColByName(name string) ([]int32, error) {
+	i := t.FKIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("dataset: table %s has no foreign key %q", t.Name, name)
+	}
+	return t.fks[i], nil
+}
+
+// Value returns the code of attribute ai in row r.
+func (t *Table) Value(r, ai int) int32 { return t.cols[ai][r] }
+
+// Database is a set of tables closed under foreign-key references.
+type Database struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// AddTable registers t. Table names must be unique.
+func (db *Database) AddTable(t *Table) error {
+	if _, dup := db.tables[t.Name]; dup {
+		return fmt.Errorf("dataset: duplicate table %q", t.Name)
+	}
+	db.tables[t.Name] = t
+	db.order = append(db.order, t.Name)
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns table names in registration order.
+func (db *Database) TableNames() []string { return append([]string(nil), db.order...) }
+
+// Rows returns the total number of rows across all tables.
+func (db *Database) Rows() int {
+	n := 0
+	for _, name := range db.order {
+		n += db.tables[name].Len()
+	}
+	return n
+}
+
+// Validate checks that every foreign key references an existing table and
+// that every reference is in range — the referential-integrity assumption
+// the PRM construction relies on.
+func (db *Database) Validate() error {
+	for _, name := range db.order {
+		t := db.tables[name]
+		for fi, fk := range t.ForeignKeys {
+			target, ok := db.tables[fk.To]
+			if !ok {
+				return fmt.Errorf("dataset: table %s foreign key %s references unknown table %q", t.Name, fk.Name, fk.To)
+			}
+			for r, ref := range t.fks[fi] {
+				if ref < 0 || int(ref) >= target.Len() {
+					return fmt.Errorf("dataset: table %s row %d: foreign key %s reference %d out of range [0,%d)",
+						t.Name, r, fk.Name, ref, target.Len())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stratification returns a topological order of the tables under the
+// "references" relation (a table comes after every table it references), or
+// an error if foreign keys form a cycle. PRM structure search requires a
+// stratified schema.
+func (db *Database) Stratification() ([]string, error) {
+	// Kahn's algorithm over the edge t -> fk.To meaning "t depends on fk.To".
+	indeg := make(map[string]int, len(db.order))
+	dependents := make(map[string][]string, len(db.order))
+	for _, name := range db.order {
+		indeg[name] += 0
+		for _, fk := range db.tables[name].ForeignKeys {
+			if fk.To == name {
+				return nil, fmt.Errorf("dataset: table %s has a self-referencing foreign key %s", name, fk.Name)
+			}
+			indeg[name]++
+			dependents[fk.To] = append(dependents[fk.To], name)
+		}
+	}
+	var queue []string
+	for _, name := range db.order {
+		if indeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	sort.Strings(queue)
+	var out []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		next := append([]string(nil), dependents[n]...)
+		sort.Strings(next)
+		for _, d := range next {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(out) != len(db.order) {
+		return nil, fmt.Errorf("dataset: foreign keys form a cycle; schema is not stratified")
+	}
+	return out, nil
+}

@@ -1,0 +1,272 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"prmsel/internal/query"
+)
+
+// Count executes q exactly and returns the true result size. It is the
+// ground truth the estimators are evaluated against. Tuple variables not
+// linked by join clauses contribute multiplicatively (cross product), as in
+// the paper's sampling semantics.
+func (db *Database) Count(q *query.Query) (int64, error) {
+	ex, err := db.newExec(q)
+	if err != nil {
+		return 0, err
+	}
+	return ex.count(), nil
+}
+
+// binding resolves one tuple variable of a query against its table.
+type binding struct {
+	name  string
+	table *Table
+	// preds: attribute index -> accepted-code set (nil entry = unconstrained).
+	accept []map[int32]bool
+	// determinedBy: edges earlier->this: (earlier var position, fk col of earlier table).
+	determinedBy []fkEdge
+	// iterates: edges this->earlier: (earlier var position, reverse index buckets).
+	iterates []revEdge
+	// nkChecks: non-key equality constraints against earlier variables.
+	nkChecks []nkCheck
+}
+
+type fkEdge struct {
+	fromPos int     // position of the earlier variable in exec order
+	col     []int32 // FK column on the earlier variable's table
+}
+
+type revEdge struct {
+	toPos   int       // position of the earlier (referenced) variable
+	buckets [][]int32 // referenced row -> referencing rows
+}
+
+// nkCheck is a non-key equality constraint against an earlier variable.
+type nkCheck struct {
+	ownAI      int // attribute index on this binding's table
+	earlierPos int // position of the other variable
+	earlierAI  int // attribute index on the other variable's table
+}
+
+type exec struct {
+	db   *Database
+	vars []*binding
+}
+
+func (db *Database) newExec(q *query.Query) (*exec, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	names := q.VarNames()
+	pos := make(map[string]int, len(names))
+
+	// Order variables so every variable after the first in its connected
+	// component touches an earlier one via some join clause: repeatedly pick
+	// the lexicographically-first unplaced variable that joins an already
+	// placed one, else the first unplaced variable (new component).
+	adj := make(map[string][]string)
+	for _, j := range q.Joins {
+		adj[j.FromVar] = append(adj[j.FromVar], j.ToVar)
+		adj[j.ToVar] = append(adj[j.ToVar], j.FromVar)
+	}
+	for _, j := range q.NonKeyJoins {
+		adj[j.LeftVar] = append(adj[j.LeftVar], j.RightVar)
+		adj[j.RightVar] = append(adj[j.RightVar], j.LeftVar)
+	}
+	placed := make(map[string]bool, len(names))
+	var order []string
+	for len(order) < len(names) {
+		pick := ""
+		for _, n := range names {
+			if placed[n] {
+				continue
+			}
+			for _, m := range adj[n] {
+				if placed[m] {
+					pick = n
+					break
+				}
+			}
+			if pick != "" {
+				break
+			}
+		}
+		if pick == "" {
+			for _, n := range names {
+				if !placed[n] {
+					pick = n
+					break
+				}
+			}
+		}
+		placed[pick] = true
+		pos[pick] = len(order)
+		order = append(order, pick)
+	}
+
+	ex := &exec{db: db, vars: make([]*binding, len(order))}
+	for i, name := range order {
+		tbl := db.Table(q.Vars[name])
+		if tbl == nil {
+			return nil, fmt.Errorf("dataset: query variable %s ranges over unknown table %q", name, q.Vars[name])
+		}
+		ex.vars[i] = &binding{name: name, table: tbl, accept: make([]map[int32]bool, len(tbl.Attributes))}
+	}
+	for _, p := range q.Preds {
+		b := ex.vars[pos[p.Var]]
+		ai := b.table.AttrIndex(p.Attr)
+		if ai < 0 {
+			return nil, fmt.Errorf("dataset: table %s has no attribute %q", b.table.Name, p.Attr)
+		}
+		set, err := p.Accept(b.table.Attributes[ai].Card())
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		if b.accept[ai] != nil {
+			// Conjunction of predicates on the same attribute: intersect.
+			for v := range b.accept[ai] {
+				if !set[v] {
+					delete(b.accept[ai], v)
+				}
+			}
+		} else {
+			b.accept[ai] = set
+		}
+	}
+	for _, j := range q.Joins {
+		from, to := ex.vars[pos[j.FromVar]], ex.vars[pos[j.ToVar]]
+		fi := from.table.FKIndex(j.FK)
+		if fi < 0 {
+			return nil, fmt.Errorf("dataset: table %s has no foreign key %q", from.table.Name, j.FK)
+		}
+		if from.table.ForeignKeys[fi].To != to.table.Name {
+			return nil, fmt.Errorf("dataset: foreign key %s.%s references %s, not %s",
+				from.table.Name, j.FK, from.table.ForeignKeys[fi].To, to.table.Name)
+		}
+		col := from.table.FKCol(fi)
+		switch {
+		case pos[j.FromVar] < pos[j.ToVar]:
+			// Earlier row determines the later (referenced) row.
+			to.determinedBy = append(to.determinedBy, fkEdge{fromPos: pos[j.FromVar], col: col})
+		default:
+			// Later variable references an earlier one: iterate its bucket.
+			from.iterates = append(from.iterates, revEdge{
+				toPos:   pos[j.ToVar],
+				buckets: reverseIndex(col, to.table.Len()),
+			})
+		}
+	}
+	for _, j := range q.NonKeyJoins {
+		lb, rb := ex.vars[pos[j.LeftVar]], ex.vars[pos[j.RightVar]]
+		lai := lb.table.AttrIndex(j.LeftAttr)
+		if lai < 0 {
+			return nil, fmt.Errorf("dataset: table %s has no attribute %q", lb.table.Name, j.LeftAttr)
+		}
+		rai := rb.table.AttrIndex(j.RightAttr)
+		if rai < 0 {
+			return nil, fmt.Errorf("dataset: table %s has no attribute %q", rb.table.Name, j.RightAttr)
+		}
+		// Attach the constraint to whichever variable comes later.
+		if pos[j.LeftVar] > pos[j.RightVar] {
+			lb.nkChecks = append(lb.nkChecks, nkCheck{ownAI: lai, earlierPos: pos[j.RightVar], earlierAI: rai})
+		} else {
+			rb.nkChecks = append(rb.nkChecks, nkCheck{ownAI: rai, earlierPos: pos[j.LeftVar], earlierAI: lai})
+		}
+	}
+	return ex, nil
+}
+
+func reverseIndex(col []int32, targetLen int) [][]int32 {
+	buckets := make([][]int32, targetLen)
+	for r, ref := range col {
+		buckets[ref] = append(buckets[ref], int32(r))
+	}
+	return buckets
+}
+
+// rowOK reports whether row r of binding b passes b's predicates.
+func (b *binding) rowOK(r int32) bool {
+	for ai, set := range b.accept {
+		if set != nil && !set[b.table.cols[ai][r]] {
+			return false
+		}
+	}
+	return true
+}
+
+// count runs the backtracking join and returns the number of satisfying
+// variable assignments.
+func (ex *exec) count() int64 {
+	rows := make([]int32, len(ex.vars))
+	var total int64
+	ex.enumerate(0, rows, func() { total++ })
+	return total
+}
+
+// enumerate visits every satisfying assignment, invoking fn with ex.vars[i]
+// bound to rows[i].
+func (ex *exec) enumerate(i int, rows []int32, fn func()) {
+	if i == len(ex.vars) {
+		fn()
+		return
+	}
+	b := ex.vars[i]
+	switch {
+	case len(b.determinedBy) > 0:
+		r := b.determinedBy[0].col[rows[b.determinedBy[0].fromPos]]
+		if b.consistentAll(ex, r, rows) {
+			rows[i] = r
+			ex.enumerate(i+1, rows, fn)
+		}
+	case len(b.iterates) > 0:
+		e := b.iterates[0]
+		for _, r := range e.buckets[rows[e.toPos]] {
+			if b.consistentAll(ex, r, rows) {
+				rows[i] = r
+				ex.enumerate(i+1, rows, fn)
+			}
+		}
+	default:
+		for r := int32(0); int(r) < b.table.Len(); r++ {
+			if b.consistentAll(ex, r, rows) {
+				rows[i] = r
+				ex.enumerate(i+1, rows, fn)
+			}
+		}
+	}
+}
+
+// consistentAll checks row r of b against predicates and every join edge to
+// earlier variables.
+func (b *binding) consistentAll(ex *exec, r int32, rows []int32) bool {
+	if !b.rowOK(r) {
+		return false
+	}
+	for _, e := range b.determinedBy {
+		if e.col[rows[e.fromPos]] != r {
+			return false
+		}
+	}
+	for _, e := range b.iterates {
+		if !containsRow(e.buckets[rows[e.toPos]], r) {
+			return false
+		}
+	}
+	for _, c := range b.nkChecks {
+		other := ex.vars[c.earlierPos]
+		if b.table.cols[c.ownAI][r] != other.table.cols[c.earlierAI][rows[c.earlierPos]] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsRow reports whether r is in bucket. Buckets are built in
+// increasing row order, so a binary search keeps the cross-check cheap even
+// for skewed fan-outs.
+func containsRow(bucket []int32, r int32) bool {
+	i := sort.Search(len(bucket), func(i int) bool { return bucket[i] >= r })
+	return i < len(bucket) && bucket[i] == r
+}

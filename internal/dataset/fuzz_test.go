@@ -1,0 +1,41 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadDatabaseCSV checks the CSV loader never panics and, when it
+// accepts input, produces a database that validates and round-trips.
+func FuzzReadDatabaseCSV(f *testing.F) {
+	f.Add("_pk,A\n1,x\n2,y\n")
+	f.Add("_pk,A,fk_F@U\n1,x,9\n")
+	f.Add("_pk\n")
+	f.Add("")
+	f.Add("_pk,fk_broken\n1,2\n")
+	f.Add("_pk,A\n\"unterminated")
+	f.Add("_pk,A\n1,x\n1,y\n")
+	f.Add("_pk,A,A\n1,x,y\n")
+	f.Fuzz(func(t *testing.T, content string) {
+		db, err := ReadDatabaseCSV(map[string]io.Reader{"T": bytes.NewReader([]byte(content))})
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("accepted database fails validation: %v", err)
+		}
+		// Round-trip the accepted table.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, db.Table("T")); err != nil {
+			t.Fatalf("accepted database fails to serialize: %v", err)
+		}
+		back, err := ReadDatabaseCSV(map[string]io.Reader{"T": &buf})
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Table("T").Len() != db.Table("T").Len() {
+			t.Fatalf("round trip changed row count: %d -> %d", db.Table("T").Len(), back.Table("T").Len())
+		}
+	})
+}

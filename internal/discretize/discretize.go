@@ -1,0 +1,158 @@
+// Package discretize turns large or continuous domains into the small
+// categorical domains the probabilistic models operate on (paper §2.3):
+// equi-width and equi-depth bucketings, code/label generation for
+// dataset.Attribute, and the uniform-within-bucket correction for
+// estimating base-level range queries against a bucketed model.
+package discretize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prmsel/internal/dataset"
+)
+
+// Method selects the bucketing strategy.
+type Method int
+
+const (
+	// EquiWidth splits the value range into buckets of equal width.
+	EquiWidth Method = iota
+	// EquiDepth splits at quantiles so buckets hold roughly equal counts.
+	EquiDepth
+)
+
+// Discretizer maps continuous values onto bucket codes. Bucket i covers
+// [Bounds[i], Bounds[i+1]), except the last bucket, which is closed above.
+type Discretizer struct {
+	Bounds []float64 // len = buckets + 1, strictly increasing
+}
+
+// New builds a discretizer over the observed values.
+func New(values []float64, buckets int, method Method) (*Discretizer, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("discretize: need at least 1 bucket, got %d", buckets)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("discretize: no values")
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("discretize: non-finite value %v", v)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo == hi {
+		hi = lo + 1 // degenerate domain: one real bucket
+	}
+	bounds := make([]float64, 0, buckets+1)
+	switch method {
+	case EquiDepth:
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		bounds = append(bounds, lo)
+		for i := 1; i < buckets; i++ {
+			q := sorted[i*len(sorted)/buckets]
+			if q > bounds[len(bounds)-1] {
+				bounds = append(bounds, q)
+			}
+		}
+		bounds = append(bounds, hi)
+	default: // EquiWidth
+		width := (hi - lo) / float64(buckets)
+		for i := 0; i <= buckets; i++ {
+			bounds = append(bounds, lo+float64(i)*width)
+		}
+		bounds[len(bounds)-1] = hi
+	}
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("discretize: could not form buckets")
+	}
+	return &Discretizer{Bounds: bounds}, nil
+}
+
+// Buckets returns the number of buckets.
+func (d *Discretizer) Buckets() int { return len(d.Bounds) - 1 }
+
+// Code maps v to its bucket code, clamping values outside the fitted range.
+func (d *Discretizer) Code(v float64) int32 {
+	if v <= d.Bounds[0] {
+		return 0
+	}
+	last := len(d.Bounds) - 2
+	if v >= d.Bounds[len(d.Bounds)-1] {
+		return int32(last)
+	}
+	// Find the bucket whose upper bound exceeds v.
+	i := sort.SearchFloat64s(d.Bounds[1:], v)
+	if i <= last && d.Bounds[1+i] == v {
+		i++ // upper bounds are exclusive except for the final bucket
+	}
+	if i > last {
+		i = last
+	}
+	return int32(i)
+}
+
+// Labels renders "[lo,hi)" interval labels for a dataset.Attribute.
+func (d *Discretizer) Labels() []string {
+	out := make([]string, d.Buckets())
+	for i := range out {
+		closer := ")"
+		if i == d.Buckets()-1 {
+			closer = "]"
+		}
+		out[i] = fmt.Sprintf("[%.4g,%.4g%s", d.Bounds[i], d.Bounds[i+1], closer)
+	}
+	return out
+}
+
+// Attribute builds the dataset attribute this discretizer induces.
+func (d *Discretizer) Attribute(name string) dataset.Attribute {
+	return dataset.Attribute{Name: name, Values: d.Labels()}
+}
+
+// Column discretizes a full column of raw values.
+func (d *Discretizer) Column(values []float64) []int32 {
+	out := make([]int32, len(values))
+	for i, v := range values {
+		out[i] = d.Code(v)
+	}
+	return out
+}
+
+// BucketRange returns the value interval bucket b covers.
+func (d *Discretizer) BucketRange(b int32) (lo, hi float64) {
+	return d.Bounds[b], d.Bounds[b+1]
+}
+
+// RangeCodes returns the bucket codes overlapping [lo, hi] — the predicate
+// value set to use against a bucketed model — and, via Fraction, the
+// uniform-within-bucket correction factors for the two boundary buckets
+// (paper §2.3's base-level range estimation).
+func (d *Discretizer) RangeCodes(lo, hi float64) []int32 {
+	if hi < lo {
+		return nil
+	}
+	first, last := d.Code(lo), d.Code(hi)
+	out := make([]int32, 0, last-first+1)
+	for b := first; b <= last; b++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Fraction returns the fraction of bucket b's width that [lo, hi] covers,
+// for scaling a bucket-level estimate down to a base-level range estimate
+// under the uniformity assumption.
+func (d *Discretizer) Fraction(b int32, lo, hi float64) float64 {
+	blo, bhi := d.BucketRange(b)
+	l, h := math.Max(lo, blo), math.Min(hi, bhi)
+	if h <= l {
+		return 0
+	}
+	return (h - l) / (bhi - blo)
+}

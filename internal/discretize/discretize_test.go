@@ -1,0 +1,153 @@
+package discretize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquiWidth(t *testing.T) {
+	d, err := New([]float64{0, 10}, 5, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Buckets() != 5 {
+		t.Fatalf("buckets = %d", d.Buckets())
+	}
+	cases := map[float64]int32{0: 0, 1.9: 0, 2: 1, 5: 2, 9.99: 4, 10: 4, -5: 0, 50: 4}
+	for v, want := range cases {
+		if got := d.Code(v); got != want {
+			t.Errorf("Code(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestEquiDepthBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 10000)
+	for i := range values {
+		values[i] = math.Exp(rng.NormFloat64()) // heavily skewed
+	}
+	d, err := New(values, 8, EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, d.Buckets())
+	for _, v := range values {
+		counts[d.Code(v)]++
+	}
+	for b, c := range counts {
+		if c < len(values)/d.Buckets()/4 {
+			t.Errorf("bucket %d badly underfilled: %d", b, c)
+		}
+	}
+	// Equi-width on the same data piles everything into bucket 0.
+	w, err := New(values, 8, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcounts := make([]int, w.Buckets())
+	for _, v := range values {
+		wcounts[w.Code(v)]++
+	}
+	if wcounts[0] < counts[0] {
+		t.Error("expected equi-width to be more skewed than equi-depth on lognormal data")
+	}
+}
+
+func TestCodeWithinRange(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.NormFloat64() * 100
+		}
+		buckets := 1 + rng.Intn(9)
+		method := Method(rng.Intn(2))
+		d, err := New(values, buckets, method)
+		if err != nil {
+			return false
+		}
+		for _, v := range values {
+			c := d.Code(v)
+			if c < 0 || int(c) >= d.Buckets() {
+				return false
+			}
+			lo, hi := d.BucketRange(c)
+			// The coded bucket must contain the value (final bucket is
+			// closed above).
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateDomain(t *testing.T) {
+	d, err := New([]float64{7, 7, 7}, 4, EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Code(7); got < 0 || int(got) >= d.Buckets() {
+		t.Errorf("Code(7) = %d out of range", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil, 3, EquiWidth); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := New([]float64{1}, 0, EquiWidth); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := New([]float64{math.NaN()}, 2, EquiWidth); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestAttributeAndColumn(t *testing.T) {
+	d, err := New([]float64{0, 100}, 4, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Attribute("Salary")
+	if a.Name != "Salary" || a.Card() != 4 {
+		t.Fatalf("attribute wrong: %+v", a)
+	}
+	col := d.Column([]float64{10, 30, 60, 90})
+	want := []int32{0, 1, 2, 3}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Errorf("col[%d] = %d, want %d", i, col[i], want[i])
+		}
+	}
+}
+
+func TestRangeCodesAndFraction(t *testing.T) {
+	d, err := New([]float64{0, 100}, 4, EquiWidth) // buckets of width 25
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := d.RangeCodes(30, 80)
+	if len(codes) != 3 || codes[0] != 1 || codes[2] != 3 {
+		t.Fatalf("RangeCodes(30,80) = %v", codes)
+	}
+	if f := d.Fraction(1, 30, 80); math.Abs(f-0.8) > 1e-9 {
+		t.Errorf("Fraction bucket1 = %v, want 0.8 (30..50 of 25..50)", f)
+	}
+	if f := d.Fraction(2, 30, 80); f != 1 {
+		t.Errorf("Fraction bucket2 = %v, want 1", f)
+	}
+	if f := d.Fraction(3, 30, 80); math.Abs(f-0.2) > 1e-9 {
+		t.Errorf("Fraction bucket3 = %v, want 0.2 (75..80 of 75..100)", f)
+	}
+	if got := d.RangeCodes(9, 3); got != nil {
+		t.Errorf("inverted range produced %v", got)
+	}
+}

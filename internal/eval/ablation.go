@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"prmsel/internal/dataset"
+	"prmsel/internal/learn"
+)
+
+// AblationScoring reruns the paper's §4.3.3 comparison as an experiment:
+// estimation error of models learned with the naive, MDL and SSN step
+// rules across storage budgets, on a census query suite.
+func AblationScoring(db *dataset.Database, attrs []string, storages []int, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	suite := singleSuite("Census", attrs...)
+	fig := &Figure{
+		ID:     "ab-scoring",
+		Title:  "Step-selection rules (§4.3.3): error vs storage",
+		XLabel: "storage (bytes)",
+		YLabel: "average adjusted relative error (%)",
+	}
+	for _, crit := range []learn.Criterion{learn.SSN, learn.MDL, learn.Naive} {
+		s := Series{Name: crit.String()}
+		for _, budget := range storages {
+			est, err := LearnPRM(db, crit.String(), LearnOptions{
+				Kind: learn.Tree, Criterion: crit, Budget: budget,
+				MaxParents: opt.MaxParents, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			stats, err := RunSuite(db, est, suite, opt.MaxQueries)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(budget))
+			s.Y = append(s.Y, stats.MeanErr)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationTopK measures the candidate-pruning trade-off (future work §6):
+// construction time and estimation error as the pairwise-MI prescan keeps
+// fewer candidates. K = 0 means no pruning.
+func AblationTopK(db *dataset.Database, attrs []string, budget int, ks []int, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	suite := singleSuite("Census", attrs...)
+	fig := &Figure{
+		ID:     "ab-topk",
+		Title:  fmt.Sprintf("MI candidate pruning at %d bytes (0 = no pruning)", budget),
+		XLabel: "top-K candidates",
+		YLabel: "error (%) / construction (ms)",
+	}
+	errSeries := Series{Name: "error%"}
+	timeSeries := Series{Name: "construct-ms"}
+	for _, k := range ks {
+		start := time.Now()
+		est, err := LearnPRM(db, "PRM", LearnOptions{
+			Kind: learn.Tree, Criterion: learn.SSN, Budget: budget,
+			MaxParents: opt.MaxParents, Seed: opt.Seed, TopK: k,
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		stats, err := RunSuite(db, est, suite, opt.MaxQueries)
+		if err != nil {
+			return nil, err
+		}
+		errSeries.X = append(errSeries.X, float64(k))
+		errSeries.Y = append(errSeries.Y, stats.MeanErr)
+		timeSeries.X = append(timeSeries.X, float64(k))
+		timeSeries.Y = append(timeSeries.Y, elapsed)
+	}
+	fig.Series = []Series{errSeries, timeSeries}
+	return fig, nil
+}
+
+// RenderCSV writes the figure as CSV: one row per x value, one column per
+// series — for plotting outside the terminal.
+func (f *Figure) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{f.XLabel}, make([]string, 0, len(f.Series))...)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	xsSet := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range f.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = strconv.FormatFloat(s.Y[i], 'f', 4, 64)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

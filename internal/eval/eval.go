@@ -1,0 +1,244 @@
+// Package eval is the experiment harness that regenerates the paper's
+// evaluation (Section 5, Figures 4–7): query-suite construction, exact
+// ground truth, the adjusted-relative-error metric, storage sweeps, and
+// text rendering of each figure's series. One exported function per figure
+// lives in experiments.go; cmd/prmbench and the repository benchmarks are
+// thin wrappers around them.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"prmsel/internal/baselines"
+	"prmsel/internal/dataset"
+	"prmsel/internal/query"
+)
+
+// AdjRelErr is the paper's adjusted relative error |V − V̂| / max(V, 1),
+// returned as a percentage.
+func AdjRelErr(est float64, truth int64) float64 {
+	return 100 * math.Abs(est-float64(truth)) / math.Max(float64(truth), 1)
+}
+
+// SuiteStats aggregates an estimator's accuracy over a query suite.
+type SuiteStats struct {
+	Estimator string
+	Queries   int
+	// MeanErr is the average adjusted relative error in percent (the
+	// paper's headline metric); MedianErr and P90Err characterize the
+	// error distribution's shape.
+	MeanErr   float64
+	MedianErr float64
+	P90Err    float64
+	// Bytes is the estimator's storage use.
+	Bytes int
+}
+
+// RunSuite evaluates est on every query of the suite (or a deterministic
+// subsample of maxQueries of them when maxQueries > 0), computing ground
+// truth from a single contingency pass over the suite's skeleton.
+func RunSuite(db *dataset.Database, est baselines.Estimator, s query.Suite, maxQueries int) (SuiteStats, error) {
+	per, err := RunSuitePerQuery(db, est, s, maxQueries)
+	if err != nil {
+		return SuiteStats{}, err
+	}
+	stats := SuiteStats{Estimator: est.Name(), Queries: len(per), Bytes: est.StorageBytes()}
+	if len(per) == 0 {
+		return stats, nil
+	}
+	errs := make([]float64, len(per))
+	for i, p := range per {
+		stats.MeanErr += p.Err
+		errs[i] = p.Err
+	}
+	stats.MeanErr /= float64(len(per))
+	sort.Float64s(errs)
+	stats.MedianErr = errs[len(errs)/2]
+	stats.P90Err = errs[len(errs)*9/10]
+	return stats, nil
+}
+
+// QueryResult records one query's truth and estimate.
+type QueryResult struct {
+	Truth int64
+	Est   float64
+	Err   float64 // adjusted relative error, percent
+}
+
+// RunSuitePerQuery is RunSuite returning per-query results (used for the
+// Figure 5(c) scatter). Queries are evaluated concurrently — the PRM and
+// every baseline estimator are safe for concurrent estimation — with
+// results kept in enumeration order.
+func RunSuitePerQuery(db *dataset.Database, est baselines.Estimator, s query.Suite, maxQueries int) ([]QueryResult, error) {
+	cards, err := suiteCards(db, s)
+	if err != nil {
+		return nil, err
+	}
+	cont, err := db.JointCounts(s.Skeleton, s.Targets)
+	if err != nil {
+		return nil, err
+	}
+	total := s.Size(cards)
+	stride := 1
+	if maxQueries > 0 && total > maxQueries {
+		stride = (total + maxQueries - 1) / maxQueries
+	}
+	// Materialize the subsampled queries and their ground truths.
+	var queries []*query.Query
+	var truths []int64
+	idx := 0
+	vals := make([]int32, len(s.Targets))
+	s.Enumerate(cards, func(q *query.Query) {
+		defer func() { idx++ }()
+		if idx%stride != 0 {
+			return
+		}
+		for i, p := range q.Preds {
+			vals[i] = p.Values[0]
+		}
+		queries = append(queries, q.Clone())
+		truths = append(truths, cont.Count(vals))
+	})
+
+	out := make([]QueryResult, len(queries))
+	errs := make([]error, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				e, err := est.EstimateCount(queries[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("eval: %s on %s: %w", est.Name(), queries[i], err)
+					continue
+				}
+				out[i] = QueryResult{Truth: truths[i], Est: e, Err: AdjRelErr(e, truths[i])}
+			}
+		}()
+	}
+	for i := range queries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// suiteCards resolves the cardinality of each suite target.
+func suiteCards(db *dataset.Database, s query.Suite) ([]int, error) {
+	cards := make([]int, len(s.Targets))
+	for i, t := range s.Targets {
+		table := db.Table(s.Skeleton.Vars[t.Var])
+		if table == nil {
+			return nil, fmt.Errorf("eval: suite target %s over unknown table", t.Var)
+		}
+		ai := table.AttrIndex(t.Attr)
+		if ai < 0 {
+			return nil, fmt.Errorf("eval: table %s has no attribute %q", table.Name, t.Attr)
+		}
+		cards[i] = table.Attributes[ai].Card()
+	}
+	return cards, nil
+}
+
+// Series is one line of a figure: y = f(x) for one estimator.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is the reproduction of one of the paper's plots.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render writes the figure as an aligned text table, one row per x value
+// and one column per series — the same numbers the paper plots.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Figure %s: %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	// Collect the union of x values.
+	xsSet := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		if _, err := fmt.Fprintln(w, "  "+strings.Join(cells, "  ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  (y: %s)\n", f.YLabel)
+	return err
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,381 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"prmsel/internal/baselines"
+	"prmsel/internal/datagen"
+	"prmsel/internal/dataset"
+	"prmsel/internal/learn"
+	"prmsel/internal/query"
+)
+
+// Shared test datasets, generated once.
+var (
+	censusOnce sync.Once
+	censusDB   *dataset.Database
+	tbOnce     sync.Once
+	tbDB       *dataset.Database
+)
+
+func census(t testing.TB) *dataset.Database {
+	t.Helper()
+	censusOnce.Do(func() { censusDB = datagen.Census(15000, 1) })
+	return censusDB
+}
+
+func tb(t testing.TB) *dataset.Database {
+	t.Helper()
+	tbOnce.Do(func() { tbDB = datagen.TB(0.25, 2) })
+	return tbDB
+}
+
+func TestAdjRelErr(t *testing.T) {
+	if got := AdjRelErr(150, 100); got != 50 {
+		t.Errorf("AdjRelErr(150,100) = %v, want 50", got)
+	}
+	if got := AdjRelErr(3, 0); got != 300 {
+		t.Errorf("AdjRelErr(3,0) = %v, want 300 (max(V,1) guard)", got)
+	}
+	if got := AdjRelErr(100, 100); got != 0 {
+		t.Errorf("AdjRelErr(100,100) = %v, want 0", got)
+	}
+}
+
+func TestRunSuiteAgainstExactEstimator(t *testing.T) {
+	// A full-table "sample" is an exact estimator: the suite error must be
+	// zero for every query, proving the ground-truth path agrees with the
+	// estimator path.
+	db := datagen.Fig1Example()
+	tbl := db.Table("People")
+	s := baselines.NewTableSample(tbl, tbl.Len(), newRand(1))
+	suite := singleSuite("People", "Education", "Income", "HomeOwner")
+	stats, err := RunSuite(db, s, suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != 18 {
+		t.Errorf("suite ran %d queries, want 18", stats.Queries)
+	}
+	if stats.MeanErr != 0 {
+		t.Errorf("exact estimator suite error = %v, want 0", stats.MeanErr)
+	}
+}
+
+func TestRunSuiteSubsampling(t *testing.T) {
+	db := census(t)
+	avi := baselines.NewAVI(db)
+	suite := singleSuite("Census", "Age", "Income")
+	full, err := RunSuite(db, avi, suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Queries != 18*42 {
+		t.Fatalf("full suite = %d queries, want 756", full.Queries)
+	}
+	sub, err := RunSuite(db, avi, suite, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Queries > 150 || sub.Queries < 50 {
+		t.Errorf("subsampled suite ran %d queries, want ≈100", sub.Queries)
+	}
+}
+
+func TestProjectTable(t *testing.T) {
+	db := census(t)
+	proj, err := ProjectTable(db.Table("Census"), []string{"Age", "Income"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := proj.Table("Census")
+	if len(pt.Attributes) != 2 || pt.Len() != db.Table("Census").Len() {
+		t.Fatalf("projection shape wrong")
+	}
+	if _, err := ProjectTable(db.Table("Census"), []string{"Nope"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+// TestFig4Shape asserts the Figure 4 story on a two-attribute suite: AVI is
+// catastrophically wrong; PRM matches or beats MHIST and SAMPLE once the
+// budget clears the marginal floor.
+func TestFig4Shape(t *testing.T) {
+	db := census(t)
+	fig, err := Fig4(db, "4a", []string{"Age", "Income"}, []int{400, 800, 1200}, Options{MaxQueries: 756})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := bySeries(fig)
+	for i := range series["PRM"] {
+		if series["AVI"][i] < 2*series["PRM"][i] {
+			t.Errorf("point %d: AVI (%.1f) not far above PRM (%.1f)", i, series["AVI"][i], series["PRM"][i])
+		}
+	}
+	// At the largest budget PRM beats both competitors.
+	last := len(series["PRM"]) - 1
+	if series["PRM"][last] > series["MHIST"][last] {
+		t.Errorf("PRM (%.1f) worse than MHIST (%.1f) at top budget", series["PRM"][last], series["MHIST"][last])
+	}
+	if series["PRM"][last] > series["SAMPLE"][last] {
+		t.Errorf("PRM (%.1f) worse than SAMPLE (%.1f) at top budget", series["PRM"][last], series["SAMPLE"][last])
+	}
+}
+
+// TestFig5Shape asserts Figure 5's story: with the whole-table model, tree
+// CPDs dominate as storage grows, overtaking SAMPLE.
+func TestFig5Shape(t *testing.T) {
+	db := census(t)
+	fig, err := Fig5(db, "5a", []string{"WorkerClass", "Education", "MaritalStatus"}, []int{2500, 4500}, Options{MaxQueries: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := bySeries(fig)
+	last := len(series["PRM-tree"]) - 1
+	if series["PRM-tree"][last] > series["SAMPLE"][last] {
+		t.Errorf("PRM-tree (%.1f) worse than SAMPLE (%.1f) at top budget", series["PRM-tree"][last], series["SAMPLE"][last])
+	}
+}
+
+func TestFig5cScatter(t *testing.T) {
+	db := census(t)
+	points, err := Fig5c(db, []string{"Income", "Industry", "Age"}, 9300, Options{MaxQueries: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no scatter points")
+	}
+	// PRM outperforms SAMPLE overall (paper Fig 5c; note that on the many
+	// empty-result queries both estimators are near zero error, and the
+	// paper's spike at SAMPLE error 100% comes from non-empty results the
+	// sample misses entirely).
+	var prmMean, sampleMean float64
+	sampleSpikes := 0
+	for _, p := range points {
+		prmMean += p.PRMErr
+		sampleMean += p.SampleErr
+		if p.SampleErr >= 100 {
+			sampleSpikes++
+		}
+	}
+	prmMean /= float64(len(points))
+	sampleMean /= float64(len(points))
+	if prmMean > sampleMean {
+		t.Errorf("mean PRM error %.1f above mean SAMPLE error %.1f", prmMean, sampleMean)
+	}
+	if sampleSpikes == 0 {
+		t.Error("expected some SAMPLE errors at or above 100% (the paper's zero-estimate spike)")
+	}
+}
+
+// TestFig6aShape asserts Figure 6's story: on skewed select-join workloads
+// the PRM beats both the uniform-join model and the join sample.
+func TestFig6aShape(t *testing.T) {
+	w := TBWorkload(tb(t))
+	targets := []query.Target{
+		{Var: "c", Attr: "Contype"},
+		{Var: "p", Attr: "Age"},
+		{Var: "s", Attr: "DrugResistant"},
+	}
+	fig, err := Fig6a(w, targets, []int{1300, 4300}, Options{MaxQueries: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := bySeries(fig)
+	for i := range series["PRM"] {
+		if series["PRM"][i] > series["BN+UJ"][i] {
+			t.Errorf("point %d: PRM (%.1f) worse than BN+UJ (%.1f)", i, series["PRM"][i], series["BN+UJ"][i])
+		}
+		if series["PRM"][i] > series["SAMPLE"][i] {
+			t.Errorf("point %d: PRM (%.1f) worse than SAMPLE (%.1f)", i, series["PRM"][i], series["SAMPLE"][i])
+		}
+	}
+}
+
+func TestFig6SetsRuns(t *testing.T) {
+	w := TBWorkload(tb(t))
+	suites := [][]query.Target{
+		{{Var: "c", Attr: "Contype"}, {Var: "p", Attr: "Age"}},
+		{{Var: "p", Attr: "HIV"}, {Var: "s", Attr: "Unique"}},
+		{{Var: "c", Attr: "Infected"}, {Var: "p", Attr: "USBorn"}, {Var: "s", Attr: "DrugResistant"}},
+	}
+	fig, err := Fig6Sets("6b", w, suites, 4400, Options{MaxQueries: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := bySeries(fig)
+	if len(series) != 3 {
+		t.Fatalf("got %d series, want 3", len(series))
+	}
+	// PRM wins on average across the sets.
+	var prmSum, bnujSum float64
+	for i := range series["PRM"] {
+		prmSum += series["PRM"][i]
+		bnujSum += series["BN+UJ"][i]
+	}
+	if prmSum > bnujSum {
+		t.Errorf("PRM total (%.1f) worse than BN+UJ total (%.1f) across sets", prmSum, bnujSum)
+	}
+}
+
+func TestFig7Timings(t *testing.T) {
+	db := datagen.Census(4000, 3)
+	figA, err := Fig7a(db, []int{800, 2000}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range figA.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("7a %s point %d: non-positive time", s.Name, i)
+			}
+		}
+	}
+	figB, err := Fig7b([]int{2000, 8000}, 1500, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figB.Series) != 2 {
+		t.Fatal("7b series missing")
+	}
+	figC, err := Fig7c(db, []int{800, 2000}, []string{"WorkerClass", "Education", "MaritalStatus"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range figC.Series {
+		for i, y := range s.Y {
+			if y <= 0 || math.IsNaN(y) {
+				t.Errorf("7c %s point %d: bad per-query time %v", s.Name, i, y)
+			}
+			if y > 50 {
+				t.Errorf("7c %s point %d: %vms per estimate is far above the expected sub-ms scale", s.Name, i, y)
+			}
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		ID: "x", Title: "demo", XLabel: "bytes", YLabel: "err",
+		Series: []Series{
+			{Name: "A", X: []float64{1, 2}, Y: []float64{3, 4.5}},
+			{Name: "B", X: []float64{1, 2}, Y: []float64{5, 6}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure x: demo", "A", "B", "4.50", "6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLearnPRMBudget(t *testing.T) {
+	db := census(t)
+	est, err := LearnPRM(db, "PRM", LearnOptions{Kind: learn.Tree, Criterion: learn.SSN, Budget: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.StorageBytes() > 3000 {
+		t.Errorf("model uses %d bytes over the 3000 budget", est.StorageBytes())
+	}
+	if est.Name() != "PRM" {
+		t.Error("name")
+	}
+}
+
+func TestSampleForBudgetSizing(t *testing.T) {
+	db := census(t)
+	tbl := db.Table("Census")
+	s := SampleForBudget(tbl, 12, 1200, 1)
+	if s.StorageBytes() > 1200 {
+		t.Errorf("sample uses %d bytes over budget", s.StorageBytes())
+	}
+}
+
+// bySeries maps series name to its Y values.
+func bySeries(fig *Figure) map[string][]float64 {
+	out := make(map[string][]float64, len(fig.Series))
+	for _, s := range fig.Series {
+		out[s.Name] = s.Y
+	}
+	return out
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestAblationScoringRuns(t *testing.T) {
+	db := datagen.Census(4000, 19)
+	fig, err := AblationScoring(db, []string{"WorkerClass", "Education"}, []int{1200}, Options{MaxQueries: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := bySeries(fig)
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want ssn/mdl/naive", len(series))
+	}
+	// The paper's conclusion: naive is not materially better than the
+	// space-aware rules at a fixed budget.
+	best := math.Min(series["ssn"][0], series["mdl"][0])
+	if series["naive"][0] < best*0.5 {
+		t.Errorf("naive (%v) dramatically beat ssn/mdl (%v) — unexpected", series["naive"][0], best)
+	}
+}
+
+func TestAblationTopKRuns(t *testing.T) {
+	db := datagen.Census(4000, 20)
+	fig, err := AblationTopK(db, []string{"WorkerClass", "Education"}, 2500, []int{0, 3}, Options{MaxQueries: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := bySeries(fig)
+	if len(series["construct-ms"]) != 2 {
+		t.Fatal("missing topk points")
+	}
+	if series["construct-ms"][1] > series["construct-ms"][0] {
+		t.Errorf("pruned construction (%.1fms) slower than full (%.1fms)",
+			series["construct-ms"][1], series["construct-ms"][0])
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	fig := &Figure{
+		ID: "x", XLabel: "bytes",
+		Series: []Series{
+			{Name: "A", X: []float64{1, 2}, Y: []float64{3, 4.5}},
+			{Name: "B", X: []float64{2}, Y: []float64{6}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"bytes,A,B", "1,3.0000,", "2,4.5000,6.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuiteStatsDistribution(t *testing.T) {
+	db := census(t)
+	avi := baselines.NewAVI(db)
+	stats, err := RunSuite(db, avi, singleSuite("Census", "Age", "Income"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MedianErr < 0 || stats.P90Err < stats.MedianErr {
+		t.Errorf("distribution stats inconsistent: median %v, p90 %v", stats.MedianErr, stats.P90Err)
+	}
+}

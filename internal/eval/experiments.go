@@ -1,0 +1,330 @@
+package eval
+
+import (
+	"fmt"
+
+	"prmsel/internal/baselines"
+	"prmsel/internal/dataset"
+	"prmsel/internal/learn"
+	"prmsel/internal/query"
+)
+
+// Options tunes experiment scale. Zero values select defaults sized to run
+// in seconds; cmd/prmbench exposes flags for paper-scale runs.
+type Options struct {
+	MaxQueries int   // per-suite query cap (deterministic subsample); default 2000
+	Seed       int64 // seed for sampling estimators and search escapes
+	MaxParents int   // parent bound for learned models; default 4
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxQueries == 0 {
+		o.MaxQueries = 2000
+	}
+	if o.MaxParents == 0 {
+		o.MaxParents = 4
+	}
+	return o
+}
+
+// singleSuite builds a suite over one table.
+func singleSuite(table string, attrs ...string) query.Suite {
+	s := query.Suite{Skeleton: query.New().Over("t", table)}
+	for _, a := range attrs {
+		s.Targets = append(s.Targets, query.Target{Var: "t", Attr: a})
+	}
+	return s
+}
+
+// Fig4 reproduces Figure 4(a–c): relative error vs storage on Census query
+// suites over small attribute subsets, with every estimator (AVI, MHIST,
+// SAMPLE, PRM) restricted to the queried attributes.
+func Fig4(db *dataset.Database, id string, attrs []string, storages []int, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	tbl := db.Table("Census")
+	if tbl == nil {
+		return nil, fmt.Errorf("eval: census table missing")
+	}
+	projDB, err := ProjectTable(tbl, attrs)
+	if err != nil {
+		return nil, err
+	}
+	projTbl := projDB.Table(tbl.Name)
+	suite := singleSuite(tbl.Name, attrs...)
+
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Census select suite over %v", attrs),
+		XLabel: "storage (bytes)",
+		YLabel: "average adjusted relative error (%)",
+	}
+	xs := make([]float64, len(storages))
+	for i, s := range storages {
+		xs[i] = float64(s)
+	}
+
+	// AVI uses fixed storage; report it as a flat reference series.
+	avi := baselines.NewAVI(projDB)
+	aviStats, err := RunSuite(projDB, avi, suite, opt.MaxQueries)
+	if err != nil {
+		return nil, err
+	}
+	aviY := make([]float64, len(storages))
+	for i := range aviY {
+		aviY[i] = aviStats.MeanErr
+	}
+	fig.Series = append(fig.Series, Series{Name: "AVI", X: xs, Y: aviY})
+
+	mk := map[string]func(budget int) (baselines.Estimator, error){
+		"MHIST": func(b int) (baselines.Estimator, error) {
+			return baselines.NewMHist(projTbl, attrs, b)
+		},
+		"SAMPLE": func(b int) (baselines.Estimator, error) {
+			return SampleForBudget(projTbl, len(attrs), b, opt.Seed), nil
+		},
+		"PRM": func(b int) (baselines.Estimator, error) {
+			return LearnPRM(projDB, "PRM", LearnOptions{
+				Kind: learn.Tree, Criterion: learn.SSN, Budget: b,
+				MaxParents: opt.MaxParents, Seed: opt.Seed,
+			})
+		},
+	}
+	for _, name := range []string{"MHIST", "SAMPLE", "PRM"} {
+		s := Series{Name: name, X: xs}
+		for _, budget := range storages {
+			est, err := mk[name](budget)
+			if err != nil {
+				return nil, err
+			}
+			stats, err := RunSuite(projDB, est, suite, opt.MaxQueries)
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, stats.MeanErr)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig5 reproduces Figure 5(a,b): one model over all 12 Census attributes,
+// queried on a suite over a subset; SAMPLE vs PRM with tree CPDs vs PRM
+// with table CPDs.
+func Fig5(db *dataset.Database, id string, attrs []string, storages []int, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	tbl := db.Table("Census")
+	suite := singleSuite(tbl.Name, attrs...)
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Whole-table Census model, suite over %v", attrs),
+		XLabel: "storage (bytes)",
+		YLabel: "average adjusted relative error (%)",
+	}
+	xs := make([]float64, len(storages))
+	for i, s := range storages {
+		xs[i] = float64(s)
+	}
+	mk := map[string]func(budget int) (baselines.Estimator, error){
+		"SAMPLE": func(b int) (baselines.Estimator, error) {
+			return SampleForBudget(tbl, len(tbl.Attributes), b, opt.Seed), nil
+		},
+		"PRM-tree": func(b int) (baselines.Estimator, error) {
+			return LearnPRM(db, "PRM-tree", LearnOptions{
+				Kind: learn.Tree, Criterion: learn.SSN, Budget: b,
+				MaxParents: opt.MaxParents, Seed: opt.Seed,
+			})
+		},
+		"PRM-table": func(b int) (baselines.Estimator, error) {
+			return LearnPRM(db, "PRM-table", LearnOptions{
+				Kind: learn.Table, Criterion: learn.SSN, Budget: b,
+				MaxParents: opt.MaxParents, Seed: opt.Seed,
+			})
+		},
+	}
+	for _, name := range []string{"SAMPLE", "PRM-tree", "PRM-table"} {
+		s := Series{Name: name, X: xs}
+		for _, budget := range storages {
+			est, err := mk[name](budget)
+			if err != nil {
+				return nil, err
+			}
+			stats, err := RunSuite(db, est, suite, opt.MaxQueries)
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, stats.MeanErr)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ScatterPoint pairs the two estimators' errors on one query (Fig 5c).
+type ScatterPoint struct {
+	SampleErr float64
+	PRMErr    float64
+}
+
+// Fig5c reproduces the Figure 5(c) scatter: per-query error of SAMPLE (x)
+// vs PRM (y) at a fixed budget on a three-attribute Census suite.
+func Fig5c(db *dataset.Database, attrs []string, budget int, opt Options) ([]ScatterPoint, error) {
+	opt = opt.withDefaults()
+	tbl := db.Table("Census")
+	suite := singleSuite(tbl.Name, attrs...)
+	sample := SampleForBudget(tbl, len(tbl.Attributes), budget, opt.Seed)
+	prm, err := LearnPRM(db, "PRM", LearnOptions{
+		Kind: learn.Tree, Criterion: learn.SSN, Budget: budget,
+		MaxParents: opt.MaxParents, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sres, err := RunSuitePerQuery(db, sample, suite, opt.MaxQueries)
+	if err != nil {
+		return nil, err
+	}
+	pres, err := RunSuitePerQuery(db, prm, suite, opt.MaxQueries)
+	if err != nil {
+		return nil, err
+	}
+	if len(sres) != len(pres) {
+		return nil, fmt.Errorf("eval: scatter result lengths differ")
+	}
+	points := make([]ScatterPoint, len(sres))
+	for i := range sres {
+		points[i] = ScatterPoint{SampleErr: sres[i].Err, PRMErr: pres[i].Err}
+	}
+	return points, nil
+}
+
+// JoinWorkload describes one select-join experiment database: the keyjoin
+// skeleton over its tables and the sample-estimator configuration.
+type JoinWorkload struct {
+	DB         *dataset.Database
+	Skeleton   *query.Query
+	Base       string // tuple variable that determines the join
+	TotalAttrs int    // attribute count across skeleton tables
+}
+
+// TBWorkload wires the tuberculosis schema: Contact ⋈ Patient ⋈ Strain.
+func TBWorkload(db *dataset.Database) JoinWorkload {
+	return JoinWorkload{
+		DB: db,
+		Skeleton: query.New().
+			Over("c", "Contact").Over("p", "Patient").Over("s", "Strain").
+			KeyJoin("c", "Patient", "p").
+			KeyJoin("p", "Strain", "s"),
+		Base:       "c",
+		TotalAttrs: 10,
+	}
+}
+
+// FINWorkload wires the financial schema: Transaction ⋈ Account ⋈ District.
+func FINWorkload(db *dataset.Database) JoinWorkload {
+	return JoinWorkload{
+		DB: db,
+		Skeleton: query.New().
+			Over("t", "Transaction").Over("a", "Account").Over("d", "District").
+			KeyJoin("t", "Account", "a").
+			KeyJoin("a", "District", "d"),
+		Base:       "t",
+		TotalAttrs: 9,
+	}
+}
+
+// joinSuite builds a suite over the workload's skeleton.
+func joinSuite(w JoinWorkload, targets ...query.Target) query.Suite {
+	return query.Suite{Skeleton: w.Skeleton, Targets: targets}
+}
+
+// joinEstimators builds the three select-join contenders at one budget.
+func joinEstimators(w JoinWorkload, budget int, opt Options) ([]baselines.Estimator, error) {
+	sample, err := JoinSampleForBudget(w.DB, w.Skeleton, w.Base, w.TotalAttrs, budget, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	bnuj, err := LearnPRM(w.DB, "BN+UJ", LearnOptions{
+		Kind: learn.Tree, Criterion: learn.SSN, Budget: budget,
+		MaxParents: opt.MaxParents, UniformJoin: true, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	prm, err := LearnPRM(w.DB, "PRM", LearnOptions{
+		Kind: learn.Tree, Criterion: learn.SSN, Budget: budget,
+		MaxParents: opt.MaxParents, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []baselines.Estimator{sample, bnuj, prm}, nil
+}
+
+// Fig6a reproduces Figure 6(a): error vs storage for a three-attribute
+// select-join suite over the TB tables; SAMPLE vs BN+UJ vs PRM.
+func Fig6a(w JoinWorkload, targets []query.Target, storages []int, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	suite := joinSuite(w, targets...)
+	fig := &Figure{
+		ID:     "6a",
+		Title:  "Select-join suite, error vs storage",
+		XLabel: "storage (bytes)",
+		YLabel: "average adjusted relative error (%)",
+	}
+	xs := make([]float64, len(storages))
+	for i, s := range storages {
+		xs[i] = float64(s)
+	}
+	series := map[string]*Series{}
+	order := []string{"SAMPLE", "BN+UJ", "PRM"}
+	for _, n := range order {
+		series[n] = &Series{Name: n, X: xs}
+	}
+	for _, budget := range storages {
+		ests, err := joinEstimators(w, budget, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, est := range ests {
+			stats, err := RunSuite(w.DB, est, suite, opt.MaxQueries)
+			if err != nil {
+				return nil, err
+			}
+			series[est.Name()].Y = append(series[est.Name()].Y, stats.MeanErr)
+		}
+	}
+	for _, n := range order {
+		fig.Series = append(fig.Series, *series[n])
+	}
+	return fig, nil
+}
+
+// Fig6Sets reproduces Figures 6(b) and 6(c): the three estimators' error on
+// several query sets at one fixed budget. Each entry of suites is one query
+// set; the returned figure has one x position per set.
+func Fig6Sets(id string, w JoinWorkload, suites [][]query.Target, budget int, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Select-join query sets at %d bytes", budget),
+		XLabel: "query set",
+		YLabel: "average adjusted relative error (%)",
+	}
+	ests, err := joinEstimators(w, budget, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, est := range ests {
+		s := Series{Name: est.Name()}
+		for i, targets := range suites {
+			stats, err := RunSuite(w.DB, est, joinSuite(w, targets...), opt.MaxQueries)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, stats.MeanErr)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"prmsel/internal/datagen"
+	"prmsel/internal/dataset"
+	"prmsel/internal/learn"
+	"prmsel/internal/query"
+)
+
+// Fig7a reproduces Figure 7(a): PRM construction time as a function of the
+// model storage budget, for tree and table CPDs, on a Census table.
+func Fig7a(db *dataset.Database, storages []int, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	fig := &Figure{
+		ID:     "7a",
+		Title:  "Construction time vs model storage",
+		XLabel: "storage (bytes)",
+		YLabel: "construction time (ms)",
+	}
+	for _, kind := range []learn.CPDKind{learn.Tree, learn.Table} {
+		s := Series{Name: kind.String() + "s"}
+		for _, budget := range storages {
+			start := time.Now()
+			if _, err := LearnPRM(db, "PRM", LearnOptions{
+				Kind: kind, Criterion: learn.SSN, Budget: budget,
+				MaxParents: opt.MaxParents, Seed: opt.Seed,
+			}); err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(budget))
+			s.Y = append(s.Y, float64(time.Since(start).Microseconds())/1000)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig7b reproduces Figure 7(b): construction time as a function of the data
+// size, at a fixed storage budget.
+func Fig7b(rows []int, budget int, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	fig := &Figure{
+		ID:     "7b",
+		Title:  fmt.Sprintf("Construction time vs data size (%d-byte model)", budget),
+		XLabel: "rows",
+		YLabel: "construction time (ms)",
+	}
+	for _, kind := range []learn.CPDKind{learn.Tree, learn.Table} {
+		s := Series{Name: kind.String() + "s"}
+		for _, n := range rows {
+			db := datagen.Census(n, opt.Seed+int64(n))
+			start := time.Now()
+			if _, err := LearnPRM(db, "PRM", LearnOptions{
+				Kind: kind, Criterion: learn.SSN, Budget: budget,
+				MaxParents: opt.MaxParents, Seed: opt.Seed,
+			}); err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, float64(time.Since(start).Microseconds())/1000)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig7c reproduces Figure 7(c): per-query estimation time as a function of
+// the model's storage size, for tree and table CPDs. The workload is the
+// three-attribute suite of Figure 5(a).
+func Fig7c(db *dataset.Database, storages []int, attrs []string, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	tbl := db.Table("Census")
+	suite := singleSuite(tbl.Name, attrs...)
+	cards, err := suiteCards(db, suite)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "7c",
+		Title:  "Estimation time vs model size",
+		XLabel: "model size (bytes)",
+		YLabel: "time per estimate (ms)",
+	}
+	for _, kind := range []learn.CPDKind{learn.Tree, learn.Table} {
+		s := Series{Name: kind.String() + "s"}
+		for _, budget := range storages {
+			est, err := LearnPRM(db, "PRM", LearnOptions{
+				Kind: kind, Criterion: learn.SSN, Budget: budget,
+				MaxParents: opt.MaxParents, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Time a deterministic slice of the suite.
+			n := 0
+			start := time.Now()
+			var firstErr error
+			suite.Enumerate(cards, func(q *query.Query) {
+				if firstErr != nil || n >= 200 {
+					return
+				}
+				n++
+				if _, err := est.EstimateCount(q); err != nil {
+					firstErr = err
+				}
+			})
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			elapsed := time.Since(start)
+			s.X = append(s.X, float64(est.StorageBytes()))
+			s.Y = append(s.Y, float64(elapsed.Microseconds())/1000/float64(n))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,178 @@
+// Package learn constructs Bayesian-network and PRM dependency structures
+// from data: maximum-likelihood parameter estimation from sufficient
+// statistics, greedy tree-CPD induction, and hill-climbing structure search
+// under a storage budget with the paper's three step-selection rules
+// (naive largest-gain, MDL, and storage-size-normalized SSN).
+package learn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Counts is a sparse joint contingency over a child variable and its
+// candidate parents. The child is always dimension 0. Weights are float64
+// so the same type carries ordinary row counts and the |R|·|S|-scale pair
+// counts of join-indicator variables.
+type Counts struct {
+	// Cards holds the cardinalities, child first.
+	Cards []int
+	// Cells maps the mixed-radix key (dimension 0 fastest) to its weight.
+	Cells map[uint64]float64
+	// N is the total weight (the local sample count).
+	N float64
+}
+
+// NewCounts returns empty counts over the given cardinalities (child
+// first).
+func NewCounts(cards []int) *Counts {
+	return &Counts{Cards: append([]int(nil), cards...), Cells: make(map[uint64]float64)}
+}
+
+// Key packs vals (child first, aligned with Cards) into the cell key.
+func (c *Counts) Key(vals []int32) uint64 {
+	var k, stride uint64 = 0, 1
+	for i, v := range vals {
+		k += uint64(v) * stride
+		stride *= uint64(c.Cards[i])
+	}
+	return k
+}
+
+// Unpack decodes key into vals (child first).
+func (c *Counts) Unpack(key uint64, vals []int32) {
+	for i, card := range c.Cards {
+		vals[i] = int32(key % uint64(card))
+		key /= uint64(card)
+	}
+}
+
+// Add accumulates weight w at vals.
+func (c *Counts) Add(vals []int32, w float64) {
+	c.Cells[c.Key(vals)] += w
+	c.N += w
+}
+
+// AddKey accumulates weight w at a pre-packed key.
+func (c *Counts) AddKey(key uint64, w float64) {
+	c.Cells[key] += w
+	c.N += w
+}
+
+// ChildCard returns the cardinality of the child dimension.
+func (c *Counts) ChildCard() int { return c.Cards[0] }
+
+// entry is the flat form used by the tree grower.
+type entry struct {
+	child   int32
+	parents []int32 // aligned with the parent dimensions (Cards[1:])
+	w       float64
+}
+
+// entries flattens the sparse cells.
+func (c *Counts) entries() []entry {
+	out := make([]entry, 0, len(c.Cells))
+	vals := make([]int32, len(c.Cards))
+	for k, w := range c.Cells {
+		c.Unpack(k, vals)
+		pv := make([]int32, len(vals)-1)
+		copy(pv, vals[1:])
+		out = append(out, entry{child: vals[0], parents: pv, w: w})
+	}
+	return out
+}
+
+// xlogx returns x·ln(x) with the 0·ln0 = 0 convention.
+func xlogx(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Log(x)
+}
+
+// distLogLik returns the maximum-likelihood log-likelihood contribution of
+// a group of samples with child counts n[0..card): Σ n_c·ln(n_c/n).
+func distLogLik(n []float64) float64 {
+	var total, ll float64
+	for _, v := range n {
+		total += v
+	}
+	if total <= 0 {
+		return 0
+	}
+	for _, v := range n {
+		ll += xlogx(v)
+	}
+	return ll - total*math.Log(total)
+}
+
+// MutualInformation computes I(child; parents) in nats from the counts —
+// the quantity the paper's score decomposition (Eq. 5) is built on.
+func (c *Counts) MutualInformation() float64 {
+	if len(c.Cards) == 1 || c.N <= 0 {
+		return 0
+	}
+	childMarg := make(map[int32]float64)
+	parentMarg := make(map[uint64]float64)
+	vals := make([]int32, len(c.Cards))
+	var mi float64
+	for k, w := range c.Cells {
+		c.Unpack(k, vals)
+		childMarg[vals[0]] += w
+		parentMarg[k/uint64(c.Cards[0])] += w
+	}
+	for k, w := range c.Cells {
+		c.Unpack(k, vals)
+		pxy := w / c.N
+		px := childMarg[vals[0]] / c.N
+		py := parentMarg[k/uint64(c.Cards[0])] / c.N
+		if pxy > 0 {
+			mi += pxy * math.Log(pxy/(px*py))
+		}
+	}
+	return mi
+}
+
+// ChildEntropy returns H(child) in nats.
+func (c *Counts) ChildEntropy() float64 {
+	if c.N <= 0 {
+		return 0
+	}
+	marg := make(map[int32]float64)
+	vals := make([]int32, len(c.Cards))
+	for k, w := range c.Cells {
+		c.Unpack(k, vals)
+		marg[vals[0]] += w
+	}
+	var h float64
+	for _, w := range marg {
+		p := w / c.N
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// Validate sanity-checks the counts.
+func (c *Counts) Validate() error {
+	if len(c.Cards) == 0 {
+		return fmt.Errorf("learn: counts with no dimensions")
+	}
+	for i, card := range c.Cards {
+		if card <= 0 {
+			return fmt.Errorf("learn: dimension %d has cardinality %d", i, card)
+		}
+	}
+	var sum float64
+	for _, w := range c.Cells {
+		if w < 0 {
+			return fmt.Errorf("learn: negative cell weight %g", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-c.N) > 1e-6*(1+math.Abs(c.N)) {
+		return fmt.Errorf("learn: cell sum %g disagrees with N %g", sum, c.N)
+	}
+	return nil
+}

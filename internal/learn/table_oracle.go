@@ -1,0 +1,152 @@
+package learn
+
+import (
+	"sort"
+
+	"prmsel/internal/bayesnet"
+	"prmsel/internal/dataset"
+)
+
+// FitConfig selects the CPD representation and growth tuning used by an
+// oracle's Fit.
+type FitConfig struct {
+	Kind CPDKind
+	Tree TreeOptions
+	// TopKCandidates, when positive, prunes each attribute's candidate
+	// parent set to the K most informative ones by pairwise mutual
+	// information, computed in an initial pass over the data — the
+	// "home in on a much smaller set of candidate models" idea from the
+	// paper's future work. Zero keeps every candidate.
+	TopKCandidates int
+}
+
+// TopKByMI ranks candidate ids by mi(candidate) descending and keeps the
+// first k (all, if k <= 0 or k >= len). Zero-MI candidates are kept too:
+// sample noise makes empirical MI almost never exactly zero, and the
+// ranking is what matters.
+func TopKByMI(candidates []int, mi func(p int) float64, k int) []int {
+	if k <= 0 || k >= len(candidates) {
+		return candidates
+	}
+	type scored struct {
+		id int
+		mi float64
+	}
+	xs := make([]scored, len(candidates))
+	for i, p := range candidates {
+		xs[i] = scored{id: p, mi: mi(p)}
+	}
+	sort.Slice(xs, func(a, b int) bool {
+		if xs[a].mi != xs[b].mi {
+			return xs[a].mi > xs[b].mi
+		}
+		return xs[a].id < xs[b].id
+	})
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = xs[i].id
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TableOracle drives structure search over the value attributes of a single
+// table — the Bayesian-network setting of the paper's Section 2.
+type TableOracle struct {
+	tbl  *dataset.Table
+	cfg  FitConfig
+	vars []VarSpec
+	// candCache memoizes the (possibly MI-pruned) candidate lists.
+	candCache map[int][]int
+}
+
+var _ Oracle = (*TableOracle)(nil)
+
+// NewTableOracle returns an oracle over t's value attributes.
+func NewTableOracle(t *dataset.Table, cfg FitConfig) *TableOracle {
+	o := &TableOracle{tbl: t, cfg: cfg, candCache: make(map[int][]int)}
+	for _, a := range t.Attributes {
+		o.vars = append(o.vars, VarSpec{Name: a.Name, Card: a.Card()})
+	}
+	return o
+}
+
+// Vars implements Oracle.
+func (o *TableOracle) Vars() []VarSpec { return o.vars }
+
+// CandidateParents implements Oracle: any other attribute of the table,
+// optionally pruned to the TopKCandidates most informative by pairwise
+// mutual information.
+func (o *TableOracle) CandidateParents(child int) []int {
+	if cached, ok := o.candCache[child]; ok {
+		return cached
+	}
+	out := make([]int, 0, len(o.vars)-1)
+	for v := range o.vars {
+		if v != child {
+			out = append(out, v)
+		}
+	}
+	out = TopKByMI(out, func(p int) float64 {
+		return o.Counts(child, []int{p}).MutualInformation()
+	}, o.cfg.TopKCandidates)
+	o.candCache[child] = out
+	return out
+}
+
+// Fit implements Oracle: one scan of the table accumulates the joint counts
+// of (child, parents), then the configured CPD kind is fitted at the MLE.
+func (o *TableOracle) Fit(child int, parents []int, maxBytes int) ([]int, FitResult, error) {
+	c := o.Counts(child, parents)
+	fr := FitCPD(o.cfg.Kind, c, o.cfg.Tree, maxBytes)
+	return append([]int(nil), parents...), fr, nil
+}
+
+// Counts accumulates the sufficient statistics for (child | parents) from
+// the table.
+func (o *TableOracle) Counts(child int, parents []int) *Counts {
+	cards := make([]int, 1+len(parents))
+	cards[0] = o.vars[child].Card
+	for i, p := range parents {
+		cards[i+1] = o.vars[p].Card
+	}
+	c := NewCounts(cards)
+	childCol := o.tbl.Col(child)
+	parentCols := make([][]int32, len(parents))
+	for i, p := range parents {
+		parentCols[i] = o.tbl.Col(p)
+	}
+	vals := make([]int32, 1+len(parents))
+	for r := 0; r < o.tbl.Len(); r++ {
+		vals[0] = childCol[r]
+		for i := range parentCols {
+			vals[i+1] = parentCols[i][r]
+		}
+		c.Add(vals, 1)
+	}
+	return c
+}
+
+// LearnBN learns a Bayesian network over the table's value attributes: it
+// runs Search with the given options and assembles the resulting network.
+// Variable ids in the network coincide with attribute indexes of the table.
+func LearnBN(t *dataset.Table, cfg FitConfig, opts Options) (*bayesnet.Network, *Result, error) {
+	o := NewTableOracle(t, cfg)
+	res, err := Search(o, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	vars := make([]bayesnet.Variable, len(o.vars))
+	for i, v := range o.vars {
+		vars[i] = bayesnet.Variable{Name: v.Name, Card: v.Card}
+	}
+	net := bayesnet.New(vars)
+	for v := range vars {
+		net.SetParents(v, res.Parents[v])
+		net.SetCPD(v, res.Fits[v].CPD)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return net, res, nil
+}

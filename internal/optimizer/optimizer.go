@@ -1,0 +1,228 @@
+// Package optimizer is the downstream consumer the paper motivates
+// selectivity estimation with: a cost-based join-order optimizer. It
+// enumerates left-deep join orders for a select-keyjoin query, costs each
+// order by the sum of its estimated intermediate result sizes (the classic
+// Selinger-style objective), and picks the cheapest. Feeding it a better
+// estimator — a PRM instead of independence assumptions — yields better
+// plans; TrueCost quantifies the difference against exact counts.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prmsel/internal/baselines"
+	"prmsel/internal/dataset"
+	"prmsel/internal/query"
+)
+
+// Step is one intermediate relation of a left-deep plan.
+type Step struct {
+	// Vars is the prefix of tuple variables joined so far.
+	Vars []string
+	// EstRows is the estimated size of this intermediate result.
+	EstRows float64
+}
+
+// Plan is a join order with its cost estimate.
+type Plan struct {
+	// Order lists the tuple variables in join order.
+	Order []string
+	// EstCost is the sum of estimated intermediate sizes (prefixes of
+	// length 2..n-1; the final result and base scans are identical across
+	// orders and excluded).
+	EstCost float64
+	// Steps records the intermediates, including the final one for
+	// reporting.
+	Steps []Step
+}
+
+// Choose enumerates the connected left-deep join orders of q and returns
+// the plan with the lowest estimated cost under est. Queries with a single
+// tuple variable, cross products, or non-key joins are rejected — the
+// enumeration covers the select-keyjoin class the estimators answer.
+func Choose(q *query.Query, est baselines.Estimator) (*Plan, error) {
+	orders, err := connectedOrders(q)
+	if err != nil {
+		return nil, err
+	}
+	var best *Plan
+	for _, order := range orders {
+		plan, err := costPlan(q, order, func(sub *query.Query) (float64, error) {
+			return est.EstimateCount(sub)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || plan.EstCost < best.EstCost ||
+			(plan.EstCost == best.EstCost && lexLess(plan.Order, best.Order)) {
+			best = plan
+		}
+	}
+	return best, nil
+}
+
+// TrueCost evaluates a join order's actual cost — the sum of the exact
+// intermediate result sizes — using the database's exact executor.
+func TrueCost(db *dataset.Database, q *query.Query, order []string) (float64, error) {
+	plan, err := costPlan(q, order, func(sub *query.Query) (float64, error) {
+		n, err := db.Count(sub)
+		return float64(n), err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return plan.EstCost, nil
+}
+
+// OptimalOrder returns the join order with the lowest true cost, for
+// judging how close an estimator-chosen plan comes.
+func OptimalOrder(db *dataset.Database, q *query.Query) (*Plan, error) {
+	orders, err := connectedOrders(q)
+	if err != nil {
+		return nil, err
+	}
+	var best *Plan
+	for _, order := range orders {
+		plan, err := costPlan(q, order, func(sub *query.Query) (float64, error) {
+			n, err := db.Count(sub)
+			return float64(n), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || plan.EstCost < best.EstCost ||
+			(plan.EstCost == best.EstCost && lexLess(plan.Order, best.Order)) {
+			best = plan
+		}
+	}
+	return best, nil
+}
+
+// costPlan evaluates one join order under a size function.
+func costPlan(q *query.Query, order []string, size func(*query.Query) (float64, error)) (*Plan, error) {
+	plan := &Plan{Order: order}
+	for k := 2; k <= len(order); k++ {
+		sub, err := subQuery(q, order[:k])
+		if err != nil {
+			return nil, err
+		}
+		rows, err := size(sub)
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(rows) || rows < 0 {
+			return nil, fmt.Errorf("optimizer: bad size estimate %v for %s", rows, sub)
+		}
+		plan.Steps = append(plan.Steps, Step{Vars: append([]string(nil), order[:k]...), EstRows: rows})
+		if k < len(order) {
+			plan.EstCost += rows
+		}
+	}
+	return plan, nil
+}
+
+// subQuery restricts q to the given tuple variables: their predicates plus
+// the keyjoins whose both endpoints are included.
+func subQuery(q *query.Query, vars []string) (*query.Query, error) {
+	in := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		in[v] = true
+	}
+	sub := query.New()
+	for _, v := range vars {
+		sub.Over(v, q.Vars[v])
+	}
+	for _, p := range q.Preds {
+		if in[p.Var] {
+			sub.Preds = append(sub.Preds, p)
+		}
+	}
+	for _, j := range q.Joins {
+		if in[j.FromVar] && in[j.ToVar] {
+			sub.Joins = append(sub.Joins, j)
+		}
+	}
+	return sub, nil
+}
+
+// connectedOrders enumerates every permutation of q's tuple variables in
+// which each variable joins at least one earlier variable (no cross
+// products).
+func connectedOrders(q *query.Query) ([][]string, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.NonKeyJoins) > 0 {
+		return nil, fmt.Errorf("optimizer: non-key joins are not supported")
+	}
+	names := q.VarNames()
+	if len(names) < 2 {
+		return nil, fmt.Errorf("optimizer: need at least two tuple variables")
+	}
+	if len(names) > 8 {
+		return nil, fmt.Errorf("optimizer: %d tuple variables exceed the enumeration limit", len(names))
+	}
+	adj := make(map[string]map[string]bool)
+	touch := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = make(map[string]bool)
+		}
+		adj[a][b] = true
+	}
+	for _, j := range q.Joins {
+		touch(j.FromVar, j.ToVar)
+		touch(j.ToVar, j.FromVar)
+	}
+	var orders [][]string
+	used := make(map[string]bool, len(names))
+	current := make([]string, 0, len(names))
+	var rec func()
+	rec = func() {
+		if len(current) == len(names) {
+			orders = append(orders, append([]string(nil), current...))
+			return
+		}
+		for _, v := range names {
+			if used[v] {
+				continue
+			}
+			if len(current) > 0 {
+				joined := false
+				for _, u := range current {
+					if adj[v][u] {
+						joined = true
+						break
+					}
+				}
+				if !joined {
+					continue
+				}
+			}
+			used[v] = true
+			current = append(current, v)
+			rec()
+			current = current[:len(current)-1]
+			used[v] = false
+		}
+	}
+	rec()
+	if len(orders) == 0 {
+		return nil, fmt.Errorf("optimizer: the query's join graph is disconnected")
+	}
+	sort.Slice(orders, func(a, b int) bool { return lexLess(orders[a], orders[b]) })
+	return orders, nil
+}
+
+func lexLess(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,226 @@
+package optimizer
+
+import (
+	"testing"
+
+	"prmsel/internal/baselines"
+	"prmsel/internal/core"
+	"prmsel/internal/datagen"
+	"prmsel/internal/dataset"
+	"prmsel/internal/learn"
+	"prmsel/internal/query"
+)
+
+// prmEst adapts core.PRM to the Estimator interface.
+type prmEst struct{ m *core.PRM }
+
+func (p prmEst) Name() string                                  { return "PRM" }
+func (p prmEst) EstimateCount(q *query.Query) (float64, error) { return p.m.EstimateCount(q) }
+func (p prmEst) StorageBytes() int                             { return p.m.StorageBytes() }
+
+func tbQuery() *query.Query {
+	// Roommate contacts of elderly patients on a non-unique strain: the
+	// selections are strongly correlated with join skew, so independence
+	// assumptions misjudge the intermediates badly.
+	return query.New().
+		Over("c", "Contact").Over("p", "Patient").Over("s", "Strain").
+		KeyJoin("c", "Patient", "p").
+		KeyJoin("p", "Strain", "s").
+		Where("p", "Age", 6, 7).
+		WhereEq("c", "Contype", 3).
+		WhereEq("s", "Unique", 0)
+}
+
+func TestConnectedOrders(t *testing.T) {
+	orders, err := connectedOrders(tbQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain c—p—s: valid orders start anywhere but must stay connected:
+	// c,p,s; p,c,s; p,s,c; s,p,c — 4 of the 6 permutations.
+	if len(orders) != 4 {
+		t.Fatalf("orders = %v, want 4 connected ones", orders)
+	}
+	for _, o := range orders {
+		if o[0] == "c" && o[1] == "s" || o[0] == "s" && o[1] == "c" {
+			t.Errorf("disconnected prefix allowed: %v", o)
+		}
+	}
+}
+
+func TestConnectedOrdersErrors(t *testing.T) {
+	if _, err := connectedOrders(query.New().Over("a", "T")); err == nil {
+		t.Error("single-variable query accepted")
+	}
+	disc := query.New().Over("a", "T").Over("b", "U")
+	if _, err := connectedOrders(disc); err == nil {
+		t.Error("disconnected query accepted")
+	}
+	nk := query.New().Over("a", "T").Over("b", "U").NonKeyJoinOn("a", "X", "b", "Y")
+	if _, err := connectedOrders(nk); err == nil {
+		t.Error("non-key join accepted")
+	}
+}
+
+func TestSubQuery(t *testing.T) {
+	q := tbQuery()
+	sub, err := subQuery(q, []string{"c", "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Vars) != 2 || len(sub.Joins) != 1 || len(sub.Preds) != 2 {
+		t.Fatalf("sub-query shape wrong: %s", sub)
+	}
+}
+
+// TestChooseAgainstTruth: on the skewed TB data, the PRM-driven optimizer
+// must pick a plan whose true cost is no worse than the AVI-driven plan's,
+// and close to the true optimum.
+func TestChooseAgainstTruth(t *testing.T) {
+	db := datagen.TB(0.4, 3)
+	q := tbQuery()
+
+	prm, err := core.Learn(db, core.Config{
+		Fit:    learn.FitConfig{Kind: learn.Tree},
+		Search: learn.Options{Criterion: learn.SSN, BudgetBytes: 4400, MaxParents: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prmPlan, err := Choose(q, prmEst{prm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aviPlan, err := Choose(q, baselines.NewAVI(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := OptimalOrder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prmTrue, err := TrueCost(db, q, prmPlan.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aviTrue, err := TrueCost(db, q, aviPlan.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prmTrue > aviTrue {
+		t.Errorf("PRM plan %v (true cost %.0f) worse than AVI plan %v (true cost %.0f)",
+			prmPlan.Order, prmTrue, aviPlan.Order, aviTrue)
+	}
+	if prmTrue > 1.5*optimal.EstCost+1 {
+		t.Errorf("PRM plan true cost %.0f far above optimal %.0f (%v)",
+			prmTrue, optimal.EstCost, optimal.Order)
+	}
+}
+
+// TestCostPlanStepsMonotoneStructure sanity-checks plan bookkeeping.
+func TestCostPlanSteps(t *testing.T) {
+	db := datagen.TB(0.1, 4)
+	q := tbQuery()
+	plan, err := costPlan(q, []string{"c", "p", "s"}, func(sub *query.Query) (float64, error) {
+		n, err := db.Count(sub)
+		return float64(n), err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2 (prefixes of size 2 and 3)", len(plan.Steps))
+	}
+	// Cost excludes the final result.
+	if plan.EstCost != plan.Steps[0].EstRows {
+		t.Errorf("cost %v should equal the single intermediate %v", plan.EstCost, plan.Steps[0].EstRows)
+	}
+}
+
+// TestTrueCostMatchesManualCount verifies TrueCost against hand-computed
+// intermediate sizes on a tiny database.
+func TestTrueCostMatchesManualCount(t *testing.T) {
+	owner := dataset.NewTable(dataset.Schema{
+		Name:       "Owner",
+		Attributes: []dataset.Attribute{{Name: "City", Values: []string{"sf", "la"}}},
+	})
+	owner.MustAppendRow([]int32{0}, nil)
+	owner.MustAppendRow([]int32{1}, nil)
+	pet := dataset.NewTable(dataset.Schema{
+		Name:        "Pet",
+		Attributes:  []dataset.Attribute{{Name: "Species", Values: []string{"cat", "dog"}}},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Owner", To: "Owner"}},
+	})
+	for i := 0; i < 6; i++ {
+		pet.MustAppendRow([]int32{int32(i % 2)}, []int32{int32(i % 2)})
+	}
+	db := dataset.NewDatabase()
+	if err := db.AddTable(owner); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(pet); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New().
+		Over("p", "Pet").Over("o", "Owner").
+		KeyJoin("p", "Owner", "o").
+		WhereEq("p", "Species", 0)
+	// Two-variable query: no intermediates below the final result, so true
+	// cost is 0 for both orders and Choose still works.
+	cost, err := TrueCost(db, q, []string{"p", "o"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("two-table plan cost = %v, want 0", cost)
+	}
+}
+
+// TestFourTableOptimizer exercises the enumeration on the Shop chain
+// (LineItem—Order—Customer—Region): the PRM-driven plan's true cost must
+// match the optimum or stay close, and never lose to AVI's.
+func TestFourTableOptimizer(t *testing.T) {
+	db := datagen.Shop(0.1, 7)
+	q := query.New().
+		Over("l", "LineItem").Over("o", "Order").Over("c", "Customer").Over("r", "Region").
+		KeyJoin("l", "Order", "o").
+		KeyJoin("o", "Customer", "c").
+		KeyJoin("c", "Region", "r").
+		WhereEq("c", "Segment", 2).
+		Where("r", "Wealth", 3).
+		Where("l", "Quantity", 6, 7)
+	prm, err := core.Learn(db, core.Config{
+		Fit:    learn.FitConfig{Kind: learn.Tree},
+		Search: learn.Options{Criterion: learn.SSN, BudgetBytes: 6000, MaxParents: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prmPlan, err := Choose(q, prmEst{prm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aviPlan, err := Choose(q, baselines.NewAVI(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prmTrue, err := TrueCost(db, q, prmPlan.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aviTrue, err := TrueCost(db, q, aviPlan.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prmTrue > aviTrue {
+		t.Errorf("PRM plan %v (%.0f) worse than AVI plan %v (%.0f)", prmPlan.Order, prmTrue, aviPlan.Order, aviTrue)
+	}
+	optimal, err := OptimalOrder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prmTrue > 2*optimal.EstCost+1 {
+		t.Errorf("PRM plan true cost %.0f far above optimal %.0f", prmTrue, optimal.EstCost)
+	}
+}

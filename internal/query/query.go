@@ -1,0 +1,288 @@
+// Package query defines the select/keyjoin query model shared by the exact
+// executor, the probabilistic estimators, and the baseline estimators.
+//
+// A Query is a conjunction of predicates over a set of named tuple
+// variables, plus a set of foreign-key ("keyjoin") clauses connecting tuple
+// variables. This mirrors the query class of Getoor, Taskar & Koller
+// (SIGMOD 2001): equality and range selects combined with equality joins
+// between a foreign key and the primary key of the referenced table.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pred is a selection predicate tv.Attr IN Values (or NOT IN, when Negate
+// is set). A single-element Values is an equality predicate; multiple
+// elements encode a range or IN-set over the attribute's value codes.
+type Pred struct {
+	Var    string  // tuple variable name
+	Attr   string  // attribute name within the variable's table
+	Values []int32 // referenced value codes (non-empty, deduplicated)
+	Negate bool    // accept the complement of Values instead
+}
+
+// Accept resolves the predicate to its accepted-code set given the
+// attribute's domain size, validating the referenced codes.
+func (p Pred) Accept(card int) (map[int32]bool, error) {
+	if len(p.Values) == 0 {
+		return nil, fmt.Errorf("query: predicate on %s.%s has empty value set", p.Var, p.Attr)
+	}
+	set := make(map[int32]bool, len(p.Values))
+	for _, v := range p.Values {
+		if v < 0 || int(v) >= card {
+			return nil, fmt.Errorf("query: predicate value %d out of domain [0,%d) for %s.%s", v, card, p.Var, p.Attr)
+		}
+		set[v] = true
+	}
+	if !p.Negate {
+		return set, nil
+	}
+	complement := make(map[int32]bool, card-len(set))
+	for v := 0; v < card; v++ {
+		if !set[int32(v)] {
+			complement[int32(v)] = true
+		}
+	}
+	return complement, nil
+}
+
+// Join is a keyjoin clause: FromVar.FK = ToVar.PrimaryKey, where FK names a
+// foreign key declared on FromVar's table that references ToVar's table.
+type Join struct {
+	FromVar string
+	FK      string
+	ToVar   string
+}
+
+// NonKeyJoin is an equality join over two value attributes,
+// LeftVar.LeftAttr = RightVar.RightAttr (paper §6). The two attributes must
+// share a domain encoding (equal value codes mean equal values).
+type NonKeyJoin struct {
+	LeftVar, LeftAttr   string
+	RightVar, RightAttr string
+}
+
+// Query is a conjunctive select-keyjoin query, optionally with non-key
+// equality joins.
+type Query struct {
+	// Vars maps each tuple variable name to the table it ranges over.
+	Vars map[string]string
+	// Preds are the selection predicates; all must hold.
+	Preds []Pred
+	// Joins are the keyjoin clauses; all must hold.
+	Joins []Join
+	// NonKeyJoins are value-attribute equality joins; all must hold.
+	NonKeyJoins []NonKeyJoin
+}
+
+// New returns an empty query ready for Over/Where/KeyJoin chaining.
+func New() *Query {
+	return &Query{Vars: make(map[string]string)}
+}
+
+// Over declares a tuple variable named tv ranging over table. It returns the
+// query for chaining and overwrites any previous declaration of tv.
+func (q *Query) Over(tv, table string) *Query {
+	q.Vars[tv] = table
+	return q
+}
+
+// Where adds the predicate tv.attr IN values.
+func (q *Query) Where(tv, attr string, values ...int32) *Query {
+	q.Preds = append(q.Preds, Pred{Var: tv, Attr: attr, Values: values})
+	return q
+}
+
+// WhereEq adds the equality predicate tv.attr = value.
+func (q *Query) WhereEq(tv, attr string, value int32) *Query {
+	return q.Where(tv, attr, value)
+}
+
+// WhereNot adds the predicate tv.attr NOT IN values.
+func (q *Query) WhereNot(tv, attr string, values ...int32) *Query {
+	q.Preds = append(q.Preds, Pred{Var: tv, Attr: attr, Values: values, Negate: true})
+	return q
+}
+
+// WhereBetween adds the range predicate lo <= tv.attr <= hi over ordinal
+// value codes.
+func (q *Query) WhereBetween(tv, attr string, lo, hi int32) *Query {
+	vals := make([]int32, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		vals = append(vals, v)
+	}
+	q.Preds = append(q.Preds, Pred{Var: tv, Attr: attr, Values: vals})
+	return q
+}
+
+// KeyJoin adds the clause fromVar.fk = toVar.PK.
+func (q *Query) KeyJoin(fromVar, fk, toVar string) *Query {
+	q.Joins = append(q.Joins, Join{FromVar: fromVar, FK: fk, ToVar: toVar})
+	return q
+}
+
+// NonKeyJoinOn adds the clause leftVar.leftAttr = rightVar.rightAttr.
+func (q *Query) NonKeyJoinOn(leftVar, leftAttr, rightVar, rightAttr string) *Query {
+	q.NonKeyJoins = append(q.NonKeyJoins, NonKeyJoin{
+		LeftVar: leftVar, LeftAttr: leftAttr,
+		RightVar: rightVar, RightAttr: rightAttr,
+	})
+	return q
+}
+
+// Clone returns a deep copy of q.
+func (q *Query) Clone() *Query {
+	c := &Query{
+		Vars:        make(map[string]string, len(q.Vars)),
+		Preds:       make([]Pred, len(q.Preds)),
+		Joins:       append([]Join(nil), q.Joins...),
+		NonKeyJoins: append([]NonKeyJoin(nil), q.NonKeyJoins...),
+	}
+	for k, v := range q.Vars {
+		c.Vars[k] = v
+	}
+	for i, p := range q.Preds {
+		c.Preds[i] = Pred{Var: p.Var, Attr: p.Attr, Values: append([]int32(nil), p.Values...), Negate: p.Negate}
+	}
+	return c
+}
+
+// VarNames returns the tuple variable names in sorted order.
+func (q *Query) VarNames() []string {
+	names := make([]string, 0, len(q.Vars))
+	for v := range q.Vars {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate performs structural checks that do not require a schema:
+// predicates and joins must reference declared tuple variables, and
+// predicate value sets must be non-empty.
+func (q *Query) Validate() error {
+	if len(q.Vars) == 0 {
+		return fmt.Errorf("query: no tuple variables declared")
+	}
+	for _, p := range q.Preds {
+		if _, ok := q.Vars[p.Var]; !ok {
+			return fmt.Errorf("query: predicate references undeclared variable %q", p.Var)
+		}
+		if len(p.Values) == 0 {
+			return fmt.Errorf("query: predicate on %s.%s has empty value set", p.Var, p.Attr)
+		}
+	}
+	for _, j := range q.Joins {
+		if _, ok := q.Vars[j.FromVar]; !ok {
+			return fmt.Errorf("query: join references undeclared variable %q", j.FromVar)
+		}
+		if _, ok := q.Vars[j.ToVar]; !ok {
+			return fmt.Errorf("query: join references undeclared variable %q", j.ToVar)
+		}
+	}
+	for _, j := range q.NonKeyJoins {
+		if _, ok := q.Vars[j.LeftVar]; !ok {
+			return fmt.Errorf("query: non-key join references undeclared variable %q", j.LeftVar)
+		}
+		if _, ok := q.Vars[j.RightVar]; !ok {
+			return fmt.Errorf("query: non-key join references undeclared variable %q", j.RightVar)
+		}
+	}
+	return nil
+}
+
+// String renders the query in a compact SQL-like form, deterministic across
+// runs (variables sorted).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("FROM ")
+	for i, v := range q.VarNames() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", q.Vars[v], v)
+	}
+	if len(q.Preds)+len(q.Joins)+len(q.NonKeyJoins) > 0 {
+		b.WriteString(" WHERE ")
+	}
+	clauses := make([]string, 0, len(q.Preds)+len(q.Joins)+len(q.NonKeyJoins))
+	for _, j := range q.Joins {
+		clauses = append(clauses, fmt.Sprintf("%s.%s = %s.PK", j.FromVar, j.FK, j.ToVar))
+	}
+	for _, j := range q.NonKeyJoins {
+		clauses = append(clauses, fmt.Sprintf("%s.%s = %s.%s", j.LeftVar, j.LeftAttr, j.RightVar, j.RightAttr))
+	}
+	for _, p := range q.Preds {
+		switch {
+		case !p.Negate && len(p.Values) == 1:
+			clauses = append(clauses, fmt.Sprintf("%s.%s = %d", p.Var, p.Attr, p.Values[0]))
+		case p.Negate && len(p.Values) == 1:
+			clauses = append(clauses, fmt.Sprintf("%s.%s != %d", p.Var, p.Attr, p.Values[0]))
+		default:
+			vals := make([]string, len(p.Values))
+			for i, v := range p.Values {
+				vals[i] = fmt.Sprint(v)
+			}
+			op := "IN"
+			if p.Negate {
+				op = "NOT IN"
+			}
+			clauses = append(clauses, fmt.Sprintf("%s.%s %s (%s)", p.Var, p.Attr, op, strings.Join(vals, ",")))
+		}
+	}
+	b.WriteString(strings.Join(clauses, " AND "))
+	return b.String()
+}
+
+// Target identifies one queried attribute of one tuple variable. Suites are
+// defined as the cross product of value instantiations of a target list.
+type Target struct {
+	Var  string
+	Attr string
+}
+
+// Suite is a template for a family of queries: a fixed FROM/JOIN skeleton
+// whose predicates range over all instantiations of the target attributes.
+type Suite struct {
+	Skeleton *Query   // joins + tuple variables; Preds must be empty
+	Targets  []Target // attributes whose instantiations enumerate the suite
+}
+
+// Enumerate calls fn for every full equality instantiation of the suite's
+// targets, given each target attribute's cardinality (aligned with Targets).
+// The query passed to fn is reused across calls; clone it to retain it.
+func (s Suite) Enumerate(cards []int, fn func(*Query)) {
+	if len(cards) != len(s.Targets) {
+		panic(fmt.Sprintf("query: Enumerate got %d cards for %d targets", len(cards), len(s.Targets)))
+	}
+	q := s.Skeleton.Clone()
+	q.Preds = make([]Pred, len(s.Targets))
+	vals := make([]int32, len(s.Targets))
+	for i, t := range s.Targets {
+		q.Preds[i] = Pred{Var: t.Var, Attr: t.Attr, Values: vals[i : i+1]}
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(s.Targets) {
+			fn(q)
+			return
+		}
+		for v := 0; v < cards[i]; v++ {
+			vals[i] = int32(v)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// Size returns the number of queries Enumerate will produce.
+func (s Suite) Size(cards []int) int {
+	n := 1
+	for _, c := range cards {
+		n *= c
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderChaining(t *testing.T) {
+	q := New().
+		Over("c", "Contact").Over("p", "Patient").
+		KeyJoin("c", "Patient", "p").
+		WhereEq("c", "Contype", 3).
+		Where("p", "Age", 6, 7)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 2 || len(q.Joins) != 1 || len(q.Vars) != 2 {
+		t.Fatalf("query shape wrong: %+v", q)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]*Query{
+		"no vars":             New(),
+		"pred on unknown var": New().Over("a", "T").WhereEq("b", "X", 0),
+		"empty value set":     New().Over("a", "T").Where("a", "X"),
+		"join unknown from":   New().Over("a", "T").KeyJoin("b", "F", "a"),
+		"join unknown to":     New().Over("a", "T").KeyJoin("a", "F", "b"),
+	}
+	for name, q := range cases {
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := New().Over("a", "T").Where("a", "X", 1, 2)
+	c := q.Clone()
+	c.Preds[0].Values[0] = 99
+	c.Vars["b"] = "U"
+	if q.Preds[0].Values[0] != 1 {
+		t.Error("clone shares predicate values")
+	}
+	if _, leaked := q.Vars["b"]; leaked {
+		t.Error("clone shares var map")
+	}
+}
+
+func TestVarNamesSorted(t *testing.T) {
+	q := New().Over("z", "T").Over("a", "U").Over("m", "V")
+	names := q.VarNames()
+	if names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Errorf("VarNames = %v", names)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := New().Over("p", "People").
+		WhereEq("p", "Income", 0).
+		Where("p", "Age", 1, 2)
+	s := q.String()
+	for _, want := range []string{"FROM People p", "p.Income = 0", "p.Age IN (1,2)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	j := New().Over("a", "T").Over("b", "U").KeyJoin("a", "F", "b")
+	if !strings.Contains(j.String(), "a.F = b.PK") {
+		t.Errorf("join rendering wrong: %q", j.String())
+	}
+}
+
+func TestSuiteEnumerateCountsAndValues(t *testing.T) {
+	s := Suite{
+		Skeleton: New().Over("t", "T"),
+		Targets:  []Target{{Var: "t", Attr: "A"}, {Var: "t", Attr: "B"}},
+	}
+	cards := []int{3, 4}
+	seen := make(map[[2]int32]bool)
+	s.Enumerate(cards, func(q *Query) {
+		if len(q.Preds) != 2 {
+			t.Fatalf("query has %d preds", len(q.Preds))
+		}
+		key := [2]int32{q.Preds[0].Values[0], q.Preds[1].Values[0]}
+		if seen[key] {
+			t.Fatalf("duplicate instantiation %v", key)
+		}
+		seen[key] = true
+	})
+	if len(seen) != 12 {
+		t.Errorf("enumerated %d distinct queries, want 12", len(seen))
+	}
+	if s.Size(cards) != 12 {
+		t.Errorf("Size = %d, want 12", s.Size(cards))
+	}
+}
+
+func TestSuiteEnumerateReusesQuery(t *testing.T) {
+	// The callback's query is reused; retaining it requires Clone. Verify
+	// a clone taken mid-enumeration keeps its values.
+	s := Suite{Skeleton: New().Over("t", "T"), Targets: []Target{{Var: "t", Attr: "A"}}}
+	var kept *Query
+	s.Enumerate([]int{5}, func(q *Query) {
+		if q.Preds[0].Values[0] == 2 {
+			kept = q.Clone()
+		}
+	})
+	if kept == nil || kept.Preds[0].Values[0] != 2 {
+		t.Fatal("cloned query lost its instantiation")
+	}
+}
+
+func TestSuiteEnumeratePanicsOnCardMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := Suite{Skeleton: New().Over("t", "T"), Targets: []Target{{Var: "t", Attr: "A"}}}
+	s.Enumerate([]int{2, 3}, func(*Query) {})
+}
+
+func TestSizeMatchesEnumerate(t *testing.T) {
+	check := func(a, b uint8) bool {
+		ca, cb := int(a%5)+1, int(b%5)+1
+		s := Suite{
+			Skeleton: New().Over("t", "T"),
+			Targets:  []Target{{Var: "t", Attr: "A"}, {Var: "t", Attr: "B"}},
+		}
+		n := 0
+		s.Enumerate([]int{ca, cb}, func(*Query) { n++ })
+		return n == s.Size([]int{ca, cb})
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredAccept(t *testing.T) {
+	p := Pred{Var: "t", Attr: "A", Values: []int32{1, 3}}
+	set, err := p.Accept(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || !set[1] || !set[3] {
+		t.Errorf("Accept = %v", set)
+	}
+	p.Negate = true
+	set, err = p.Accept(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 || !set[0] || !set[2] || !set[4] {
+		t.Errorf("negated Accept = %v", set)
+	}
+	if _, err := (Pred{Values: []int32{9}}).Accept(5); err == nil {
+		t.Error("out-of-domain accepted")
+	}
+	if _, err := (Pred{}).Accept(5); err == nil {
+		t.Error("empty values accepted")
+	}
+}
+
+func TestWhereNotAndBetween(t *testing.T) {
+	q := New().Over("t", "T").
+		WhereNot("t", "A", 2).
+		WhereBetween("t", "B", 3, 6)
+	if !q.Preds[0].Negate {
+		t.Error("WhereNot did not set Negate")
+	}
+	if len(q.Preds[1].Values) != 4 || q.Preds[1].Values[0] != 3 || q.Preds[1].Values[3] != 6 {
+		t.Errorf("WhereBetween values = %v", q.Preds[1].Values)
+	}
+	s := q.String()
+	if !strings.Contains(s, "t.A != 2") {
+		t.Errorf("negation rendering: %q", s)
+	}
+}

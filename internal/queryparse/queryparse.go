@@ -1,0 +1,291 @@
+// Package queryparse parses a small SQL-like textual form of the library's
+// select/keyjoin queries, resolving value labels against a database schema:
+//
+//	FROM Contact c, Patient p
+//	WHERE c.Patient = p.PK AND p.Age BETWEEN age6 AND age7
+//	  AND c.Contype = roommate AND s.Unique != true
+//
+// Clause forms: alias.Attr = alias2.PK (keyjoin through the foreign key
+// named Attr), alias.Attr = alias2.Attr2 (non-key join), alias.Attr = value,
+// alias.Attr != value, alias.Attr IN (v1, v2, …), alias.Attr NOT IN (…),
+// and alias.Attr BETWEEN lo AND hi. Values are attribute labels, or #n for
+// a raw value code.
+package queryparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"prmsel/internal/dataset"
+	"prmsel/internal/query"
+)
+
+// Parse parses text into a query, resolving tables, foreign keys and value
+// labels against db.
+func Parse(db *dataset.Database, text string) (*query.Query, error) {
+	toks, err := tokenize(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{db: db, toks: toks}
+	return p.parse()
+}
+
+type parser struct {
+	db   *dataset.Database
+	toks []string
+	pos  int
+	q    *query.Query
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	got := p.next()
+	if !strings.EqualFold(got, t) {
+		return fmt.Errorf("queryparse: expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+func (p *parser) parse() (*query.Query, error) {
+	p.q = query.New()
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		table := p.next()
+		alias := p.next()
+		if table == "" || alias == "" {
+			return nil, fmt.Errorf("queryparse: FROM needs 'Table alias' pairs")
+		}
+		if p.db.Table(table) == nil {
+			return nil, fmt.Errorf("queryparse: unknown table %q", table)
+		}
+		if _, dup := p.q.Vars[alias]; dup {
+			return nil, fmt.Errorf("queryparse: duplicate alias %q", alias)
+		}
+		p.q.Over(alias, table)
+		if p.peek() != "," {
+			break
+		}
+		p.next()
+	}
+	switch {
+	case p.peek() == "":
+		return p.q, nil
+	case strings.EqualFold(p.peek(), "WHERE"):
+		p.next()
+	default:
+		return nil, fmt.Errorf("queryparse: expected WHERE or end, got %q", p.peek())
+	}
+	for {
+		if err := p.clause(); err != nil {
+			return nil, err
+		}
+		if !strings.EqualFold(p.peek(), "AND") {
+			break
+		}
+		p.next()
+	}
+	if p.peek() != "" {
+		return nil, fmt.Errorf("queryparse: trailing input at %q", p.peek())
+	}
+	if err := p.q.Validate(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+// ref is a parsed alias.Attr pair.
+type ref struct {
+	alias, attr string
+}
+
+func (p *parser) parseRef() (ref, error) {
+	alias := p.next()
+	if err := p.expect("."); err != nil {
+		return ref{}, err
+	}
+	attr := p.next()
+	if alias == "" || attr == "" {
+		return ref{}, fmt.Errorf("queryparse: malformed alias.attr reference")
+	}
+	if _, ok := p.q.Vars[alias]; !ok {
+		return ref{}, fmt.Errorf("queryparse: unknown alias %q", alias)
+	}
+	return ref{alias: alias, attr: attr}, nil
+}
+
+func (p *parser) clause() error {
+	left, err := p.parseRef()
+	if err != nil {
+		return err
+	}
+	switch op := p.next(); {
+	case op == "=":
+		return p.equalsClause(left)
+	case op == "!=":
+		v, err := p.value(left)
+		if err != nil {
+			return err
+		}
+		p.q.WhereNot(left.alias, left.attr, v)
+		return nil
+	case strings.EqualFold(op, "IN"):
+		vals, err := p.valueList(left)
+		if err != nil {
+			return err
+		}
+		p.q.Where(left.alias, left.attr, vals...)
+		return nil
+	case strings.EqualFold(op, "NOT"):
+		if err := p.expect("IN"); err != nil {
+			return err
+		}
+		vals, err := p.valueList(left)
+		if err != nil {
+			return err
+		}
+		p.q.WhereNot(left.alias, left.attr, vals...)
+		return nil
+	case strings.EqualFold(op, "BETWEEN"):
+		lo, err := p.value(left)
+		if err != nil {
+			return err
+		}
+		if err := p.expect("AND"); err != nil {
+			return err
+		}
+		hi, err := p.value(left)
+		if err != nil {
+			return err
+		}
+		if hi < lo {
+			return fmt.Errorf("queryparse: BETWEEN bounds inverted (%d > %d)", lo, hi)
+		}
+		p.q.WhereBetween(left.alias, left.attr, lo, hi)
+		return nil
+	default:
+		return fmt.Errorf("queryparse: unknown operator %q", op)
+	}
+}
+
+// equalsClause disambiguates "= value", "= alias.PK" and "= alias.attr".
+func (p *parser) equalsClause(left ref) error {
+	// alias.X = otherAlias.(PK|attr)?
+	if tv, ok := p.q.Vars[p.peek()]; ok && p.pos+1 < len(p.toks) && p.toks[p.pos+1] == "." {
+		otherAlias := p.next()
+		p.next() // "."
+		target := p.next()
+		_ = tv
+		if strings.EqualFold(target, "PK") {
+			// Keyjoin through the foreign key named left.attr.
+			fromTable := p.db.Table(p.q.Vars[left.alias])
+			if fromTable.FKIndex(left.attr) < 0 {
+				return fmt.Errorf("queryparse: table %s has no foreign key %q", fromTable.Name, left.attr)
+			}
+			p.q.KeyJoin(left.alias, left.attr, otherAlias)
+			return nil
+		}
+		p.q.NonKeyJoinOn(left.alias, left.attr, otherAlias, target)
+		return nil
+	}
+	v, err := p.value(left)
+	if err != nil {
+		return err
+	}
+	p.q.WhereEq(left.alias, left.attr, v)
+	return nil
+}
+
+// value resolves one value token for the referenced attribute: "#n" is a
+// raw code, anything else a label.
+func (p *parser) value(r ref) (int32, error) {
+	tok := p.next()
+	if tok == "" {
+		return 0, fmt.Errorf("queryparse: missing value for %s.%s", r.alias, r.attr)
+	}
+	tbl := p.db.Table(p.q.Vars[r.alias])
+	ai := tbl.AttrIndex(r.attr)
+	if ai < 0 {
+		return 0, fmt.Errorf("queryparse: table %s has no attribute %q", tbl.Name, r.attr)
+	}
+	if rest, ok := strings.CutPrefix(tok, "#"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 || n >= tbl.Attributes[ai].Card() {
+			return 0, fmt.Errorf("queryparse: bad value code %q for %s.%s", tok, tbl.Name, r.attr)
+		}
+		return int32(n), nil
+	}
+	code, err := tbl.Code(r.attr, tok)
+	if err != nil {
+		return 0, fmt.Errorf("queryparse: %w", err)
+	}
+	return code, nil
+}
+
+func (p *parser) valueList(r ref) ([]int32, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var vals []int32
+	for {
+		v, err := p.value(r)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		switch tok := p.next(); tok {
+		case ",":
+		case ")":
+			return vals, nil
+		default:
+			return nil, fmt.Errorf("queryparse: expected , or ) in value list, got %q", tok)
+		}
+	}
+}
+
+// tokenize splits the input into identifiers/values and the punctuation
+// tokens . , ( ) = !=.
+func tokenize(text string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '.' || c == ',' || c == '(' || c == ')' || c == '=':
+			toks = append(toks, string(c))
+			i++
+		case c == '!':
+			if i+1 < len(text) && text[i+1] == '=' {
+				toks = append(toks, "!=")
+				i += 2
+			} else {
+				return nil, fmt.Errorf("queryparse: stray '!' at offset %d", i)
+			}
+		default:
+			j := i
+			for j < len(text) && !strings.ContainsRune(" \t\n\r.,()=!", rune(text[j])) {
+				j++
+			}
+			toks = append(toks, text[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}

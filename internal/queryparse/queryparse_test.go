@@ -1,0 +1,125 @@
+package queryparse
+
+import (
+	"strings"
+	"testing"
+
+	"prmsel/internal/datagen"
+	"prmsel/internal/dataset"
+)
+
+func tbDB(t *testing.T) *dataset.Database {
+	t.Helper()
+	return datagen.TB(0.05, 1)
+}
+
+func TestParseSelectJoin(t *testing.T) {
+	db := tbDB(t)
+	q, err := Parse(db, `FROM Contact c, Patient p
+		WHERE c.Patient = p.PK AND c.Contype = roommate AND p.Age BETWEEN age6 AND age7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vars) != 2 || len(q.Joins) != 1 || len(q.Preds) != 2 {
+		t.Fatalf("shape wrong: %s", q)
+	}
+	if q.Joins[0].FromVar != "c" || q.Joins[0].FK != "Patient" || q.Joins[0].ToVar != "p" {
+		t.Errorf("join parsed wrong: %+v", q.Joins[0])
+	}
+	// roommate is code 3 in the Contype domain.
+	if q.Preds[0].Values[0] != 3 {
+		t.Errorf("label resolution wrong: %+v", q.Preds[0])
+	}
+	if len(q.Preds[1].Values) != 2 {
+		t.Errorf("BETWEEN expansion wrong: %+v", q.Preds[1])
+	}
+	// The parsed query must execute.
+	if _, err := db.Count(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseValueForms(t *testing.T) {
+	db := tbDB(t)
+	q, err := Parse(db, `FROM Patient p WHERE p.HIV IN (positive, unknown) AND p.USBorn != true AND p.Age = #3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 3 {
+		t.Fatalf("preds = %d", len(q.Preds))
+	}
+	if !q.Preds[1].Negate {
+		t.Error("!= did not negate")
+	}
+	if q.Preds[2].Values[0] != 3 {
+		t.Error("#code form not honored")
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	db := tbDB(t)
+	q, err := Parse(db, `FROM Contact c WHERE c.Contype NOT IN (casual, coworker)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Preds[0].Negate || len(q.Preds[0].Values) != 2 {
+		t.Errorf("NOT IN parsed wrong: %+v", q.Preds[0])
+	}
+}
+
+func TestParseNonKeyJoin(t *testing.T) {
+	db := tbDB(t)
+	q, err := Parse(db, `FROM Contact c, Patient p WHERE c.Age = p.Age`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.NonKeyJoins) != 1 {
+		t.Fatalf("non-key joins = %d", len(q.NonKeyJoins))
+	}
+	if _, err := db.Count(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := tbDB(t)
+	cases := []string{
+		``,
+		`SELECT * FROM Patient p`,
+		`FROM Nope n`,
+		`FROM Patient p WHERE q.Age = #1`,
+		`FROM Patient p WHERE p.Nope = #1`,
+		`FROM Patient p WHERE p.Age = nolabel`,
+		`FROM Patient p WHERE p.Age = #99`,
+		`FROM Patient p WHERE p.Age ~ #1`,
+		`FROM Patient p WHERE p.Age BETWEEN age5 AND age2`,
+		`FROM Patient p WHERE p.Age IN (age1`,
+		`FROM Patient p WHERE p.Age IN (age1;)`,
+		`FROM Patient p, Patient p`,
+		`FROM Contact c, Patient p WHERE c.Nope = p.PK`,
+		`FROM Patient p WHERE p.Age = #1 trailing`,
+		`FROM Patient p WHERE p.Age ! #1`,
+	}
+	for _, text := range cases {
+		if _, err := Parse(db, text); err == nil {
+			t.Errorf("accepted: %s", text)
+		}
+	}
+}
+
+func TestParseRoundTripAgainstStringForm(t *testing.T) {
+	// A parsed query's rendered form must re-express the same clauses (by
+	// count and operator).
+	db := tbDB(t)
+	q, err := Parse(db, `FROM Contact c, Patient p, Strain s
+		WHERE c.Patient = p.PK AND p.Strain = s.PK AND s.Unique = false AND c.Infected != false`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := q.String()
+	for _, want := range []string{"c.Patient = p.PK", "p.Strain = s.PK", "s.Unique = 0", "c.Infected != 0"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered %q missing %q", rendered, want)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package prmsel estimates the result sizes of select and foreign-key-join
+// queries over relational data using probabilistic models, reproducing
+// Getoor, Taskar & Koller, "Selectivity Estimation using Probabilistic
+// Models" (SIGMOD 2001).
+//
+// The workflow has two phases. Offline, Build learns a Probabilistic
+// Relational Model (PRM) from a Database: a Bayesian network over every
+// table's attributes, extended with per-foreign-key join indicator
+// variables that capture join skew and with cross-table dependencies.
+// Online, Model.EstimateCount answers any conjunctive equality/range
+// select with foreign-key joins — the model is not specialized to a
+// predetermined workload.
+//
+//	db := prmsel.SyntheticCensus(150000, 1)
+//	model, _ := prmsel.Build(db, prmsel.Config{BudgetBytes: 4096})
+//	q := prmsel.NewQuery().Over("c", "Census").
+//		WhereEq("c", "Income", 30).
+//		WhereEq("c", "Age", 7)
+//	est, _ := model.EstimateCount(q)
+//
+// The baseline estimators the paper compares against (AVI, MHIST, SAMPLE,
+// BN+UJ) are exposed through the same Estimator interface, and the exact
+// executor (Database.Count) provides ground truth.
+package prmsel
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"prmsel/internal/baselines"
+	"prmsel/internal/core"
+	"prmsel/internal/datagen"
+	"prmsel/internal/dataset"
+	"prmsel/internal/discretize"
+	"prmsel/internal/learn"
+	"prmsel/internal/optimizer"
+	"prmsel/internal/query"
+)
+
+// Relational substrate. A Database is a set of columnar tables with
+// categorical attributes and row-index foreign keys; see the dataset
+// documentation for the construction API.
+type (
+	// Database is an in-memory relational database closed under foreign
+	// keys.
+	Database = dataset.Database
+	// Table is one columnar table.
+	Table = dataset.Table
+	// Schema declares a table's attributes and foreign keys.
+	Schema = dataset.Schema
+	// Attribute is a categorical value attribute.
+	Attribute = dataset.Attribute
+	// ForeignKey declares a reference to another table.
+	ForeignKey = dataset.ForeignKey
+)
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return dataset.NewDatabase() }
+
+// NewTable returns an empty table with the given schema.
+func NewTable(s Schema) *Table { return dataset.NewTable(s) }
+
+// ReadDatabaseCSV loads a database from per-table CSV readers (see
+// dataset.ReadDatabaseCSV for the layout).
+func ReadDatabaseCSV(files map[string]io.Reader) (*Database, error) {
+	return dataset.ReadDatabaseCSV(files)
+}
+
+// WriteCSV writes one table in the CSV layout ReadDatabaseCSV accepts.
+func WriteCSV(w io.Writer, t *Table) error { return dataset.WriteCSV(w, t) }
+
+// Query model.
+type (
+	// Query is a conjunctive select/keyjoin query built with Over, Where,
+	// WhereEq and KeyJoin.
+	Query = query.Query
+	// Target names one queried attribute of one tuple variable.
+	Target = query.Target
+	// Suite enumerates a family of queries over fixed targets.
+	Suite = query.Suite
+)
+
+// NewQuery returns an empty query for chaining.
+func NewQuery() *Query { return query.New() }
+
+// CPDKind selects the representation of conditional probability
+// distributions in learned models.
+type CPDKind = learn.CPDKind
+
+// CPD representation choices.
+const (
+	// TreeCPDs share parameters across parent contexts (the paper's
+	// default; more accurate per byte).
+	TreeCPDs = learn.Tree
+	// TableCPDs store one distribution per parent configuration.
+	TableCPDs = learn.Table
+)
+
+// Criterion selects the structure-search step-ranking rule.
+type Criterion = learn.Criterion
+
+// Structure-search scoring rules (paper §4.3.3).
+const (
+	// SSN ranks steps by likelihood gain per byte (the default and the
+	// paper's best performer together with MDL).
+	SSN = learn.SSN
+	// MDL ranks steps by minimum-description-length gain.
+	MDL = learn.MDL
+	// Naive ranks steps by raw likelihood gain.
+	Naive = learn.Naive
+)
+
+// Config tunes Build.
+type Config struct {
+	// CPD is the CPD representation; TreeCPDs by default.
+	CPD CPDKind
+	// Scoring is the search step-ranking rule; SSN by default.
+	Scoring Criterion
+	// BudgetBytes bounds the model's storage; 0 means unlimited.
+	BudgetBytes int
+	// MaxParents bounds each variable's parent count; 0 means the default
+	// of 4.
+	MaxParents int
+	// UniformJoin learns the BN+UJ baseline: independent per-table
+	// networks with every join assumed uniform.
+	UniformJoin bool
+	// TopKCandidates, when positive, prunes each attribute's candidate
+	// parents to the K most informative by a single-pass pairwise
+	// mutual-information prescan, trading a little accuracy for faster
+	// construction on wide tables.
+	TopKCandidates int
+	// Workers parallelizes candidate evaluation during construction across
+	// goroutines without changing the learned model. 0 or 1 means serial.
+	Workers int
+	// RandomSteps is the number of random escape steps the search may take
+	// after hitting a local maximum.
+	RandomSteps int
+	// Seed drives the random escape steps.
+	Seed int64
+}
+
+// Model is a learned PRM ready to answer selectivity queries. A Model is
+// safe for concurrent estimation once built.
+type Model struct {
+	prm *core.PRM
+}
+
+// Build learns a model from the database (the paper's offline phase):
+// maximum-likelihood CPDs from sufficient statistics, and greedy
+// hill-climbing structure search under the byte budget.
+func Build(db *Database, cfg Config) (*Model, error) {
+	maxParents := cfg.MaxParents
+	if maxParents == 0 {
+		maxParents = 4
+	}
+	m, err := core.Learn(db, core.Config{
+		Fit: learn.FitConfig{Kind: cfg.CPD, TopKCandidates: cfg.TopKCandidates},
+		Search: learn.Options{
+			Criterion:   cfg.Scoring,
+			BudgetBytes: cfg.BudgetBytes,
+			MaxParents:  maxParents,
+			RandomSteps: cfg.RandomSteps,
+			Seed:        cfg.Seed,
+			Workers:     cfg.Workers,
+		},
+		UniformJoin: cfg.UniformJoin,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Model{prm: m}, nil
+}
+
+// EstimateCount estimates the result size of q (the paper's online phase).
+func (m *Model) EstimateCount(q *Query) (float64, error) { return m.prm.EstimateCount(q) }
+
+// EstimateSelectivity estimates q's selectivity relative to the cross
+// product of its tables.
+func (m *Model) EstimateSelectivity(q *Query) (float64, error) {
+	return m.prm.EstimateSelectivity(q)
+}
+
+// StorageBytes reports the model's storage cost under the evaluation's
+// byte accounting.
+func (m *Model) StorageBytes() int { return m.prm.StorageBytes() }
+
+// NumParams reports the model's free-parameter count.
+func (m *Model) NumParams() int { return m.prm.NumParams() }
+
+// String renders the learned dependency structure.
+func (m *Model) String() string { return m.prm.String() }
+
+// Name implements Estimator.
+func (m *Model) Name() string { return "PRM" }
+
+// Encode writes the model in gob form so it can be persisted and later
+// reloaded with LoadModel.
+func (m *Model) Encode(w io.Writer) error { return m.prm.Encode(w) }
+
+// LoadModel reads a model previously written by Model.Encode.
+func LoadModel(r io.Reader) (*Model, error) {
+	prm, err := core.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{prm: prm}, nil
+}
+
+// RefitParameters re-estimates the model's parameters from db with the
+// dependency structure kept fixed — the cheap maintenance step for an
+// evolving database (paper §6).
+func (m *Model) RefitParameters(db *Database) error { return m.prm.RefitParameters(db) }
+
+// LogLikelihood scores db under the model's current parameters; a falling
+// score signals drift that warrants a full rebuild (paper §6).
+func (m *Model) LogLikelihood(db *Database) (float64, error) { return m.prm.LogLikelihood(db) }
+
+// EstimateGroupBy approximately answers SELECT attr, COUNT(*) … GROUP BY
+// attr for the query, returning one estimate per value code of tv's
+// attribute.
+func (m *Model) EstimateGroupBy(q *Query, tv, attr string) ([]float64, error) {
+	return m.prm.EstimateGroupBy(q, tv, attr)
+}
+
+var _ Estimator = (*Model)(nil)
+
+// Estimator is the contract shared by the PRM and every baseline.
+type Estimator = baselines.Estimator
+
+// NewAVI builds the attribute-value-independence baseline over db.
+func NewAVI(db *Database) Estimator { return baselines.NewAVI(db) }
+
+// NewMHist builds a multidimensional V-Optimal(V,A) histogram over the
+// named attributes of t within budgetBytes.
+func NewMHist(t *Table, attrs []string, budgetBytes int) (Estimator, error) {
+	return baselines.NewMHist(t, attrs, budgetBytes)
+}
+
+// Discretization (paper §2.3) for large or continuous domains.
+type (
+	// Discretizer maps continuous values onto bucket codes.
+	Discretizer = discretize.Discretizer
+	// DiscretizeMethod selects the bucketing strategy.
+	DiscretizeMethod = discretize.Method
+)
+
+// Bucketing strategies.
+const (
+	// EquiWidth splits the value range into equal-width buckets.
+	EquiWidth = discretize.EquiWidth
+	// EquiDepth splits at quantiles for roughly equal bucket counts.
+	EquiDepth = discretize.EquiDepth
+)
+
+// NewDiscretizer fits a discretizer to the observed values.
+func NewDiscretizer(values []float64, buckets int, method DiscretizeMethod) (*Discretizer, error) {
+	return discretize.New(values, buckets, method)
+}
+
+// Synthetic datasets standing in for the paper's evaluation data (see
+// DESIGN.md for the substitution rationale).
+
+// SyntheticCensus generates the single-table census database (n rows).
+func SyntheticCensus(n int, seed int64) *Database { return datagen.Census(n, seed) }
+
+// SyntheticTB generates the three-table tuberculosis database at the given
+// scale (1.0 reproduces the paper's table sizes).
+func SyntheticTB(scale float64, seed int64) *Database { return datagen.TB(scale, seed) }
+
+// SyntheticFIN generates the three-table financial database at the given
+// scale (1.0 reproduces the paper's table sizes).
+func SyntheticFIN(scale float64, seed int64) *Database { return datagen.FIN(scale, seed) }
+
+// SyntheticShop generates a four-level retail database (LineItem → Order →
+// Customer → Region) for exercising multi-hop foreign-key chains.
+func SyntheticShop(scale float64, seed int64) *Database { return datagen.Shop(scale, seed) }
+
+// Fig1Example returns the 1000-row education/income/home-owner table whose
+// joint distribution is exactly the paper's Figure 1(a).
+func Fig1Example() *Database { return datagen.Fig1Example() }
+
+// Join-order optimization — the paper's motivating application. A Plan is
+// a left-deep join order costed by the sum of estimated intermediate
+// result sizes.
+type Plan = optimizer.Plan
+
+// ChoosePlan picks the cheapest left-deep join order for q under the given
+// estimator's intermediate-size estimates.
+func ChoosePlan(q *Query, est Estimator) (*Plan, error) { return optimizer.Choose(q, est) }
+
+// TruePlanCost evaluates a join order's actual cost (sum of exact
+// intermediate sizes).
+func TruePlanCost(db *Database, q *Query, order []string) (float64, error) {
+	return optimizer.TrueCost(db, q, order)
+}
+
+// OptimalPlan returns the join order with the lowest true cost.
+func OptimalPlan(db *Database, q *Query) (*Plan, error) { return optimizer.OptimalOrder(db, q) }
+
+// RenderCPDs pretty-prints every variable's conditional probability
+// distribution — tree CPDs as decision trees, table CPDs per
+// configuration.
+func (m *Model) RenderCPDs() string {
+	var b strings.Builder
+	for id := 0; id < m.prm.NumVars(); id++ {
+		fmt.Fprintf(&b, "%s:\n", m.prm.Var(id).Name())
+		for _, line := range strings.Split(strings.TrimRight(m.prm.RenderCPD(id), "\n"), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Explanation reports how an estimate was assembled: the upward closure's
+// tuple variables, the event probability, and the size scaling.
+type Explanation = core.Explanation
+
+// Explain estimates q and reports the closure, probability and scaling
+// behind the number.
+func (m *Model) Explain(q *Query) (*Explanation, error) { return m.prm.Explain(q) }
