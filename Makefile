@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+## check: the full verification gate — format, vet, build, tests, race-mode
+## tests for the concurrent subsystems.
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the service and inference layers under the race detector — the
+## concurrency regression gate for internal/serve and the estimation read
+## path. internal/core is narrowed to its concurrency tests; the package's
+## randomized property tests are exercised by `test` instead.
+race:
+	$(GO) test -race ./internal/serve/... ./internal/bayesnet/...
+	$(GO) test -race -run TestConcurrent ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

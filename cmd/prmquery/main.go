@@ -13,9 +13,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -37,7 +41,16 @@ func main() {
 	budget := flag.Int("budget", 4400, "model storage budget in bytes")
 	queryText := flag.String("q", "", "query to estimate (empty = read queries from stdin)")
 	noExact := flag.Bool("no-exact", false, "skip the exact count (fast, estimate only)")
+	server := flag.String("server", "", "prmserved base URL (e.g. http://localhost:8080); queries go to the service instead of a local model")
+	modelName := flag.String("model", "", "model name on the server (with -server; empty = the server's only model)")
 	flag.Parse()
+
+	if *server != "" {
+		runAll(*queryText, func(text string) {
+			remoteRun(*server, *modelName, text, !*noExact)
+		})
+		return
+	}
 
 	db, err := cliutil.LoadDB(*csvDir, *name, *rows, *scale, *seed)
 	if err != nil {
@@ -88,8 +101,13 @@ func main() {
 		}
 	}
 
-	if *queryText != "" {
-		run(*queryText)
+	runAll(*queryText, run)
+}
+
+// runAll runs one query, or the stdin REPL when text is empty.
+func runAll(text string, run func(string)) {
+	if text != "" {
+		run(text)
 		return
 	}
 	fmt.Fprintln(os.Stderr, "enter one query per line (ctrl-d to exit):")
@@ -105,6 +123,89 @@ func main() {
 	}
 	if err := scanner.Err(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// remoteRun sends one query to a running prmserved and prints the reply in
+// the same format as the local path, plus the per-estimator breakdown.
+func remoteRun(base, model, text string, exact bool) {
+	body, err := json.Marshal(map[string]any{
+		"model": model,
+		"query": text,
+		"exact": exact,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	url := strings.TrimSuffix(base, "/") + "/v1/estimate"
+	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	defer httpResp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			fmt.Fprintf(os.Stderr, "error: %s\n", e.Error)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "error: server returned %s\n", httpResp.Status)
+		return
+	}
+	var resp struct {
+		Model      string  `json:"model"`
+		Generation int64   `json:"generation"`
+		Query      string  `json:"query"`
+		Estimate   float64 `json:"estimate"`
+		Breakdown  []struct {
+			Estimator string  `json:"estimator"`
+			Estimate  float64 `json:"estimate"`
+			Micros    int64   `json:"micros"`
+			Error     string  `json:"error"`
+		} `json:"breakdown"`
+		Cache struct {
+			Hit     bool `json:"hit"`
+			Deduped bool `json:"deduped"`
+		} `json:"cache"`
+		LatencyMicros int64 `json:"latency_micros"`
+		Exact         *struct {
+			Count  int64   `json:"count"`
+			Micros int64   `json:"micros"`
+			QError float64 `json:"qerror"`
+		} `json:"exact"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		fmt.Fprintf(os.Stderr, "error: bad server response: %v\n", err)
+		return
+	}
+	source := fmt.Sprintf("%v", time.Duration(resp.LatencyMicros)*time.Microsecond)
+	if resp.Cache.Hit {
+		source += ", cached"
+	} else if resp.Cache.Deduped {
+		source += ", deduped"
+	}
+	fmt.Printf("query:    %s\n", resp.Query)
+	fmt.Printf("estimate: %.1f   (%s, model %s gen %d)\n", resp.Estimate, source, resp.Model, resp.Generation)
+	if resp.Exact != nil {
+		errPct := 100 * abs(resp.Estimate-float64(resp.Exact.Count)) / maxf(float64(resp.Exact.Count), 1)
+		fmt.Printf("exact:    %d   (%v, adjusted relative error %.1f%%)\n",
+			resp.Exact.Count, time.Duration(resp.Exact.Micros)*time.Microsecond, errPct)
+	}
+	for _, b := range resp.Breakdown {
+		if b.Error != "" {
+			fmt.Printf("  %-8s error: %s\n", b.Estimator, b.Error)
+			continue
+		}
+		fmt.Printf("  %-8s %.1f   (%v)\n", b.Estimator, b.Estimate, time.Duration(b.Micros)*time.Microsecond)
 	}
 }
 

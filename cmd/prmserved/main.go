@@ -1,0 +1,117 @@
+// Command prmserved runs the online selectivity-estimation service: it
+// learns one model per requested dataset, then serves concurrent estimate
+// requests over an HTTP JSON API with an inference cache, background
+// rebuilds with atomic hot-swap, and metrics at /debug/vars.
+//
+//	prmserved -addr :8080 -datasets census,tb
+//	curl -s localhost:8080/v1/estimate -d '{"model":"census","query":"FROM Census c WHERE c.Sex = sex0"}'
+//
+// Query syntax is the internal/queryparse dialect (see cmd/prmquery).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"prmsel/internal/cliutil"
+	"prmsel/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("prmserved: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	datasets := flag.String("datasets", "census", "comma-separated models to serve: "+cliutil.DatasetHelp)
+	csvDir := flag.String("csv", "", "directory of <table>.csv files, served as model \"csv\" (in addition to -datasets)")
+	rows := flag.Int("rows", 40000, "census rows")
+	scale := flag.Float64("scale", 1.0, "TB/FIN/Shop scale")
+	seed := flag.Int64("seed", 1, "generator seed")
+	budget := flag.Int("budget", 4400, "model storage budget in bytes")
+	cacheCap := flag.Int("cache", 4096, "inference cache capacity (entries)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
+	exactEvery := flag.Int("exact-every", 0, "run every Nth estimate through the exact executor for q-error metrics (0 = off)")
+	flag.Parse()
+
+	reg := serve.NewRegistry()
+	add := func(name string, spec serve.BuildSpec) {
+		start := time.Now()
+		m, err := reg.Add(name, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap := m.Current()
+		var storage int
+		for _, e := range snap.Estimators {
+			storage += e.StorageBytes()
+		}
+		log.Printf("model %s ready: %d estimators, %d bytes, built in %v",
+			m.Name, len(snap.Estimators), storage, time.Since(start).Round(time.Millisecond))
+	}
+	for _, name := range strings.Split(*datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		add(name, serve.BuildSpec{
+			Dataset:     name,
+			Rows:        *rows,
+			Scale:       *scale,
+			Seed:        *seed,
+			BudgetBytes: *budget,
+		})
+	}
+	if *csvDir != "" {
+		add("csv", serve.BuildSpec{
+			CSVDir:      *csvDir,
+			Seed:        *seed,
+			BudgetBytes: *budget,
+		})
+	}
+	if len(reg.Names()) == 0 {
+		log.Fatal("no models to serve (set -datasets or -csv)")
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Registry:       reg,
+		CacheCapacity:  *cacheCap,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		ExactEvery:     *exactEvery,
+	})
+	srv.Metrics().Publish()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %s on %s", strings.Join(reg.Names(), ", "), *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "prmserved: shutdown: %v\n", err)
+	}
+}

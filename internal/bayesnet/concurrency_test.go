@@ -1,0 +1,75 @@
+package bayesnet
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInference fires goroutines at one network's two inference
+// engines at once. The first Probability call materializes memoized CPD
+// factors, so starting all goroutines together exercises the memoization
+// under contention; under -race this is the regression test for the
+// inference read path (variable elimination and the junction tree must not
+// share mutable scratch between concurrent queries).
+func TestConcurrentInference(t *testing.T) {
+	net := fig1Net(t)
+	jt, err := net.CompileJunctionTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := []Event{
+		{0: []int32{0}},
+		{0: []int32{1}, 1: []int32{0, 1}},
+		{1: []int32{2}, 2: []int32{1}},
+		{0: []int32{0, 1}, 2: []int32{0}},
+	}
+	want := make([]float64, len(events))
+	for i, evt := range events {
+		p, err := net.Probability(evt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 25; r++ {
+				i := (g + r) % len(events)
+				pv, err := net.Probability(events[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				pj, err := jt.Probability(events[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if pv != want[i] || !approxEq(pj, want[i]) {
+					t.Errorf("goroutine %d event %d: VE %v, JT %v, want %v", g, i, pv, pj, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

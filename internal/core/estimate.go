@@ -17,7 +17,20 @@ import (
 // Non-key equality joins (paper §6) are handled by decomposition: the
 // query is summed over the possible shared values of each joined
 // attribute pair.
+//
+// EstimateCount is safe for concurrent callers (each with its own query);
+// it holds the model's parameter read-lock so an in-flight RefitParameters
+// never mutates CPDs underneath an estimate.
 func (m *PRM) EstimateCount(q *query.Query) (float64, error) {
+	m.paramMu.RLock()
+	defer m.paramMu.RUnlock()
+	return m.estimateCount(q)
+}
+
+// estimateCount is EstimateCount without the parameter read-lock; every
+// internal caller already under the lock must use it (RLock is not
+// re-entrant: a nested RLock deadlocks when a writer is queued between).
+func (m *PRM) estimateCount(q *query.Query) (float64, error) {
 	if len(q.NonKeyJoins) > 0 {
 		return m.estimateNonKeyJoin(q)
 	}
@@ -31,7 +44,9 @@ func (m *PRM) EstimateCount(q *query.Query) (float64, error) {
 // EstimateSelectivity returns the estimated fraction of the cross product
 // of the query's tables that satisfies the query.
 func (m *PRM) EstimateSelectivity(q *query.Query) (float64, error) {
-	count, err := m.EstimateCount(q)
+	m.paramMu.RLock()
+	defer m.paramMu.RUnlock()
+	count, err := m.estimateCount(q)
 	if err != nil {
 		return 0, err
 	}
@@ -109,6 +124,8 @@ func (m *PRM) estimateNonKeyJoin(q *query.Query) (float64, error) {
 // application from the paper's introduction). The returned slice indexes by
 // value code.
 func (m *PRM) EstimateGroupBy(q *query.Query, tv, attr string) ([]float64, error) {
+	m.paramMu.RLock()
+	defer m.paramMu.RUnlock()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,7 +143,7 @@ func (m *PRM) EstimateGroupBy(q *query.Query, tv, attr string) ([]float64, error
 	out := make([]float64, m.vars[vid].Card)
 	for v := range out {
 		slot[0] = int32(v)
-		est, err := m.EstimateCount(grouped)
+		est, err := m.estimateCount(grouped)
 		if err != nil {
 			return nil, err
 		}
@@ -444,6 +461,8 @@ type Explanation struct {
 // with non-key joins are not explained (their estimate is a sum of many
 // closure evaluations).
 func (m *PRM) Explain(q *query.Query) (*Explanation, error) {
+	m.paramMu.RLock()
+	defer m.paramMu.RUnlock()
 	if len(q.NonKeyJoins) > 0 {
 		return nil, fmt.Errorf("core: Explain does not support non-key joins")
 	}

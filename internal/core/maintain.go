@@ -20,10 +20,18 @@ import (
 // join indicators get fresh join-rate statistics. Table sizes and the
 // evaluation cache are refreshed. The database must have the same schema
 // the model was learned from.
+//
+// RefitParameters mutates CPDs and table sizes in place, so it takes the
+// parameter write-lock: concurrent EstimateCount calls drain before the
+// refit starts and resume (with the evaluation cache cleared) after it
+// finishes. Callers that cannot tolerate the stall should instead learn a
+// fresh model and swap pointers (see internal/serve's registry).
 func (m *PRM) RefitParameters(db *dataset.Database) error {
 	if err := m.checkSchema(db); err != nil {
 		return err
 	}
+	m.paramMu.Lock()
+	defer m.paramMu.Unlock()
 	for id := range m.vars {
 		if err := m.refitVar(db, id); err != nil {
 			return err
@@ -43,6 +51,8 @@ func (m *PRM) RefitParameters(db *dataset.Database) error {
 // should be relearned (paper §6). Attribute variables contribute one term
 // per row; join indicators one term per tuple pair, computed in aggregate.
 func (m *PRM) LogLikelihood(db *dataset.Database) (float64, error) {
+	m.paramMu.RLock()
+	defer m.paramMu.RUnlock()
 	if err := m.checkSchema(db); err != nil {
 		return 0, err
 	}

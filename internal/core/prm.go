@@ -64,9 +64,16 @@ type PRM struct {
 	strata []string
 	// evalCache memoizes unrolled query-evaluation networks per query
 	// shape; mu guards it. Estimation is safe for concurrent use: the
-	// cached networks synchronize their own factor memoization.
+	// cached networks synchronize their own factor memoization, and no
+	// estimation call writes shared scratch (factor operations copy,
+	// CPDs are read-only on the Prob/Factor path).
 	mu        sync.Mutex
 	evalCache map[string]*evalModel
+	// paramMu serializes in-place parameter maintenance (RefitParameters
+	// writes CPDs and tableSize) against concurrent estimation reads.
+	// Estimation holds the read side, so many queries proceed in
+	// parallel; a refit drains them and runs exclusively.
+	paramMu sync.RWMutex
 }
 
 // NumVars returns the number of PRM variables.

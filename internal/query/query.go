@@ -237,6 +237,66 @@ func (q *Query) String() string {
 	return b.String()
 }
 
+// CanonicalKey renders the query as a deterministic cache key: tuple
+// variables, joins, non-key joins, and predicates are each sorted, and
+// predicate value sets are sorted and deduplicated. Two queries that accept
+// the same rows clause-for-clause (regardless of construction or clause
+// order) share a key, which is what an inference cache wants; it does NOT
+// attempt full semantic equivalence (e.g. a NOT IN and its complementary IN
+// produce different keys).
+func (q *Query) CanonicalKey() string {
+	var b strings.Builder
+	for i, v := range q.VarNames() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v)
+		b.WriteByte(':')
+		b.WriteString(q.Vars[v])
+	}
+	clauses := make([]string, 0, len(q.Joins)+len(q.NonKeyJoins)+len(q.Preds))
+	for _, j := range q.Joins {
+		clauses = append(clauses, "j|"+j.FromVar+"."+j.FK+"|"+j.ToVar)
+	}
+	for _, j := range q.NonKeyJoins {
+		l := j.LeftVar + "." + j.LeftAttr
+		r := j.RightVar + "." + j.RightAttr
+		if r < l { // the join is symmetric; order the sides
+			l, r = r, l
+		}
+		clauses = append(clauses, "n|"+l+"|"+r)
+	}
+	for _, p := range q.Preds {
+		vals := append([]int32(nil), p.Values...)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		var sb strings.Builder
+		sb.WriteString("p|")
+		sb.WriteString(p.Var)
+		sb.WriteByte('.')
+		sb.WriteString(p.Attr)
+		if p.Negate {
+			sb.WriteString("|not|")
+		} else {
+			sb.WriteString("|in|")
+		}
+		last := int32(-1)
+		for i, v := range vals {
+			if i > 0 && v == last {
+				continue
+			}
+			last = v
+			fmt.Fprintf(&sb, "%d,", v)
+		}
+		clauses = append(clauses, sb.String())
+	}
+	sort.Strings(clauses)
+	for _, c := range clauses {
+		b.WriteByte(';')
+		b.WriteString(c)
+	}
+	return b.String()
+}
+
 // Target identifies one queried attribute of one tuple variable. Suites are
 // defined as the cross product of value instantiations of a target list.
 type Target struct {

@@ -178,3 +178,34 @@ func TestWhereNotAndBetween(t *testing.T) {
 		t.Errorf("negation rendering: %q", s)
 	}
 }
+
+func TestCanonicalKey(t *testing.T) {
+	// Clause order, value order, and duplicate values must not change the
+	// key; the joined sides of a non-key join are orderless too.
+	a := New().Over("p", "Person").Over("u", "Purchase").
+		KeyJoin("u", "Buyer", "p").
+		Where("p", "Income", 2, 0, 1, 1).
+		WhereEq("u", "Amount", 1)
+	b := New().Over("u", "Purchase").Over("p", "Person").
+		WhereEq("u", "Amount", 1).
+		Where("p", "Income", 0, 1, 2).
+		KeyJoin("u", "Buyer", "p")
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("equivalent queries keyed differently:\n%s\n%s", a.CanonicalKey(), b.CanonicalKey())
+	}
+
+	c := New().Over("l", "T").Over("r", "T").NonKeyJoinOn("l", "A", "r", "B")
+	d := New().Over("l", "T").Over("r", "T").NonKeyJoinOn("r", "B", "l", "A")
+	if c.CanonicalKey() != d.CanonicalKey() {
+		t.Error("non-key join side order changed the key")
+	}
+
+	// Distinct queries must not collide.
+	e := New().Over("p", "Person").WhereEq("p", "Income", 1)
+	f := New().Over("p", "Person").WhereNot("p", "Income", 1)
+	g := New().Over("p", "Person").WhereEq("p", "Owner", 1)
+	keys := map[string]bool{e.CanonicalKey(): true, f.CanonicalKey(): true, g.CanonicalKey(): true}
+	if len(keys) != 3 {
+		t.Errorf("distinct queries collided: %v", keys)
+	}
+}

@@ -10,9 +10,14 @@
 // alias.Attr != value, alias.Attr IN (v1, v2, …), alias.Attr NOT IN (…),
 // and alias.Attr BETWEEN lo AND hi. Values are attribute labels, or #n for
 // a raw value code.
+//
+// Malformed input produces a *ParseError carrying the byte offset and the
+// offending token, so callers (the HTTP estimation service in particular)
+// can point at the problem instead of echoing a bare message.
 package queryparse
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -21,21 +26,63 @@ import (
 	"prmsel/internal/query"
 )
 
+// ParseError reports a parse failure with its position in the input.
+type ParseError struct {
+	// Offset is the byte offset of the offending token (len(input) when
+	// the input ended prematurely).
+	Offset int
+	// Near is the offending token, or "" at end of input.
+	Near string
+	// Msg describes the failure.
+	Msg string
+	// Err is the underlying error, when the failure wraps one (e.g. an
+	// unknown value label reported by the schema); may be nil.
+	Err error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	where := fmt.Sprintf("offset %d", e.Offset)
+	if e.Near != "" {
+		where += fmt.Sprintf(" (near %q)", e.Near)
+	}
+	return fmt.Sprintf("queryparse: %s at %s", e.Msg, where)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// AsParseError returns the *ParseError inside err, or nil.
+func AsParseError(err error) *ParseError {
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	return nil
+}
+
 // Parse parses text into a query, resolving tables, foreign keys and value
-// labels against db.
+// labels against db. Failures are reported as *ParseError.
 func Parse(db *dataset.Database, text string) (*query.Query, error) {
 	toks, err := tokenize(text)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{db: db, toks: toks}
+	p := &parser{db: db, toks: toks, end: len(text)}
 	return p.parse()
+}
+
+// token is one lexeme plus its byte offset in the input.
+type token struct {
+	s   string
+	off int
 }
 
 type parser struct {
 	db   *dataset.Database
-	toks []string
+	toks []token
 	pos  int
+	end  int // len(input), the offset reported at premature end
 	q    *query.Query
 }
 
@@ -43,7 +90,15 @@ func (p *parser) peek() string {
 	if p.pos >= len(p.toks) {
 		return ""
 	}
-	return p.toks[p.pos]
+	return p.toks[p.pos].s
+}
+
+// at returns the offset of the token at index i (or the input end).
+func (p *parser) at(i int) int {
+	if i >= len(p.toks) {
+		return p.end
+	}
+	return p.toks[i].off
 }
 
 func (p *parser) next() string {
@@ -52,10 +107,32 @@ func (p *parser) next() string {
 	return t
 }
 
+// errHere builds a ParseError at the token just consumed (or the input end).
+func (p *parser) errHere(format string, args ...any) *ParseError {
+	i := p.pos - 1
+	if i < 0 {
+		i = 0
+	}
+	near := ""
+	if i < len(p.toks) {
+		near = p.toks[i].s
+	}
+	e := &ParseError{Offset: p.at(i), Near: near, Msg: fmt.Sprintf(format, args...)}
+	for _, a := range args {
+		if err, ok := a.(error); ok {
+			e.Err = err
+		}
+	}
+	return e
+}
+
 func (p *parser) expect(t string) error {
 	got := p.next()
 	if !strings.EqualFold(got, t) {
-		return fmt.Errorf("queryparse: expected %q, got %q", t, got)
+		if got == "" {
+			return p.errHere("expected %q, got end of input", t)
+		}
+		return p.errHere("expected %q, got %q", t, got)
 	}
 	return nil
 }
@@ -69,13 +146,14 @@ func (p *parser) parse() (*query.Query, error) {
 		table := p.next()
 		alias := p.next()
 		if table == "" || alias == "" {
-			return nil, fmt.Errorf("queryparse: FROM needs 'Table alias' pairs")
+			return nil, p.errHere("FROM needs 'Table alias' pairs")
 		}
 		if p.db.Table(table) == nil {
-			return nil, fmt.Errorf("queryparse: unknown table %q", table)
+			p.pos-- // point at the table token, not the alias
+			return nil, p.errHere("unknown table %q", table)
 		}
 		if _, dup := p.q.Vars[alias]; dup {
-			return nil, fmt.Errorf("queryparse: duplicate alias %q", alias)
+			return nil, p.errHere("duplicate alias %q", alias)
 		}
 		p.q.Over(alias, table)
 		if p.peek() != "," {
@@ -89,7 +167,8 @@ func (p *parser) parse() (*query.Query, error) {
 	case strings.EqualFold(p.peek(), "WHERE"):
 		p.next()
 	default:
-		return nil, fmt.Errorf("queryparse: expected WHERE or end, got %q", p.peek())
+		p.next()
+		return nil, p.errHere("expected WHERE or end, got %q", p.toks[p.pos-1].s)
 	}
 	for {
 		if err := p.clause(); err != nil {
@@ -101,10 +180,11 @@ func (p *parser) parse() (*query.Query, error) {
 		p.next()
 	}
 	if p.peek() != "" {
-		return nil, fmt.Errorf("queryparse: trailing input at %q", p.peek())
+		p.next()
+		return nil, p.errHere("trailing input %q", p.toks[p.pos-1].s)
 	}
 	if err := p.q.Validate(); err != nil {
-		return nil, err
+		return nil, &ParseError{Offset: 0, Msg: "invalid query", Err: err}
 	}
 	return p.q, nil
 }
@@ -116,15 +196,18 @@ type ref struct {
 
 func (p *parser) parseRef() (ref, error) {
 	alias := p.next()
+	if alias == "" {
+		return ref{}, p.errHere("expected alias.attr, got end of input")
+	}
 	if err := p.expect("."); err != nil {
 		return ref{}, err
 	}
 	attr := p.next()
-	if alias == "" || attr == "" {
-		return ref{}, fmt.Errorf("queryparse: malformed alias.attr reference")
+	if attr == "" {
+		return ref{}, p.errHere("malformed alias.attr reference")
 	}
 	if _, ok := p.q.Vars[alias]; !ok {
-		return ref{}, fmt.Errorf("queryparse: unknown alias %q", alias)
+		return ref{}, &ParseError{Offset: p.at(p.pos - 3), Near: alias, Msg: fmt.Sprintf("unknown alias %q", alias)}
 	}
 	return ref{alias: alias, attr: attr}, nil
 }
@@ -174,28 +257,32 @@ func (p *parser) clause() error {
 			return err
 		}
 		if hi < lo {
-			return fmt.Errorf("queryparse: BETWEEN bounds inverted (%d > %d)", lo, hi)
+			return p.errHere("BETWEEN bounds inverted (%d > %d)", lo, hi)
 		}
 		p.q.WhereBetween(left.alias, left.attr, lo, hi)
 		return nil
+	case op == "":
+		return p.errHere("expected an operator after %s.%s, got end of input", left.alias, left.attr)
 	default:
-		return fmt.Errorf("queryparse: unknown operator %q", op)
+		return p.errHere("unknown operator %q", op)
 	}
 }
 
 // equalsClause disambiguates "= value", "= alias.PK" and "= alias.attr".
 func (p *parser) equalsClause(left ref) error {
 	// alias.X = otherAlias.(PK|attr)?
-	if tv, ok := p.q.Vars[p.peek()]; ok && p.pos+1 < len(p.toks) && p.toks[p.pos+1] == "." {
+	if _, ok := p.q.Vars[p.peek()]; ok && p.pos+1 < len(p.toks) && p.toks[p.pos+1].s == "." {
 		otherAlias := p.next()
 		p.next() // "."
 		target := p.next()
-		_ = tv
+		if target == "" {
+			return p.errHere("expected PK or attribute after %s., got end of input", otherAlias)
+		}
 		if strings.EqualFold(target, "PK") {
 			// Keyjoin through the foreign key named left.attr.
 			fromTable := p.db.Table(p.q.Vars[left.alias])
 			if fromTable.FKIndex(left.attr) < 0 {
-				return fmt.Errorf("queryparse: table %s has no foreign key %q", fromTable.Name, left.attr)
+				return p.errHere("table %s has no foreign key %q", fromTable.Name, left.attr)
 			}
 			p.q.KeyJoin(left.alias, left.attr, otherAlias)
 			return nil
@@ -216,23 +303,23 @@ func (p *parser) equalsClause(left ref) error {
 func (p *parser) value(r ref) (int32, error) {
 	tok := p.next()
 	if tok == "" {
-		return 0, fmt.Errorf("queryparse: missing value for %s.%s", r.alias, r.attr)
+		return 0, p.errHere("missing value for %s.%s", r.alias, r.attr)
 	}
 	tbl := p.db.Table(p.q.Vars[r.alias])
 	ai := tbl.AttrIndex(r.attr)
 	if ai < 0 {
-		return 0, fmt.Errorf("queryparse: table %s has no attribute %q", tbl.Name, r.attr)
+		return 0, p.errHere("table %s has no attribute %q", tbl.Name, r.attr)
 	}
 	if rest, ok := strings.CutPrefix(tok, "#"); ok {
 		n, err := strconv.Atoi(rest)
 		if err != nil || n < 0 || n >= tbl.Attributes[ai].Card() {
-			return 0, fmt.Errorf("queryparse: bad value code %q for %s.%s", tok, tbl.Name, r.attr)
+			return 0, p.errHere("bad value code %q for %s.%s", tok, tbl.Name, r.attr)
 		}
 		return int32(n), nil
 	}
 	code, err := tbl.Code(r.attr, tok)
 	if err != nil {
-		return 0, fmt.Errorf("queryparse: %w", err)
+		return 0, p.errHere("%v", err)
 	}
 	return code, nil
 }
@@ -252,16 +339,18 @@ func (p *parser) valueList(r ref) ([]int32, error) {
 		case ",":
 		case ")":
 			return vals, nil
+		case "":
+			return nil, p.errHere("unterminated value list for %s.%s", r.alias, r.attr)
 		default:
-			return nil, fmt.Errorf("queryparse: expected , or ) in value list, got %q", tok)
+			return nil, p.errHere("expected , or ) in value list, got %q", tok)
 		}
 	}
 }
 
 // tokenize splits the input into identifiers/values and the punctuation
-// tokens . , ( ) = !=.
-func tokenize(text string) ([]string, error) {
-	var toks []string
+// tokens . , ( ) = !=, recording each token's byte offset.
+func tokenize(text string) ([]token, error) {
+	var toks []token
 	i := 0
 	for i < len(text) {
 		c := text[i]
@@ -269,21 +358,21 @@ func tokenize(text string) ([]string, error) {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
 		case c == '.' || c == ',' || c == '(' || c == ')' || c == '=':
-			toks = append(toks, string(c))
+			toks = append(toks, token{s: string(c), off: i})
 			i++
 		case c == '!':
 			if i+1 < len(text) && text[i+1] == '=' {
-				toks = append(toks, "!=")
+				toks = append(toks, token{s: "!=", off: i})
 				i += 2
 			} else {
-				return nil, fmt.Errorf("queryparse: stray '!' at offset %d", i)
+				return nil, &ParseError{Offset: i, Near: "!", Msg: "stray '!'"}
 			}
 		default:
 			j := i
 			for j < len(text) && !strings.ContainsRune(" \t\n\r.,()=!", rune(text[j])) {
 				j++
 			}
-			toks = append(toks, text[i:j])
+			toks = append(toks, token{s: text[i:j], off: i})
 			i = j
 		}
 	}

@@ -107,6 +107,58 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseErrorPositions pins the position reporting the HTTP service
+// relies on: every malformed input yields a *ParseError whose offset and
+// nearest token identify the problem.
+func TestParseErrorPositions(t *testing.T) {
+	db := tbDB(t)
+	cases := []struct {
+		name    string
+		text    string
+		offset  int
+		near    string
+		msgPart string
+	}{
+		{"empty input", ``, 0, "", "end of input"},
+		{"not a FROM", `SELECT * FROM Patient p`, 0, "SELECT", `expected "FROM"`},
+		{"unknown table", `FROM Nope n`, 5, "Nope", "unknown table"},
+		{"unknown alias", `FROM Patient p WHERE q.Age = #1`, 21, "q", "unknown alias"},
+		{"unknown attribute", `FROM Patient p WHERE p.Nope = #1`, 30, "#1", "no attribute"},
+		{"unknown label", `FROM Patient p WHERE p.Age = nolabel`, 29, "nolabel", "nolabel"},
+		{"code out of range", `FROM Patient p WHERE p.Age = #99`, 29, "#99", "bad value code"},
+		{"unknown operator", `FROM Patient p WHERE p.Age ~ #1`, 27, "~", "unknown operator"},
+		{"inverted between", `FROM Patient p WHERE p.Age BETWEEN age5 AND age2`, 44, "age2", "inverted"},
+		{"unterminated list", `FROM Patient p WHERE p.Age IN (age1`, 35, "", "unterminated"},
+		{"duplicate alias", `FROM Patient p, Patient p`, 24, "p", "duplicate alias"},
+		{"missing fk", `FROM Contact c, Patient p WHERE c.Nope = p.PK`, 43, "PK", "no foreign key"},
+		{"trailing input", `FROM Patient p WHERE p.Age = #1 trailing`, 32, "trailing", "trailing"},
+		{"stray bang", `FROM Patient p WHERE p.Age ! #1`, 27, "!", "stray"},
+		{"missing value", `FROM Patient p WHERE p.Age =`, 28, "", "missing value"},
+		{"half reference", `FROM Patient p WHERE p.`, 23, "", "malformed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(db, tc.text)
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.text)
+			}
+			pe := AsParseError(err)
+			if pe == nil {
+				t.Fatalf("error is not a *ParseError: %v", err)
+			}
+			if pe.Offset != tc.offset {
+				t.Errorf("offset = %d, want %d (err: %v)", pe.Offset, tc.offset, err)
+			}
+			if pe.Near != tc.near {
+				t.Errorf("near = %q, want %q (err: %v)", pe.Near, tc.near, err)
+			}
+			if !strings.Contains(err.Error(), tc.msgPart) {
+				t.Errorf("message %q missing %q", err.Error(), tc.msgPart)
+			}
+		})
+	}
+}
+
 func TestParseRoundTripAgainstStringForm(t *testing.T) {
 	// A parsed query's rendered form must re-express the same clauses (by
 	// count and operator).

@@ -1,0 +1,151 @@
+// Package serve implements the online estimation service: a model registry
+// with atomic hot-swap, a sharded LRU inference cache with
+// singleflight-style deduplication, an HTTP JSON API, and runtime metrics.
+// The paper's premise (§2.2, §5.3) is that a learned model answers
+// selectivity queries fast enough for an optimizer's inner loop; this
+// package is the piece that actually puts a model behind concurrent
+// callers.
+package serve
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+)
+
+// Cache is a sharded LRU keyed by canonicalized query. Each shard has its
+// own lock, so concurrent lookups on different shards never contend, and
+// each shard deduplicates concurrent misses for the same key: one caller
+// runs the computation, everyone else waits for its result
+// (singleflight). Values are immutable once stored; callers must not
+// mutate what they get back.
+type Cache struct {
+	shards   []cacheShard
+	perShard int
+	seed     maphash.Seed
+}
+
+type cacheShard struct {
+	mu     sync.Mutex
+	ll     *list.List               // front = most recently used
+	items  map[string]*list.Element // key -> element; Value is *cacheEntry
+	flight map[string]*flightCall
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+// NewCache returns a cache holding up to capacity entries across the given
+// number of shards (both floored at 1; capacity is rounded up to a
+// multiple of the shard count).
+func NewCache(capacity, shards int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &Cache{
+		shards:   make([]cacheShard, shards),
+		perShard: perShard,
+		seed:     maphash.MakeSeed(),
+	}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].flight = make(map[string]*flightCall)
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Do returns the value cached under key, computing it with fn on a miss.
+// Concurrent Do calls for the same key during a miss run fn exactly once:
+// the first caller computes, the rest report shared=true and receive the
+// same value. Errors are returned to every waiter but never cached, so a
+// later call retries.
+func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit, shared bool, err error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		s.mu.Unlock()
+		return v, true, false, nil
+	}
+	if f, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.val, false, true, f.err
+	}
+	f := &flightCall{done: make(chan struct{})}
+	s.flight[key] = f
+	s.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	s.mu.Lock()
+	delete(s.flight, key)
+	if f.err == nil {
+		s.insert(key, f.val, c.perShard)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, false, false, f.err
+}
+
+// Get reports the cached value without computing anything.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// insert adds key under the shard lock, evicting the least recently used
+// entry when the shard is full.
+func (s *cacheShard) insert(key string, val any, cap int) {
+	if el, ok := s.items[key]; ok { // a racing Do may have stored already
+		s.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+	for len(s.items) > cap {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}

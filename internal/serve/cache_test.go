@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheHitMissLRU(t *testing.T) {
+	c := NewCache(2, 1) // single shard so eviction order is deterministic
+	calls := 0
+	get := func(key string) (any, bool, bool) {
+		v, hit, shared, err := c.Do(key, func() (any, error) {
+			calls++
+			return "v:" + key, nil
+		})
+		if err != nil {
+			t.Fatalf("Do(%q): %v", key, err)
+		}
+		if v != "v:"+key {
+			t.Fatalf("Do(%q) = %v", key, v)
+		}
+		return v, hit, shared
+	}
+
+	if _, hit, _ := get("a"); hit {
+		t.Fatal("first lookup of a reported a hit")
+	}
+	if _, hit, _ := get("a"); !hit {
+		t.Fatal("second lookup of a missed")
+	}
+	get("b")
+	get("a") // touch a so c evicts b
+	get("c")
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU should have dropped it")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len() = %d, want 2", n)
+	}
+	if calls != 3 { // one miss each for a, b, c
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(8, 1)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, hit, shared, err := c.Do("k", func() (any, error) {
+			calls++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) || hit || shared {
+			t.Fatalf("Do #%d = hit=%v shared=%v err=%v", i, hit, shared, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("failed computation ran %d times, want 3 (errors must not be cached)", calls)
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("Len() = %d after only failures, want 0", n)
+	}
+}
+
+// TestCacheSingleflight drives many goroutines at one cold key and checks
+// that exactly one computes while everyone else waits for that result.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(64, 4)
+	const workers = 32
+
+	var calls atomic.Int64
+	var startedOnce sync.Once
+	started := make(chan struct{})
+	release := make(chan struct{})
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var hits, shareds atomic.Int64
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, hit, shared, err := c.Do("hot", func() (any, error) {
+				calls.Add(1)
+				startedOnce.Do(func() { close(started) })
+				<-release // hold the computation open so others pile up
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+			if hit {
+				hits.Add(1)
+			}
+			if shared {
+				shareds.Add(1)
+			}
+		}()
+	}
+	close(start)
+	// Release only once the computation has started, so waiters can pile
+	// up behind it. (How many actually wait is scheduling-dependent; the
+	// invariant under test is "exactly one call", not the waiter count.)
+	<-started
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("computation ran %d times for one key, want 1", calls.Load())
+	}
+	if hits.Load()+shareds.Load() != workers-1 {
+		t.Fatalf("hits=%d shared=%d, want them to cover the other %d callers",
+			hits.Load(), shareds.Load(), workers-1)
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := NewCache(128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%40)
+				v, _, _, err := c.Do(key, func() (any, error) { return key, nil })
+				if err != nil || v != key {
+					t.Errorf("Do(%q) = %v, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 128 {
+		t.Fatalf("Len() = %d, above capacity 128", n)
+	}
+}

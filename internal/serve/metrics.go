@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"expvar"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsMicros are the upper bounds (µs) of the latency histogram
+// buckets; the implicit last bucket is +Inf. The low end is dense because
+// the whole point of serving a learned model is microsecond-scale
+// estimates (paper §5.3).
+var latencyBoundsMicros = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000}
+
+// Metrics tracks the service's runtime counters: request and error
+// volume, QPS, a latency histogram, cache effectiveness, singleflight
+// deduplication, rebuilds, and the estimation error observed on requests
+// that were sampled against the exact executor. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	start time.Time
+
+	requests    atomic.Int64
+	errors      atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	deduped     atomic.Int64
+	rebuilds    atomic.Int64
+
+	latCount  atomic.Int64
+	latSumUS  atomic.Int64
+	latBucket []atomic.Int64 // len(latencyBoundsMicros)+1, last is overflow
+
+	// Estimation error vs. the exact executor, on sampled requests.
+	errMu      sync.Mutex
+	errSamples int64
+	qerrSum    float64 // sum of log(q-error); reported as geometric mean
+	qerrMax    float64
+}
+
+// NewMetrics returns zeroed metrics anchored at now.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:     time.Now(),
+		latBucket: make([]atomic.Int64, len(latencyBoundsMicros)+1),
+	}
+}
+
+// ObserveRequest records one estimate request and its latency.
+func (m *Metrics) ObserveRequest(d time.Duration) {
+	m.requests.Add(1)
+	us := d.Microseconds()
+	m.latCount.Add(1)
+	m.latSumUS.Add(us)
+	for i, b := range latencyBoundsMicros {
+		if us <= b {
+			m.latBucket[i].Add(1)
+			return
+		}
+	}
+	m.latBucket[len(latencyBoundsMicros)].Add(1)
+}
+
+// ObserveError records one failed request.
+func (m *Metrics) ObserveError() { m.errors.Add(1) }
+
+// ObserveCache records one cache outcome. A deduped lookup is one that
+// waited on another caller's in-flight inference instead of running its
+// own.
+func (m *Metrics) ObserveCache(hit, deduped bool) {
+	switch {
+	case hit:
+		m.cacheHits.Add(1)
+	case deduped:
+		m.deduped.Add(1)
+	default:
+		m.cacheMisses.Add(1)
+	}
+}
+
+// ObserveRebuild records one completed model rebuild.
+func (m *Metrics) ObserveRebuild() { m.rebuilds.Add(1) }
+
+// ObserveQError records the q-error (max(est/truth, truth/est), with both
+// sides floored at 1 row to stay finite) of one request that was checked
+// against the exact executor.
+func (m *Metrics) ObserveQError(estimate float64, truth int64) {
+	e := math.Max(estimate, 1)
+	tr := math.Max(float64(truth), 1)
+	q := e / tr
+	if q < 1 {
+		q = tr / e
+	}
+	m.errMu.Lock()
+	m.errSamples++
+	m.qerrSum += math.Log(q)
+	if q > m.qerrMax {
+		m.qerrMax = q
+	}
+	m.errMu.Unlock()
+}
+
+// Snapshot renders every counter as a JSON-friendly map — the payload
+// behind the published expvar and the /healthz detail.
+func (m *Metrics) Snapshot() map[string]any {
+	uptime := time.Since(m.start).Seconds()
+	requests := m.requests.Load()
+	hits := m.cacheHits.Load()
+	misses := m.cacheMisses.Load()
+	deduped := m.deduped.Load()
+
+	hist := make(map[string]int64, len(latencyBoundsMicros)+1)
+	for i, b := range latencyBoundsMicros {
+		hist[fmt6(b)] = m.latBucket[i].Load()
+	}
+	hist["+Inf"] = m.latBucket[len(latencyBoundsMicros)].Load()
+
+	out := map[string]any{
+		"uptime_seconds":     uptime,
+		"requests":           requests,
+		"errors":             m.errors.Load(),
+		"qps":                float64(requests) / math.Max(uptime, 1e-9),
+		"cache_hits":         hits,
+		"cache_misses":       misses,
+		"deduped":            deduped,
+		"cache_hit_rate":     rate(hits, hits+misses+deduped),
+		"rebuilds":           m.rebuilds.Load(),
+		"latency_us_buckets": hist,
+		"latency_us_mean":    rate(m.latSumUS.Load(), m.latCount.Load()),
+		"latency_obs":        m.latCount.Load(),
+	}
+	m.errMu.Lock()
+	if m.errSamples > 0 {
+		out["exact_samples"] = m.errSamples
+		out["qerror_geomean"] = math.Exp(m.qerrSum / float64(m.errSamples))
+		out["qerror_max"] = m.qerrMax
+	}
+	m.errMu.Unlock()
+	return out
+}
+
+func rate(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// fmt6 renders a bucket bound without pulling in fmt for the hot path.
+func fmt6(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// published is the Metrics instance /debug/vars reads. Publish swaps it,
+// so tests that build several servers all observe the latest; the expvar
+// itself is registered once (expvar panics on duplicate names).
+var (
+	published   atomic.Pointer[Metrics]
+	publishOnce sync.Once
+)
+
+// Publish exposes m as the expvar "prmserved", making it visible at
+// GET /debug/vars alongside the runtime's memstats.
+func (m *Metrics) Publish() {
+	published.Store(m)
+	publishOnce.Do(func() {
+		expvar.Publish("prmserved", expvar.Func(func() any {
+			if mm := published.Load(); mm != nil {
+				return mm.Snapshot()
+			}
+			return nil
+		}))
+	})
+}

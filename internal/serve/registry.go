@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prmsel/internal/baselines"
+	"prmsel/internal/cliutil"
+	"prmsel/internal/dataset"
+	"prmsel/internal/eval"
+	"prmsel/internal/learn"
+)
+
+// BuildSpec says how to construct one served model: which dataset to load
+// (a cliutil built-in name, or a CSV directory) and the learning knobs.
+type BuildSpec struct {
+	// Dataset is a built-in dataset name (census, tb, fin, shop, fig1);
+	// ignored when CSVDir is set.
+	Dataset string
+	// CSVDir, when non-empty, loads <table>.csv files instead.
+	CSVDir string
+	// Rows sizes the census generator (default 40000).
+	Rows int
+	// Scale sizes the TB/FIN/Shop generators (default 1.0).
+	Scale float64
+	// Seed drives the generators (default 1).
+	Seed int64
+	// BudgetBytes bounds the PRM's storage (default 4400, the paper's
+	// operating point).
+	BudgetBytes int
+	// SampleBudget sizes the SAMPLE baseline in bytes (default
+	// BudgetBytes).
+	SampleBudget int
+	// MHistAttrs is how many leading attributes the MHIST baseline
+	// covers on single-table datasets (default 3; 0 disables MHIST).
+	MHistAttrs int
+}
+
+func (s BuildSpec) withDefaults() BuildSpec {
+	if s.Rows == 0 {
+		s.Rows = 40000
+	}
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.BudgetBytes == 0 {
+		s.BudgetBytes = 4400
+	}
+	if s.SampleBudget == 0 {
+		s.SampleBudget = s.BudgetBytes
+	}
+	if s.MHistAttrs == 0 {
+		s.MHistAttrs = 3
+	}
+	return s
+}
+
+// Snapshot is one immutable built generation of a model: the database it
+// was learned from and every estimator serving it. Request handlers load a
+// snapshot once and use it for the whole request, so a concurrent hot-swap
+// never changes an in-flight request's world.
+type Snapshot struct {
+	DB *dataset.Database
+	// Estimators holds the PRM first, then the registered baselines.
+	Estimators []baselines.Estimator
+	Generation int64
+	BuiltAt    time.Time
+	BuildTime  time.Duration
+}
+
+// Primary returns the headline estimator (the PRM).
+func (s *Snapshot) Primary() baselines.Estimator { return s.Estimators[0] }
+
+// Estimator returns the named estimator, or nil.
+func (s *Snapshot) Estimator(name string) baselines.Estimator {
+	for _, e := range s.Estimators {
+		if e.Name() == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Model is one registry entry: a build spec plus the atomically-swapped
+// current snapshot. Rebuilds happen in the background; the served pointer
+// flips only once the replacement is fully built.
+type Model struct {
+	Name string
+	Spec BuildSpec
+
+	cur      atomic.Pointer[Snapshot]
+	gen      atomic.Int64
+	building atomic.Bool
+}
+
+// Current returns the served snapshot (never nil once the model is
+// registered).
+func (m *Model) Current() *Snapshot { return m.cur.Load() }
+
+// Rebuilding reports whether a background rebuild is in flight.
+func (m *Model) Rebuilding() bool { return m.building.Load() }
+
+// build constructs the next snapshot from the spec.
+func (m *Model) build() (*Snapshot, error) {
+	start := time.Now()
+	db, err := cliutil.LoadDB(m.Spec.CSVDir, m.Spec.Dataset, m.Spec.Rows, m.Spec.Scale, m.Spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load %s: %w", m.Name, err)
+	}
+	prm, err := eval.LearnPRM(db, "PRM", eval.LearnOptions{
+		Kind:      learn.Tree,
+		Criterion: learn.SSN,
+		Budget:    m.Spec.BudgetBytes,
+		Seed:      m.Spec.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: learn %s: %w", m.Name, err)
+	}
+	ests := []baselines.Estimator{prm, baselines.NewAVI(db)}
+
+	// SAMPLE over the largest table (single-table queries only; requests
+	// against other tables surface a per-estimator error in the
+	// breakdown, they do not fail the request).
+	var largest *dataset.Table
+	for _, tn := range db.TableNames() {
+		if t := db.Table(tn); largest == nil || t.Len() > largest.Len() {
+			largest = t
+		}
+	}
+	if largest != nil && len(largest.Attributes) > 0 {
+		ests = append(ests, eval.SampleForBudget(largest, len(largest.Attributes), m.Spec.SampleBudget, m.Spec.Seed))
+	}
+
+	// MHIST over the leading attributes of single-table datasets, the
+	// configuration the paper's first experiment set uses.
+	if m.Spec.MHistAttrs > 0 && len(db.TableNames()) == 1 {
+		t := db.Table(db.TableNames()[0])
+		n := m.Spec.MHistAttrs
+		if n > len(t.Attributes) {
+			n = len(t.Attributes)
+		}
+		attrs := make([]string, n)
+		for i := 0; i < n; i++ {
+			attrs[i] = t.Attributes[i].Name
+		}
+		if mh, err := baselines.NewMHist(t, attrs, m.Spec.BudgetBytes); err == nil {
+			ests = append(ests, mh)
+		}
+	}
+
+	return &Snapshot{
+		DB:         db,
+		Estimators: ests,
+		Generation: m.gen.Add(1),
+		BuiltAt:    time.Now(),
+		BuildTime:  time.Since(start),
+	}, nil
+}
+
+// Rebuild kicks a background rebuild and atomically swaps the served
+// snapshot when it completes. It returns false without doing anything if a
+// rebuild is already in flight. onDone, if non-nil, runs after the swap
+// (or the failure) with the outcome.
+func (m *Model) Rebuild(onDone func(*Snapshot, error)) bool {
+	if !m.building.CompareAndSwap(false, true) {
+		return false
+	}
+	go func() {
+		defer m.building.Store(false)
+		snap, err := m.build()
+		if err == nil {
+			m.cur.Store(snap)
+		}
+		if onDone != nil {
+			onDone(snap, err)
+		}
+	}()
+	return true
+}
+
+// Registry maps model names to served models. Registration builds
+// synchronously so a registered model is always ready to serve.
+type Registry struct {
+	mu     sync.RWMutex
+	order  []string
+	models map[string]*Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// Add builds the model described by spec and registers it under name
+// (default: the dataset name). The first build is synchronous.
+func (r *Registry) Add(name string, spec BuildSpec) (*Model, error) {
+	spec = spec.withDefaults()
+	if name == "" {
+		name = spec.Dataset
+	}
+	if name == "" {
+		return nil, fmt.Errorf("serve: model needs a name or a dataset")
+	}
+	r.mu.Lock()
+	if _, dup := r.models[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.mu.Unlock()
+
+	m := &Model{Name: name, Spec: spec}
+	snap, err := m.build()
+	if err != nil {
+		return nil, err
+	}
+	m.cur.Store(snap)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.models[name]; dup {
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.models[name] = m
+	r.order = append(r.order, name)
+	return m, nil
+}
+
+// Get returns the named model.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Names returns the registered model names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Single returns the only registered model, if exactly one exists — the
+// default target for requests that name no model.
+func (r *Registry) Single() (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.order) != 1 {
+		return nil, false
+	}
+	return r.models[r.order[0]], true
+}
+
+// sortedEstimatorNames lists a snapshot's estimators by name, sorted — the
+// stable form used in cache keys and /v1/models output.
+func sortedEstimatorNames(s *Snapshot) []string {
+	names := make([]string, len(s.Estimators))
+	for i, e := range s.Estimators {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names
+}

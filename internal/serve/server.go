@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"prmsel/internal/query"
+	"prmsel/internal/queryparse"
+)
+
+// Config tunes the HTTP server.
+type Config struct {
+	// Registry holds the served models; required.
+	Registry *Registry
+	// CacheCapacity bounds the inference cache (default 4096 entries).
+	CacheCapacity int
+	// CacheShards is the cache's shard count (default 16).
+	CacheShards int
+	// RequestTimeout bounds each request's wall time (default 10s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// ExactEvery, when positive, runs every Nth estimate request through
+	// the exact executor too and feeds the observed q-error into the
+	// metrics (default 0: only requests that ask for exact run it).
+	ExactEvery int
+	// Metrics receives the runtime counters; one is created when nil.
+	Metrics *Metrics
+	// Logf logs service events (rebuild outcomes); log.Printf when nil.
+	Logf func(format string, args ...any)
+}
+
+// Server is the estimation service.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *Cache
+	metrics *Metrics
+	logf    func(format string, args ...any)
+	reqSeq  atomic.Int64 // drives ExactEvery sampling
+	start   time.Time
+}
+
+// NewServer wires a server from the config.
+func NewServer(cfg Config) *Server {
+	if cfg.Registry == nil {
+		panic("serve: Config.Registry is required")
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 4096
+	}
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = 16
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		cache:   NewCache(cfg.CacheCapacity, cfg.CacheShards),
+		metrics: cfg.Metrics,
+		logf:    cfg.Logf,
+		start:   time.Now(),
+	}
+}
+
+// Metrics returns the server's metrics (for publication or inspection).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the service's HTTP handler: the versioned JSON API,
+// health, and debug vars, all behind the per-request timeout.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models/{name}/rebuild", s.handleRebuild)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+// estimateRequest is the POST /v1/estimate body.
+type estimateRequest struct {
+	// Model names the registry entry; optional when exactly one model is
+	// registered.
+	Model string `json:"model,omitempty"`
+	// Query is the queryparse-dialect query text.
+	Query string `json:"query"`
+	// Estimators filters the breakdown to the named estimators (default:
+	// all registered). The PRM always runs; it is the headline estimate.
+	Estimators []string `json:"estimators,omitempty"`
+	// Exact also runs the exact executor and reports truth + q-error.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// estimatorResult is one estimator's entry in the breakdown.
+type estimatorResult struct {
+	Estimator string  `json:"estimator"`
+	Estimate  float64 `json:"estimate"`
+	Micros    int64   `json:"micros"`
+	Error     string  `json:"error,omitempty"`
+}
+
+type cacheInfo struct {
+	Hit     bool `json:"hit"`
+	Deduped bool `json:"deduped"`
+}
+
+type exactResult struct {
+	Count  int64   `json:"count"`
+	Micros int64   `json:"micros"`
+	QError float64 `json:"qerror"`
+}
+
+// estimateResponse is the POST /v1/estimate reply.
+type estimateResponse struct {
+	Model         string            `json:"model"`
+	Generation    int64             `json:"generation"`
+	Query         string            `json:"query"`
+	Estimate      float64           `json:"estimate"`
+	Breakdown     []estimatorResult `json:"breakdown"`
+	Cache         cacheInfo         `json:"cache"`
+	LatencyMicros int64             `json:"latency_micros"`
+	Exact         *exactResult      `json:"exact,omitempty"`
+}
+
+// cachedEstimate is what the inference cache stores: everything derived
+// from running the estimators, nothing request-specific.
+type cachedEstimate struct {
+	query     string
+	estimate  float64
+	breakdown []estimatorResult
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req estimateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body over %d bytes", tooBig.Limit))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.fail(w, http.StatusBadRequest, `"query" is required`)
+		return
+	}
+
+	model, ok := s.resolveModel(req.Model)
+	if !ok {
+		if req.Model == "" {
+			s.fail(w, http.StatusBadRequest, `"model" is required when several models are registered`)
+		} else {
+			s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model))
+		}
+		return
+	}
+	snap := model.Current()
+
+	q, err := queryparse.Parse(snap.DB, req.Query)
+	if err != nil {
+		s.failParse(w, err)
+		return
+	}
+
+	wanted, err := selectEstimators(snap, req.Estimators)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Cache key: model generation + estimator selection + canonical
+	// query. Including the generation makes hot-swaps self-invalidating —
+	// entries of the old generation simply stop being looked up and age
+	// out of the LRU.
+	key := fmt.Sprintf("%s\x00%d\x00%s\x00%s",
+		model.Name, snap.Generation, strings.Join(wanted, ","), q.CanonicalKey())
+
+	val, hit, deduped, err := s.cache.Do(key, func() (any, error) {
+		return s.runEstimators(snap, wanted, q)
+	})
+	s.metrics.ObserveCache(hit, deduped)
+	if err != nil {
+		s.metrics.ObserveError()
+		s.fail(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	ce := val.(*cachedEstimate)
+
+	resp := &estimateResponse{
+		Model:      model.Name,
+		Generation: snap.Generation,
+		Query:      ce.query,
+		Estimate:   ce.estimate,
+		Breakdown:  ce.breakdown,
+		Cache:      cacheInfo{Hit: hit, Deduped: deduped},
+	}
+
+	// Ground truth: on request, or on the configured sampling cadence.
+	seq := s.reqSeq.Add(1)
+	sampled := s.cfg.ExactEvery > 0 && seq%int64(s.cfg.ExactEvery) == 0
+	if req.Exact || sampled {
+		exactStart := time.Now()
+		truth, err := snap.DB.Count(q)
+		if err == nil {
+			s.metrics.ObserveQError(ce.estimate, truth)
+			resp.Exact = &exactResult{
+				Count:  truth,
+				Micros: time.Since(exactStart).Microseconds(),
+				QError: qerror(ce.estimate, truth),
+			}
+		}
+	}
+
+	resp.LatencyMicros = time.Since(started).Microseconds()
+	s.metrics.ObserveRequest(time.Since(started))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runEstimators is the cache-miss path: run every selected estimator on
+// the parsed query. The primary (PRM) failing fails the computation; a
+// baseline failing is reported inline so estimators with partial query
+// support (SAMPLE, MHIST) degrade gracefully.
+func (s *Server) runEstimators(snap *Snapshot, wanted []string, q *query.Query) (*cachedEstimate, error) {
+	ce := &cachedEstimate{query: q.String()}
+	for _, name := range wanted {
+		est := snap.Estimator(name)
+		res := estimatorResult{Estimator: name}
+		estStart := time.Now()
+		v, err := est.EstimateCount(q)
+		res.Micros = time.Since(estStart).Microseconds()
+		if err != nil {
+			if est == snap.Primary() {
+				return nil, fmt.Errorf("%s: %s", name, err)
+			}
+			res.Error = err.Error()
+		} else {
+			res.Estimate = v
+			if est == snap.Primary() {
+				ce.estimate = v
+			}
+		}
+		ce.breakdown = append(ce.breakdown, res)
+	}
+	return ce, nil
+}
+
+// selectEstimators resolves the request's estimator filter against the
+// snapshot, always keeping the primary, and returns the names in
+// deterministic order (primary first, then sorted).
+func selectEstimators(snap *Snapshot, filter []string) ([]string, error) {
+	primary := snap.Primary().Name()
+	if len(filter) == 0 {
+		names := []string{primary}
+		rest := make([]string, 0, len(snap.Estimators)-1)
+		for _, e := range snap.Estimators {
+			if e.Name() != primary {
+				rest = append(rest, e.Name())
+			}
+		}
+		sort.Strings(rest)
+		return append(names, rest...), nil
+	}
+	seen := map[string]bool{primary: true}
+	rest := make([]string, 0, len(filter))
+	for _, name := range filter {
+		if snap.Estimator(name) == nil {
+			return nil, fmt.Errorf("unknown estimator %q (have %s)",
+				name, strings.Join(sortedEstimatorNames(snap), ", "))
+		}
+		if !seen[name] {
+			seen[name] = true
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	return append([]string{primary}, rest...), nil
+}
+
+// modelInfo is one entry of the GET /v1/models reply.
+type modelInfo struct {
+	Name        string         `json:"name"`
+	Dataset     string         `json:"dataset"`
+	Generation  int64          `json:"generation"`
+	BuiltAt     time.Time      `json:"built_at"`
+	BuildMillis int64          `json:"build_millis"`
+	Rebuilding  bool           `json:"rebuilding"`
+	Tables      map[string]int `json:"tables"`
+	Estimators  map[string]int `json:"estimators"` // name -> storage bytes
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	out := make([]modelInfo, 0, len(names))
+	for _, name := range names {
+		m, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		snap := m.Current()
+		info := modelInfo{
+			Name:        name,
+			Dataset:     m.Spec.Dataset,
+			Generation:  snap.Generation,
+			BuiltAt:     snap.BuiltAt,
+			BuildMillis: snap.BuildTime.Milliseconds(),
+			Rebuilding:  m.Rebuilding(),
+			Tables:      make(map[string]int),
+			Estimators:  make(map[string]int),
+		}
+		if m.Spec.CSVDir != "" {
+			info.Dataset = m.Spec.CSVDir
+		}
+		for _, tn := range snap.DB.TableNames() {
+			info.Tables[tn] = snap.DB.Table(tn).Len()
+		}
+		for _, e := range snap.Estimators {
+			info.Estimators[e.Name()] = e.StorageBytes()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, ok := s.reg.Get(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	started := m.Rebuild(func(snap *Snapshot, err error) {
+		if err != nil {
+			s.logf("serve: rebuild of %s failed: %v", name, err)
+			return
+		}
+		s.metrics.ObserveRebuild()
+		s.logf("serve: rebuilt %s (generation %d in %v)", name, snap.Generation, snap.BuildTime.Round(time.Millisecond))
+	})
+	if !started {
+		s.fail(w, http.StatusConflict, fmt.Sprintf("model %q is already rebuilding", name))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"model":  name,
+		"status": "rebuilding",
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"models":         s.reg.Names(),
+		"cache_entries":  s.cache.Len(),
+	})
+}
+
+// resolveModel finds the target model: the named one, or the only one.
+func (s *Server) resolveModel(name string) (*Model, bool) {
+	if name == "" {
+		return s.reg.Single()
+	}
+	return s.reg.Get(name)
+}
+
+// failParse renders a parse failure as a 400 carrying the error position,
+// which is the point of queryparse's positional errors.
+func (s *Server) failParse(w http.ResponseWriter, err error) {
+	s.metrics.ObserveError()
+	body := map[string]any{"error": err.Error()}
+	if pe := queryparse.AsParseError(err); pe != nil {
+		body["offset"] = pe.Offset
+		if pe.Near != "" {
+			body["near"] = pe.Near
+		}
+	}
+	writeJSON(w, http.StatusBadRequest, body)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	if code >= 500 {
+		s.metrics.ObserveError()
+	}
+	writeJSON(w, code, map[string]any{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// qerror is the symmetric multiplicative error, floored at one row on both
+// sides so empty results stay finite (matches Metrics.ObserveQError).
+func qerror(estimate float64, truth int64) float64 {
+	e := estimate
+	if e < 1 {
+		e = 1
+	}
+	tr := float64(truth)
+	if tr < 1 {
+		tr = 1
+	}
+	if e > tr {
+		return e / tr
+	}
+	return tr / e
+}
