@@ -29,5 +29,8 @@ race:
 	$(GO) test -race ./internal/serve/... ./internal/bayesnet/...
 	$(GO) test -race -run TestConcurrent ./internal/core/...
 
+## bench: a smoke pass — every benchmark runs exactly once, so CI catches
+## benchmarks that no longer compile or crash without paying for timing
+## stability. Use `go test -bench=Estimate -benchtime=2s .` for real numbers.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...

@@ -16,6 +16,7 @@ import (
 	"prmsel/internal/datagen"
 	"prmsel/internal/dataset"
 	"prmsel/internal/eval"
+	"prmsel/internal/obs"
 	"prmsel/internal/query"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "TB/FIN scale (1.0 = paper sizes)")
 	maxq := flag.Int("maxq", 2000, "per-suite query cap (0 = every instantiation)")
 	seed := flag.Int64("seed", 1, "generator and estimator seed")
+	trace := flag.Bool("trace", false, "print a span tree per figure (structure-search progress and timings) to stderr")
 	flag.Parse()
 
 	opt := eval.Options{MaxQueries: *maxq, Seed: *seed}
@@ -60,9 +62,19 @@ func main() {
 	}
 
 	for _, id := range figs {
-		fig, err := runFigure(id, census, tb, fin, opt)
+		figOpt := opt
+		var tr *obs.Tracer
+		if *trace {
+			tr = obs.NewTracer("fig-" + id)
+			figOpt.Trace = tr.Root()
+		}
+		fig, err := runFigure(id, census, tb, fin, figOpt)
 		if err != nil {
 			log.Fatalf("figure %s: %v", id, err)
+		}
+		if tr != nil {
+			tr.End()
+			fmt.Fprint(os.Stderr, tr.Root().Tree())
 		}
 		if fig != nil {
 			render := fig.Render

@@ -14,6 +14,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 
 	"prmsel"
 	"prmsel/internal/cliutil"
+	"prmsel/internal/obs"
 	"prmsel/internal/queryparse"
 )
 
@@ -43,11 +45,12 @@ func main() {
 	noExact := flag.Bool("no-exact", false, "skip the exact count (fast, estimate only)")
 	server := flag.String("server", "", "prmserved base URL (e.g. http://localhost:8080); queries go to the service instead of a local model")
 	modelName := flag.String("model", "", "model name on the server (with -server; empty = the server's only model)")
+	trace := flag.Bool("trace", false, "print each estimate's span tree (parse/closure/inference timings)")
 	flag.Parse()
 
 	if *server != "" {
 		runAll(*queryText, func(text string) {
-			remoteRun(*server, *modelName, text, !*noExact)
+			remoteRun(*server, *modelName, text, !*noExact, *trace)
 		})
 		return
 	}
@@ -70,7 +73,13 @@ func main() {
 			return
 		}
 		estStart := time.Now()
-		est, err := model.EstimateCount(q)
+		ctx := context.Background()
+		var tr *obs.Tracer
+		if *trace {
+			tr = obs.NewTracer("prmquery")
+			ctx = obs.NewContext(ctx, tr.Root())
+		}
+		est, err := model.EstimateCountCtx(ctx, q)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			return
@@ -98,6 +107,10 @@ func main() {
 			}
 			sort.Strings(closure)
 			fmt.Printf("closure:  upward closure added %s\n", strings.Join(closure, ", "))
+		}
+		if tr != nil {
+			tr.End()
+			fmt.Printf("trace:\n%s", tr.Root().Tree())
 		}
 	}
 
@@ -128,7 +141,9 @@ func runAll(text string, run func(string)) {
 
 // remoteRun sends one query to a running prmserved and prints the reply in
 // the same format as the local path, plus the per-estimator breakdown.
-func remoteRun(base, model, text string, exact bool) {
+// With trace, the server-side span tree comes back in the response and is
+// printed in the same format as a local -trace run.
+func remoteRun(base, model, text string, exact, trace bool) {
 	body, err := json.Marshal(map[string]any{
 		"model": model,
 		"query": text,
@@ -139,6 +154,9 @@ func remoteRun(base, model, text string, exact bool) {
 		return
 	}
 	url := strings.TrimSuffix(base, "/") + "/v1/estimate"
+	if trace {
+		url += "?trace=1"
+	}
 	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -182,6 +200,7 @@ func remoteRun(base, model, text string, exact bool) {
 			Micros int64   `json:"micros"`
 			QError float64 `json:"qerror"`
 		} `json:"exact"`
+		Trace *obs.SpanDump `json:"trace"`
 	}
 	if err := json.Unmarshal(payload, &resp); err != nil {
 		fmt.Fprintf(os.Stderr, "error: bad server response: %v\n", err)
@@ -206,6 +225,9 @@ func remoteRun(base, model, text string, exact bool) {
 			continue
 		}
 		fmt.Printf("  %-8s %.1f   (%v)\n", b.Estimator, b.Estimate, time.Duration(b.Micros)*time.Microsecond)
+	}
+	if resp.Trace != nil {
+		fmt.Printf("trace:\n%s", resp.Trace.Tree())
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,7 +41,14 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
 	exactEvery := flag.Int("exact-every", 0, "run every Nth estimate through the exact executor for q-error metrics (0 = off)")
+	logJSON := flag.Bool("log-json", false, "emit request logs as JSON (default: logfmt-style text)")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	reg := serve.NewRegistry()
 	add := func(name string, spec serve.BuildSpec) {
@@ -87,6 +95,7 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		ExactEvery:     *exactEvery,
+		Logger:         logger,
 	})
 	srv.Metrics().Publish()
 

@@ -1,10 +1,12 @@
 package bayesnet
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"prmsel/internal/factor"
+	"prmsel/internal/obs"
 )
 
 // Event is the query form inference answers: a conjunction over variables,
@@ -24,17 +26,37 @@ const (
 	ReverseTopo
 )
 
+// String names the heuristic for trace annotations.
+func (o ElimOrder) String() string {
+	if o == ReverseTopo {
+		return "reverse-topo"
+	}
+	return "min-fill"
+}
+
 // Probability returns P(evt) under the network's joint distribution,
 // computed by variable elimination over the ancestral closure of the event
 // variables. Only the queried variables and their ancestors enter the
 // computation (paper §3.3).
 func (n *Network) Probability(evt Event) (float64, error) {
-	return n.ProbabilityOrd(evt, MinFill)
+	return n.probability(context.Background(), evt, MinFill)
+}
+
+// ProbabilityCtx is Probability under a context: a span-carrying context
+// records the elimination as an "infer" span, and cancellation stops the
+// elimination between variables (the unit of work that actually costs —
+// each step may multiply large factors).
+func (n *Network) ProbabilityCtx(ctx context.Context, evt Event) (float64, error) {
+	return n.probability(ctx, evt, MinFill)
 }
 
 // ProbabilityOrd is Probability with an explicit elimination-order
 // heuristic.
 func (n *Network) ProbabilityOrd(evt Event, ord ElimOrder) (float64, error) {
+	return n.probability(context.Background(), evt, ord)
+}
+
+func (n *Network) probability(ctx context.Context, evt Event, ord ElimOrder) (float64, error) {
 	if len(evt) == 0 {
 		return 1, nil
 	}
@@ -89,15 +111,42 @@ func (n *Network) ProbabilityOrd(evt Event, ord ElimOrder) (float64, error) {
 			elim = append(elim, v)
 		}
 	}
+	_, sp := obs.Start(ctx, "infer")
 	order := n.eliminationOrder(elim, factors, ord)
+	var stats elimStats
 	for _, v := range order {
-		factors = eliminate(factors, v)
+		if err := ctx.Err(); err != nil {
+			sp.Set(obs.Str("interrupted", err.Error()))
+			sp.End()
+			return 0, fmt.Errorf("bayesnet: inference interrupted: %w", err)
+		}
+		factors = eliminate(factors, v, &stats)
 	}
 	p := 1.0
 	for _, f := range factors {
 		p *= f.Sum()
 	}
+	if sp != nil {
+		sp.Set(
+			obs.Int("closure", len(closure)),
+			obs.Int("clamped", len(fixed)),
+			obs.Int("eliminated", len(order)),
+			obs.Int("products", stats.products),
+			obs.Int("max_cells", stats.maxCells),
+			obs.Str("order", ord.String()),
+		)
+		sp.End()
+	}
 	return p, nil
+}
+
+// elimStats aggregates the work a variable elimination performed: how many
+// factor products ran and the largest intermediate table built. They feed
+// the "infer" trace span, making elimination-order quality visible per
+// query (paper §5.3 attributes estimation cost to exactly this).
+type elimStats struct {
+	products int
+	maxCells int
 }
 
 // ancestralClosure returns the event variables plus all their ancestors, in
@@ -236,8 +285,9 @@ func minFillOrder(closure []int, factors []*factor.Factor, n *Network) []int {
 }
 
 // eliminate multiplies all factors whose scope contains v and sums v out,
-// returning the updated factor list.
-func eliminate(factors []*factor.Factor, v int) []*factor.Factor {
+// returning the updated factor list. stats, when non-nil, accumulates the
+// products performed and the peak intermediate size.
+func eliminate(factors []*factor.Factor, v int, stats *elimStats) []*factor.Factor {
 	out := factors[:0]
 	var prod *factor.Factor
 	for _, f := range factors {
@@ -256,6 +306,12 @@ func eliminate(factors []*factor.Factor, v int) []*factor.Factor {
 			prod = f
 		} else {
 			prod = factor.Product(prod, f)
+			if stats != nil {
+				stats.products++
+				if c := prod.Size(); c > stats.maxCells {
+					stats.maxCells = c
+				}
+			}
 		}
 	}
 	if prod != nil {
@@ -292,7 +348,7 @@ func (n *Network) Marginal(vars []int) (*factor.Factor, error) {
 		}
 	}
 	for _, v := range minFillOrder(elim, factors, n) {
-		factors = eliminate(factors, v)
+		factors = eliminate(factors, v, nil)
 	}
 	result := factor.Scalar(1)
 	for _, f := range factors {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"prmsel/internal/bayesnet"
+	"prmsel/internal/obs"
 	"prmsel/internal/query"
 )
 
@@ -22,19 +24,41 @@ import (
 // it holds the model's parameter read-lock so an in-flight RefitParameters
 // never mutates CPDs underneath an estimate.
 func (m *PRM) EstimateCount(q *query.Query) (float64, error) {
-	m.paramMu.RLock()
-	defer m.paramMu.RUnlock()
-	return m.estimateCount(q)
+	return m.EstimateCountCtx(context.Background(), q)
 }
 
-// estimateCount is EstimateCount without the parameter read-lock; every
+// EstimateCountCtx is EstimateCount under a context. A span-carrying
+// context (internal/obs) records the estimate as a span tree — shape-cache
+// lookup / closure build, then variable elimination — and a cancelled or
+// expired context stops inference between elimination steps, so a caller
+// that has gone away (an HTTP request, typically) does not keep burning
+// CPU on factor products.
+func (m *PRM) EstimateCountCtx(ctx context.Context, q *query.Query) (float64, error) {
+	// Check once up front: equality-only queries clamp every variable and
+	// skip elimination entirely, so the per-step checks would never fire.
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("core: estimate interrupted: %w", err)
+	}
+	ctx, sp := obs.Start(ctx, "estimate")
+	m.paramMu.RLock()
+	est, err := m.estimateCount(ctx, q)
+	m.paramMu.RUnlock()
+	if sp != nil {
+		sp.Set(obs.Int("tables", len(q.Vars)), obs.Int("preds", len(q.Preds)),
+			obs.Int("joins", len(q.Joins)), obs.Float("estimate", est))
+		sp.End()
+	}
+	return est, err
+}
+
+// estimateCount is EstimateCountCtx without the parameter read-lock; every
 // internal caller already under the lock must use it (RLock is not
 // re-entrant: a nested RLock deadlocks when a writer is queued between).
-func (m *PRM) estimateCount(q *query.Query) (float64, error) {
+func (m *PRM) estimateCount(ctx context.Context, q *query.Query) (float64, error) {
 	if len(q.NonKeyJoins) > 0 {
-		return m.estimateNonKeyJoin(q)
+		return m.estimateNonKeyJoin(ctx, q)
 	}
-	p, sizes, err := m.eventProbability(q)
+	p, sizes, err := m.eventProbability(ctx, q)
 	if err != nil {
 		return 0, err
 	}
@@ -46,7 +70,7 @@ func (m *PRM) estimateCount(q *query.Query) (float64, error) {
 func (m *PRM) EstimateSelectivity(q *query.Query) (float64, error) {
 	m.paramMu.RLock()
 	defer m.paramMu.RUnlock()
-	count, err := m.estimateCount(q)
+	count, err := m.estimateCount(context.Background(), q)
 	if err != nil {
 		return 0, err
 	}
@@ -66,10 +90,12 @@ func (m *PRM) EstimateSelectivity(q *query.Query) (float64, error) {
 // over the possible values of the joined attributes. Joined attribute
 // pairs must share their domain encoding; values beyond the smaller domain
 // cannot match and are not enumerated.
-func (m *PRM) estimateNonKeyJoin(q *query.Query) (float64, error) {
+func (m *PRM) estimateNonKeyJoin(ctx context.Context, q *query.Query) (float64, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
+	ctx, sp := obs.Start(ctx, "nonkeyjoin")
+	defer sp.End()
 	base := q.Clone()
 	base.NonKeyJoins = nil
 	vals := make([]int32, len(q.NonKeyJoins))
@@ -93,15 +119,24 @@ func (m *PRM) estimateNonKeyJoin(q *query.Query) (float64, error) {
 			query.Pred{Var: j.RightVar, Attr: j.RightAttr, Values: slot},
 		)
 	}
+	// Each summed term is one full closure evaluation; detach the span so
+	// a trace reports one "nonkeyjoin" span with a term count instead of
+	// hundreds of identical children. Cancellation still applies per term.
+	tctx := obs.Detach(ctx)
 	var total float64
+	terms := 0
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(vals) {
-			p, sizes, err := m.eventProbability(base)
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: non-key-join sum interrupted: %w", err)
+			}
+			p, sizes, err := m.eventProbability(tctx, base)
 			if err != nil {
 				return err
 			}
 			total += p * sizes
+			terms++
 			return nil
 		}
 		for v := 0; v < cards[i]; v++ {
@@ -115,6 +150,7 @@ func (m *PRM) estimateNonKeyJoin(q *query.Query) (float64, error) {
 	if err := rec(0); err != nil {
 		return 0, err
 	}
+	sp.Set(obs.Int("terms", terms))
 	return total, nil
 }
 
@@ -143,7 +179,7 @@ func (m *PRM) EstimateGroupBy(q *query.Query, tv, attr string) ([]float64, error
 	out := make([]float64, m.vars[vid].Card)
 	for v := range out {
 		slot[0] = int32(v)
-		est, err := m.estimateCount(grouped)
+		est, err := m.estimateCount(context.Background(), grouped)
 		if err != nil {
 			return nil, err
 		}
@@ -215,8 +251,9 @@ func shapeKey(q *query.Query) string {
 	return b.String()
 }
 
-// model returns the (cached) evaluation model for q's shape.
-func (m *PRM) model(q *query.Query) (*evalModel, error) {
+// model returns the (cached) evaluation model for q's shape; hit reports
+// whether the shape cache already held it.
+func (m *PRM) model(q *query.Query) (em *evalModel, hit bool, err error) {
 	key := shapeKey(q)
 	m.mu.Lock()
 	if m.evalCache == nil {
@@ -224,7 +261,7 @@ func (m *PRM) model(q *query.Query) (*evalModel, error) {
 	}
 	if em, ok := m.evalCache[key]; ok {
 		m.mu.Unlock()
-		return em, nil
+		return em, true, nil
 	}
 	m.mu.Unlock()
 
@@ -237,7 +274,7 @@ func (m *PRM) model(q *query.Query) (*evalModel, error) {
 	}
 	for tv, table := range q.Vars {
 		if _, ok := m.tableSize[table]; !ok {
-			return nil, fmt.Errorf("core: query over unknown table %q", table)
+			return nil, false, fmt.Errorf("core: query over unknown table %q", table)
 		}
 		b.tupleVars[tv] = table
 	}
@@ -248,15 +285,15 @@ func (m *PRM) model(q *query.Query) (*evalModel, error) {
 		table := b.tupleVars[j.FromVar]
 		jid := m.JoinVarID(table, j.FK)
 		if jid < 0 {
-			return nil, fmt.Errorf("core: table %s has no foreign key %q", table, j.FK)
+			return nil, false, fmt.Errorf("core: table %s has no foreign key %q", table, j.FK)
 		}
 		if ref := m.vars[jid].Ref; ref != b.tupleVars[j.ToVar] {
-			return nil, fmt.Errorf("core: foreign key %s.%s references %s, but %s ranges over %s",
+			return nil, false, fmt.Errorf("core: foreign key %s.%s references %s, but %s ranges over %s",
 				table, j.FK, ref, j.ToVar, b.tupleVars[j.ToVar])
 		}
 		key := [2]string{j.FromVar, j.FK}
 		if prev, dup := b.joinTo[key]; dup && prev != j.ToVar {
-			return nil, fmt.Errorf("core: %s.%s joined to two different variables (%s, %s)", j.FromVar, j.FK, prev, j.ToVar)
+			return nil, false, fmt.Errorf("core: %s.%s joined to two different variables (%s, %s)", j.FromVar, j.FK, prev, j.ToVar)
 		}
 		b.joinTo[key] = j.ToVar
 	}
@@ -264,12 +301,12 @@ func (m *PRM) model(q *query.Query) (*evalModel, error) {
 		table := b.tupleVars[j.FromVar]
 		node, err := b.need(j.FromVar, m.JoinVarID(table, j.FK))
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		b.evt[node] = []int32{JoinTrue}
 	}
 
-	em := &evalModel{
+	em = &evalModel{
 		nodes:    b.nodes,
 		predNode: make([]int, len(q.Preds)),
 		predVID:  make([]int, len(q.Preds)),
@@ -278,11 +315,11 @@ func (m *PRM) model(q *query.Query) (*evalModel, error) {
 		table := b.tupleVars[pred.Var]
 		vid := m.AttrVarID(table, pred.Attr)
 		if vid < 0 {
-			return nil, fmt.Errorf("core: table %s has no attribute %q", table, pred.Attr)
+			return nil, false, fmt.Errorf("core: table %s has no attribute %q", table, pred.Attr)
 		}
 		node, err := b.need(pred.Var, vid)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		em.predNode[i] = node
 		em.predVID[i] = vid
@@ -306,14 +343,21 @@ func (m *PRM) model(q *query.Query) (*evalModel, error) {
 	m.mu.Lock()
 	m.evalCache[key] = em
 	m.mu.Unlock()
-	return em, nil
+	return em, false, nil
 }
 
-func (m *PRM) eventProbability(q *query.Query) (p float64, sizeProduct float64, err error) {
+func (m *PRM) eventProbability(ctx context.Context, q *query.Query) (p float64, sizeProduct float64, err error) {
 	if err := q.Validate(); err != nil {
 		return 0, 0, err
 	}
-	em, err := m.model(q)
+	_, csp := obs.Start(ctx, "closure")
+	em, hit, err := m.model(q)
+	if csp != nil {
+		if err == nil {
+			csp.Set(obs.Bool("cache_hit", hit), obs.Int("tuple_vars", len(em.tvs)))
+		}
+		csp.End()
+	}
 	if err != nil {
 		return 0, 0, err
 	}
@@ -351,7 +395,7 @@ func (m *PRM) eventProbability(q *query.Query) (p float64, sizeProduct float64, 
 		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 		evt[node] = vals
 	}
-	prob, err := em.net.Probability(evt)
+	prob, err := em.net.ProbabilityCtx(ctx, evt)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -455,6 +499,9 @@ type Explanation struct {
 	SizeProduct float64
 	// Estimate = Probability × SizeProduct.
 	Estimate float64
+	// JoinIndicators lists the BN node names asserted JoinTrue during the
+	// evaluation — the query's own joins plus any upward-closure joins.
+	JoinIndicators []string
 }
 
 // Explain estimates q and reports how the number was assembled. Queries
@@ -466,11 +513,11 @@ func (m *PRM) Explain(q *query.Query) (*Explanation, error) {
 	if len(q.NonKeyJoins) > 0 {
 		return nil, fmt.Errorf("core: Explain does not support non-key joins")
 	}
-	p, sizes, err := m.eventProbability(q)
+	p, sizes, err := m.eventProbability(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
-	em, err := m.model(q)
+	em, _, err := m.model(q)
 	if err != nil {
 		return nil, err
 	}
@@ -482,6 +529,9 @@ func (m *PRM) Explain(q *query.Query) (*Explanation, error) {
 	}
 	for tv, table := range em.tvs {
 		ex.TupleVars[tv] = table
+	}
+	for _, node := range em.joinNodes {
+		ex.JoinIndicators = append(ex.JoinIndicators, em.net.Var(node).Name)
 	}
 	return ex, nil
 }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"prmsel/internal/dataset"
+	"prmsel/internal/query"
+)
+
+// TestExplainSelectOnly: explaining a single-table selection reports the
+// query's own tuple variable, no join indicators, and an estimate that is
+// exactly Probability × SizeProduct and agrees with EstimateCount.
+func TestExplainSelectOnly(t *testing.T) {
+	db := skewDB(t, 500, 3000, 2)
+	m := learnPRM(t, db, false)
+	q := query.New().Over("p", "Person").WhereEq("p", "Income", 1).WhereEq("p", "Owner", 1)
+
+	ex, err := m.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.TupleVars) != 1 || ex.TupleVars["p"] != "Person" {
+		t.Errorf("TupleVars = %v, want {p: Person}", ex.TupleVars)
+	}
+	for tv := range ex.TupleVars {
+		if strings.HasPrefix(tv, "_closure") {
+			t.Errorf("select over a root table grew a closure variable %q", tv)
+		}
+	}
+	if len(ex.JoinIndicators) != 0 {
+		t.Errorf("JoinIndicators = %v, want none", ex.JoinIndicators)
+	}
+	if ex.SizeProduct != 500 {
+		t.Errorf("SizeProduct = %v, want 500 (|Person|)", ex.SizeProduct)
+	}
+	if got := ex.Probability * ex.SizeProduct; got != ex.Estimate {
+		t.Errorf("Estimate %v != Probability×SizeProduct %v", ex.Estimate, got)
+	}
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != ex.Estimate {
+		t.Errorf("Explain estimate %v != EstimateCount %v", ex.Estimate, est)
+	}
+}
+
+// uniformJoinDB builds a two-table database whose join is uniform (every
+// person equally likely per purchase) but whose purchase Amount is strongly
+// determined by the buyer's Income. The join indicator gains nothing from
+// parents, so structure search must express the correlation as a
+// cross-table parent of Amount — exactly the shape that forces upward
+// closure on single-table Purchase queries.
+func uniformJoinDB(t testing.TB, nPeople, nPurch int, seed int64) *dataset.Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	person := dataset.NewTable(dataset.Schema{
+		Name: "Person",
+		Attributes: []dataset.Attribute{
+			{Name: "Income", Values: []string{"low", "high"}},
+		},
+	})
+	for i := 0; i < nPeople; i++ {
+		inc := int32(0)
+		if rng.Float64() < 0.4 {
+			inc = 1
+		}
+		person.MustAppendRow([]int32{inc}, nil)
+	}
+	purch := dataset.NewTable(dataset.Schema{
+		Name: "Purchase",
+		Attributes: []dataset.Attribute{
+			{Name: "Amount", Values: []string{"small", "large"}},
+		},
+		ForeignKeys: []dataset.ForeignKey{{Name: "Buyer", To: "Person"}},
+	})
+	for i := 0; i < nPurch; i++ {
+		row := rng.Intn(nPeople)
+		amt := int32(0)
+		if person.Value(row, 0) == 1 {
+			if rng.Float64() < 0.9 {
+				amt = 1
+			}
+		} else if rng.Float64() < 0.05 {
+			amt = 1
+		}
+		purch.MustAppendRow([]int32{amt}, []int32{int32(row)})
+	}
+	db := dataset.NewDatabase()
+	for _, tbl := range []*dataset.Table{person, purch} {
+		if err := db.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestExplainClosure: selecting on the many-side attribute whose CPD
+// depends on the one-side forces upward closure (Def. 3.3) — the closure
+// adds a synthetic "_closure*" tuple variable over Person and asserts the
+// Purchase~Buyer join indicator even though the query names no join.
+func TestExplainClosure(t *testing.T) {
+	db := uniformJoinDB(t, 400, 3000, 7)
+	m := learnPRM(t, db, false)
+	// The premise: Amount must have learned a Person parent. Assert it so a
+	// structure-search change fails loudly here instead of deeper below.
+	var hasPersonParent bool
+	for _, p := range m.Parents(m.AttrVarID("Purchase", "Amount")) {
+		if m.Var(p).Table == "Person" {
+			hasPersonParent = true
+		}
+	}
+	if !hasPersonParent {
+		t.Fatal("learned structure gave Purchase.Amount no Person parent; closure cannot trigger")
+	}
+
+	q := query.New().Over("u", "Purchase").WhereEq("u", "Amount", 1)
+	ex, err := m.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closureTables []string
+	for tv, table := range ex.TupleVars {
+		if strings.HasPrefix(tv, "_closure") {
+			closureTables = append(closureTables, table)
+		}
+	}
+	if len(closureTables) != 1 || closureTables[0] != "Person" {
+		t.Fatalf("closure tables = %v, want [Person]; tuple vars: %v", closureTables, ex.TupleVars)
+	}
+	if len(ex.JoinIndicators) != 1 || ex.JoinIndicators[0] != "u:Purchase~Buyer" {
+		t.Errorf("JoinIndicators = %v, want [u:Purchase~Buyer]", ex.JoinIndicators)
+	}
+	// The closure evaluates over Purchase ⋈ Person, but the estimate is
+	// still a Purchase count: P(pred ∧ join) × |Purchase| × |Person|.
+	if ex.SizeProduct != 400*3000 {
+		t.Errorf("SizeProduct = %v, want %v", ex.SizeProduct, 400*3000)
+	}
+}
+
+// TestExplainFKJoin: explaining an explicit foreign-key join reports both
+// tuple variables and the join's indicator node.
+func TestExplainFKJoin(t *testing.T) {
+	db := skewDB(t, 500, 3000, 3)
+	m := learnPRM(t, db, false)
+	q := query.New().
+		Over("u", "Purchase").Over("p", "Person").
+		KeyJoin("u", "Buyer", "p").
+		WhereEq("p", "Income", 1).WhereEq("u", "Amount", 1)
+
+	ex, err := m.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"u": "Purchase", "p": "Person"}
+	if len(ex.TupleVars) != len(want) {
+		t.Fatalf("TupleVars = %v, want %v", ex.TupleVars, want)
+	}
+	for tv, table := range want {
+		if ex.TupleVars[tv] != table {
+			t.Errorf("TupleVars[%s] = %q, want %q", tv, ex.TupleVars[tv], table)
+		}
+	}
+	if len(ex.JoinIndicators) != 1 || ex.JoinIndicators[0] != "u:Purchase~Buyer" {
+		t.Errorf("JoinIndicators = %v, want [u:Purchase~Buyer]", ex.JoinIndicators)
+	}
+	if ex.SizeProduct != 500*3000 {
+		t.Errorf("SizeProduct = %v, want |Purchase|×|Person| = %v", ex.SizeProduct, 500*3000)
+	}
+	est, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != ex.Estimate {
+		t.Errorf("Explain estimate %v != EstimateCount %v", ex.Estimate, est)
+	}
+}
+
+// TestExplainNonKeyJoinRejected: non-key-join estimates are sums over many
+// closure evaluations, so Explain declines rather than explaining one term.
+func TestExplainNonKeyJoinRejected(t *testing.T) {
+	db := skewDB(t, 200, 1000, 1)
+	m := learnPRM(t, db, false)
+	q := query.New().
+		Over("u", "Purchase").Over("p", "Person").
+		NonKeyJoinOn("u", "Amount", "p", "Income")
+	if _, err := m.Explain(q); err == nil {
+		t.Fatal("Explain accepted a non-key-join query")
+	}
+}

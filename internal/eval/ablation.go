@@ -29,7 +29,7 @@ func AblationScoring(db *dataset.Database, attrs []string, storages []int, opt O
 		for _, budget := range storages {
 			est, err := LearnPRM(db, crit.String(), LearnOptions{
 				Kind: learn.Tree, Criterion: crit, Budget: budget,
-				MaxParents: opt.MaxParents, Seed: opt.Seed,
+				MaxParents: opt.MaxParents, Seed: opt.Seed, Trace: opt.Trace,
 			})
 			if err != nil {
 				return nil, err
@@ -64,7 +64,7 @@ func AblationTopK(db *dataset.Database, attrs []string, budget int, ks []int, op
 		start := time.Now()
 		est, err := LearnPRM(db, "PRM", LearnOptions{
 			Kind: learn.Tree, Criterion: learn.SSN, Budget: budget,
-			MaxParents: opt.MaxParents, Seed: opt.Seed, TopK: k,
+			MaxParents: opt.MaxParents, Seed: opt.Seed, TopK: k, Trace: opt.Trace,
 		})
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,7 @@ import (
 	"prmsel/internal/core"
 	"prmsel/internal/dataset"
 	"prmsel/internal/learn"
+	"prmsel/internal/obs"
 	"prmsel/internal/query"
 )
 
@@ -25,6 +27,17 @@ func (p *PRMEstimator) Name() string { return p.Label }
 // EstimateCount implements baselines.Estimator.
 func (p *PRMEstimator) EstimateCount(q *query.Query) (float64, error) { return p.M.EstimateCount(q) }
 
+// EstimateCountCtx estimates under a context: a span-carrying context
+// records the estimate's trace, and cancellation stops inference early.
+// The estimation service feeds request contexts through here.
+func (p *PRMEstimator) EstimateCountCtx(ctx context.Context, q *query.Query) (float64, error) {
+	return p.M.EstimateCountCtx(ctx, q)
+}
+
+// Explain reports how an estimate was assembled (closure, probability,
+// scaling, join indicators).
+func (p *PRMEstimator) Explain(q *query.Query) (*core.Explanation, error) { return p.M.Explain(q) }
+
 // StorageBytes implements baselines.Estimator.
 func (p *PRMEstimator) StorageBytes() int { return p.M.StorageBytes() }
 
@@ -40,6 +53,9 @@ type LearnOptions struct {
 	TopK int
 	// Workers parallelizes candidate fitting (0/1 = serial).
 	Workers int
+	// Trace, when non-nil, records structure search under it (one "search"
+	// span with per-move events; see learn.Options.Trace).
+	Trace *obs.Span
 }
 
 // LearnPRM learns a PRM (or, with UniformJoin, the BN+UJ baseline) on db
@@ -57,6 +73,7 @@ func LearnPRM(db *dataset.Database, name string, o LearnOptions) (*PRMEstimator,
 			MaxParents:  maxParents,
 			Seed:        o.Seed,
 			Workers:     o.Workers,
+			Trace:       o.Trace,
 		},
 		UniformJoin: o.UniformJoin,
 	}

@@ -6,6 +6,7 @@ import (
 	"prmsel/internal/baselines"
 	"prmsel/internal/dataset"
 	"prmsel/internal/learn"
+	"prmsel/internal/obs"
 	"prmsel/internal/query"
 )
 
@@ -15,6 +16,9 @@ type Options struct {
 	MaxQueries int   // per-suite query cap (deterministic subsample); default 2000
 	Seed       int64 // seed for sampling estimators and search escapes
 	MaxParents int   // parent bound for learned models; default 4
+	// Trace, when non-nil, records every model build under it (one "search"
+	// span per learned structure, with per-move events).
+	Trace *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -85,7 +89,7 @@ func Fig4(db *dataset.Database, id string, attrs []string, storages []int, opt O
 		"PRM": func(b int) (baselines.Estimator, error) {
 			return LearnPRM(projDB, "PRM", LearnOptions{
 				Kind: learn.Tree, Criterion: learn.SSN, Budget: b,
-				MaxParents: opt.MaxParents, Seed: opt.Seed,
+				MaxParents: opt.MaxParents, Seed: opt.Seed, Trace: opt.Trace,
 			})
 		},
 	}
@@ -131,13 +135,13 @@ func Fig5(db *dataset.Database, id string, attrs []string, storages []int, opt O
 		"PRM-tree": func(b int) (baselines.Estimator, error) {
 			return LearnPRM(db, "PRM-tree", LearnOptions{
 				Kind: learn.Tree, Criterion: learn.SSN, Budget: b,
-				MaxParents: opt.MaxParents, Seed: opt.Seed,
+				MaxParents: opt.MaxParents, Seed: opt.Seed, Trace: opt.Trace,
 			})
 		},
 		"PRM-table": func(b int) (baselines.Estimator, error) {
 			return LearnPRM(db, "PRM-table", LearnOptions{
 				Kind: learn.Table, Criterion: learn.SSN, Budget: b,
-				MaxParents: opt.MaxParents, Seed: opt.Seed,
+				MaxParents: opt.MaxParents, Seed: opt.Seed, Trace: opt.Trace,
 			})
 		},
 	}
@@ -174,7 +178,7 @@ func Fig5c(db *dataset.Database, attrs []string, budget int, opt Options) ([]Sca
 	sample := SampleForBudget(tbl, len(tbl.Attributes), budget, opt.Seed)
 	prm, err := LearnPRM(db, "PRM", LearnOptions{
 		Kind: learn.Tree, Criterion: learn.SSN, Budget: budget,
-		MaxParents: opt.MaxParents, Seed: opt.Seed,
+		MaxParents: opt.MaxParents, Seed: opt.Seed, Trace: opt.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -245,14 +249,14 @@ func joinEstimators(w JoinWorkload, budget int, opt Options) ([]baselines.Estima
 	}
 	bnuj, err := LearnPRM(w.DB, "BN+UJ", LearnOptions{
 		Kind: learn.Tree, Criterion: learn.SSN, Budget: budget,
-		MaxParents: opt.MaxParents, UniformJoin: true, Seed: opt.Seed,
+		MaxParents: opt.MaxParents, UniformJoin: true, Seed: opt.Seed, Trace: opt.Trace,
 	})
 	if err != nil {
 		return nil, err
 	}
 	prm, err := LearnPRM(w.DB, "PRM", LearnOptions{
 		Kind: learn.Tree, Criterion: learn.SSN, Budget: budget,
-		MaxParents: opt.MaxParents, Seed: opt.Seed,
+		MaxParents: opt.MaxParents, Seed: opt.Seed, Trace: opt.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,116 @@
+package learn
+
+import (
+	"testing"
+
+	"prmsel/internal/datagen"
+	"prmsel/internal/obs"
+)
+
+// TestSearchProgressEvents: the searcher must report exactly one event per
+// accepted move, in step order, with self-consistent running totals.
+func TestSearchProgressEvents(t *testing.T) {
+	db := datagen.Census(2000, 5)
+	tbl := db.Table("Census")
+	o := NewTableOracle(tbl, FitConfig{Kind: Tree})
+
+	var events []MoveEvent
+	tr := obs.NewTracer("learn")
+	res, err := Search(o, Options{
+		Criterion:   SSN,
+		BudgetBytes: 3000,
+		MaxParents:  2,
+		Progress:    func(ev MoveEvent) { events = append(events, ev) },
+		Trace:       tr.Root(),
+	})
+	tr.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("search applied no moves — dataset/budget too small for the test")
+	}
+	if res.Steps > len(events) {
+		t.Errorf("best structure at step %d but only %d events emitted", res.Steps, len(events))
+	}
+
+	nvars := len(o.Vars())
+	for i, ev := range events {
+		if ev.Step != i+1 {
+			t.Errorf("event %d has step %d, want %d", i, ev.Step, i+1)
+		}
+		switch ev.Kind {
+		case "add", "remove", "escape":
+		default:
+			t.Errorf("event %d has unknown kind %q", i, ev.Kind)
+		}
+		if ev.Child < 0 || ev.Child >= nvars {
+			t.Errorf("event %d child %d out of range", i, ev.Child)
+		}
+		if ev.ChildName != o.Vars()[ev.Child].Name {
+			t.Errorf("event %d child name %q != var name %q", i, ev.ChildName, o.Vars()[ev.Child].Name)
+		}
+		if ev.Criterion != "ssn" {
+			t.Errorf("event %d criterion %q, want ssn", i, ev.Criterion)
+		}
+		if ev.BudgetBytes != 3000 {
+			t.Errorf("event %d budget %d, want 3000", i, ev.BudgetBytes)
+		}
+		if ev.Bytes > ev.BudgetBytes {
+			t.Errorf("event %d reports %d bytes over the %d budget", i, ev.Bytes, ev.BudgetBytes)
+		}
+		if i > 0 && ev.Kind != "escape" && ev.LogLik < events[i-1].LogLik-1e-9 {
+			t.Errorf("event %d: greedy move decreased loglik %v -> %v", i, events[i-1].LogLik, ev.LogLik)
+		}
+	}
+
+	// The trace mirrors Progress: one "search" child span carrying one
+	// zero-duration "move" event per accepted step, plus summary attrs.
+	dump := tr.Root().Dump()
+	if len(dump.Children) != 1 || dump.Children[0].Name != "search" {
+		t.Fatalf("expected one search span, got %+v", dump.Children)
+	}
+	search := dump.Children[0]
+	moves := 0
+	for _, c := range search.Children {
+		if c.Name == "move" {
+			moves++
+			if c.Attrs["kind"] == "" || c.Attrs["step"] == "" || c.Attrs["dll"] == "" {
+				t.Errorf("move event missing attrs: %+v", c.Attrs)
+			}
+		}
+	}
+	if moves != len(events) {
+		t.Errorf("trace has %d move events, Progress saw %d", moves, len(events))
+	}
+	if search.Attrs["criterion"] != "ssn" || search.Attrs["steps"] == "" {
+		t.Errorf("search span missing summary attrs: %+v", search.Attrs)
+	}
+}
+
+// TestSearchWithoutProgressUnchanged: a nil Progress and nil Trace must not
+// change the learned structure (the emit path is inert when disabled).
+func TestSearchWithoutProgressUnchanged(t *testing.T) {
+	db := datagen.Census(1500, 9)
+	tbl := db.Table("Census")
+	base, err := Search(NewTableOracle(tbl, FitConfig{Kind: Tree}), Options{Criterion: SSN, BudgetBytes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	traced, err := Search(NewTableOracle(tbl, FitConfig{Kind: Tree}), Options{
+		Criterion:   SSN,
+		BudgetBytes: 2000,
+		Progress:    func(MoveEvent) { count++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.LogLik != traced.LogLik || base.Bytes != traced.Bytes {
+		t.Errorf("progress callback changed the search: (%v,%d) vs (%v,%d)",
+			base.LogLik, base.Bytes, traced.LogLik, traced.Bytes)
+	}
+	if count == 0 {
+		t.Error("no events emitted")
+	}
+}

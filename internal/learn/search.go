@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"prmsel/internal/obs"
 )
 
 // VarSpec describes one variable visible to structure search.
@@ -72,6 +74,30 @@ type Options struct {
 	// concurrent Fit calls when Workers > 1 (both built-in oracles are,
 	// provided CandidateParents has been called once — Search does so).
 	Workers int
+	// Progress, when non-nil, receives one event per accepted search move —
+	// including random escape steps. It is called from Search's goroutine,
+	// synchronously; a slow callback slows the search.
+	Progress func(MoveEvent)
+	// Trace, when non-nil, records the search under it as a "search" child
+	// span with one zero-duration "move" event per accepted step.
+	Trace *obs.Span
+}
+
+// MoveEvent describes one accepted hill-climbing step: what changed, what
+// it bought (likelihood) and cost (bytes), and where the structure stands
+// against its budget afterwards.
+type MoveEvent struct {
+	Step        int    // 1-based index over applied steps
+	Kind        string // "add", "remove" or "escape"
+	Child       int    // variable whose parent set changed
+	ChildName   string
+	DeltaLogLik float64
+	DeltaBytes  int
+	Value       float64 // criterion value that ranked the move
+	Criterion   string
+	LogLik      float64 // structure log-likelihood after the move
+	Bytes       int     // structure bytes after the move
+	BudgetBytes int
 }
 
 // Result is a learned dependency structure.
@@ -100,6 +126,42 @@ type searcher struct {
 	cache  map[string][]fitEntry
 	mu     sync.Mutex // guards cache during parallel prefetch
 	rng    *rand.Rand
+	span   *obs.Span // "search" span under opts.Trace; nil when untraced
+}
+
+// emit reports an accepted move to Progress and the trace span.
+func (s *searcher) emit(kind string, m *move, step int) {
+	if s.opts.Progress == nil && s.span == nil {
+		return
+	}
+	ev := MoveEvent{
+		Step:        step,
+		Kind:        kind,
+		Child:       m.child,
+		ChildName:   s.vars[m.child].Name,
+		DeltaLogLik: m.dLL,
+		DeltaBytes:  m.dBytes,
+		Value:       s.value(m),
+		Criterion:   s.opts.Criterion.String(),
+		LogLik:      s.totalLogLik(),
+		Bytes:       s.totalBytes(),
+		BudgetBytes: s.opts.BudgetBytes,
+	}
+	if s.opts.Progress != nil {
+		s.opts.Progress(ev)
+	}
+	s.span.Event("move",
+		obs.Int("step", ev.Step),
+		obs.Str("kind", ev.Kind),
+		obs.Str("child", ev.ChildName),
+		obs.Float("dll", ev.DeltaLogLik),
+		obs.Int("dbytes", ev.DeltaBytes),
+		obs.Float("value", ev.Value),
+		obs.Str("criterion", ev.Criterion),
+		obs.Float("loglik", ev.LogLik),
+		obs.Int("bytes", ev.Bytes),
+		obs.Int("budget", ev.BudgetBytes),
+	)
 }
 
 // Search runs greedy hill climbing from the empty structure, applying at
@@ -117,7 +179,9 @@ func Search(o Oracle, opts Options) (*Result, error) {
 		opts:  opts,
 		cache: make(map[string][]fitEntry),
 		rng:   rand.New(rand.NewSource(opts.Seed)),
+		span:  opts.Trace.Start("search"),
 	}
+	defer s.span.End()
 	n := len(s.vars)
 	s.chosen = make([][]int, n)
 	s.exp = make([][]int, n)
@@ -139,7 +203,9 @@ func Search(o Oracle, opts Options) (*Result, error) {
 	// returned — matching the evaluation setting, where the smallest
 	// budgets are below the cost of full-resolution marginals.
 	if opts.BudgetBytes > 0 && s.totalBytes() > opts.BudgetBytes {
-		return s.snapshot(), nil
+		floor := s.snapshot()
+		s.summarize(floor, 0, opts)
+		return floor, nil
 	}
 
 	best := s.snapshot()
@@ -150,15 +216,22 @@ func Search(o Oracle, opts Options) (*Result, error) {
 			if escapes <= 0 {
 				break
 			}
-			if !s.randomMove() {
+			rm := s.randomMove()
+			if rm == nil {
 				break
 			}
 			escapes--
 			steps++
+			s.emit("escape", rm, steps)
 			continue
+		}
+		kind := "add"
+		if len(mv.parents) < len(s.chosen[mv.child]) {
+			kind = "remove"
 		}
 		s.apply(mv)
 		steps++
+		s.emit(kind, mv, steps)
 		if s.totalLogLik() > best.LogLik {
 			best = s.snapshot()
 			best.Steps = steps
@@ -168,7 +241,22 @@ func Search(o Oracle, opts Options) (*Result, error) {
 		best = s.snapshot()
 		best.Steps = steps
 	}
+	s.summarize(best, steps, opts)
 	return best, nil
+}
+
+// summarize stamps the search span with the run's outcome (a no-op when
+// untraced).
+func (s *searcher) summarize(best *Result, steps int, opts Options) {
+	s.span.Set(
+		obs.Int("vars", len(s.vars)),
+		obs.Int("steps", steps),
+		obs.Int("best_step", best.Steps),
+		obs.Float("loglik", best.LogLik),
+		obs.Int("bytes", best.Bytes),
+		obs.Int("budget", opts.BudgetBytes),
+		obs.Str("criterion", opts.Criterion.String()),
+	)
 }
 
 func (s *searcher) snapshot() *Result {
@@ -431,8 +519,9 @@ func (s *searcher) apply(m *move) {
 }
 
 // randomMove applies one random legal add move regardless of score, to
-// escape a local maximum. Returns false if no legal move exists.
-func (s *searcher) randomMove() bool {
+// escape a local maximum. Returns the applied move, or nil if no legal
+// move exists.
+func (s *searcher) randomMove() *move {
 	type cand struct{ child, parent int }
 	var cands []cand
 	for child := range s.vars {
@@ -450,10 +539,10 @@ func (s *searcher) randomMove() bool {
 		m := s.tryMove(c.child, append(append([]int(nil), s.chosen[c.child]...), c.parent))
 		if m != nil {
 			s.apply(m)
-			return true
+			return m
 		}
 	}
-	return false
+	return nil
 }
 
 // wouldCycle reports whether setting child's expanded parents to exp makes

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	child := s.Start("x")
+	if child != nil {
+		t.Fatalf("nil span Start returned %v", child)
+	}
+	s.End()
+	s.Set(Int("k", 1))
+	s.Event("e")
+	if s.Tree() != "" {
+		t.Fatalf("nil span renders non-empty tree")
+	}
+	if s.Dump() != nil {
+		t.Fatalf("nil span dumps non-nil")
+	}
+	if s.Duration() != 0 || s.Name() != "" {
+		t.Fatalf("nil span reports name/duration")
+	}
+}
+
+func TestStartWithoutTracerReturnsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "estimate")
+	if sp != nil {
+		t.Fatalf("Start without tracer returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("Start without tracer rewrapped the context")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatalf("FromContext on bare context returned a span")
+	}
+}
+
+func TestNestedSpansAndDurations(t *testing.T) {
+	tr := NewTracer("root")
+	ctx := NewContext(context.Background(), tr.Root())
+
+	ctx1, a := Start(ctx, "a")
+	time.Sleep(2 * time.Millisecond)
+	_, b := Start(ctx1, "b")
+	time.Sleep(1 * time.Millisecond)
+	b.End()
+	a.End()
+	tr.End()
+
+	d := tr.Root().Dump()
+	if d.Name != "root" || len(d.Children) != 1 {
+		t.Fatalf("unexpected tree shape: %+v", d)
+	}
+	da := d.Children[0]
+	if da.Name != "a" || len(da.Children) != 1 || da.Children[0].Name != "b" {
+		t.Fatalf("unexpected nesting: %+v", da)
+	}
+	if da.DurationMicros < da.Children[0].DurationMicros {
+		t.Fatalf("child outlived parent: a=%dµs b=%dµs", da.DurationMicros, da.Children[0].DurationMicros)
+	}
+	if d.DurationMicros < da.DurationMicros {
+		t.Fatalf("root shorter than child")
+	}
+}
+
+func TestAttrsAndEvents(t *testing.T) {
+	tr := NewTracer("learn")
+	sp := tr.Root()
+	sp.Set(Int("vars", 12), Str("criterion", "ssn"), Bool("ok", true), Float("ll", -1234.5), Int64("big", 1<<40))
+	sp.Event("move", Int("step", 1), Float("dll", 3.25))
+	tr.End()
+
+	d := sp.Dump()
+	want := map[string]string{
+		"vars": "12", "criterion": "ssn", "ok": "true", "ll": "-1234.5", "big": "1099511627776",
+	}
+	for k, v := range want {
+		if d.Attrs[k] != v {
+			t.Errorf("attr %s = %q, want %q", k, d.Attrs[k], v)
+		}
+	}
+	if len(d.Children) != 1 || d.Children[0].Name != "move" {
+		t.Fatalf("event not recorded: %+v", d.Children)
+	}
+	if d.Children[0].DurationMicros != 0 {
+		t.Fatalf("event has non-zero duration")
+	}
+	if d.Children[0].Attrs["dll"] != "3.25" {
+		t.Fatalf("event attr lost: %+v", d.Children[0].Attrs)
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	tr := NewTracer("estimate")
+	sp := tr.Root().Start("closure")
+	sp.Set(Bool("cache_hit", false))
+	sp.End()
+	tr.End()
+	out := tr.Root().Tree()
+	if !strings.Contains(out, "estimate") || !strings.Contains(out, "closure") {
+		t.Fatalf("tree missing spans:\n%s", out)
+	}
+	if !strings.Contains(out, "cache_hit=false") {
+		t.Fatalf("tree missing attrs:\n%s", out)
+	}
+	// Child is indented under the root.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "  closure") {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+}
+
+func TestDumpJSONRoundTrip(t *testing.T) {
+	tr := NewTracer("r")
+	tr.Root().Start("c").End()
+	tr.End()
+	raw, err := json.Marshal(tr.Root().Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanDump
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "r" || len(back.Children) != 1 || back.Children[0].Name != "c" {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Root().Start("work")
+				sp.Set(Int("worker", w))
+				tr.Root().Event("tick")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.End()
+	d := tr.Root().Dump()
+	if len(d.Children) != 8*200 {
+		t.Fatalf("lost spans: %d != %d", len(d.Children), 8*200)
+	}
+}
+
+func TestVisit(t *testing.T) {
+	tr := NewTracer("a")
+	tr.Root().Start("b").End()
+	tr.Root().Start("c").End()
+	tr.End()
+	var names []string
+	tr.Root().Visit(func(name string, _ time.Duration) { names = append(names, name) })
+	if len(names) != 3 || names[0] != "a" {
+		t.Fatalf("visit order: %v", names)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer("r")
+	sp := tr.Root().Start("s")
+	sp.End()
+	d1 := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if d2 := sp.Duration(); d2 != d1 {
+		t.Fatalf("second End changed duration: %v -> %v", d1, d2)
+	}
+}
+
+// BenchmarkDisabledStart measures the no-tracer fast path the estimate
+// benchmarks ride through: one context lookup, no allocation.
+func BenchmarkDisabledStart(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "estimate")
+		sp.Set(Int("n", i))
+		sp.End()
+	}
+}

@@ -1,0 +1,70 @@
+package queryparse
+
+import (
+	"testing"
+
+	"prmsel/internal/datagen"
+)
+
+// FuzzParse checks the parser never panics, reports every rejection as a
+// *ParseError with an offset inside the input, and that accepted queries
+// validate against the schema (db.Count executes them without error).
+//
+// The seed corpus walks the ParseError sites: empty input (offset at end),
+// a stray leading keyword, unknown tables/aliases/attributes, unresolvable
+// value labels (the wrapped-error path), malformed #codes, and clauses cut
+// off mid-token so Offset == len(input).
+func FuzzParse(f *testing.F) {
+	db := datagen.TB(0.05, 1)
+
+	seeds := []string{
+		// Valid forms, so mutation starts from accepted shapes.
+		`FROM Patient p WHERE p.HIV = positive`,
+		`FROM Contact c, Patient p WHERE c.Patient = p.PK AND c.Contype = roommate`,
+		`FROM Patient p WHERE p.Age BETWEEN age2 AND age5`,
+		`FROM Patient p WHERE p.HIV IN (positive, unknown)`,
+		`FROM Contact c WHERE c.Contype NOT IN (casual, coworker)`,
+		`FROM Contact c, Patient p WHERE c.Age = p.Age`,
+		`FROM Patient p WHERE p.Age = #3`,
+		// Error cases, one per ParseError site.
+		``,                                        // empty: offset == 0 == len
+		`SELECT * FROM Patient p`,                 // parse starts with FROM
+		`FROM`,                                    // input ends early: offset == len
+		`FROM Nope n`,                             // unknown table
+		`FROM Patient p, Patient p WHERE`,         // duplicate alias, dangling WHERE
+		`FROM Patient p WHERE q.Age = #1`,         // unknown alias
+		`FROM Patient p WHERE p.Nope = 1`,         // unknown attribute
+		`FROM Patient p WHERE p.HIV = martian`,    // unknown value label (wrapped err)
+		`FROM Patient p WHERE p.Age = #x`,         // malformed raw code
+		`FROM Patient p WHERE p.Age BETWEEN age2`, // BETWEEN missing AND hi
+		`FROM Patient p WHERE p.HIV IN (`,         // IN list cut off
+		`FROM Patient p WHERE p.HIV IN positive`,  // IN without parens
+		`FROM Patient p WHERE p.Age !`,            // operator cut off
+		`FROM Contact c WHERE c.Patient = p.PK`,   // join to undeclared alias
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(db, text)
+		if err != nil {
+			pe := AsParseError(err)
+			if pe == nil {
+				t.Fatalf("rejection is not a *ParseError: %v", err)
+			}
+			if pe.Offset < 0 || pe.Offset > len(text) {
+				t.Fatalf("ParseError offset %d outside input of length %d: %v", pe.Offset, len(text), err)
+			}
+			if pe.Msg == "" {
+				t.Fatalf("ParseError without message: %+v", pe)
+			}
+			return
+		}
+		// Accepted queries must be executable against the schema they were
+		// resolved against.
+		if _, err := db.Count(q); err != nil {
+			t.Fatalf("accepted query does not execute: %v\ninput: %q", err, text)
+		}
+	})
+}

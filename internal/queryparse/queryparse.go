@@ -287,6 +287,16 @@ func (p *parser) equalsClause(left ref) error {
 			p.q.KeyJoin(left.alias, left.attr, otherAlias)
 			return nil
 		}
+		// Non-key join: both sides must name real attributes, which the
+		// query builder does not itself check.
+		leftTable := p.db.Table(p.q.Vars[left.alias])
+		if leftTable.AttrIndex(left.attr) < 0 {
+			return p.errHere("table %s has no attribute %q", leftTable.Name, left.attr)
+		}
+		rightTable := p.db.Table(p.q.Vars[otherAlias])
+		if rightTable.AttrIndex(target) < 0 {
+			return p.errHere("table %s has no attribute %q", rightTable.Name, target)
+		}
 		p.q.NonKeyJoinOn(left.alias, left.attr, otherAlias, target)
 		return nil
 	}

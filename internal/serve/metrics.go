@@ -33,6 +33,11 @@ type Metrics struct {
 	latSumUS  atomic.Int64
 	latBucket []atomic.Int64 // len(latencyBoundsMicros)+1, last is overflow
 
+	// Per-stage latency histograms over the estimate pipeline, keyed by
+	// span name (see stageNames). The map is fixed at construction; the
+	// histograms themselves are atomic.
+	stages map[string]*stageHist
+
 	// Estimation error vs. the exact executor, on sampled requests.
 	errMu      sync.Mutex
 	errSamples int64
@@ -40,11 +45,52 @@ type Metrics struct {
 	qerrMax    float64
 }
 
+// stageNames are the estimate-pipeline stages with their own latency
+// histograms: query parsing, the cache lookup (including singleflight
+// waits), the shape-cache/closure build, variable elimination, and the
+// exact executor on sampled requests. They match the span names the
+// request trace produces, so ObserveStage can be fed by walking a
+// finished trace.
+var stageNames = []string{"parse", "cache", "closure", "infer", "exact"}
+
+// stageHist is one stage's latency histogram (same bucket bounds as the
+// request histogram).
+type stageHist struct {
+	count  atomic.Int64
+	sumUS  atomic.Int64
+	bucket []atomic.Int64
+}
+
+func (h *stageHist) observe(us int64) {
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for i, b := range latencyBoundsMicros {
+		if us <= b {
+			h.bucket[i].Add(1)
+			return
+		}
+	}
+	h.bucket[len(latencyBoundsMicros)].Add(1)
+}
+
 // NewMetrics returns zeroed metrics anchored at now.
 func NewMetrics() *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		start:     time.Now(),
 		latBucket: make([]atomic.Int64, len(latencyBoundsMicros)+1),
+		stages:    make(map[string]*stageHist, len(stageNames)),
+	}
+	for _, name := range stageNames {
+		m.stages[name] = &stageHist{bucket: make([]atomic.Int64, len(latencyBoundsMicros)+1)}
+	}
+	return m
+}
+
+// ObserveStage records one stage latency. Unknown stage names are ignored,
+// so callers may feed every span of a trace without filtering.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	if h, ok := m.stages[stage]; ok {
+		h.observe(d.Microseconds())
 	}
 }
 
@@ -131,6 +177,26 @@ func (m *Metrics) Snapshot() map[string]any {
 		"latency_us_mean":    rate(m.latSumUS.Load(), m.latCount.Load()),
 		"latency_obs":        m.latCount.Load(),
 	}
+	stages := make(map[string]any, len(m.stages))
+	for name, h := range m.stages {
+		n := h.count.Load()
+		if n == 0 {
+			continue
+		}
+		sh := make(map[string]int64, len(latencyBoundsMicros)+1)
+		for i, b := range latencyBoundsMicros {
+			sh[fmt6(b)] = h.bucket[i].Load()
+		}
+		sh["+Inf"] = h.bucket[len(latencyBoundsMicros)].Load()
+		stages[name] = map[string]any{
+			"obs":        n,
+			"us_mean":    rate(h.sumUS.Load(), n),
+			"us_buckets": sh,
+		}
+	}
+	if len(stages) > 0 {
+		out["stages"] = stages
+	}
 	m.errMu.Lock()
 	if m.errSamples > 0 {
 		out["exact_samples"] = m.errSamples
@@ -163,16 +229,23 @@ func fmt6(v int64) string {
 	return string(buf[i:])
 }
 
-// published is the Metrics instance /debug/vars reads. Publish swaps it,
-// so tests that build several servers all observe the latest; the expvar
-// itself is registered once (expvar panics on duplicate names).
+// published is the Metrics instance /debug/vars reads. This indirection is
+// the canonical fix for expvar's duplicate-name panic: expvar.Publish is
+// process-global and panics when a name is registered twice, but servers
+// are constructed freely (several per process in tests, and again after a
+// restartless reconfiguration). So the "prmserved" var is registered
+// exactly once, as a Func that dereferences this pointer, and Publish
+// merely swaps the pointer — every call is safe, and /debug/vars always
+// reports the most recently published instance.
 var (
 	published   atomic.Pointer[Metrics]
 	publishOnce sync.Once
 )
 
 // Publish exposes m as the expvar "prmserved", making it visible at
-// GET /debug/vars alongside the runtime's memstats.
+// GET /debug/vars alongside the runtime's memstats. Safe to call any
+// number of times across any number of Metrics instances; the last call
+// wins (see published).
 func (m *Metrics) Publish() {
 	published.Store(m)
 	publishOnce.Do(func() {

@@ -1,17 +1,24 @@
 package serve
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"prmsel/internal/core"
+	"prmsel/internal/obs"
 	"prmsel/internal/query"
 	"prmsel/internal/queryparse"
 )
@@ -36,6 +43,9 @@ type Config struct {
 	Metrics *Metrics
 	// Logf logs service events (rebuild outcomes); log.Printf when nil.
 	Logf func(format string, args ...any)
+	// Logger receives one structured record per request (trace id, method,
+	// path, status, latency); slog.Default() when nil.
+	Logger *slog.Logger
 }
 
 // Server is the estimation service.
@@ -45,6 +55,7 @@ type Server struct {
 	cache   *Cache
 	metrics *Metrics
 	logf    func(format string, args ...any)
+	logger  *slog.Logger
 	reqSeq  atomic.Int64 // drives ExactEvery sampling
 	start   time.Time
 }
@@ -72,12 +83,16 @@ func NewServer(cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	return &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
 		cache:   NewCache(cfg.CacheCapacity, cfg.CacheShards),
 		metrics: cfg.Metrics,
 		logf:    cfg.Logf,
+		logger:  cfg.Logger,
 		start:   time.Now(),
 	}
 }
@@ -86,15 +101,86 @@ func NewServer(cfg Config) *Server {
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Handler returns the service's HTTP handler: the versioned JSON API,
-// health, and debug vars, all behind the per-request timeout.
+// health, and debug vars behind the per-request timeout, plus the pprof
+// endpoints mounted outside it (a 30-second CPU profile must not be killed
+// by the request deadline), all wrapped in structured request logging.
+// The timeout cancels the request context, so an expired estimate stops
+// inference between elimination steps rather than finishing a dead
+// request's factor products.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	mux.HandleFunc("GET /v1/models", s.handleModels)
-	mux.HandleFunc("POST /v1/models/{name}/rebuild", s.handleRebuild)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /debug/vars", expvar.Handler())
-	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	api := http.NewServeMux()
+	api.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	api.HandleFunc("GET /v1/models", s.handleModels)
+	api.HandleFunc("POST /v1/models/{name}/rebuild", s.handleRebuild)
+	api.HandleFunc("GET /healthz", s.handleHealthz)
+	api.Handle("GET /debug/vars", expvar.Handler())
+
+	root := http.NewServeMux()
+	root.Handle("/", http.TimeoutHandler(api, s.cfg.RequestTimeout, `{"error":"request timed out"}`))
+	root.HandleFunc("GET /debug/pprof/", pprof.Index)
+	root.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s.logging(root)
+}
+
+// logging assigns every request a trace id (echoed in the X-Trace-Id
+// response header) and emits one structured log record when it completes.
+// It sits outside the timeout handler so timed-out requests log their real
+// 503 status.
+func (s *Server) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		id := newTraceID()
+		w.Header().Set("X-Trace-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("trace_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int("bytes", sw.bytes),
+			slog.Int64("micros", time.Since(started).Microseconds()),
+		)
+	})
+}
+
+// statusWriter captures the status code and body size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// newTraceID returns a 16-hex-digit random request id.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // estimateRequest is the POST /v1/estimate body.
@@ -130,7 +216,8 @@ type exactResult struct {
 	QError float64 `json:"qerror"`
 }
 
-// estimateResponse is the POST /v1/estimate reply.
+// estimateResponse is the POST /v1/estimate reply. Trace and Explain are
+// populated only for ?trace=1 requests.
 type estimateResponse struct {
 	Model         string            `json:"model"`
 	Generation    int64             `json:"generation"`
@@ -140,6 +227,8 @@ type estimateResponse struct {
 	Cache         cacheInfo         `json:"cache"`
 	LatencyMicros int64             `json:"latency_micros"`
 	Exact         *exactResult      `json:"exact,omitempty"`
+	Trace         *obs.SpanDump     `json:"trace,omitempty"`
+	Explain       *core.Explanation `json:"explain,omitempty"`
 }
 
 // cachedEstimate is what the inference cache stores: everything derived
@@ -152,6 +241,14 @@ type cachedEstimate struct {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
+	// Every estimate request is traced: the finished span tree feeds the
+	// per-stage latency histograms, and ?trace=1 additionally returns it.
+	tr := obs.NewTracer("request")
+	ctx := obs.NewContext(r.Context(), tr.Root())
+	defer func() {
+		tr.End()
+		tr.Root().Visit(s.metrics.ObserveStage)
+	}()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req estimateRequest
 	dec := json.NewDecoder(r.Body)
@@ -181,7 +278,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := model.Current()
 
+	psp := tr.Root().Start("parse")
 	q, err := queryparse.Parse(snap.DB, req.Query)
+	psp.End()
 	if err != nil {
 		s.failParse(w, err)
 		return
@@ -200,12 +299,25 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("%s\x00%d\x00%s\x00%s",
 		model.Name, snap.Generation, strings.Join(wanted, ","), q.CanonicalKey())
 
+	cctx, csp := obs.Start(ctx, "cache")
 	val, hit, deduped, err := s.cache.Do(key, func() (any, error) {
-		return s.runEstimators(snap, wanted, q)
+		return s.runEstimators(cctx, snap, wanted, q)
 	})
+	csp.Set(obs.Bool("hit", hit), obs.Bool("deduped", deduped))
+	csp.End()
 	s.metrics.ObserveCache(hit, deduped)
 	if err != nil {
 		s.metrics.ObserveError()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client went away (or the request deadline fired) while
+			// inference was running; report it as an availability failure
+			// rather than a query problem.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":  err.Error(),
+				"reason": "request cancelled before inference finished",
+			})
+			return
+		}
 		s.fail(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
@@ -225,7 +337,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	sampled := s.cfg.ExactEvery > 0 && seq%int64(s.cfg.ExactEvery) == 0
 	if req.Exact || sampled {
 		exactStart := time.Now()
+		esp := tr.Root().Start("exact")
 		truth, err := snap.DB.Count(q)
+		esp.End()
 		if err == nil {
 			s.metrics.ObserveQError(ce.estimate, truth)
 			resp.Exact = &exactResult{
@@ -238,24 +352,56 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	resp.LatencyMicros = time.Since(started).Microseconds()
 	s.metrics.ObserveRequest(time.Since(started))
+
+	if r.URL.Query().Get("trace") == "1" {
+		tr.End()
+		resp.Trace = tr.Root().Dump()
+		if ex, ok := snap.Primary().(explainer); ok && len(q.NonKeyJoins) == 0 {
+			if e, err := ex.Explain(q); err == nil {
+				resp.Explain = e
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// explainer is the optional estimator capability behind ?trace=1's explain
+// payload; the PRM implements it.
+type explainer interface {
+	Explain(q *query.Query) (*core.Explanation, error)
+}
+
+// contextEstimator is the optional estimator capability the request
+// context flows through: tracing spans and early cancellation. The PRM
+// implements it; plain baselines run uninterruptible (they are fast).
+type contextEstimator interface {
+	EstimateCountCtx(ctx context.Context, q *query.Query) (float64, error)
 }
 
 // runEstimators is the cache-miss path: run every selected estimator on
 // the parsed query. The primary (PRM) failing fails the computation; a
 // baseline failing is reported inline so estimators with partial query
-// support (SAMPLE, MHIST) degrade gracefully.
-func (s *Server) runEstimators(snap *Snapshot, wanted []string, q *query.Query) (*cachedEstimate, error) {
+// support (SAMPLE, MHIST) degrade gracefully. The context carries the
+// request's trace span and cancellation into estimators that accept one.
+func (s *Server) runEstimators(ctx context.Context, snap *Snapshot, wanted []string, q *query.Query) (*cachedEstimate, error) {
 	ce := &cachedEstimate{query: q.String()}
 	for _, name := range wanted {
 		est := snap.Estimator(name)
 		res := estimatorResult{Estimator: name}
 		estStart := time.Now()
-		v, err := est.EstimateCount(q)
+		var v float64
+		var err error
+		if cest, ok := est.(contextEstimator); ok {
+			v, err = cest.EstimateCountCtx(ctx, q)
+		} else if err = ctx.Err(); err == nil {
+			v, err = est.EstimateCount(q)
+		}
 		res.Micros = time.Since(estStart).Microseconds()
 		if err != nil {
-			if est == snap.Primary() {
-				return nil, fmt.Errorf("%s: %s", name, err)
+			// Cancellation always fails the computation — a half-cancelled
+			// breakdown must never be cached as if it were the real answer.
+			if est == snap.Primary() || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("%s: %w", name, err)
 			}
 			res.Error = err.Error()
 		} else {

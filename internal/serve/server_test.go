@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -35,7 +36,11 @@ func fig1Registry(t *testing.T) *Registry {
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := NewServer(Config{Registry: fig1Registry(t)})
+	srv := NewServer(Config{
+		Registry: fig1Registry(t),
+		// Keep request logs out of the test output.
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts

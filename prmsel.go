@@ -24,6 +24,7 @@
 package prmsel
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -174,6 +175,13 @@ func Build(db *Database, cfg Config) (*Model, error) {
 
 // EstimateCount estimates the result size of q (the paper's online phase).
 func (m *Model) EstimateCount(q *Query) (float64, error) { return m.prm.EstimateCount(q) }
+
+// EstimateCountCtx is EstimateCount under a context: a span-carrying
+// context (internal/obs via Trace helpers) records the estimate as a span
+// tree, and cancellation stops inference between elimination steps.
+func (m *Model) EstimateCountCtx(ctx context.Context, q *Query) (float64, error) {
+	return m.prm.EstimateCountCtx(ctx, q)
+}
 
 // EstimateSelectivity estimates q's selectivity relative to the cross
 // product of its tables.
