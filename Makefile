@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench fuzz
 
 ## check: the full verification gate — format, vet, build, tests, race-mode
 ## tests for the concurrent subsystems.
@@ -28,6 +28,12 @@ test:
 race:
 	$(GO) test -race ./internal/serve/... ./internal/bayesnet/...
 	$(GO) test -race -run TestConcurrent ./internal/core/...
+
+## fuzz: a short fuzzing pass over the model codec — Decode must return an
+## error or a usable model on arbitrary bytes, never panic. Corpus finds
+## land in internal/bayesnet/testdata/fuzz/ for `test` to replay forever.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/bayesnet
 
 ## bench: a smoke pass — every benchmark runs exactly once, so CI catches
 ## benchmarks that no longer compile or crash without paying for timing

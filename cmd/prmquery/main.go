@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"prmsel"
+	"prmsel/internal/bayesnet"
 	"prmsel/internal/cliutil"
 	"prmsel/internal/obs"
 	"prmsel/internal/queryparse"
@@ -46,6 +47,8 @@ func main() {
 	server := flag.String("server", "", "prmserved base URL (e.g. http://localhost:8080); queries go to the service instead of a local model")
 	modelName := flag.String("model", "", "model name on the server (with -server; empty = the server's only model)")
 	trace := flag.Bool("trace", false, "print each estimate's span tree (parse/closure/inference timings)")
+	maxCells := flag.Int("max-cells", 0, "elimination budget in factor cells; over-budget queries degrade to likelihood-weighting sampling (0 = unlimited)")
+	approxSamples := flag.Int("approx-samples", 4096, "likelihood-weighting samples when degraded below exact")
 	flag.Parse()
 
 	if *server != "" {
@@ -79,14 +82,35 @@ func main() {
 			tr = obs.NewTracer("prmquery")
 			ctx = obs.NewContext(ctx, tr.Root())
 		}
-		est, err := model.EstimateCountCtx(ctx, q)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			return
+		var est float64
+		var tier, tierReason string
+		if *maxCells > 0 {
+			// Budgeted estimation goes through the degradation chain, so an
+			// over-budget query reports a sampled answer and its tier
+			// instead of failing.
+			res, err := model.EstimateCountFallback(ctx, q, prmsel.EstimateOptions{
+				Budget:        bayesnet.Budget{MaxCells: *maxCells},
+				ApproxSamples: *approxSamples,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				return
+			}
+			est, tier, tierReason = res.Estimate, string(res.Tier), res.Reason
+		} else {
+			var err error
+			est, err = model.EstimateCountCtx(ctx, q)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				return
+			}
 		}
 		estTime := time.Since(estStart)
 		fmt.Printf("query:    %s\n", q)
 		fmt.Printf("estimate: %.1f   (%v)\n", est, estTime.Round(time.Microsecond))
+		if tier != "" && tier != "exact" {
+			fmt.Printf("tier:     %s   (%s)\n", tier, tierReason)
+		}
 		if !*noExact {
 			exactStart := time.Now()
 			truth, err := db.Count(q)
@@ -184,6 +208,8 @@ func remoteRun(base, model, text string, exact, trace bool) {
 		Generation int64   `json:"generation"`
 		Query      string  `json:"query"`
 		Estimate   float64 `json:"estimate"`
+		Tier       string  `json:"tier"`
+		TierReason string  `json:"tier_reason"`
 		Breakdown  []struct {
 			Estimator string  `json:"estimator"`
 			Estimate  float64 `json:"estimate"`
@@ -214,6 +240,9 @@ func remoteRun(base, model, text string, exact, trace bool) {
 	}
 	fmt.Printf("query:    %s\n", resp.Query)
 	fmt.Printf("estimate: %.1f   (%s, model %s gen %d)\n", resp.Estimate, source, resp.Model, resp.Generation)
+	if resp.Tier != "" && resp.Tier != "exact" {
+		fmt.Printf("tier:     %s   (%s)\n", resp.Tier, resp.TierReason)
+	}
 	if resp.Exact != nil {
 		errPct := 100 * abs(resp.Estimate-float64(resp.Exact.Count)) / maxf(float64(resp.Exact.Count), 1)
 		fmt.Printf("exact:    %d   (%v, adjusted relative error %.1f%%)\n",

@@ -42,6 +42,12 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
 	exactEvery := flag.Int("exact-every", 0, "run every Nth estimate through the exact executor for q-error metrics (0 = off)")
 	logJSON := flag.Bool("log-json", false, "emit request logs as JSON (default: logfmt-style text)")
+	maxCells := flag.Int("max-cells", 0, "elimination budget in factor cells; over-budget queries degrade to sampling (0 = unlimited)")
+	approxSamples := flag.Int("approx-samples", 4096, "likelihood-weighting samples for the degraded tier")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission-control weight capacity (0 = 8×GOMAXPROCS, negative = off)")
+	maxQueued := flag.Int("max-queued", 0, "admission queue length before 429 (0 = 4×capacity)")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "max wait for an inference slot before 503")
+	rebuildRetries := flag.Int("rebuild-retries", 5, "max build attempts per rebuild cycle")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -76,6 +82,7 @@ func main() {
 			Scale:       *scale,
 			Seed:        *seed,
 			BudgetBytes: *budget,
+			Retry:       serve.RetryPolicy{MaxAttempts: *rebuildRetries},
 		})
 	}
 	if *csvDir != "" {
@@ -83,6 +90,7 @@ func main() {
 			CSVDir:      *csvDir,
 			Seed:        *seed,
 			BudgetBytes: *budget,
+			Retry:       serve.RetryPolicy{MaxAttempts: *rebuildRetries},
 		})
 	}
 	if len(reg.Names()) == 0 {
@@ -95,6 +103,11 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		ExactEvery:     *exactEvery,
+		MaxCells:       *maxCells,
+		ApproxSamples:  *approxSamples,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueued:      *maxQueued,
+		QueueTimeout:   *queueTimeout,
 		Logger:         logger,
 	})
 	srv.Metrics().Publish()

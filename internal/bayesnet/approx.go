@@ -1,8 +1,12 @@
 package bayesnet
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+
+	"prmsel/internal/faults"
+	"prmsel/internal/obs"
 )
 
 // LikelihoodWeighting estimates P(evt) by importance sampling: ancestral
@@ -17,6 +21,15 @@ import (
 // conditional restricted to the accepted set and weights by the accepted
 // mass. The estimator is unbiased; its variance shrinks as O(1/samples).
 func (n *Network) LikelihoodWeighting(evt Event, samples int, rng *rand.Rand) (float64, error) {
+	return n.LikelihoodWeightingCtx(context.Background(), evt, samples, rng)
+}
+
+// LikelihoodWeightingCtx is LikelihoodWeighting under a context: a
+// span-carrying context records the sampling as an "approx" span, and
+// cancellation stops the particle loop between batches. This is the
+// entry point of the graceful-degradation chain — the tier that answers
+// when exact elimination refuses its resource budget.
+func (n *Network) LikelihoodWeightingCtx(ctx context.Context, evt Event, samples int, rng *rand.Rand) (float64, error) {
 	if samples <= 0 {
 		return 0, fmt.Errorf("bayesnet: need a positive sample count, got %d", samples)
 	}
@@ -41,10 +54,26 @@ func (n *Network) LikelihoodWeighting(evt Event, samples int, rng *rand.Rand) (f
 	if err != nil {
 		return 0, err
 	}
+	_, sp := obs.Start(ctx, "approx")
+	if err := faults.Inject("bayesnet.approx"); err != nil {
+		sp.Set(obs.Str("injected", err.Error()))
+		sp.End()
+		return 0, err
+	}
 
 	assignment := make([]int32, len(n.vars))
 	var total float64
 	for s := 0; s < samples; s++ {
+		// A cancelled caller stops between batches; each particle is a
+		// cheap O(#vars) walk, so checking every 64th keeps the poll cost
+		// invisible while still bounding overrun.
+		if s%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				sp.Set(obs.Str("interrupted", err.Error()))
+				sp.End()
+				return 0, fmt.Errorf("bayesnet: sampling interrupted: %w", err)
+			}
+		}
 		weight := 1.0
 		for _, v := range order {
 			pvals := make([]int32, len(n.parents[v]))
@@ -69,6 +98,10 @@ func (n *Network) LikelihoodWeighting(evt Event, samples int, rng *rand.Rand) (f
 			assignment[v] = n.sampleVar(v, pvals, set, rng)
 		}
 		total += weight
+	}
+	if sp != nil {
+		sp.Set(obs.Int("samples", samples))
+		sp.End()
 	}
 	return total / float64(samples), nil
 }

@@ -1,0 +1,122 @@
+package bayesnet
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"prmsel/internal/faults"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+// overBudgetEvent is a range event on fig1's H: it keeps every closure
+// variable alive, so elimination must build a genuine multi-variable
+// product (E×I is a 9-cell, 2-variable factor).
+func overBudgetEvent() Event { return Event{2: {0, 1}} }
+
+func TestBudgetRefusesOversizedProduct(t *testing.T) {
+	net := fig1Net(t)
+	_, err := net.ProbabilityBudget(context.Background(), overBudgetEvent(), Budget{MaxCells: 2})
+	if err == nil {
+		t.Fatal("ProbabilityBudget under a 2-cell budget succeeded, want refusal")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want errors.Is(_, ErrBudgetExceeded)", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want a *BudgetError", err)
+	}
+	if be.Cells <= be.MaxCells {
+		t.Errorf("BudgetError cells = %d, max %d: refused a factor under budget", be.Cells, be.MaxCells)
+	}
+}
+
+func TestBudgetWidthBound(t *testing.T) {
+	net := fig1Net(t)
+	_, err := net.ProbabilityBudget(context.Background(), overBudgetEvent(), Budget{MaxWidth: 1})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget refusal on width", err)
+	}
+}
+
+func TestBudgetGenerousMatchesUnbudgeted(t *testing.T) {
+	net := fig1Net(t)
+	for _, evt := range []Event{
+		overBudgetEvent(),
+		{0: {0}, 1: {0}, 2: {0}},
+		{1: {1, 2}, 2: {1}},
+	} {
+		want, err := net.Probability(evt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := net.ProbabilityBudget(context.Background(), evt, Budget{MaxCells: 1 << 20, MaxWidth: 16})
+		if err != nil {
+			t.Fatalf("budgeted inference failed: %v", err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("budgeted P = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBudgetZeroValueIsUnlimited(t *testing.T) {
+	if (Budget{}).Enabled() {
+		t.Fatal("zero Budget reports Enabled")
+	}
+	net := fig1Net(t)
+	p, err := net.ProbabilityBudget(context.Background(), overBudgetEvent(), Budget{})
+	if err != nil || p <= 0 {
+		t.Fatalf("unlimited budget: P = %v, err = %v", p, err)
+	}
+}
+
+func TestBudgetedInferenceHonorsCancellation(t *testing.T) {
+	net := fig1Net(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := net.ProbabilityBudget(ctx, overBudgetEvent(), Budget{MaxCells: 1 << 20})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestInferFaultPoint(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	boom := errors.New("injected inference failure")
+	faults.Set("bayesnet.infer", faults.Fault{Err: boom})
+	net := fig1Net(t)
+	_, err := net.Probability(overBudgetEvent())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected fault", err)
+	}
+	faults.Clear("bayesnet.infer")
+	if _, err := net.Probability(overBudgetEvent()); err != nil {
+		t.Fatalf("after clearing the fault: %v", err)
+	}
+}
+
+func TestApproxFaultPointAndCancellation(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	net := fig1Net(t)
+	boom := errors.New("injected sampler failure")
+	faults.Set("bayesnet.approx", faults.Fault{Err: boom})
+	if _, err := net.LikelihoodWeightingCtx(context.Background(), overBudgetEvent(), 128, testRNG()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected fault", err)
+	}
+	faults.Reset()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, err := net.LikelihoodWeightingCtx(ctx, overBudgetEvent(), 1<<20, testRNG()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded mid-sampling", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 )
 
 // netDTO is the wire form of a Network.
@@ -38,10 +39,23 @@ func (n *Network) Encode(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(dto)
 }
 
-// Decode reads a network previously written by Encode.
+// maxDecodeCard bounds a decoded variable's cardinality: domains in this
+// system are value codes over small categorical attributes, so anything
+// enormous is a corrupt or adversarial stream, and admitting it would let
+// later inference materialize factors of that size.
+const maxDecodeCard = 1 << 20
+
+// Decode reads a network previously written by Encode. Every structural
+// invariant later inference assumes is checked here — cardinalities,
+// parent ids, DAG acyclicity, CPD shapes, and distribution normalization —
+// so a corrupt or adversarial gob stream yields an error, never a panic or
+// a model that panics later.
 func Decode(r io.Reader) (*Network, error) {
 	var dto netDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("bayesnet: decode: %w", err)
+	}
+	if err := dto.validate(); err != nil {
 		return nil, fmt.Errorf("bayesnet: decode: %w", err)
 	}
 	n := New(dto.Vars)
@@ -54,8 +68,147 @@ func Decode(r io.Reader) (*Network, error) {
 	for v, c := range dto.Trees {
 		n.SetCPD(v, c)
 	}
+	// Validate covers acyclicity and CPD shape agreement; validate above
+	// already ensured its inputs are in range, so it cannot panic.
 	if err := n.Validate(); err != nil {
 		return nil, fmt.Errorf("bayesnet: decode: %w", err)
 	}
+	for v := range dto.Vars {
+		var c CPD
+		if t, ok := dto.Tables[v]; ok {
+			c = t
+		} else {
+			c = dto.Trees[v]
+		}
+		if err := checkDistributions(c); err != nil {
+			return nil, fmt.Errorf("bayesnet: decode: variable %s: %w", dto.Vars[v].Name, err)
+		}
+	}
 	return n, nil
+}
+
+// validate checks the raw decoded DTO before any of it is handed to
+// Network construction — index-shaped fields must be proven in range here
+// because SetParents/Validate index with them unchecked.
+func (d *netDTO) validate() error {
+	nv := len(d.Vars)
+	for v, vr := range d.Vars {
+		if vr.Card <= 0 {
+			return fmt.Errorf("variable %d (%s) has non-positive cardinality %d", v, vr.Name, vr.Card)
+		}
+		if vr.Card > maxDecodeCard {
+			return fmt.Errorf("variable %d (%s) has implausible cardinality %d", v, vr.Name, vr.Card)
+		}
+	}
+	if len(d.Parents) > nv {
+		return fmt.Errorf("parent sets for %d variables, want at most %d", len(d.Parents), nv)
+	}
+	for v, ps := range d.Parents {
+		seen := make(map[int]bool, len(ps))
+		for _, p := range ps {
+			if p < 0 || p >= nv {
+				return fmt.Errorf("variable %d has out-of-range parent %d", v, p)
+			}
+			if p == v {
+				return fmt.Errorf("variable %d is its own parent", v)
+			}
+			if seen[p] {
+				return fmt.Errorf("variable %d has duplicate parent %d", v, p)
+			}
+			seen[p] = true
+		}
+	}
+	for v, c := range d.Tables {
+		if v < 0 || v >= nv {
+			return fmt.Errorf("table CPD for out-of-range variable %d", v)
+		}
+		if c == nil {
+			return fmt.Errorf("nil table CPD for variable %d", v)
+		}
+		if _, dup := d.Trees[v]; dup {
+			return fmt.Errorf("variable %d has both a table and a tree CPD", v)
+		}
+	}
+	for v, c := range d.Trees {
+		if v < 0 || v >= nv {
+			return fmt.Errorf("tree CPD for out-of-range variable %d", v)
+		}
+		if c == nil || c.Root == nil {
+			return fmt.Errorf("nil tree CPD for variable %d", v)
+		}
+		if err := checkTreeWellFormed(c.Root, 0); err != nil {
+			return fmt.Errorf("variable %d: %w", v, err)
+		}
+	}
+	return nil
+}
+
+// checkTreeWellFormed rejects tree shapes Walk/check would crash on before
+// they run: nil children and interior vertices with no branches. Depth is
+// bounded so a cyclic (self-referential) gob graph cannot recurse forever.
+func checkTreeWellFormed(n *TreeNode, depth int) error {
+	if depth > 64 {
+		return fmt.Errorf("tree CPD deeper than 64 levels")
+	}
+	if n.Dist != nil {
+		return nil
+	}
+	if len(n.Children) == 0 {
+		return fmt.Errorf("tree CPD interior vertex has no children")
+	}
+	for _, c := range n.Children {
+		if c == nil {
+			return fmt.Errorf("tree CPD has a nil child")
+		}
+		if err := checkTreeWellFormed(c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkDistributions verifies every stored distribution is a probability
+// distribution: entries finite, non-negative, and summing to 1 within
+// tolerance. Inference quietly produces garbage (or non-finite estimates)
+// on violations, so a decoded model must prove this once up front.
+func checkDistributions(c CPD) error {
+	switch c := c.(type) {
+	case *TableCPD:
+		if c.ChildCard <= 0 {
+			return fmt.Errorf("table CPD child cardinality %d", c.ChildCard)
+		}
+		for base := 0; base+c.ChildCard <= len(c.Dist); base += c.ChildCard {
+			if err := checkDist(c.Dist[base : base+c.ChildCard]); err != nil {
+				return err
+			}
+		}
+	case *TreeCPD:
+		var err error
+		c.Walk(func(n *TreeNode) {
+			if err == nil && n.IsLeaf() {
+				err = checkDist(n.Dist)
+			}
+		})
+		return err
+	}
+	return nil
+}
+
+// distTolerance is the allowed |sum-1| of a stored distribution: loose
+// enough for float accumulation across learning and encoding, tight enough
+// to catch rows that were never normalized.
+const distTolerance = 1e-6
+
+func checkDist(dist []float64) error {
+	var sum float64
+	for _, p := range dist {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return fmt.Errorf("distribution entry %v is not a probability", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > distTolerance {
+		return fmt.Errorf("distribution sums to %v, want 1", sum)
+	}
+	return nil
 }

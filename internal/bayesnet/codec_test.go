@@ -1,0 +1,151 @@
+package bayesnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+// encodeDTO gob-encodes a raw netDTO, bypassing Encode's own checks — the
+// way a corrupt or adversarial stream reaches Decode.
+func encodeDTO(t testing.TB, dto netDTO) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func validDTO(t testing.TB) netDTO {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fig1Net(t).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dto netDTO
+	if err := gob.NewDecoder(&buf).Decode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	return dto
+}
+
+// TestDecodeRejectsCorruptModels walks the invariants Decode must prove:
+// every mutation below used to reach inference (or Validate) as an index
+// panic or silent garbage; all must now come back as errors.
+func TestDecodeRejectsCorruptModels(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*netDTO)
+		wantSub string
+	}{
+		{"zero cardinality", func(d *netDTO) { d.Vars[0].Card = 0 }, "cardinality"},
+		{"negative cardinality", func(d *netDTO) { d.Vars[1].Card = -3 }, "cardinality"},
+		{"implausible cardinality", func(d *netDTO) { d.Vars[0].Card = maxDecodeCard + 1 }, "implausible"},
+		{"out-of-range parent", func(d *netDTO) { d.Parents[1] = []int{99} }, "out-of-range parent"},
+		{"negative parent", func(d *netDTO) { d.Parents[2] = []int{-1} }, "out-of-range parent"},
+		{"self parent", func(d *netDTO) { d.Parents[1] = []int{1} }, "its own parent"},
+		{"duplicate parent", func(d *netDTO) { d.Parents[2] = []int{1, 1} }, "duplicate parent"},
+		{"parent cycle", func(d *netDTO) {
+			// 0→1 exists; adding 1→0 closes a cycle Validate must reject.
+			d.Parents[0] = []int{1}
+		}, "cycl"},
+		{"CPD for unknown variable", func(d *netDTO) { d.Tables[42] = d.Tables[0] }, "out-of-range"},
+		{"missing CPD", func(d *netDTO) { delete(d.Tables, 0) }, "no CPD"},
+		{"unnormalized distribution", func(d *netDTO) {
+			d.Tables[0].Dist[0] += 0.5
+		}, "sums to"},
+		{"negative probability", func(d *netDTO) {
+			d.Tables[0].Dist[0] = -0.1
+			d.Tables[0].Dist[1] = 0.9
+		}, "not a probability"},
+		{"CPD row length mismatch", func(d *netDTO) {
+			d.Tables[0].Dist = d.Tables[0].Dist[:2]
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dto := validDTO(t)
+			tc.mutate(&dto)
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on corrupt input: %v", r)
+				}
+			}()
+			_, err := Decode(bytes.NewReader(encodeDTO(t, dto)))
+			if err == nil {
+				t.Fatal("Decode accepted a corrupt model")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsMalformedTree(t *testing.T) {
+	// Swap variable 2's table CPD for an interior tree vertex with no
+	// branches — the shape tree evaluation would crash on. (Trees with nil
+	// children cannot even be gob-encoded, so checkTreeWellFormed's nil
+	// check is pure defense-in-depth and untestable through Decode.)
+	dto := validDTO(t)
+	delete(dto.Tables, 2)
+	dto.Trees = map[int]*TreeCPD{2: {Root: &TreeNode{}}}
+	if _, err := Decode(bytes.NewReader(encodeDTO(t, dto))); err == nil {
+		t.Fatal("Decode accepted an interior tree vertex with no children")
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes (seeded with a valid encoding and a few
+// mutants) into Decode: whatever comes back, it must be an error or a
+// model whose inference works — never a panic.
+func FuzzDecode(f *testing.F) {
+	var valid bytes.Buffer
+	net := New([]Variable{
+		{Name: "Education", Card: 3},
+		{Name: "Income", Card: 3},
+		{Name: "HomeOwner", Card: 2},
+	})
+	e := NewTableCPD(3, nil)
+	copy(e.Dist, []float64{0.5, 0.3, 0.2})
+	net.SetCPD(0, e)
+	net.SetParents(1, []int{0})
+	i := NewTableCPD(3, []int{3})
+	i.SetDist([]int32{0}, []float64{0.6, 0.3, 0.1})
+	i.SetDist([]int32{1}, []float64{0.5, 0.3, 0.2})
+	i.SetDist([]int32{2}, []float64{0.1, 0.3, 0.6})
+	net.SetCPD(1, i)
+	net.SetParents(2, []int{1})
+	h := NewTableCPD(2, []int{3})
+	h.SetDist([]int32{0}, []float64{0.9, 0.1})
+	h.SetDist([]int32{1}, []float64{0.7, 0.3})
+	h.SetDist([]int32{2}, []float64{0.1, 0.9})
+	net.SetCPD(2, h)
+	if err := net.Encode(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("not gob at all"))
+	if b := valid.Bytes(); len(b) > 16 {
+		trunc := append([]byte(nil), b[:len(b)/2]...)
+		f.Add(trunc)
+		flip := append([]byte(nil), b...)
+		flip[len(flip)/3] ^= 0xff
+		f.Add(flip)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// An accepted model must actually be usable: inference over its
+		// first variable must not panic and must return a probability.
+		p, err := n.Probability(Event{0: {0}})
+		if err == nil && (p < 0 || p > 1+1e-9) {
+			t.Fatalf("decoded model gave probability %v", p)
+		}
+	})
+}

@@ -2,12 +2,49 @@ package bayesnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"prmsel/internal/factor"
+	"prmsel/internal/faults"
 	"prmsel/internal/obs"
 )
+
+// ErrBudgetExceeded is the sentinel a budget-guarded elimination wraps when
+// it would have to build an intermediate factor larger than its Budget
+// allows. Callers match it with errors.Is and degrade to approximate
+// inference instead of letting a pathological query allocate without bound
+// (exact BN inference is worst-case exponential, paper §2.3).
+var ErrBudgetExceeded = errors.New("bayesnet: elimination budget exceeded")
+
+// Budget bounds the resources one variable elimination may commit. The
+// zero value means unlimited; a bounded elimination checks every factor
+// product *before* allocating its result, so exceeding the budget costs
+// nothing but the typed error.
+type Budget struct {
+	// MaxCells caps the table size (entries) of any intermediate factor.
+	MaxCells int
+	// MaxWidth caps the scope size (variables) of any intermediate factor.
+	MaxWidth int
+}
+
+// Enabled reports whether any bound is set.
+func (b Budget) Enabled() bool { return b.MaxCells > 0 || b.MaxWidth > 0 }
+
+// BudgetError carries what the guarded elimination refused to build; it
+// unwraps to ErrBudgetExceeded.
+type BudgetError struct {
+	Cells, MaxCells int
+	Width, MaxWidth int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("bayesnet: elimination needs a %d-cell, %d-variable factor (budget: %d cells, %d variables)",
+		e.Cells, e.Width, e.MaxCells, e.MaxWidth)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
 
 // Event is the query form inference answers: a conjunction over variables,
 // each restricted to a set of accepted values. A single-value set is an
@@ -39,7 +76,7 @@ func (o ElimOrder) String() string {
 // variables. Only the queried variables and their ancestors enter the
 // computation (paper §3.3).
 func (n *Network) Probability(evt Event) (float64, error) {
-	return n.probability(context.Background(), evt, MinFill)
+	return n.probability(context.Background(), evt, MinFill, Budget{})
 }
 
 // ProbabilityCtx is Probability under a context: a span-carrying context
@@ -47,16 +84,25 @@ func (n *Network) Probability(evt Event) (float64, error) {
 // elimination between variables (the unit of work that actually costs —
 // each step may multiply large factors).
 func (n *Network) ProbabilityCtx(ctx context.Context, evt Event) (float64, error) {
-	return n.probability(ctx, evt, MinFill)
+	return n.probability(ctx, evt, MinFill, Budget{})
 }
 
 // ProbabilityOrd is Probability with an explicit elimination-order
 // heuristic.
 func (n *Network) ProbabilityOrd(evt Event, ord ElimOrder) (float64, error) {
-	return n.probability(context.Background(), evt, ord)
+	return n.probability(context.Background(), evt, ord, Budget{})
 }
 
-func (n *Network) probability(ctx context.Context, evt Event, ord ElimOrder) (float64, error) {
+// ProbabilityBudget is ProbabilityCtx under a resource budget: the
+// elimination refuses (with an error wrapping ErrBudgetExceeded) to build
+// any intermediate factor over the budget, checking before it allocates,
+// and re-checks the context's deadline between factor products rather than
+// only between variables.
+func (n *Network) ProbabilityBudget(ctx context.Context, evt Event, b Budget) (float64, error) {
+	return n.probability(ctx, evt, MinFill, b)
+}
+
+func (n *Network) probability(ctx context.Context, evt Event, ord ElimOrder, budget Budget) (float64, error) {
 	if len(evt) == 0 {
 		return 1, nil
 	}
@@ -112,15 +158,30 @@ func (n *Network) probability(ctx context.Context, evt Event, ord ElimOrder) (fl
 		}
 	}
 	_, sp := obs.Start(ctx, "infer")
+	if err := faults.Inject("bayesnet.infer"); err != nil {
+		sp.Set(obs.Str("injected", err.Error()))
+		sp.End()
+		return 0, err
+	}
 	order := n.eliminationOrder(elim, factors, ord)
 	var stats elimStats
+	var g *guard
+	if budget.Enabled() {
+		g = &guard{ctx: ctx, budget: budget}
+	}
 	for _, v := range order {
 		if err := ctx.Err(); err != nil {
 			sp.Set(obs.Str("interrupted", err.Error()))
 			sp.End()
 			return 0, fmt.Errorf("bayesnet: inference interrupted: %w", err)
 		}
-		factors = eliminate(factors, v, &stats)
+		var err error
+		factors, err = eliminate(factors, v, &stats, g)
+		if err != nil {
+			sp.Set(obs.Str("refused", err.Error()), obs.Int("max_cells", stats.maxCells))
+			sp.End()
+			return 0, err
+		}
 	}
 	p := 1.0
 	for _, f := range factors {
@@ -284,10 +345,34 @@ func minFillOrder(closure []int, factors []*factor.Factor, n *Network) []int {
 	return out
 }
 
+// guard is the optional resource discipline of one elimination: the budget
+// every factor product is checked against before allocating, and the
+// context whose deadline is re-checked between products (a single variable
+// can chain several large products, so the per-variable check alone reacts
+// too slowly).
+type guard struct {
+	ctx    context.Context
+	budget Budget
+}
+
+// admit checks whether a factor of the given shape fits the budget.
+func (g *guard) admit(width, cells int) error {
+	if err := g.ctx.Err(); err != nil {
+		return fmt.Errorf("bayesnet: inference interrupted: %w", err)
+	}
+	b := g.budget
+	if (b.MaxCells > 0 && cells > b.MaxCells) || (b.MaxWidth > 0 && width > b.MaxWidth) {
+		return &BudgetError{Cells: cells, MaxCells: b.MaxCells, Width: width, MaxWidth: b.MaxWidth}
+	}
+	return nil
+}
+
 // eliminate multiplies all factors whose scope contains v and sums v out,
 // returning the updated factor list. stats, when non-nil, accumulates the
-// products performed and the peak intermediate size.
-func eliminate(factors []*factor.Factor, v int, stats *elimStats) []*factor.Factor {
+// products performed and the peak intermediate size. A non-nil guard vets
+// every product before it allocates; the unguarded path pays only a nil
+// check per product.
+func eliminate(factors []*factor.Factor, v int, stats *elimStats, g *guard) ([]*factor.Factor, error) {
 	out := factors[:0]
 	var prod *factor.Factor
 	for _, f := range factors {
@@ -305,6 +390,11 @@ func eliminate(factors []*factor.Factor, v int, stats *elimStats) []*factor.Fact
 		if prod == nil {
 			prod = f
 		} else {
+			if g != nil {
+				if err := g.admit(factor.ProductSize(prod, f)); err != nil {
+					return nil, err
+				}
+			}
 			prod = factor.Product(prod, f)
 			if stats != nil {
 				stats.products++
@@ -317,7 +407,7 @@ func eliminate(factors []*factor.Factor, v int, stats *elimStats) []*factor.Fact
 	if prod != nil {
 		out = append(out, prod.SumOut(v))
 	}
-	return out
+	return out, nil
 }
 
 // Marginal returns the (normalized) joint marginal over the given
@@ -348,7 +438,7 @@ func (n *Network) Marginal(vars []int) (*factor.Factor, error) {
 		}
 	}
 	for _, v := range minFillOrder(elim, factors, n) {
-		factors = eliminate(factors, v, nil)
+		factors, _ = eliminate(factors, v, nil, nil)
 	}
 	result := factor.Scalar(1)
 	for _, f := range factors {

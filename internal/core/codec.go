@@ -50,6 +50,21 @@ func Decode(r io.Reader) (*PRM, error) {
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("core: decode: %w", err)
 	}
+	// Index-shaped fields must be proven in range before Validate walks
+	// them — a corrupt stream must fail with an error, never a panic.
+	if len(dto.Parents) != len(dto.Vars) {
+		return nil, fmt.Errorf("core: decode: %d parent sets for %d variables", len(dto.Parents), len(dto.Vars))
+	}
+	for id, v := range dto.Vars {
+		if v.Card <= 0 {
+			return nil, fmt.Errorf("core: decode: variable %s has non-positive cardinality %d", v.Name(), v.Card)
+		}
+		for _, p := range dto.Parents[id] {
+			if p < 0 || p >= len(dto.Vars) {
+				return nil, fmt.Errorf("core: decode: variable %s has out-of-range parent %d", v.Name(), p)
+			}
+		}
+	}
 	m := &PRM{
 		vars:      dto.Vars,
 		index:     make(map[string]int, len(dto.Vars)),

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"runtime/debug"
 	"sort"
 	"strings"
 
@@ -41,7 +43,7 @@ func (m *PRM) EstimateCountCtx(ctx context.Context, q *query.Query) (float64, er
 	}
 	ctx, sp := obs.Start(ctx, "estimate")
 	m.paramMu.RLock()
-	est, err := m.estimateCount(ctx, q)
+	est, err := m.estimateGuarded(ctx, q, evalOpts{})
 	m.paramMu.RUnlock()
 	if sp != nil {
 		sp.Set(obs.Int("tables", len(q.Vars)), obs.Int("preds", len(q.Preds)),
@@ -51,14 +53,42 @@ func (m *PRM) EstimateCountCtx(ctx context.Context, q *query.Query) (float64, er
 	return est, err
 }
 
+// evalOpts selects how one estimate evaluates its event probabilities:
+// exact elimination (optionally resource-guarded) or likelihood-weighting
+// approximation. The zero value is unguarded exact inference — the
+// behaviour every pre-existing caller gets.
+type evalOpts struct {
+	// budget bounds exact elimination (zero = unlimited).
+	budget bayesnet.Budget
+	// approx switches event probabilities to likelihood weighting.
+	approx  bool
+	samples int
+	rng     *rand.Rand
+}
+
+// estimateGuarded is estimateCount behind the panic boundary: an internal
+// invariant violation (a corrupt model, an adversarial query shape nobody
+// anticipated) surfaces as a typed *InternalError instead of unwinding
+// into the caller — the serve layer depends on this to keep one poisoned
+// model from killing the process.
+func (m *PRM) estimateGuarded(ctx context.Context, q *query.Query, ev evalOpts) (est float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			est = 0
+			err = &InternalError{Op: "estimate", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return m.estimateCount(ctx, q, ev)
+}
+
 // estimateCount is EstimateCountCtx without the parameter read-lock; every
 // internal caller already under the lock must use it (RLock is not
 // re-entrant: a nested RLock deadlocks when a writer is queued between).
-func (m *PRM) estimateCount(ctx context.Context, q *query.Query) (float64, error) {
+func (m *PRM) estimateCount(ctx context.Context, q *query.Query, ev evalOpts) (float64, error) {
 	if len(q.NonKeyJoins) > 0 {
-		return m.estimateNonKeyJoin(ctx, q)
+		return m.estimateNonKeyJoin(ctx, q, ev)
 	}
-	p, sizes, err := m.eventProbability(ctx, q)
+	p, sizes, err := m.eventProbability(ctx, q, ev)
 	if err != nil {
 		return 0, err
 	}
@@ -70,7 +100,7 @@ func (m *PRM) estimateCount(ctx context.Context, q *query.Query) (float64, error
 func (m *PRM) EstimateSelectivity(q *query.Query) (float64, error) {
 	m.paramMu.RLock()
 	defer m.paramMu.RUnlock()
-	count, err := m.estimateCount(context.Background(), q)
+	count, err := m.estimateGuarded(context.Background(), q, evalOpts{})
 	if err != nil {
 		return 0, err
 	}
@@ -90,7 +120,7 @@ func (m *PRM) EstimateSelectivity(q *query.Query) (float64, error) {
 // over the possible values of the joined attributes. Joined attribute
 // pairs must share their domain encoding; values beyond the smaller domain
 // cannot match and are not enumerated.
-func (m *PRM) estimateNonKeyJoin(ctx context.Context, q *query.Query) (float64, error) {
+func (m *PRM) estimateNonKeyJoin(ctx context.Context, q *query.Query, ev evalOpts) (float64, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
@@ -131,7 +161,7 @@ func (m *PRM) estimateNonKeyJoin(ctx context.Context, q *query.Query) (float64, 
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("core: non-key-join sum interrupted: %w", err)
 			}
-			p, sizes, err := m.eventProbability(tctx, base)
+			p, sizes, err := m.eventProbability(tctx, base, ev)
 			if err != nil {
 				return err
 			}
@@ -179,7 +209,7 @@ func (m *PRM) EstimateGroupBy(q *query.Query, tv, attr string) ([]float64, error
 	out := make([]float64, m.vars[vid].Card)
 	for v := range out {
 		slot[0] = int32(v)
-		est, err := m.estimateCount(context.Background(), grouped)
+		est, err := m.estimateGuarded(context.Background(), grouped, evalOpts{})
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +376,7 @@ func (m *PRM) model(q *query.Query) (em *evalModel, hit bool, err error) {
 	return em, false, nil
 }
 
-func (m *PRM) eventProbability(ctx context.Context, q *query.Query) (p float64, sizeProduct float64, err error) {
+func (m *PRM) eventProbability(ctx context.Context, q *query.Query, ev evalOpts) (p float64, sizeProduct float64, err error) {
 	if err := q.Validate(); err != nil {
 		return 0, 0, err
 	}
@@ -395,7 +425,12 @@ func (m *PRM) eventProbability(ctx context.Context, q *query.Query) (p float64, 
 		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 		evt[node] = vals
 	}
-	prob, err := em.net.ProbabilityCtx(ctx, evt)
+	var prob float64
+	if ev.approx {
+		prob, err = em.net.LikelihoodWeightingCtx(ctx, evt, ev.samples, ev.rng)
+	} else {
+		prob, err = em.net.ProbabilityBudget(ctx, evt, ev.budget)
+	}
 	if err != nil {
 		return 0, 0, err
 	}
@@ -502,6 +537,10 @@ type Explanation struct {
 	// JoinIndicators lists the BN node names asserted JoinTrue during the
 	// evaluation — the query's own joins plus any upward-closure joins.
 	JoinIndicators []string
+	// Tier names the inference tier that produced the estimate ("exact"
+	// here; the serving layer overrides it when the answer it returned
+	// came from a degraded tier).
+	Tier Tier
 }
 
 // Explain estimates q and reports how the number was assembled. Queries
@@ -513,7 +552,7 @@ func (m *PRM) Explain(q *query.Query) (*Explanation, error) {
 	if len(q.NonKeyJoins) > 0 {
 		return nil, fmt.Errorf("core: Explain does not support non-key joins")
 	}
-	p, sizes, err := m.eventProbability(context.Background(), q)
+	p, sizes, err := m.eventProbability(context.Background(), q, evalOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -526,6 +565,7 @@ func (m *PRM) Explain(q *query.Query) (*Explanation, error) {
 		Probability: p,
 		SizeProduct: sizes,
 		Estimate:    p * sizes,
+		Tier:        TierExact,
 	}
 	for tv, table := range em.tvs {
 		ex.TupleVars[tv] = table

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"prmsel/internal/bayesnet"
+	"prmsel/internal/faults"
+	"prmsel/internal/query"
+)
+
+// degradeQuery needs multi-value predicates: they keep their variables'
+// dimensions alive through elimination, so a tiny cell budget is actually
+// exceeded (equality predicates clamp dimensions away and nothing large is
+// ever built).
+func degradeQuery() *query.Query {
+	return query.New().
+		Over("u", "Purchase").Over("p", "Person").
+		KeyJoin("u", "Buyer", "p").
+		Where("p", "Income", 0, 1).
+		Where("u", "Amount", 0, 1)
+}
+
+func TestFallbackExactTier(t *testing.T) {
+	db := skewDB(t, 300, 2000, 11)
+	m := learnPRM(t, db, false)
+	q := degradeQuery()
+	want, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.EstimateCountFallback(context.Background(), q, EstimateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != TierExact || res.Reason != "" {
+		t.Fatalf("tier = %q reason = %q, want exact with no reason", res.Tier, res.Reason)
+	}
+	if res.Estimate != want {
+		t.Errorf("fallback estimate %v != exact estimate %v", res.Estimate, want)
+	}
+}
+
+func TestFallbackDegradesToApproxOnBudget(t *testing.T) {
+	db := skewDB(t, 300, 2000, 12)
+	m := learnPRM(t, db, false)
+	q := degradeQuery()
+	exact, err := m.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := EstimateOptions{
+		Budget:        bayesnet.Budget{MaxCells: 1},
+		ApproxSamples: 20000,
+		Seed:          3,
+	}
+	res, err := m.EstimateCountFallback(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != TierApprox {
+		t.Fatalf("tier = %q, want approx under a 1-cell budget", res.Tier)
+	}
+	if !strings.Contains(res.Reason, "budget") {
+		t.Errorf("reason = %q, want the budget refusal", res.Reason)
+	}
+	if relErr(res.Estimate, int64(exact)) > 0.3 {
+		t.Errorf("approx estimate %v vs exact %v: degraded tier too far off", res.Estimate, exact)
+	}
+	// Same options, same answer: the fallback sampler is seeded, so cached
+	// and uncached responses agree.
+	again, err := m.EstimateCountFallback(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Estimate != res.Estimate {
+		t.Errorf("repeat estimate %v != %v: fallback is not deterministic", again.Estimate, res.Estimate)
+	}
+}
+
+func TestPanicRecoveredAsInternalError(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	db := skewDB(t, 200, 1000, 13)
+	m := learnPRM(t, db, false)
+	q := degradeQuery()
+	faults.Set("bayesnet.infer", faults.Fault{Panic: "corrupted factor state"})
+	_, err := m.EstimateCountCtx(context.Background(), q)
+	if err == nil {
+		t.Fatal("estimate with an injected panic succeeded")
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InternalError", err, err)
+	}
+	if !strings.Contains(err.Error(), "corrupted factor state") {
+		t.Errorf("err = %v, want the panic value in the message", err)
+	}
+	if len(ie.Stack) == 0 {
+		t.Error("InternalError carries no stack trace")
+	}
+}
+
+func TestFallbackDegradesOnPanic(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	db := skewDB(t, 200, 1000, 14)
+	m := learnPRM(t, db, false)
+	q := degradeQuery()
+	// The exact tier panics; the sampling tier is a separate code path and
+	// never reaches the armed point, so the chain recovers.
+	faults.Set("bayesnet.infer", faults.Fault{Panic: "invariant violated"})
+	res, err := m.EstimateCountFallback(context.Background(), q, EstimateOptions{ApproxSamples: 4096})
+	if err != nil {
+		t.Fatalf("fallback failed despite a working approx tier: %v", err)
+	}
+	if res.Tier != TierApprox {
+		t.Fatalf("tier = %q, want approx after an exact-tier panic", res.Tier)
+	}
+	if !strings.Contains(res.Reason, "panic") {
+		t.Errorf("reason = %q, want the recovered panic", res.Reason)
+	}
+	if res.Estimate < 0 {
+		t.Errorf("estimate = %v, want non-negative", res.Estimate)
+	}
+}
+
+func TestFallbackCancellationDoesNotDegrade(t *testing.T) {
+	db := skewDB(t, 200, 1000, 15)
+	m := learnPRM(t, db, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.EstimateCountFallback(ctx, degradeQuery(), EstimateOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (cancellation must not fall to a cheaper tier)", err)
+	}
+}
+
+func TestFallbackEveryTierFailed(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	db := skewDB(t, 200, 1000, 16)
+	m := learnPRM(t, db, false)
+	faults.Set("bayesnet.infer", faults.Fault{Err: errors.New("exact down")})
+	faults.Set("bayesnet.approx", faults.Fault{Err: errors.New("sampler down")})
+	_, err := m.EstimateCountFallback(context.Background(), degradeQuery(), EstimateOptions{})
+	if err == nil {
+		t.Fatal("fallback succeeded with every tier failing")
+	}
+	if !strings.Contains(err.Error(), "every inference tier failed") {
+		t.Errorf("err = %v, want the exhausted-chain message", err)
+	}
+}
+
+func TestExplainReportsTier(t *testing.T) {
+	db := skewDB(t, 200, 1000, 17)
+	m := learnPRM(t, db, false)
+	ex, err := m.Explain(query.New().Over("p", "Person").WhereEq("p", "Income", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Tier != TierExact {
+		t.Errorf("Explain tier = %q, want exact", ex.Tier)
+	}
+}

@@ -34,6 +34,14 @@ func (p *PRMEstimator) EstimateCountCtx(ctx context.Context, q *query.Query) (fl
 	return p.M.EstimateCountCtx(ctx, q)
 }
 
+// EstimateCountFallback estimates through the model's graceful-degradation
+// chain (exact elimination under a budget, then likelihood weighting). The
+// estimation service uses this so a query that blows the resource budget
+// still gets an answer, annotated with the tier that produced it.
+func (p *PRMEstimator) EstimateCountFallback(ctx context.Context, q *query.Query, opts core.EstimateOptions) (core.EstimateResult, error) {
+	return p.M.EstimateCountFallback(ctx, q, opts)
+}
+
 // Explain reports how an estimate was assembled (closure, probability,
 // scaling, join indicators).
 func (p *PRMEstimator) Explain(q *query.Query) (*core.Explanation, error) { return p.M.Explain(q) }

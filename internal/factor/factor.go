@@ -115,6 +115,30 @@ func (f *Factor) Clone() *Factor {
 	}
 }
 
+// ProductSize returns the scope width and table size Product(f, g) would
+// produce, without allocating anything — the check resource-guarded
+// inference runs before committing to a product.
+func ProductSize(f, g *Factor) (width, cells int) {
+	cells = 1
+	i, j := 0, 0
+	for i < len(f.Vars) || j < len(g.Vars) {
+		switch {
+		case j >= len(g.Vars) || (i < len(f.Vars) && f.Vars[i] < g.Vars[j]):
+			cells *= f.Card[i]
+			i++
+		case i >= len(f.Vars) || g.Vars[j] < f.Vars[i]:
+			cells *= g.Card[j]
+			j++
+		default:
+			cells *= f.Card[i]
+			i++
+			j++
+		}
+		width++
+	}
+	return width, cells
+}
+
 // Product returns f·g over the union of their scopes.
 func Product(f, g *Factor) *Factor {
 	// Union of scopes.

@@ -264,3 +264,33 @@ func TestAtSetRoundTrip(t *testing.T) {
 		t.Fatalf("Set touched %d entries, want 1", nonZero)
 	}
 }
+
+// TestProductSizePredictsProduct checks that ProductSize reports exactly
+// the scope width and table size Product would allocate, across random
+// factor pairs — it is the pre-allocation check resource-guarded
+// elimination relies on.
+func TestProductSizePredictsProduct(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cards := sharedCards(rng)
+		f := randomFactor(rng, cards)
+		g := randomFactor(rng, cards)
+		width, cells := ProductSize(f, g)
+		p := Product(f, g)
+		return width == len(p.Vars) && cells == p.Size()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProductSizeScalars(t *testing.T) {
+	s := Scalar(2)
+	f := New([]int{0, 1}, []int{3, 4})
+	if w, c := ProductSize(s, f); w != 2 || c != 12 {
+		t.Fatalf("ProductSize(scalar, f) = (%d, %d), want (2, 12)", w, c)
+	}
+	if w, c := ProductSize(s, s); w != 0 || c != 1 {
+		t.Fatalf("ProductSize(scalar, scalar) = (%d, %d), want (0, 1)", w, c)
+	}
+}

@@ -1,0 +1,135 @@
+// Package faults is a deterministic fault-injection registry for tests.
+// Production code marks interesting failure points with a named Inject
+// call; tests arm those points with errors, latency, or panics to drive
+// every degradation and retry path without fragile timing tricks.
+//
+// The package is built for zero production cost: when no test has armed a
+// point, Inject is a single atomic load and an immediate return. Points
+// are armed per test via Set and disarmed by the returned restore func (or
+// Reset), so parallel packages never see each other's faults — arming is
+// process-global, which is why tests that use it must not run in parallel
+// with each other within a package.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what an armed injection point does when hit.
+type Fault struct {
+	// Err, when non-nil, is returned from Inject.
+	Err error
+	// Panic, when non-empty, makes Inject panic with this message (after
+	// Latency). Used to prove panic-recovery boundaries hold.
+	Panic string
+	// Latency, when positive, makes Inject sleep before returning — for
+	// driving queue deadlines and admission-control timeouts.
+	Latency time.Duration
+	// SkipFirst suppresses the fault for the first N hits, so tests can
+	// let a warm-up call through and fail the rest.
+	SkipFirst int
+	// Times bounds how many hits fire the fault (0 = unlimited). After
+	// the budget is spent the point behaves as unarmed.
+	Times int
+	// OnHit, when non-nil, runs on every firing hit (after Latency,
+	// before Err/Panic) — a test-side observation hook.
+	OnHit func(hit int)
+}
+
+// registry is the process-global armed-point table. armed is the fast-path
+// gate: it counts armed points, so an idle process never takes the lock.
+var (
+	armed atomic.Int64
+	mu    sync.Mutex
+	table map[string]*entry
+)
+
+type entry struct {
+	fault Fault
+	hits  int
+}
+
+// Set arms the named point and returns a func that disarms it. Arming an
+// already-armed point replaces its fault and resets its hit count.
+func Set(point string, f Fault) (restore func()) {
+	mu.Lock()
+	if table == nil {
+		table = make(map[string]*entry)
+	}
+	if _, ok := table[point]; !ok {
+		armed.Add(1)
+	}
+	table[point] = &entry{fault: f}
+	mu.Unlock()
+	return func() { Clear(point) }
+}
+
+// Clear disarms the named point (no-op when unarmed).
+func Clear(point string) {
+	mu.Lock()
+	if _, ok := table[point]; ok {
+		delete(table, point)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	armed.Add(-int64(len(table)))
+	table = nil
+	mu.Unlock()
+}
+
+// Hits returns how many times the named point has fired.
+func Hits(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if e, ok := table[point]; ok {
+		return e.hits
+	}
+	return 0
+}
+
+// Inject checks the named point. Unarmed (the production case) it costs
+// one atomic load. Armed, it applies the fault: sleeps Latency, runs
+// OnHit, then panics or returns the configured error.
+func Inject(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	e, ok := table[point]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	if e.fault.SkipFirst > 0 {
+		e.fault.SkipFirst--
+		mu.Unlock()
+		return nil
+	}
+	if e.fault.Times > 0 && e.hits >= e.fault.Times {
+		mu.Unlock()
+		return nil
+	}
+	e.hits++
+	f := e.fault
+	hit := e.hits
+	mu.Unlock()
+
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if f.OnHit != nil {
+		f.OnHit(hit)
+	}
+	if f.Panic != "" {
+		panic(fmt.Sprintf("faults: injected panic at %s: %s", point, f.Panic))
+	}
+	return f.Err
+}

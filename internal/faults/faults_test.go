@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInjectDisarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Inject("nothing.armed"); err != nil {
+		t.Fatalf("Inject with nothing armed = %v, want nil", err)
+	}
+}
+
+func TestSetAndRestore(t *testing.T) {
+	Reset()
+	boom := errors.New("boom")
+	restore := Set("p", Fault{Err: boom})
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("Inject = %v, want %v", err, boom)
+	}
+	if got := Hits("p"); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+	restore()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("Inject after restore = %v, want nil", err)
+	}
+}
+
+func TestOtherPointsUnaffected(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set("p", Fault{Err: errors.New("boom")})
+	if err := Inject("q"); err != nil {
+		t.Fatalf("Inject(q) = %v, want nil (only p is armed)", err)
+	}
+}
+
+func TestSkipFirst(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", Fault{Err: boom, SkipFirst: 2})
+	for i := 0; i < 2; i++ {
+		if err := Inject("p"); err != nil {
+			t.Fatalf("call %d = %v, want nil (skipped)", i, err)
+		}
+	}
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("call 3 = %v, want %v", err, boom)
+	}
+}
+
+func TestTimesBoundsFirings(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", Fault{Err: boom, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := Inject("p"); !errors.Is(err, boom) {
+			t.Fatalf("call %d = %v, want %v", i, err, boom)
+		}
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("call 3 = %v, want nil (Times exhausted)", err)
+	}
+	if got := Hits("p"); got != 2 {
+		t.Fatalf("Hits = %d, want 2", got)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set("p", Fault{Panic: "invariant broken"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Inject did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant broken") || !strings.Contains(msg, "p") {
+			t.Fatalf("panic value = %v, want injected message naming the point", r)
+		}
+	}()
+	_ = Inject("p")
+}
+
+func TestLatencyInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set("p", Fault{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("latency-only fault returned %v, want nil", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("Inject returned after %v, want >= 30ms of injected latency", d)
+	}
+}
+
+func TestOnHitObserver(t *testing.T) {
+	Reset()
+	defer Reset()
+	var hits []int
+	Set("p", Fault{Err: errors.New("boom"), OnHit: func(hit int) { hits = append(hits, hit) }})
+	_ = Inject("p")
+	_ = Inject("p")
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 2 {
+		t.Fatalf("OnHit saw %v, want [1 2]", hits)
+	}
+}
+
+func TestClearSinglePoint(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set("p", Fault{Err: errors.New("p")})
+	Set("q", Fault{Err: errors.New("q")})
+	Clear("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("Inject(p) after Clear = %v, want nil", err)
+	}
+	if err := Inject("q"); err == nil {
+		t.Fatal("Inject(q) = nil, want the still-armed fault")
+	}
+}

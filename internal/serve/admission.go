@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+
+	"prmsel/internal/query"
+)
+
+// Admission-control errors, mapped to structured 429/503 responses by the
+// HTTP layer. Both are returned before any inference work is done.
+var (
+	// ErrQueueFull means the wait queue was already at capacity — the
+	// client should back off (429).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrQueueTimeout means a slot did not free up within the queue
+	// deadline — the service is saturated (503).
+	ErrQueueTimeout = errors.New("serve: timed out waiting for an inference slot")
+)
+
+// admission is a weighted semaphore with a bounded FIFO wait queue and a
+// per-waiter deadline, sitting in front of inference. Cache hits bypass it
+// entirely; only work that will actually run elimination acquires. Weights
+// let one expensive multi-join query count as several cheap ones, so the
+// concurrency cap tracks load rather than request count.
+type admission struct {
+	capacity int64
+	maxQueue int
+	timeout  time.Duration
+
+	mu      sync.Mutex
+	used    int64
+	waiters list.List // of *waiter, FIFO
+}
+
+type waiter struct {
+	weight int64
+	ready  chan struct{} // closed by release when the slot is granted
+}
+
+// newAdmission returns a controller admitting up to capacity weight
+// concurrently, queueing at most maxQueue waiters, each for at most
+// timeout.
+func newAdmission(capacity int64, maxQueue int, timeout time.Duration) *admission {
+	return &admission{capacity: capacity, maxQueue: maxQueue, timeout: timeout}
+}
+
+// queryWeight scores a query's expected inference cost: each key join
+// grows the unrolled network, and each non-key join multiplies whole
+// closure evaluations by the joined domain size.
+func queryWeight(q *query.Query) int64 {
+	w := int64(1 + len(q.Joins) + 4*len(q.NonKeyJoins))
+	return w
+}
+
+// acquire blocks until w slots are granted, the queue deadline passes, or
+// the caller's context ends. Weights above capacity are clamped so a huge
+// query is admissible (alone) rather than wedged forever.
+func (a *admission) acquire(done <-chan struct{}, w int64) error {
+	if w > a.capacity {
+		w = a.capacity
+	}
+	a.mu.Lock()
+	if a.used+w <= a.capacity && a.waiters.Len() == 0 {
+		a.used += w
+		a.mu.Unlock()
+		return nil
+	}
+	if a.waiters.Len() >= a.maxQueue {
+		a.mu.Unlock()
+		return ErrQueueFull
+	}
+	wt := &waiter{weight: w, ready: make(chan struct{})}
+	elem := a.waiters.PushBack(wt)
+	a.mu.Unlock()
+
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case <-wt.ready:
+		return nil
+	case <-timer.C:
+		if a.abandon(elem) {
+			return ErrQueueTimeout
+		}
+		// release granted the slot between the timer firing and the
+		// removal attempt; keep it.
+		<-wt.ready
+		return nil
+	case <-done:
+		if a.abandon(elem) {
+			return ErrQueueTimeout
+		}
+		<-wt.ready
+		return nil
+	}
+}
+
+// abandon removes a waiter that gave up; it reports false when the waiter
+// had already been granted its slot (the caller then owns it).
+func (a *admission) abandon(elem *list.Element) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for e := a.waiters.Front(); e != nil; e = e.Next() {
+		if e == elem {
+			a.waiters.Remove(e)
+			return true
+		}
+	}
+	return false
+}
+
+// release returns w slots and grants as many queued waiters as now fit, in
+// FIFO order.
+func (a *admission) release(w int64) {
+	if w > a.capacity {
+		w = a.capacity
+	}
+	a.mu.Lock()
+	a.used -= w
+	for {
+		front := a.waiters.Front()
+		if front == nil {
+			break
+		}
+		wt := front.Value.(*waiter)
+		if a.used+wt.weight > a.capacity {
+			break
+		}
+		a.used += wt.weight
+		a.waiters.Remove(front)
+		close(wt.ready)
+	}
+	a.mu.Unlock()
+}
+
+// load reports the in-use weight and queue length (for health output).
+func (a *admission) snapshot() (used int64, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used, a.waiters.Len()
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"prmsel/internal/baselines"
+	"prmsel/internal/faults"
+	"prmsel/internal/query"
+)
+
+func newDegradeServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(Config{
+		Registry: fig1Registry(t),
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestEstimateReportsExactTier(t *testing.T) {
+	faults.Reset()
+	_, ts := newDegradeServer(t)
+	resp, out := postEstimate(t, ts.URL, `{"query":"FROM People p WHERE p.Income = high"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["tier"] != "exact" {
+		t.Errorf("tier = %v, want exact", out["tier"])
+	}
+	if _, has := out["tier_reason"]; has {
+		t.Errorf("exact answer carries a tier_reason: %v", out)
+	}
+}
+
+// TestEstimateDegradesToApproxOnInjectedFault is the issue's headline
+// acceptance check: with fault injection forcing the exact tier down,
+// /v1/estimate still answers 200 — from the sampling tier, visibly so.
+func TestEstimateDegradesToApproxOnInjectedFault(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	srv, ts := newDegradeServer(t)
+	faults.Set("bayesnet.infer", faults.Fault{Panic: "injected inference panic"})
+
+	resp, out := postEstimate(t, ts.URL, `{"query":"FROM People p WHERE p.Income = high"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d with exact tier down, want 200 (body %v)", resp.StatusCode, out)
+	}
+	if out["tier"] != "approx" {
+		t.Fatalf("tier = %v, want approx", out["tier"])
+	}
+	reason, _ := out["tier_reason"].(string)
+	if reason == "" {
+		t.Error("degraded answer carries no tier_reason")
+	}
+	est, _ := out["estimate"].(float64)
+	if est < 0 || math.IsNaN(est) {
+		t.Errorf("estimate = %v, want a usable number", out["estimate"])
+	}
+
+	snap := srv.Metrics().Snapshot()
+	tiers := snap["tiers"].(map[string]int64)
+	if tiers["approx"] < 1 {
+		t.Errorf("tiers = %v, want approx >= 1", tiers)
+	}
+	if snap["degraded"].(int64) < 1 {
+		t.Errorf("degraded counter = %v, want >= 1", snap["degraded"])
+	}
+}
+
+func TestEstimateDegradesToAVIWhenCoreTiersFail(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	srv, ts := newDegradeServer(t)
+	faults.Set("bayesnet.infer", faults.Fault{Err: errors.New("exact tier down")})
+	faults.Set("bayesnet.approx", faults.Fault{Err: errors.New("sampling tier down")})
+
+	resp, out := postEstimate(t, ts.URL, `{"query":"FROM People p WHERE p.Income = low"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d with both core tiers down, want 200 (body %v)", resp.StatusCode, out)
+	}
+	if out["tier"] != "avi" {
+		t.Fatalf("tier = %v, want avi", out["tier"])
+	}
+	if reason, _ := out["tier_reason"].(string); reason == "" {
+		t.Error("AVI answer carries no tier_reason")
+	}
+	est, _ := out["estimate"].(float64)
+	if est <= 0 {
+		t.Errorf("AVI estimate = %v, want > 0", out["estimate"])
+	}
+	tiers := srv.Metrics().Snapshot()["tiers"].(map[string]int64)
+	if tiers["avi"] < 1 {
+		t.Errorf("tiers = %v, want avi >= 1", tiers)
+	}
+}
+
+func TestEstimateFailsWhenEveryTierFails(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	// A model with no AVI estimator: when both core tiers fail there is
+	// nothing left, and the request must fail rather than invent a number.
+	snap := fig1Registry(t).models["fig1"].Current()
+	reg := stubRegistry(t, "noavi", []baselines.Estimator{snap.Primary()})
+	srv := NewServer(Config{
+		Registry: reg,
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	faults.Set("bayesnet.infer", faults.Fault{Err: errors.New("exact tier down")})
+	faults.Set("bayesnet.approx", faults.Fault{Err: errors.New("sampling tier down")})
+	resp, out := postEstimate(t, ts.URL, `{"query":"FROM People p WHERE p.Income = high"}`)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("status = 200 with every tier down, want failure (body %v)", out)
+	}
+}
+
+func TestDegradedEstimateIsCachedConsistently(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	_, ts := newDegradeServer(t)
+	faults.Set("bayesnet.infer", faults.Fault{Err: errors.New("exact tier down")})
+
+	body := `{"query":"FROM People p WHERE p.Education = college"}`
+	_, first := postEstimate(t, ts.URL, body)
+	_, second := postEstimate(t, ts.URL, body)
+	if second["cache"].(map[string]any)["hit"] != true {
+		t.Fatalf("second identical request missed the cache: %v", second["cache"])
+	}
+	if first["estimate"] != second["estimate"] || second["tier"] != "approx" {
+		t.Errorf("cached degraded answer diverges: first %v/%v, second %v/%v",
+			first["estimate"], first["tier"], second["estimate"], second["tier"])
+	}
+}
+
+// nanEstimator returns a non-finite estimate — the poison the cache guard
+// exists for.
+type nanEstimator struct{}
+
+func (nanEstimator) Name() string                                  { return "PRM" }
+func (nanEstimator) EstimateCount(q *query.Query) (float64, error) { return math.NaN(), nil }
+func (nanEstimator) StorageBytes() int                             { return 0 }
+
+func TestNonFiniteEstimateRejectedAndNotCached(t *testing.T) {
+	faults.Reset()
+	srv := NewServer(Config{
+		Registry: stubRegistry(t, "nan", []baselines.Estimator{nanEstimator{}}),
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"query":"FROM People p WHERE p.Income = high"}`
+	for i := 0; i < 2; i++ {
+		resp, out := postEstimate(t, ts.URL, body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("request %d: status = %d, want 500 (body %v)", i, resp.StatusCode, out)
+		}
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap["nonfinite_rejected"].(int64) != 2 {
+		t.Errorf("nonfinite_rejected = %v, want 2 (the second request must re-run, not hit a poisoned cache)",
+			snap["nonfinite_rejected"])
+	}
+	if srv.cache.Len() != 0 {
+		t.Errorf("cache holds %d entries after non-finite rejections, want 0", srv.cache.Len())
+	}
+}

@@ -29,6 +29,21 @@ type Metrics struct {
 	deduped     atomic.Int64
 	rebuilds    atomic.Int64
 
+	// Degradation-chain tier counters: which inference tier answered each
+	// primary estimate. tierApprox+tierAVI is the degraded volume.
+	tierExact  atomic.Int64
+	tierApprox atomic.Int64
+	tierAVI    atomic.Int64
+
+	// Robustness counters: estimates rejected for being non-finite,
+	// requests refused by admission control, rebuild attempts that
+	// failed, and retries scheduled after such failures.
+	nonFinite         atomic.Int64
+	admissionRejected atomic.Int64
+	admissionTimeout  atomic.Int64
+	rebuildFailures   atomic.Int64
+	rebuildRetries    atomic.Int64
+
 	latCount  atomic.Int64
 	latSumUS  atomic.Int64
 	latBucket []atomic.Int64 // len(latencyBoundsMicros)+1, last is overflow
@@ -129,6 +144,42 @@ func (m *Metrics) ObserveCache(hit, deduped bool) {
 // ObserveRebuild records one completed model rebuild.
 func (m *Metrics) ObserveRebuild() { m.rebuilds.Add(1) }
 
+// ObserveTier records which degradation tier answered a primary estimate.
+// Unknown tiers count as degraded-to-AVI (the most conservative bucket).
+func (m *Metrics) ObserveTier(tier string) {
+	switch tier {
+	case "exact":
+		m.tierExact.Add(1)
+	case "approx":
+		m.tierApprox.Add(1)
+	default:
+		m.tierAVI.Add(1)
+	}
+}
+
+// ObserveNonFinite records one estimate rejected for being NaN or ±Inf
+// before it could poison the cache.
+func (m *Metrics) ObserveNonFinite() { m.nonFinite.Add(1) }
+
+// ObserveAdmission records one request refused by admission control;
+// timedOut distinguishes a queue-deadline 503 from a queue-full 429.
+func (m *Metrics) ObserveAdmission(timedOut bool) {
+	if timedOut {
+		m.admissionTimeout.Add(1)
+	} else {
+		m.admissionRejected.Add(1)
+	}
+}
+
+// ObserveRebuildFailure records one failed rebuild attempt; willRetry
+// notes whether the retry loop scheduled another attempt.
+func (m *Metrics) ObserveRebuildFailure(willRetry bool) {
+	m.rebuildFailures.Add(1)
+	if willRetry {
+		m.rebuildRetries.Add(1)
+	}
+}
+
 // ObserveQError records the q-error (max(est/truth, truth/est), with both
 // sides floored at 1 row to stay finite) of one request that was checked
 // against the exact executor.
@@ -173,6 +224,19 @@ func (m *Metrics) Snapshot() map[string]any {
 		"deduped":            deduped,
 		"cache_hit_rate":     rate(hits, hits+misses+deduped),
 		"rebuilds":           m.rebuilds.Load(),
+		"rebuild_failures":   m.rebuildFailures.Load(),
+		"rebuild_retries":    m.rebuildRetries.Load(),
+		"nonfinite_rejected": m.nonFinite.Load(),
+		"tiers": map[string]int64{
+			"exact":  m.tierExact.Load(),
+			"approx": m.tierApprox.Load(),
+			"avi":    m.tierAVI.Load(),
+		},
+		"degraded": m.tierApprox.Load() + m.tierAVI.Load(),
+		"admission": map[string]int64{
+			"rejected_429": m.admissionRejected.Load(),
+			"timeout_503":  m.admissionTimeout.Load(),
+		},
 		"latency_us_buckets": hist,
 		"latency_us_mean":    rate(m.latSumUS.Load(), m.latCount.Load()),
 		"latency_obs":        m.latCount.Load(),

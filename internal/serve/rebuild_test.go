@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prmsel/internal/faults"
+)
+
+// fastRetry keeps the retry loop's backoff out of test wall time.
+var fastRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+
+func rebuildTestServer(t *testing.T) (*Registry, *Model, *Server, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	m, err := reg.Add("fig1", BuildSpec{Dataset: "fig1", Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(Config{
+		Registry: reg,
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return reg, m, srv, ts
+}
+
+// TestRebuildRetriesWhileServing is the issue's registry-resilience
+// acceptance check, run under -race by the concurrency gate: rebuild
+// attempts fail twice and then succeed, while concurrent estimate traffic
+// keeps being answered from the last good snapshot throughout.
+func TestRebuildRetriesWhileServing(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	_, m, srv, ts := rebuildTestServer(t)
+	gen0 := m.Current().Generation
+
+	faults.Set("serve.rebuild", faults.Fault{Err: errors.New("transient build failure"), Times: 2})
+
+	resp, err := http.Post(ts.URL+"/v1/models/fig1/rebuild", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("rebuild: status %d, want 202", resp.StatusCode)
+	}
+
+	// Hammer the estimate endpoint while the rebuild cycle fails and
+	// retries underneath it. Distinct queries defeat the cache, so most
+	// requests run real inference against whichever snapshot is current.
+	var wg sync.WaitGroup
+	queries := []string{
+		`{"query":"FROM People p WHERE p.Income = high"}`,
+		`{"query":"FROM People p WHERE p.Income = low"}`,
+		`{"query":"FROM People p WHERE p.Education = college"}`,
+		`{"query":"FROM People p WHERE p.HomeOwner = true"}`,
+	}
+	errc := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				resp, err := http.Post(ts.URL+"/v1/estimate", "application/json",
+					strings.NewReader(queries[(w+i)%len(queries)]))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var out map[string]any
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("estimate during rebuild: status %d, body %v", resp.StatusCode, out)
+					return
+				}
+				if est, _ := out["estimate"].(float64); est <= 0 {
+					errc <- fmt.Errorf("estimate during rebuild = %v", out["estimate"])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	waitFor(t, "retrying rebuild to land", func() bool { return m.Current().Generation > gen0 })
+	waitFor(t, "rebuild cycle to finish", func() bool { return !m.Rebuilding() })
+
+	if got := faults.Hits("serve.rebuild"); got != 2 {
+		t.Errorf("injected build failures = %d, want 2", got)
+	}
+	h := m.Health()
+	if h.Degraded || h.ConsecutiveFailures != 0 || h.LastError != "" {
+		t.Errorf("health after recovery = %+v, want clean", h)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap["rebuild_failures"].(int64) != 2 || snap["rebuild_retries"].(int64) != 2 {
+		t.Errorf("rebuild failure counters = %v/%v, want 2/2",
+			snap["rebuild_failures"], snap["rebuild_retries"])
+	}
+}
+
+func TestPermanentRebuildFailureKeepsLastGoodSnapshot(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	_, m, _, ts := rebuildTestServer(t)
+	gen0 := m.Current().Generation
+	snap0 := m.Current()
+
+	faults.Set("serve.rebuild", faults.Fault{Err: errors.New("dataset source gone")})
+
+	resp, err := http.Post(ts.URL+"/v1/models/fig1/rebuild", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	waitFor(t, "rebuild cycle to exhaust its retries", func() bool { return !m.Rebuilding() })
+
+	if m.Current() != snap0 || m.Current().Generation != gen0 {
+		t.Fatal("failing rebuild replaced or dropped the served snapshot")
+	}
+	h := m.Health()
+	if !h.Degraded {
+		t.Error("health not marked degraded after retry exhaustion")
+	}
+	if h.ConsecutiveFailures != fastRetry.MaxAttempts {
+		t.Errorf("consecutive failures = %d, want %d", h.ConsecutiveFailures, fastRetry.MaxAttempts)
+	}
+	if h.LastError == "" || h.LastSuccessAt.IsZero() {
+		t.Errorf("health lacks failure detail: %+v", h)
+	}
+
+	// The model still answers queries from its last good snapshot.
+	r, out := postEstimate(t, ts.URL, `{"query":"FROM People p WHERE p.Income = high"}`)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("estimate on a degraded model: status %d, body %v", r.StatusCode, out)
+	}
+
+	// And /healthz reports the degradation (still HTTP 200: serving works).
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz status code = %d, want 200", hr.StatusCode)
+	}
+	if health["status"] != "degraded" {
+		t.Errorf("healthz status = %v, want degraded", health["status"])
+	}
+	mh, ok := health["model_health"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz lacks model_health: %v", health)
+	}
+	fig1, _ := mh["fig1"].(map[string]any)
+	lastErr, _ := fig1["last_error"].(string)
+	if fig1["degraded"] != true || lastErr == "" {
+		t.Errorf("model_health.fig1 = %v, want degraded with last_error", fig1)
+	}
+
+	// Clearing the fault and rebuilding again recovers fully.
+	faults.Clear("serve.rebuild")
+	resp, err = http.Post(ts.URL+"/v1/models/fig1/rebuild", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	waitFor(t, "recovery rebuild to land", func() bool { return m.Current().Generation > gen0 })
+	waitFor(t, "recovery cycle to finish", func() bool { return !m.Rebuilding() })
+	h = m.Health()
+	if h.Degraded || h.LastError != "" {
+		t.Errorf("health after recovery = %+v, want clean", h)
+	}
+}
+
+func TestRebuildLatencyInjection(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	_, m, _, _ := rebuildTestServer(t)
+	gen0 := m.Current().Generation
+
+	// A slow (not failing) build: the old snapshot serves until the swap.
+	faults.Set("serve.rebuild", faults.Fault{Latency: 50 * time.Millisecond, Times: 1})
+	done := make(chan error, 1)
+	if !m.Rebuild(func(_ *Snapshot, err error) { done <- err }) {
+		t.Fatal("Rebuild returned false on an idle model")
+	}
+	if m.Current().Generation != gen0 {
+		t.Error("snapshot swapped before the slow build finished")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slow rebuild failed: %v", err)
+	}
+	waitFor(t, "slow rebuild to swap", func() bool { return m.Current().Generation > gen0 })
+}

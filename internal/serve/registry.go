@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"prmsel/internal/cliutil"
 	"prmsel/internal/dataset"
 	"prmsel/internal/eval"
+	"prmsel/internal/faults"
 	"prmsel/internal/learn"
 )
 
@@ -37,6 +39,85 @@ type BuildSpec struct {
 	// MHistAttrs is how many leading attributes the MHIST baseline
 	// covers on single-table datasets (default 3; 0 disables MHIST).
 	MHistAttrs int
+	// Retry governs how background rebuilds recover from failures.
+	Retry RetryPolicy
+}
+
+// RetryPolicy shapes the rebuild retry loop: exponential backoff with
+// jitter between attempts, a cap on both the delay and the attempt count.
+// A model whose rebuild cycle exhausts every attempt keeps serving its
+// last good snapshot and reports itself degraded; it is never torn down.
+type RetryPolicy struct {
+	// MaxAttempts bounds one rebuild cycle (default 5).
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure; each further failure
+	// doubles it (default 250ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 15s).
+	MaxDelay time.Duration
+	// JitterFrac randomizes each delay by ±this fraction (default 0.2),
+	// so many models failing together do not retry in lockstep.
+	JitterFrac float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 250 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 15 * time.Second
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.2
+	}
+	return p
+}
+
+// delay returns the backoff before retrying after the given 1-based failed
+// attempt: BaseDelay·2^(attempt-1), capped at MaxDelay, jittered.
+func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.JitterFrac > 0 {
+		d += time.Duration((rng.Float64()*2 - 1) * p.JitterFrac * float64(d))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// ModelHealth is one model's serving-health snapshot, exposed through
+// /healthz and /v1/models so an operator (or load balancer) can see a
+// model that is alive but stale.
+type ModelHealth struct {
+	// Rebuilding reports an in-flight rebuild cycle.
+	Rebuilding bool `json:"rebuilding"`
+	// Attempts counts build attempts in the current (or most recent)
+	// rebuild cycle.
+	Attempts int `json:"attempts,omitempty"`
+	// ConsecutiveFailures counts failed attempts since the last
+	// successful build.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// LastError is the most recent build failure ("" when healthy).
+	LastError   string    `json:"last_error,omitempty"`
+	LastErrorAt time.Time `json:"last_error_at,omitempty"`
+	// LastSuccessAt is when the served snapshot was built.
+	LastSuccessAt time.Time `json:"last_success_at"`
+	// StaleSeconds is how long the served snapshot has been older than a
+	// requested rebuild — zero unless a rebuild has been failing.
+	StaleSeconds float64 `json:"stale_seconds,omitempty"`
+	// Degraded means the most recent rebuild cycle exhausted its retry
+	// budget; the model still serves, from its last good snapshot.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s BuildSpec) withDefaults() BuildSpec {
@@ -97,6 +178,12 @@ type Model struct {
 	cur      atomic.Pointer[Snapshot]
 	gen      atomic.Int64
 	building atomic.Bool
+
+	healthMu sync.Mutex
+	health   ModelHealth
+	// staleSince marks when a rebuild cycle first failed without a
+	// subsequent success; zero while healthy.
+	staleSince time.Time
 }
 
 // Current returns the served snapshot (never nil once the model is
@@ -106,8 +193,57 @@ func (m *Model) Current() *Snapshot { return m.cur.Load() }
 // Rebuilding reports whether a background rebuild is in flight.
 func (m *Model) Rebuilding() bool { return m.building.Load() }
 
+// Health returns the model's current health snapshot.
+func (m *Model) Health() ModelHealth {
+	m.healthMu.Lock()
+	defer m.healthMu.Unlock()
+	h := m.health
+	h.Rebuilding = m.building.Load()
+	if !m.staleSince.IsZero() {
+		h.StaleSeconds = time.Since(m.staleSince).Seconds()
+	}
+	return h
+}
+
+func (m *Model) noteAttempt(attempt int) {
+	m.healthMu.Lock()
+	m.health.Attempts = attempt
+	m.healthMu.Unlock()
+}
+
+func (m *Model) noteFailure(err error) {
+	m.healthMu.Lock()
+	m.health.ConsecutiveFailures++
+	m.health.LastError = err.Error()
+	m.health.LastErrorAt = time.Now()
+	if m.staleSince.IsZero() {
+		m.staleSince = time.Now()
+	}
+	m.healthMu.Unlock()
+}
+
+func (m *Model) noteSuccess(builtAt time.Time) {
+	m.healthMu.Lock()
+	m.health.ConsecutiveFailures = 0
+	m.health.LastError = ""
+	m.health.LastErrorAt = time.Time{}
+	m.health.LastSuccessAt = builtAt
+	m.health.Degraded = false
+	m.staleSince = time.Time{}
+	m.healthMu.Unlock()
+}
+
+func (m *Model) noteExhausted() {
+	m.healthMu.Lock()
+	m.health.Degraded = true
+	m.healthMu.Unlock()
+}
+
 // build constructs the next snapshot from the spec.
 func (m *Model) build() (*Snapshot, error) {
+	if err := faults.Inject("serve.rebuild"); err != nil {
+		return nil, fmt.Errorf("serve: build %s: %w", m.Name, err)
+	}
 	start := time.Now()
 	db, err := cliutil.LoadDB(m.Spec.CSVDir, m.Spec.Dataset, m.Spec.Rows, m.Spec.Scale, m.Spec.Seed)
 	if err != nil {
@@ -163,22 +299,48 @@ func (m *Model) build() (*Snapshot, error) {
 	}, nil
 }
 
-// Rebuild kicks a background rebuild and atomically swaps the served
-// snapshot when it completes. It returns false without doing anything if a
-// rebuild is already in flight. onDone, if non-nil, runs after the swap
-// (or the failure) with the outcome.
-func (m *Model) Rebuild(onDone func(*Snapshot, error)) bool {
+// Rebuild kicks a background rebuild cycle and atomically swaps the
+// served snapshot when a build succeeds. It returns false without doing
+// anything if a cycle is already in flight. Failed attempts retry with
+// exponential backoff per Spec.Retry; the served snapshot is never
+// touched on failure, so a permanently failing rebuild leaves the model
+// serving its last good generation, marked degraded in Health. onDone,
+// if non-nil, runs once, after the cycle ends, with the outcome.
+// onAttempt hooks, if given, run after every failed attempt (for retry
+// metrics and logs); they never run on the successful attempt.
+func (m *Model) Rebuild(onDone func(*Snapshot, error), onAttempt ...func(attempt int, err error, willRetry bool)) bool {
 	if !m.building.CompareAndSwap(false, true) {
 		return false
 	}
+	policy := m.Spec.Retry.withDefaults()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	go func() {
 		defer m.building.Store(false)
-		snap, err := m.build()
-		if err == nil {
-			m.cur.Store(snap)
+		var lastErr error
+		for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+			m.noteAttempt(attempt)
+			snap, err := m.build()
+			if err == nil {
+				m.cur.Store(snap)
+				m.noteSuccess(snap.BuiltAt)
+				if onDone != nil {
+					onDone(snap, nil)
+				}
+				return
+			}
+			lastErr = err
+			m.noteFailure(err)
+			willRetry := attempt < policy.MaxAttempts
+			for _, hook := range onAttempt {
+				hook(attempt, err, willRetry)
+			}
+			if willRetry {
+				time.Sleep(policy.delay(attempt, rng))
+			}
 		}
+		m.noteExhausted()
 		if onDone != nil {
-			onDone(snap, err)
+			onDone(nil, fmt.Errorf("serve: rebuild %s: %d attempts exhausted: %w", m.Name, policy.MaxAttempts, lastErr))
 		}
 	}()
 	return true
@@ -220,6 +382,7 @@ func (r *Registry) Add(name string, spec BuildSpec) (*Model, error) {
 		return nil, err
 	}
 	m.cur.Store(snap)
+	m.noteSuccess(snap.BuiltAt)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -10,13 +10,16 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"prmsel/internal/bayesnet"
 	"prmsel/internal/core"
 	"prmsel/internal/obs"
 	"prmsel/internal/query"
@@ -39,6 +42,24 @@ type Config struct {
 	// the exact executor too and feeds the observed q-error into the
 	// metrics (default 0: only requests that ask for exact run it).
 	ExactEvery int
+	// MaxCells bounds exact elimination: a query whose factor products
+	// would exceed this many cells degrades to the sampling tier instead
+	// of allocating. 0 means unlimited (degradation then triggers only on
+	// inference failures).
+	MaxCells int
+	// ApproxSamples sizes the likelihood-weighting fallback tier
+	// (default 4096).
+	ApproxSamples int
+	// MaxConcurrent caps the total admitted inference weight (see
+	// queryWeight). Default 8×GOMAXPROCS; negative disables admission
+	// control. Cache hits never pass through admission.
+	MaxConcurrent int
+	// MaxQueued bounds the admission wait queue; requests beyond it get
+	// an immediate 429 (default 4×MaxConcurrent).
+	MaxQueued int
+	// QueueTimeout bounds how long a request may wait for an inference
+	// slot before a 503 (default 1s).
+	QueueTimeout time.Duration
 	// Metrics receives the runtime counters; one is created when nil.
 	Metrics *Metrics
 	// Logf logs service events (rebuild outcomes); log.Printf when nil.
@@ -53,6 +74,7 @@ type Server struct {
 	cfg     Config
 	reg     *Registry
 	cache   *Cache
+	adm     *admission // nil when admission control is disabled
 	metrics *Metrics
 	logf    func(format string, args ...any)
 	logger  *slog.Logger
@@ -77,6 +99,18 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.ApproxSamples == 0 {
+		cfg.ApproxSamples = 4096
+	}
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = 8 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueued == 0 {
+		cfg.MaxQueued = 4 * cfg.MaxConcurrent
+	}
+	if cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = time.Second
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics()
 	}
@@ -86,10 +120,15 @@ func NewServer(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	var adm *admission
+	if cfg.MaxConcurrent > 0 {
+		adm = newAdmission(int64(cfg.MaxConcurrent), cfg.MaxQueued, cfg.QueueTimeout)
+	}
 	return &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
 		cache:   NewCache(cfg.CacheCapacity, cfg.CacheShards),
+		adm:     adm,
 		metrics: cfg.Metrics,
 		logf:    cfg.Logf,
 		logger:  cfg.Logger,
@@ -217,12 +256,17 @@ type exactResult struct {
 }
 
 // estimateResponse is the POST /v1/estimate reply. Trace and Explain are
-// populated only for ?trace=1 requests.
+// populated only for ?trace=1 requests. Tier reports which level of the
+// degradation chain produced the headline estimate ("exact" normally;
+// "approx" or "avi" when the preferred tiers were refused or failed), and
+// TierReason carries why the chain moved.
 type estimateResponse struct {
 	Model         string            `json:"model"`
 	Generation    int64             `json:"generation"`
 	Query         string            `json:"query"`
 	Estimate      float64           `json:"estimate"`
+	Tier          string            `json:"tier"`
+	TierReason    string            `json:"tier_reason,omitempty"`
 	Breakdown     []estimatorResult `json:"breakdown"`
 	Cache         cacheInfo         `json:"cache"`
 	LatencyMicros int64             `json:"latency_micros"`
@@ -234,9 +278,23 @@ type estimateResponse struct {
 // cachedEstimate is what the inference cache stores: everything derived
 // from running the estimators, nothing request-specific.
 type cachedEstimate struct {
-	query     string
-	estimate  float64
-	breakdown []estimatorResult
+	query      string
+	estimate   float64
+	tier       string
+	tierReason string
+	breakdown  []estimatorResult
+}
+
+// nonFiniteError marks a primary estimate that came back NaN or ±Inf.
+// runEstimators returns it instead of a result so the poisoned value never
+// enters the cache; the handler maps it to a 500.
+type nonFiniteError struct {
+	estimator string
+	value     float64
+}
+
+func (e *nonFiniteError) Error() string {
+	return fmt.Sprintf("serve: estimator %s produced a non-finite estimate (%v)", e.estimator, e.value)
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -301,13 +359,44 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	cctx, csp := obs.Start(ctx, "cache")
 	val, hit, deduped, err := s.cache.Do(key, func() (any, error) {
+		// Admission sits on the cache-miss path only: a hit costs nothing
+		// worth queueing for, and an admission refusal is an error, so it
+		// can never be cached against the query.
+		if s.adm != nil {
+			if err := s.adm.acquire(cctx.Done(), queryWeight(q)); err != nil {
+				return nil, err
+			}
+			defer s.adm.release(queryWeight(q))
+		}
 		return s.runEstimators(cctx, snap, wanted, q)
 	})
 	csp.Set(obs.Bool("hit", hit), obs.Bool("deduped", deduped))
 	csp.End()
 	s.metrics.ObserveCache(hit, deduped)
 	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.metrics.ObserveAdmission(false)
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":  err.Error(),
+				"reason": "admission queue full; back off and retry",
+			})
+			return
+		case errors.Is(err, ErrQueueTimeout):
+			s.metrics.ObserveAdmission(true)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":  err.Error(),
+				"reason": "inference capacity saturated past the queue deadline",
+			})
+			return
+		}
 		s.metrics.ObserveError()
+		var nf *nonFiniteError
+		if errors.As(err, &nf) {
+			s.metrics.ObserveNonFinite()
+			s.fail(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The client went away (or the request deadline fired) while
 			// inference was running; report it as an availability failure
@@ -328,6 +417,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Generation: snap.Generation,
 		Query:      ce.query,
 		Estimate:   ce.estimate,
+		Tier:       ce.tier,
+		TierReason: ce.tierReason,
 		Breakdown:  ce.breakdown,
 		Cache:      cacheInfo{Hit: hit, Deduped: deduped},
 	}
@@ -358,6 +449,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		resp.Trace = tr.Root().Dump()
 		if ex, ok := snap.Primary().(explainer); ok && len(q.NonKeyJoins) == 0 {
 			if e, err := ex.Explain(q); err == nil {
+				// The explanation walks the exact path; stamp it with the
+				// tier the served estimate actually came from so a degraded
+				// answer is not mistaken for an exact one.
+				if resp.Tier != "" {
+					e.Tier = core.Tier(resp.Tier)
+				}
 				resp.Explain = e
 			}
 		}
@@ -378,20 +475,61 @@ type contextEstimator interface {
 	EstimateCountCtx(ctx context.Context, q *query.Query) (float64, error)
 }
 
+// fallbackEstimator is the optional primary-estimator capability behind
+// graceful degradation: an estimate through the exact→approx chain under a
+// resource budget, annotated with the tier that answered. The PRM
+// implements it.
+type fallbackEstimator interface {
+	EstimateCountFallback(ctx context.Context, q *query.Query, opts core.EstimateOptions) (core.EstimateResult, error)
+}
+
 // runEstimators is the cache-miss path: run every selected estimator on
-// the parsed query. The primary (PRM) failing fails the computation; a
-// baseline failing is reported inline so estimators with partial query
-// support (SAMPLE, MHIST) degrade gracefully. The context carries the
-// request's trace span and cancellation into estimators that accept one.
+// the parsed query. The primary (PRM) runs through the degradation chain —
+// exact elimination under the configured budget, then likelihood
+// weighting, then the AVI baseline — so resource refusals and internal
+// failures degrade the estimate instead of failing the request. Only when
+// every tier fails (or the request is cancelled) does the computation
+// fail. A non-primary baseline failing is reported inline so estimators
+// with partial query support (SAMPLE, MHIST) degrade gracefully. A
+// non-finite primary estimate is rejected with a nonFiniteError so it
+// never enters the cache.
 func (s *Server) runEstimators(ctx context.Context, snap *Snapshot, wanted []string, q *query.Query) (*cachedEstimate, error) {
-	ce := &cachedEstimate{query: q.String()}
+	ce := &cachedEstimate{query: q.String(), tier: string(core.TierExact)}
 	for _, name := range wanted {
 		est := snap.Estimator(name)
 		res := estimatorResult{Estimator: name}
 		estStart := time.Now()
 		var v float64
 		var err error
-		if cest, ok := est.(contextEstimator); ok {
+		if est == snap.Primary() {
+			if fest, ok := est.(fallbackEstimator); ok {
+				var fr core.EstimateResult
+				fr, err = fest.EstimateCountFallback(ctx, q, core.EstimateOptions{
+					Budget:        bayesnet.Budget{MaxCells: s.cfg.MaxCells},
+					ApproxSamples: s.cfg.ApproxSamples,
+				})
+				if err == nil {
+					v = fr.Estimate
+					ce.tier = string(fr.Tier)
+					ce.tierReason = fr.Reason
+				} else if degradableErr(err) {
+					// Every core tier failed; the last line of defense is the
+					// snapshot's AVI baseline, which shares no code with
+					// elimination or sampling.
+					if avi := snap.Estimator("AVI"); avi != nil {
+						if av, aerr := avi.EstimateCount(q); aerr == nil {
+							ce.tier = string(core.TierAVI)
+							ce.tierReason = err.Error()
+							v, err = av, nil
+						}
+					}
+				}
+			} else if cest, ok := est.(contextEstimator); ok {
+				v, err = cest.EstimateCountCtx(ctx, q)
+			} else if err = ctx.Err(); err == nil {
+				v, err = est.EstimateCount(q)
+			}
+		} else if cest, ok := est.(contextEstimator); ok {
 			v, err = cest.EstimateCountCtx(ctx, q)
 		} else if err = ctx.Err(); err == nil {
 			v, err = est.EstimateCount(q)
@@ -407,12 +545,22 @@ func (s *Server) runEstimators(ctx context.Context, snap *Snapshot, wanted []str
 		} else {
 			res.Estimate = v
 			if est == snap.Primary() {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, &nonFiniteError{estimator: name, value: v}
+				}
 				ce.estimate = v
 			}
 		}
 		ce.breakdown = append(ce.breakdown, res)
 	}
+	s.metrics.ObserveTier(ce.tier)
 	return ce, nil
+}
+
+// degradableErr mirrors core's degradation rule at the serving layer:
+// cancellation fails the request, anything else may fall to the AVI tier.
+func degradableErr(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
 // selectEstimators resolves the request's estimator filter against the
@@ -455,6 +603,7 @@ type modelInfo struct {
 	BuiltAt     time.Time      `json:"built_at"`
 	BuildMillis int64          `json:"build_millis"`
 	Rebuilding  bool           `json:"rebuilding"`
+	Health      ModelHealth    `json:"health"`
 	Tables      map[string]int `json:"tables"`
 	Estimators  map[string]int `json:"estimators"` // name -> storage bytes
 }
@@ -475,6 +624,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			BuiltAt:     snap.BuiltAt,
 			BuildMillis: snap.BuildTime.Milliseconds(),
 			Rebuilding:  m.Rebuilding(),
+			Health:      m.Health(),
 			Tables:      make(map[string]int),
 			Estimators:  make(map[string]int),
 		}
@@ -501,11 +651,16 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	}
 	started := m.Rebuild(func(snap *Snapshot, err error) {
 		if err != nil {
-			s.logf("serve: rebuild of %s failed: %v", name, err)
+			s.logf("serve: rebuild of %s failed; serving last good snapshot: %v", name, err)
 			return
 		}
 		s.metrics.ObserveRebuild()
 		s.logf("serve: rebuilt %s (generation %d in %v)", name, snap.Generation, snap.BuildTime.Round(time.Millisecond))
+	}, func(attempt int, err error, willRetry bool) {
+		s.metrics.ObserveRebuildFailure(willRetry)
+		if willRetry {
+			s.logf("serve: rebuild of %s attempt %d failed (will retry): %v", name, attempt, err)
+		}
 	})
 	if !started {
 		s.fail(w, http.StatusConflict, fmt.Sprintf("model %q is already rebuilding", name))
@@ -517,13 +672,41 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz reports liveness plus per-model serving health. The
+// top-level status is "degraded" when any model's rebuild cycle has
+// exhausted its retries; the HTTP status stays 200 because every model
+// still serves (its last good snapshot) — degraded is an operator signal,
+// not an outage.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+	status := "ok"
+	modelHealth := make(map[string]ModelHealth)
+	for _, name := range s.reg.Names() {
+		m, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		h := m.Health()
+		modelHealth[name] = h
+		if h.Degraded {
+			status = "degraded"
+		}
+	}
+	body := map[string]any{
+		"status":         status,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"models":         s.reg.Names(),
+		"model_health":   modelHealth,
 		"cache_entries":  s.cache.Len(),
-	})
+	}
+	if s.adm != nil {
+		used, queued := s.adm.snapshot()
+		body["admission"] = map[string]any{
+			"in_use":   used,
+			"capacity": s.cfg.MaxConcurrent,
+			"queued":   queued,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // resolveModel finds the target model: the named one, or the only one.

@@ -189,6 +189,21 @@ func (m *Model) EstimateSelectivity(q *Query) (float64, error) {
 	return m.prm.EstimateSelectivity(q)
 }
 
+// EstimateOptions tunes EstimateCountFallback's degradation chain.
+type EstimateOptions = core.EstimateOptions
+
+// EstimateResult is an estimate annotated with the degradation tier that
+// produced it.
+type EstimateResult = core.EstimateResult
+
+// EstimateCountFallback estimates q through the graceful-degradation
+// chain: exact elimination under opts.Budget, falling back to
+// likelihood-weighting sampling when elimination is over budget or fails.
+// The result records which tier answered and why the chain degraded.
+func (m *Model) EstimateCountFallback(ctx context.Context, q *Query, opts EstimateOptions) (EstimateResult, error) {
+	return m.prm.EstimateCountFallback(ctx, q, opts)
+}
+
 // StorageBytes reports the model's storage cost under the evaluation's
 // byte accounting.
 func (m *Model) StorageBytes() int { return m.prm.StorageBytes() }
