@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz
+.PHONY: check fmt vet build test race bench fuzz crash-smoke
 
 ## check: the full verification gate — format, vet, build, tests, race-mode
 ## tests for the concurrent subsystems.
@@ -21,19 +21,28 @@ build:
 test:
 	$(GO) test ./...
 
-## race: the service and inference layers under the race detector — the
-## concurrency regression gate for internal/serve and the estimation read
-## path. internal/core is narrowed to its concurrency tests; the package's
-## randomized property tests are exercised by `test` instead.
+## race: the service, durability, and inference layers under the race
+## detector — the concurrency regression gate for internal/serve,
+## internal/store, and the estimation read path. internal/core is narrowed
+## to its concurrency tests; the package's randomized property tests are
+## exercised by `test` instead.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/bayesnet/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/bayesnet/...
 	$(GO) test -race -run TestConcurrent ./internal/core/...
 
-## fuzz: a short fuzzing pass over the model codec — Decode must return an
-## error or a usable model on arbitrary bytes, never panic. Corpus finds
-## land in internal/bayesnet/testdata/fuzz/ for `test` to replay forever.
+## fuzz: a short fuzzing pass over the model codec and the store's snapshot
+## frame — Decode/Payload must return an error or a usable result on
+## arbitrary bytes, never panic. Corpus finds land in each package's
+## testdata/fuzz/ for `test` to replay forever.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/bayesnet
+	$(GO) test -run='^$$' -fuzz=FuzzPayload -fuzztime=10s ./internal/store
+
+## crash-smoke: the durability acceptance check as a live process — start
+## prmserved with a store dir, SIGKILL it mid-rebuild, restart, and require
+## instant recovery from the persisted snapshot.
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 ## bench: a smoke pass — every benchmark runs exactly once, so CI catches
 ## benchmarks that no longer compile or crash without paying for timing

@@ -25,6 +25,7 @@ import (
 
 	"prmsel/internal/cliutil"
 	"prmsel/internal/serve"
+	"prmsel/internal/store"
 )
 
 func main() {
@@ -48,6 +49,11 @@ func main() {
 	maxQueued := flag.Int("max-queued", 0, "admission queue length before 429 (0 = 4×capacity)")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "max wait for an inference slot before 503")
 	rebuildRetries := flag.Int("rebuild-retries", 5, "max build attempts per rebuild cycle")
+	storeDir := flag.String("store-dir", "", "durable model store directory: snapshots persist across restarts and recovery serves them immediately on startup (empty = in-memory only)")
+	keepGenerations := flag.Int("keep-generations", 3, "snapshot generations kept per model in the store")
+	driftThreshold := flag.Float64("drift-threshold", 0, "p90 observed q-error (from /v1/feedback) above which a model reports drifted (0 = watchdog off)")
+	driftWindow := flag.Int("drift-window", 64, "rolling window size for the accuracy watchdog")
+	rebuildOnDrift := flag.Bool("rebuild-on-drift", false, "trigger an early background rebuild when a model drifts")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -57,6 +63,15 @@ func main() {
 	logger := slog.New(handler)
 
 	reg := serve.NewRegistry()
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *keepGenerations)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg.UseStore(st)
+		log.Printf("durable model store at %s (keeping %d generations per model)", st.Dir(), *keepGenerations)
+	}
+	drift := serve.DriftPolicy{Window: *driftWindow, Threshold: *driftThreshold}
 	add := func(name string, spec serve.BuildSpec) {
 		start := time.Now()
 		m, err := reg.Add(name, spec)
@@ -68,8 +83,12 @@ func main() {
 		for _, e := range snap.Estimators {
 			storage += e.StorageBytes()
 		}
-		log.Printf("model %s ready: %d estimators, %d bytes, built in %v",
-			m.Name, len(snap.Estimators), storage, time.Since(start).Round(time.Millisecond))
+		state := "built"
+		if m.Health().Recovered {
+			state = "recovered"
+		}
+		log.Printf("model %s ready: %d estimators, %d bytes, %s in %v",
+			m.Name, len(snap.Estimators), storage, state, time.Since(start).Round(time.Millisecond))
 	}
 	for _, name := range strings.Split(*datasets, ",") {
 		name = strings.TrimSpace(name)
@@ -83,6 +102,7 @@ func main() {
 			Seed:        *seed,
 			BudgetBytes: *budget,
 			Retry:       serve.RetryPolicy{MaxAttempts: *rebuildRetries},
+			Drift:       drift,
 		})
 	}
 	if *csvDir != "" {
@@ -91,6 +111,7 @@ func main() {
 			Seed:        *seed,
 			BudgetBytes: *budget,
 			Retry:       serve.RetryPolicy{MaxAttempts: *rebuildRetries},
+			Drift:       drift,
 		})
 	}
 	if len(reg.Names()) == 0 {
@@ -108,6 +129,7 @@ func main() {
 		MaxConcurrent:  *maxConcurrent,
 		MaxQueued:      *maxQueued,
 		QueueTimeout:   *queueTimeout,
+		RebuildOnDrift: *rebuildOnDrift,
 		Logger:         logger,
 	})
 	srv.Metrics().Publish()
@@ -130,10 +152,21 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Print("shutting down")
+	// Graceful shutdown, in dependency order: stop accepting and drain
+	// in-flight HTTP requests (which empties the admission queue — every
+	// queued request either finishes or times out under the server
+	// deadline), then stop the rebuild loops and wait for any pending
+	// snapshot flush to the durable store, so a SIGTERM never loses a
+	// just-built generation.
+	log.Print("shutting down: draining requests")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "prmserved: shutdown: %v\n", err)
 	}
+	log.Print("shutting down: stopping rebuilds and flushing snapshots")
+	if err := reg.Close(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "prmserved: shutdown: %v\n", err)
+	}
+	log.Print("shutdown complete")
 }

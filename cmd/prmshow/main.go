@@ -5,9 +5,18 @@
 //
 //	prmshow -dataset tb -budget 4400
 //	prmshow -csv ./data/tb -budget 4400
+//
+// With -snapshot it instead reads a persisted model — a framed snapshot
+// from prmserved's -store-dir, or any raw stream written by
+// Model.Encode — and prints its summary without a dataset or a running
+// daemon, so operators can inspect on-disk state directly:
+//
+//	prmshow -snapshot /var/lib/prmsel/census-00000003.snap
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +26,7 @@ import (
 	"prmsel"
 	"prmsel/internal/cliutil"
 	"prmsel/internal/learn"
+	"prmsel/internal/store"
 )
 
 func main() {
@@ -33,7 +43,15 @@ func main() {
 	verbose := flag.Bool("verbose", false, "also print each variable's CPD")
 	save := flag.String("save", "", "write the learned model (gob) to this path")
 	load := flag.String("load", "", "load a model from this path instead of learning")
+	snapshot := flag.String("snapshot", "", "print a persisted store snapshot (or raw encoded model) and exit; needs no dataset")
 	flag.Parse()
+
+	if *snapshot != "" {
+		if err := showSnapshot(*snapshot, *verbose); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	db, err := cliutil.LoadDB(*csvDir, *name, *rows, *scale, *seed)
 	if err != nil {
@@ -99,4 +117,39 @@ func main() {
 		fmt.Println("\nconditional probability distributions:")
 		fmt.Print(model.RenderCPDs())
 	}
+}
+
+// showSnapshot prints a persisted model's summary. Framed store
+// snapshots are validated (magic, version, checksum) before decoding;
+// anything without the snapshot magic is treated as a raw Model.Encode
+// stream.
+func showSnapshot(path string, verbose bool) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	form := "raw model stream"
+	payload, err := store.Payload(b)
+	switch {
+	case err == nil:
+		form = fmt.Sprintf("framed store snapshot (version %d, %d-byte payload, checksum ok)", store.Version, len(payload))
+	case errors.Is(err, store.ErrNotSnapshot):
+		payload = b
+	default:
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	model, err := prmsel.LoadModel(bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("snapshot: %s\n", path)
+	fmt.Printf("format:   %s\n", form)
+	fmt.Printf("\nmodel: %d bytes, %d parameters\n\n", model.StorageBytes(), model.NumParams())
+	fmt.Println("dependency structure:")
+	fmt.Print(model.String())
+	if verbose {
+		fmt.Println("\nconditional probability distributions:")
+		fmt.Print(model.RenderCPDs())
+	}
+	return nil
 }

@@ -2,7 +2,9 @@ package bayesnet
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"hash/crc32"
 	"strings"
 	"testing"
 )
@@ -135,6 +137,24 @@ func FuzzDecode(f *testing.F) {
 		flip[len(flip)/3] ^= 0xff
 		f.Add(flip)
 	}
+	// Framed store snapshots (internal/store's on-disk format, which this
+	// package cannot import without a cycle): magic "PRMSNAP1", a version
+	// byte, the payload's CRC32-IEEE (LE), the payload length (LE uint64),
+	// then the gob stream. Decode sees these when someone feeds a whole
+	// snapshot file to a raw-model reader; it must reject the framed bytes
+	// cleanly, never panic partway into the gob.
+	frame := func(payload []byte) []byte {
+		b := []byte("PRMSNAP1")
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(payload)))
+		return append(b, payload...)
+	}
+	framed := frame(valid.Bytes())
+	f.Add(framed)
+	f.Add(framed[:len(framed)/2])
+	f.Add(frame(nil))
+	f.Add([]byte("PRMSNAP1"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		n, err := Decode(bytes.NewReader(data))

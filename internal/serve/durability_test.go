@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"prmsel/internal/faults"
+	"prmsel/internal/store"
+)
+
+// durableRegistry opens a store in dir and registers fig1 against it.
+func durableRegistry(t *testing.T, dir string) (*Registry, *Model) {
+	t.Helper()
+	st, err := store.Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.SetLogf(func(string, ...any) {})
+	reg.UseStore(st)
+	m, err := reg.Add("fig1", BuildSpec{Dataset: "fig1", Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain background rebuild goroutines before the TempDir cleanup
+	// removes the store directory out from under a late persist.
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		reg.Close(ctx)
+	})
+	return reg, m
+}
+
+func durableServer(t *testing.T, reg *Registry, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Registry = reg
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg.Logf = func(string, ...any) {}
+	srv := NewServer(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestRecoverAcrossRestart is the cold-start acceptance path: a first
+// "process" builds and persists; a second one, pointed at the same store
+// dir, publishes the persisted generation immediately, serves estimates
+// from it, and reports "recovered" on /healthz.
+func TestRecoverAcrossRestart(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	dir := t.TempDir()
+
+	_, m1 := durableRegistry(t, dir)
+	gen1 := m1.Current().Generation
+	if gens := mustGens(t, dir); len(gens) != 1 || gens[0] != gen1 {
+		t.Fatalf("first build persisted generations %v, want [%d]", gens, gen1)
+	}
+
+	// Fail the second registry's background refresh so the recovered
+	// state stays observable instead of racing a millisecond rebuild.
+	faults.Set("serve.rebuild", faults.Fault{Err: errors.New("refresh blocked for test")})
+	reg2, m2 := durableRegistry(t, dir)
+	if got := m2.Current().Generation; got != gen1 {
+		t.Errorf("recovered generation = %d, want %d", got, gen1)
+	}
+	h := m2.Health()
+	if !h.Recovered {
+		t.Error("health.Recovered = false after store recovery")
+	}
+	if h.SnapshotSavedAt.IsZero() {
+		t.Error("health lacks the persisted snapshot's timestamp")
+	}
+	if h.Recovered && m2.Health().SnapshotAgeSeconds < 0 {
+		t.Error("negative snapshot age")
+	}
+
+	// The recovered model answers real queries over HTTP.
+	_, ts := durableServer(t, reg2, Config{})
+	r, out := postEstimate(t, ts.URL, `{"query":"FROM People p WHERE p.Income = high"}`)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("estimate on recovered model: status %d, body %v", r.StatusCode, out)
+	}
+	if est, _ := out["estimate"].(float64); est <= 0 {
+		t.Errorf("estimate on recovered model = %v", out["estimate"])
+	}
+
+	// /healthz says so.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health["status"] != "recovered" || health["recovered"] != true {
+		t.Errorf("healthz = status %v recovered %v, want recovered/true", health["status"], health["recovered"])
+	}
+
+	// Let the background refresh through: the model hot-swaps to a
+	// strictly newer generation, Recovered clears, and the new
+	// generation lands in the store.
+	waitFor(t, "blocked refresh cycle to end", func() bool { return !m2.Rebuilding() })
+	faults.Clear("serve.rebuild")
+	if !m2.Rebuild(nil) {
+		t.Fatal("Rebuild refused on an idle recovered model")
+	}
+	waitFor(t, "refresh to pass the recovered generation", func() bool { return m2.Current().Generation > gen1 })
+	waitFor(t, "refresh cycle to finish", func() bool { return !m2.Rebuilding() })
+	if h := m2.Health(); h.Recovered {
+		t.Error("Recovered still set after a fresh build replaced the snapshot")
+	}
+	waitFor(t, "refreshed generation to persist", func() bool {
+		gens := mustGens(t, dir)
+		return len(gens) > 0 && gens[0] == m2.Current().Generation
+	})
+}
+
+func mustGens(t *testing.T, dir string) []int64 {
+	t.Helper()
+	st, err := store.Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Generations("fig1")
+}
+
+// TestRecoverFallsBackPastCorruption bit-flips the newest persisted
+// generation: startup must quarantine it, recover the previous one, and
+// keep the torn file out of the way as <file>.corrupt.
+func TestRecoverFallsBackPastCorruption(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	dir := t.TempDir()
+
+	_, m1 := durableRegistry(t, dir)
+	gen1 := m1.Current().Generation
+	if !m1.Rebuild(nil) {
+		t.Fatal("second build refused")
+	}
+	waitFor(t, "second generation to land", func() bool { return m1.Current().Generation > gen1 })
+	waitFor(t, "second build cycle to finish", func() bool { return !m1.Rebuilding() })
+	gen2 := m1.Current().Generation
+	waitFor(t, "second generation to persist", func() bool {
+		gens := mustGens(t, dir)
+		return len(gens) > 0 && gens[0] == gen2
+	})
+
+	// Corrupt the newest snapshot on disk.
+	snaps, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("snapshots on disk = %v (err %v), want 2", snaps, err)
+	}
+	newest := snaps[len(snaps)-1]
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Set("serve.rebuild", faults.Fault{Err: errors.New("refresh blocked for test")})
+	_, m2 := durableRegistry(t, dir)
+	if got := m2.Current().Generation; got != gen1 {
+		t.Errorf("recovered generation = %d, want fallback to %d", got, gen1)
+	}
+	if _, err := os.Stat(newest + ".corrupt"); err != nil {
+		t.Errorf("corrupt snapshot not quarantined: %v", err)
+	}
+}
+
+// TestKillDuringPersistKeepsServingAndRecovers arms each injected crash
+// point of the store's write protocol during a rebuild's persist: the
+// rebuild still swaps in the new snapshot (serving beats durability),
+// health surfaces the store error, and a restart recovers the last
+// generation that did reach disk — the issue's SIGKILL-at-any-point
+// acceptance check, with no manual cleanup in between.
+func TestKillDuringPersistKeepsServingAndRecovers(t *testing.T) {
+	for _, point := range []string{"store.write", "store.fsync"} {
+		t.Run(point, func(t *testing.T) {
+			faults.Reset()
+			defer faults.Reset()
+			dir := t.TempDir()
+
+			_, m1 := durableRegistry(t, dir)
+			gen1 := m1.Current().Generation
+
+			faults.Set(point, faults.Fault{Err: errors.New("injected crash")})
+			done := make(chan error, 1)
+			if !m1.Rebuild(func(_ *Snapshot, err error) { done <- err }) {
+				t.Fatal("Rebuild refused")
+			}
+			if err := <-done; err != nil {
+				t.Fatalf("rebuild failed (persist failures must not fail builds): %v", err)
+			}
+			faults.Clear(point)
+
+			if m1.Current().Generation <= gen1 {
+				t.Error("snapshot did not swap despite persist failure")
+			}
+			if h := m1.Health(); h.StoreError == "" {
+				t.Error("health.StoreError empty after a failed persist")
+			}
+			if gens := mustGens(t, dir); len(gens) != 1 || gens[0] != gen1 {
+				t.Errorf("store generations after torn persist = %v, want [%d]", gens, gen1)
+			}
+
+			// "Restart": a fresh registry on the same dir recovers gen1.
+			faults.Set("serve.rebuild", faults.Fault{Err: errors.New("refresh blocked for test")})
+			_, m2 := durableRegistry(t, dir)
+			if got := m2.Current().Generation; got != gen1 {
+				t.Errorf("recovered generation = %d, want %d", got, gen1)
+			}
+			if !m2.Health().Recovered {
+				t.Error("restart after torn persist did not report recovered")
+			}
+		})
+	}
+}
+
+// TestFeedbackWatchdog drives /v1/feedback until the accuracy watchdog
+// trips: the model flips to drifted, /healthz degrades, metrics count
+// the events, and RebuildOnDrift kicks an early rebuild that resets the
+// window.
+func TestFeedbackWatchdog(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	reg := NewRegistry()
+	reg.SetLogf(func(string, ...any) {})
+	m, err := reg.Add("fig1", BuildSpec{
+		Dataset: "fig1",
+		Retry:   fastRetry,
+		Drift:   DriftPolicy{Window: 8, Threshold: 5, MinSamples: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := durableServer(t, reg, Config{RebuildOnDrift: true})
+	gen0 := m.Current().Generation
+
+	postFeedback := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/feedback", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode, out
+	}
+
+	// Validation errors first.
+	if code, _ := postFeedback(`{"true_count":-1}`); code != http.StatusBadRequest {
+		t.Errorf("negative true_count: status %d, want 400", code)
+	}
+	if code, _ := postFeedback(`{"true_count":10}`); code != http.StatusBadRequest {
+		t.Errorf("feedback with neither estimate nor query: status %d, want 400", code)
+	}
+	if code, _ := postFeedback(`{"model":"ghost","estimate":1,"true_count":1}`); code != http.StatusNotFound {
+		t.Errorf("unknown model: status %d, want 404", code)
+	}
+
+	// Pin the drift-triggered rebuild to failure so the drifted state
+	// stays observable instead of racing a millisecond rebuild (which
+	// would reset the watchdog before the assertions run).
+	faults.Set("serve.rebuild", faults.Fault{Err: errors.New("rebuild blocked for test")})
+
+	// Four reports with q-error 100 push the p90 far over threshold 5;
+	// the fourth reaches MinSamples and flips the watchdog.
+	var last map[string]any
+	for i := 0; i < 4; i++ {
+		code, out := postFeedback(`{"estimate":100,"true_count":1}`)
+		if code != http.StatusOK {
+			t.Fatalf("feedback %d: status %d, body %v", i, code, out)
+		}
+		last = out
+	}
+	if last["drifted"] != true {
+		t.Fatalf("watchdog did not trip: %v", last)
+	}
+	if last["rebuild_started"] != true {
+		t.Errorf("RebuildOnDrift did not start a rebuild: %v", last)
+	}
+	if p90, _ := last["drift_p90"].(float64); p90 < 5 {
+		t.Errorf("drift_p90 = %v, want over threshold", p90)
+	}
+
+	// The blocked rebuild exhausts its retries; the model keeps serving
+	// its snapshot, still drifted.
+	waitFor(t, "blocked drift rebuild to exhaust retries", func() bool { return !m.Rebuilding() })
+	h := m.Health()
+	if !h.Drifted || h.FeedbackSamples != 4 {
+		t.Errorf("health = drifted %v samples %d, want true/4", h.Drifted, h.FeedbackSamples)
+	}
+
+	// Degradation shows on /healthz while drifted.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health["status"] != "degraded" {
+		t.Errorf("healthz status = %v while drifted, want degraded", health["status"])
+	}
+
+	snap := srv.Metrics().Snapshot()
+	if snap["feedback"].(int64) != 4 {
+		t.Errorf("feedback counter = %v, want 4", snap["feedback"])
+	}
+	if snap["drift_events"].(int64) != 1 {
+		t.Errorf("drift_events = %v, want 1", snap["drift_events"])
+	}
+
+	// A successful rebuild lands and resets the watchdog.
+	faults.Clear("serve.rebuild")
+	if !m.Rebuild(nil) {
+		t.Fatal("Rebuild refused on an idle model")
+	}
+	waitFor(t, "recovery rebuild to land", func() bool { return m.Current().Generation > gen0 })
+	waitFor(t, "recovery rebuild to finish", func() bool { return !m.Rebuilding() })
+	h = m.Health()
+	if h.Drifted || h.FeedbackSamples != 0 {
+		t.Errorf("watchdog not reset after rebuild: drifted %v samples %d", h.Drifted, h.FeedbackSamples)
+	}
+}
+
+// TestFeedbackRecomputesEstimate: with no client estimate, the server
+// recomputes the primary estimate for the query and judges that.
+func TestFeedbackRecomputesEstimate(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	reg := NewRegistry()
+	reg.SetLogf(func(string, ...any) {})
+	if _, err := reg.Add("fig1", BuildSpec{
+		Dataset: "fig1",
+		Retry:   fastRetry,
+		Drift:   DriftPolicy{Window: 8, Threshold: 5, MinSamples: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := durableServer(t, reg, Config{})
+
+	resp, err := http.Post(ts.URL+"/v1/feedback", "application/json",
+		strings.NewReader(`{"query":"FROM People p WHERE p.Income = high","true_count":100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback: status %d, body %v", resp.StatusCode, out)
+	}
+	if q, _ := out["qerror"].(float64); q < 1 {
+		t.Errorf("qerror = %v, want >= 1", out["qerror"])
+	}
+	if out["feedback_samples"].(float64) != 1 {
+		t.Errorf("feedback_samples = %v, want 1", out["feedback_samples"])
+	}
+}
+
+// TestCloseAbortsRetrySleep: a rebuild cycle stuck in a long backoff
+// wait must abort promptly on Registry.Close, and the closed registry
+// must refuse new rebuilds.
+func TestCloseAbortsRetrySleep(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	reg := NewRegistry()
+	reg.SetLogf(func(string, ...any) {})
+	m, err := reg.Add("fig1", BuildSpec{
+		Dataset: "fig1",
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Set("serve.rebuild", faults.Fault{Err: errors.New("always failing")})
+	done := make(chan error, 1)
+	if !m.Rebuild(func(_ *Snapshot, err error) { done <- err }) {
+		t.Fatal("Rebuild refused")
+	}
+	waitFor(t, "first attempt to fail into its backoff wait", func() bool {
+		return m.Health().ConsecutiveFailures >= 1
+	})
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := reg.Close(ctx); err != nil {
+		t.Fatalf("Close did not drain the retrying rebuild: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Close took %v; the hour-long backoff was not aborted", elapsed)
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "aborted by shutdown") {
+			t.Errorf("onDone error = %v, want aborted-by-shutdown", err)
+		}
+	default:
+		t.Error("onDone never ran for the aborted cycle")
+	}
+	if m.Rebuild(nil) {
+		t.Error("closed registry accepted a new rebuild")
+	}
+}

@@ -44,6 +44,14 @@ type Metrics struct {
 	rebuildFailures   atomic.Int64
 	rebuildRetries    atomic.Int64
 
+	// Durability and watchdog counters: snapshot persists to the model
+	// store (and failures, which cost durability but never serving),
+	// /v1/feedback observations, and drift flips.
+	storeSaves        atomic.Int64
+	storeSaveFailures atomic.Int64
+	feedback          atomic.Int64
+	driftEvents       atomic.Int64
+
 	latCount  atomic.Int64
 	latSumUS  atomic.Int64
 	latBucket []atomic.Int64 // len(latencyBoundsMicros)+1, last is overflow
@@ -180,6 +188,23 @@ func (m *Metrics) ObserveRebuildFailure(willRetry bool) {
 	}
 }
 
+// ObserveStoreSave records one snapshot persist to the durable model
+// store; a non-nil err counts it as a failure instead.
+func (m *Metrics) ObserveStoreSave(err error) {
+	if err != nil {
+		m.storeSaveFailures.Add(1)
+		return
+	}
+	m.storeSaves.Add(1)
+}
+
+// ObserveFeedback records one /v1/feedback ground-truth report.
+func (m *Metrics) ObserveFeedback() { m.feedback.Add(1) }
+
+// ObserveDrift records one accuracy-watchdog trip (a model flipping to
+// drifted).
+func (m *Metrics) ObserveDrift() { m.driftEvents.Add(1) }
+
 // ObserveQError records the q-error (max(est/truth, truth/est), with both
 // sides floored at 1 row to stay finite) of one request that was checked
 // against the exact executor.
@@ -233,6 +258,12 @@ func (m *Metrics) Snapshot() map[string]any {
 			"avi":    m.tierAVI.Load(),
 		},
 		"degraded": m.tierApprox.Load() + m.tierAVI.Load(),
+		"store": map[string]int64{
+			"saves":         m.storeSaves.Load(),
+			"save_failures": m.storeSaveFailures.Load(),
+		},
+		"feedback":     m.feedback.Load(),
+		"drift_events": m.driftEvents.Load(),
 		"admission": map[string]int64{
 			"rejected_429": m.admissionRejected.Load(),
 			"timeout_503":  m.admissionTimeout.Load(),

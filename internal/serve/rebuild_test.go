@@ -16,8 +16,10 @@ import (
 	"prmsel/internal/faults"
 )
 
-// fastRetry keeps the retry loop's backoff out of test wall time.
-var fastRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+// fastRetry keeps the retry loop's backoff out of test wall time; the
+// fixed Seed makes every cycle's jitter sequence identical, so these
+// tests behave the same under -count=10.
+var fastRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1}
 
 func rebuildTestServer(t *testing.T) (*Registry, *Model, *Server, *httptest.Server) {
 	t.Helper()

@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"log"
 	"math/rand"
 	"sort"
 	"sync"
@@ -14,6 +17,7 @@ import (
 	"prmsel/internal/eval"
 	"prmsel/internal/faults"
 	"prmsel/internal/learn"
+	"prmsel/internal/store"
 )
 
 // BuildSpec says how to construct one served model: which dataset to load
@@ -41,6 +45,8 @@ type BuildSpec struct {
 	MHistAttrs int
 	// Retry governs how background rebuilds recover from failures.
 	Retry RetryPolicy
+	// Drift tunes the accuracy watchdog fed by /v1/feedback.
+	Drift DriftPolicy
 }
 
 // RetryPolicy shapes the rebuild retry loop: exponential backoff with
@@ -58,6 +64,10 @@ type RetryPolicy struct {
 	// JitterFrac randomizes each delay by ±this fraction (default 0.2),
 	// so many models failing together do not retry in lockstep.
 	JitterFrac float64
+	// Seed, when non-zero, seeds the policy's own jitter source so every
+	// rebuild cycle draws the same delay sequence — the determinism the
+	// retry tests need under -count=10. Zero seeds from the clock.
+	Seed int64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -118,6 +128,27 @@ type ModelHealth struct {
 	// Degraded means the most recent rebuild cycle exhausted its retry
 	// budget; the model still serves, from its last good snapshot.
 	Degraded bool `json:"degraded,omitempty"`
+	// Recovered means the served snapshot was loaded from the durable
+	// store at startup rather than built fresh; it stays set until the
+	// first successful rebuild replaces the recovered generation.
+	Recovered bool `json:"recovered,omitempty"`
+	// SnapshotSavedAt is when the recovered snapshot was persisted (the
+	// store manifest's timestamp), the staleness anchor while Recovered.
+	SnapshotSavedAt time.Time `json:"snapshot_saved_at,omitempty"`
+	// SnapshotAgeSeconds is how old the recovered snapshot is — how far
+	// behind live data the served model may be.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds,omitempty"`
+	// StoreError is the most recent snapshot-persist failure ("" when
+	// persistence is healthy or disabled). Persist failures never block
+	// serving; they only lose durability, which this surfaces.
+	StoreError string `json:"store_error,omitempty"`
+	// Drifted means the accuracy watchdog saw the rolling p90 observed
+	// q-error exceed the model's drift threshold.
+	Drifted bool `json:"drifted,omitempty"`
+	// DriftP90 is the rolling window's p90 observed q-error.
+	DriftP90 float64 `json:"drift_p90,omitempty"`
+	// FeedbackSamples counts /v1/feedback observations in the window.
+	FeedbackSamples int `json:"feedback_samples,omitempty"`
 }
 
 func (s BuildSpec) withDefaults() BuildSpec {
@@ -179,6 +210,12 @@ type Model struct {
 	gen      atomic.Int64
 	building atomic.Bool
 
+	// reg is the owning registry: the durable store, the shutdown
+	// signal, and the rebuild-goroutine waitgroup all live there.
+	reg *Registry
+	// drift is the accuracy watchdog's rolling q-error window.
+	drift *driftWatch
+
 	healthMu sync.Mutex
 	health   ModelHealth
 	// staleSince marks when a rebuild cycle first failed without a
@@ -202,7 +239,24 @@ func (m *Model) Health() ModelHealth {
 	if !m.staleSince.IsZero() {
 		h.StaleSeconds = time.Since(m.staleSince).Seconds()
 	}
+	if h.Recovered && !h.SnapshotSavedAt.IsZero() {
+		h.SnapshotAgeSeconds = time.Since(h.SnapshotSavedAt).Seconds()
+	}
+	if m.drift != nil {
+		h.DriftP90, h.FeedbackSamples, h.Drifted = m.drift.snapshot()
+	}
 	return h
+}
+
+// ObserveFeedback feeds one client-reported ground truth into the
+// accuracy watchdog and returns the observed q-error plus whether this
+// observation flipped the model into the drifted state.
+func (m *Model) ObserveFeedback(estimate float64, truth int64) (qerr float64, flipped bool) {
+	qerr = qerror(estimate, truth)
+	if m.drift != nil {
+		flipped = m.drift.observe(qerr)
+	}
+	return qerr, flipped
 }
 
 func (m *Model) noteAttempt(attempt int) {
@@ -229,7 +283,37 @@ func (m *Model) noteSuccess(builtAt time.Time) {
 	m.health.LastErrorAt = time.Time{}
 	m.health.LastSuccessAt = builtAt
 	m.health.Degraded = false
+	// A fresh build replaces whatever was recovered from disk, and its
+	// accuracy history: the watchdog judges the new model on new
+	// evidence, not the old model's drift.
+	m.health.Recovered = false
+	m.health.SnapshotSavedAt = time.Time{}
 	m.staleSince = time.Time{}
+	m.healthMu.Unlock()
+	if m.drift != nil {
+		m.drift.reset()
+	}
+}
+
+// noteRecovered marks the model as serving a snapshot loaded from the
+// durable store, anchored at the store's persist timestamp.
+func (m *Model) noteRecovered(savedAt time.Time) {
+	m.healthMu.Lock()
+	m.health.Recovered = true
+	m.health.SnapshotSavedAt = savedAt
+	m.health.LastSuccessAt = savedAt
+	m.healthMu.Unlock()
+}
+
+// noteStoreError records (or, with nil, clears) a snapshot-persist
+// failure. Losing durability never blocks serving; it is surfaced here.
+func (m *Model) noteStoreError(err error) {
+	m.healthMu.Lock()
+	if err != nil {
+		m.health.StoreError = err.Error()
+	} else {
+		m.health.StoreError = ""
+	}
 	m.healthMu.Unlock()
 }
 
@@ -258,6 +342,20 @@ func (m *Model) build() (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: learn %s: %w", m.Name, err)
 	}
+	return &Snapshot{
+		DB:         db,
+		Estimators: m.estimators(db, prm),
+		Generation: m.gen.Add(1),
+		BuiltAt:    time.Now(),
+		BuildTime:  time.Since(start),
+	}, nil
+}
+
+// estimators assembles a snapshot's estimator list around the primary:
+// the AVI baseline always, SAMPLE and MHIST where the spec and schema
+// allow. Shared by fresh builds and store recovery, so a recovered model
+// serves the same breakdown a built one would.
+func (m *Model) estimators(db *dataset.Database, prm baselines.Estimator) []baselines.Estimator {
 	ests := []baselines.Estimator{prm, baselines.NewAVI(db)}
 
 	// SAMPLE over the largest table (single-table queries only; requests
@@ -289,14 +387,62 @@ func (m *Model) build() (*Snapshot, error) {
 			ests = append(ests, mh)
 		}
 	}
+	return ests
+}
 
+// recoverFromStore publishes the newest valid persisted generation: the
+// dataset is reloaded (cheap — the expensive artifact is the learned
+// structure, which is exactly what the store persists) and the decoded
+// PRM is wrapped with freshly built baselines. Returns an error when the
+// store has nothing valid for this model, in which case the caller
+// builds from scratch.
+func (m *Model) recoverFromStore(st *store.Store) (*Snapshot, *store.Recovered, error) {
+	rec, err := st.Recover(m.Name)
+	if err != nil {
+		return nil, rec, err
+	}
+	start := time.Now()
+	db, err := cliutil.LoadDB(m.Spec.CSVDir, m.Spec.Dataset, m.Spec.Rows, m.Spec.Scale, m.Spec.Seed)
+	if err != nil {
+		return nil, rec, fmt.Errorf("serve: recover %s: load dataset: %w", m.Name, err)
+	}
+	prm := &eval.PRMEstimator{Label: "PRM", M: rec.Model}
+	// Continue the persisted generation sequence so the refreshing
+	// rebuild publishes a strictly newer generation.
+	m.gen.Store(rec.Generation)
 	return &Snapshot{
 		DB:         db,
-		Estimators: ests,
-		Generation: m.gen.Add(1),
-		BuiltAt:    time.Now(),
+		Estimators: m.estimators(db, prm),
+		Generation: rec.Generation,
+		BuiltAt:    rec.SavedAt,
 		BuildTime:  time.Since(start),
-	}, nil
+	}, rec, nil
+}
+
+// persist writes the snapshot's primary model to the registry's durable
+// store, if one is attached. Persist failures are reported to health and
+// the registry's persist hook but never fail the build that produced the
+// snapshot: serving beats durability.
+func (m *Model) persist(snap *Snapshot) {
+	if m.reg == nil {
+		return
+	}
+	st := m.reg.snapshotStore()
+	if st == nil {
+		return
+	}
+	prm, ok := snap.Primary().(*eval.PRMEstimator)
+	if !ok {
+		return
+	}
+	err := st.Save(m.Name, snap.Generation, snap.BuiltAt, func(w io.Writer) error {
+		return prm.M.Encode(w)
+	})
+	m.noteStoreError(err)
+	if err != nil {
+		m.reg.logf("serve: persist %s generation %d: %v", m.Name, snap.Generation, err)
+	}
+	m.reg.notePersist(err)
 }
 
 // Rebuild kicks a background rebuild cycle and atomically swaps the
@@ -309,12 +455,30 @@ func (m *Model) build() (*Snapshot, error) {
 // onAttempt hooks, if given, run after every failed attempt (for retry
 // metrics and logs); they never run on the successful attempt.
 func (m *Model) Rebuild(onDone func(*Snapshot, error), onAttempt ...func(attempt int, err error, willRetry bool)) bool {
+	if m.reg != nil && m.reg.closing() {
+		return false
+	}
 	if !m.building.CompareAndSwap(false, true) {
 		return false
 	}
 	policy := m.Spec.Retry.withDefaults()
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	// The policy owns its jitter source: a non-zero Seed replays the
+	// same delay sequence every cycle, keeping retry tests deterministic
+	// under -count=10; the zero seed keeps production cycles decorrelated.
+	seed := policy.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var stop <-chan struct{}
+	if m.reg != nil {
+		m.reg.wg.Add(1)
+		stop = m.reg.stopc
+	}
 	go func() {
+		if m.reg != nil {
+			defer m.reg.wg.Done()
+		}
 		defer m.building.Store(false)
 		var lastErr error
 		for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
@@ -323,6 +487,11 @@ func (m *Model) Rebuild(onDone func(*Snapshot, error), onAttempt ...func(attempt
 			if err == nil {
 				m.cur.Store(snap)
 				m.noteSuccess(snap.BuiltAt)
+				// Persist before reporting done: a caller that shuts
+				// down on onDone still gets a durable snapshot, and
+				// Registry.Close waits for this goroutine, so the flush
+				// always completes before exit.
+				m.persist(snap)
 				if onDone != nil {
 					onDone(snap, nil)
 				}
@@ -335,7 +504,17 @@ func (m *Model) Rebuild(onDone func(*Snapshot, error), onAttempt ...func(attempt
 				hook(attempt, err, willRetry)
 			}
 			if willRetry {
-				time.Sleep(policy.delay(attempt, rng))
+				select {
+				case <-time.After(policy.delay(attempt, rng)):
+				case <-stop:
+					// Registry shutdown: abandon the cycle without
+					// marking the model degraded — it still serves its
+					// last good snapshot until the process exits.
+					if onDone != nil {
+						onDone(nil, fmt.Errorf("serve: rebuild %s: aborted by shutdown after attempt %d: %w", m.Name, attempt, lastErr))
+					}
+					return
+				}
 			}
 		}
 		m.noteExhausted()
@@ -347,20 +526,119 @@ func (m *Model) Rebuild(onDone func(*Snapshot, error), onAttempt ...func(attempt
 }
 
 // Registry maps model names to served models. Registration builds
-// synchronously so a registered model is always ready to serve.
+// synchronously so a registered model is always ready to serve — unless
+// a durable store holds a valid snapshot, in which case registration
+// publishes the recovered model immediately (cold-start recovery) and
+// refreshes it with a background rebuild.
 type Registry struct {
-	mu     sync.RWMutex
-	order  []string
-	models map[string]*Model
+	mu        sync.RWMutex
+	order     []string
+	models    map[string]*Model
+	store     *store.Store
+	onPersist func(err error)
+	logger    func(format string, args ...any)
+
+	// Shutdown plumbing: stopc aborts retry waits, wg tracks every
+	// rebuild goroutine (including its snapshot flush).
+	stopc     chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*Model)}
+	return &Registry{
+		models: make(map[string]*Model),
+		stopc:  make(chan struct{}),
+	}
 }
 
-// Add builds the model described by spec and registers it under name
-// (default: the dataset name). The first build is synchronous.
+// UseStore attaches a durable snapshot store. Models registered after
+// this call recover from it at Add time and persist every successful
+// build into it. Attach before the first Add.
+func (r *Registry) UseStore(st *store.Store) {
+	r.mu.Lock()
+	r.store = st
+	r.mu.Unlock()
+}
+
+// SetLogf routes the registry's own events (recovery, persist failures,
+// background refresh outcomes) somewhere other than log.Printf.
+func (r *Registry) SetLogf(logf func(format string, args ...any)) {
+	r.mu.Lock()
+	r.logger = logf
+	r.mu.Unlock()
+}
+
+// setOnPersist installs the persist-outcome hook (the server wires it to
+// its metrics).
+func (r *Registry) setOnPersist(hook func(err error)) {
+	r.mu.Lock()
+	r.onPersist = hook
+	r.mu.Unlock()
+}
+
+func (r *Registry) snapshotStore() *store.Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store
+}
+
+func (r *Registry) notePersist(err error) {
+	r.mu.RLock()
+	hook := r.onPersist
+	r.mu.RUnlock()
+	if hook != nil {
+		hook(err)
+	}
+}
+
+func (r *Registry) logf(format string, args ...any) {
+	r.mu.RLock()
+	logger := r.logger
+	r.mu.RUnlock()
+	if logger == nil {
+		logger = log.Printf
+	}
+	logger(format, args...)
+}
+
+func (r *Registry) closing() bool {
+	select {
+	case <-r.stopc:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close begins graceful shutdown: in-flight rebuild retry waits abort,
+// new rebuilds are refused, and Close blocks until every rebuild
+// goroutine — including its snapshot flush to the durable store — has
+// finished, or ctx expires.
+func (r *Registry) Close(ctx context.Context) error {
+	r.closeOnce.Do(func() { close(r.stopc) })
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: registry close: %w", ctx.Err())
+	}
+}
+
+// Add registers the model described by spec under name (default: the
+// dataset name). With a durable store attached, Add first tries
+// cold-start recovery: the newest valid persisted generation is
+// published immediately (health reports recovered plus the snapshot's
+// age) and a background rebuild refreshes it. Otherwise — no store, no
+// valid snapshot, or a dataset the snapshot cannot be paired with — the
+// first build runs synchronously, so a registered model is always ready
+// to serve.
 func (r *Registry) Add(name string, spec BuildSpec) (*Model, error) {
 	spec = spec.withDefaults()
 	if name == "" {
@@ -376,21 +654,57 @@ func (r *Registry) Add(name string, spec BuildSpec) (*Model, error) {
 	}
 	r.mu.Unlock()
 
-	m := &Model{Name: name, Spec: spec}
-	snap, err := m.build()
-	if err != nil {
-		return nil, err
+	m := &Model{Name: name, Spec: spec, reg: r, drift: newDriftWatch(spec.Drift)}
+
+	recovered := false
+	if st := r.snapshotStore(); st != nil {
+		snap, rec, err := m.recoverFromStore(st)
+		if err == nil {
+			m.cur.Store(snap)
+			m.noteRecovered(rec.SavedAt)
+			recovered = true
+			r.logf("serve: model %s recovered from store (generation %d, file %s, age %s); background rebuild refreshing it",
+				name, rec.Generation, rec.File, time.Since(rec.SavedAt).Round(time.Second))
+		} else {
+			r.logf("serve: model %s not recoverable from store (%v); building from scratch", name, err)
+		}
+		if rec != nil {
+			for _, q := range rec.Quarantined {
+				r.logf("serve: model %s: quarantined corrupt snapshot %s", name, q)
+			}
+		}
 	}
-	m.cur.Store(snap)
-	m.noteSuccess(snap.BuiltAt)
+	if !recovered {
+		snap, err := m.build()
+		if err != nil {
+			return nil, err
+		}
+		m.cur.Store(snap)
+		m.noteSuccess(snap.BuiltAt)
+		m.persist(snap)
+	}
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, dup := r.models[name]; dup {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("serve: model %q already registered", name)
 	}
 	r.models[name] = m
 	r.order = append(r.order, name)
+	r.mu.Unlock()
+
+	if recovered {
+		// Refresh the recovered snapshot in the background: the model
+		// serves the persisted generation now and hot-swaps to a fresh
+		// build the moment it lands.
+		m.Rebuild(func(snap *Snapshot, err error) {
+			if err != nil {
+				r.logf("serve: refresh of recovered model %s failed; still serving recovered snapshot: %v", name, err)
+				return
+			}
+			r.logf("serve: recovered model %s refreshed (generation %d in %v)", name, snap.Generation, snap.BuildTime.Round(time.Millisecond))
+		})
+	}
 	return m, nil
 }
 

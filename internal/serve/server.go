@@ -60,6 +60,11 @@ type Config struct {
 	// QueueTimeout bounds how long a request may wait for an inference
 	// slot before a 503 (default 1s).
 	QueueTimeout time.Duration
+	// RebuildOnDrift makes the accuracy watchdog trigger an early
+	// background rebuild the moment a model flips to drifted (see
+	// DriftPolicy); off by default — drifted is then an operator signal
+	// only.
+	RebuildOnDrift bool
 	// Metrics receives the runtime counters; one is created when nil.
 	Metrics *Metrics
 	// Logf logs service events (rebuild outcomes); log.Printf when nil.
@@ -124,6 +129,9 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxConcurrent > 0 {
 		adm = newAdmission(int64(cfg.MaxConcurrent), cfg.MaxQueued, cfg.QueueTimeout)
 	}
+	// Persist outcomes (snapshot saves to the durable store) happen in
+	// registry rebuild goroutines; route them into this server's metrics.
+	cfg.Registry.setOnPersist(func(err error) { cfg.Metrics.ObserveStoreSave(err) })
 	return &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
@@ -149,6 +157,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	api.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	api.HandleFunc("GET /v1/models", s.handleModels)
 	api.HandleFunc("POST /v1/models/{name}/rebuild", s.handleRebuild)
 	api.HandleFunc("GET /healthz", s.handleHealthz)
@@ -642,14 +651,11 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"models": out})
 }
 
-func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	m, ok := s.reg.Get(name)
-	if !ok {
-		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
-		return
-	}
-	started := m.Rebuild(func(snap *Snapshot, err error) {
+// startRebuild kicks a background rebuild with the server's standard
+// logging and metrics hooks — shared by the rebuild endpoint and the
+// drift watchdog's early rebuild.
+func (s *Server) startRebuild(name string, m *Model) bool {
+	return m.Rebuild(func(snap *Snapshot, err error) {
 		if err != nil {
 			s.logf("serve: rebuild of %s failed; serving last good snapshot: %v", name, err)
 			return
@@ -662,7 +668,16 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 			s.logf("serve: rebuild of %s attempt %d failed (will retry): %v", name, attempt, err)
 		}
 	})
-	if !started {
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, ok := s.reg.Get(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	if !s.startRebuild(name, m) {
 		s.fail(w, http.StatusConflict, fmt.Sprintf("model %q is already rebuilding", name))
 		return
 	}
@@ -672,13 +687,125 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// feedbackRequest is the POST /v1/feedback body: a client (typically the
+// optimizer that executed the query) reports the true result size it
+// observed, so the accuracy watchdog can track the served model's real
+// q-error. Estimate, when positive, is the estimate the client received;
+// otherwise Query must be set and the server recomputes the primary
+// estimate itself.
+type feedbackRequest struct {
+	Model     string  `json:"model,omitempty"`
+	Query     string  `json:"query,omitempty"`
+	Estimate  float64 `json:"estimate,omitempty"`
+	TrueCount int64   `json:"true_count"`
+}
+
+// handleFeedback ingests one observed ground truth into the model's
+// accuracy watchdog. When the rolling p90 q-error crosses the model's
+// drift threshold, the model flips to drifted in health, and — with
+// Config.RebuildOnDrift — an early background rebuild starts.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req feedbackRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.TrueCount < 0 {
+		s.fail(w, http.StatusBadRequest, `"true_count" must be non-negative`)
+		return
+	}
+	model, ok := s.resolveModel(req.Model)
+	if !ok {
+		if req.Model == "" {
+			s.fail(w, http.StatusBadRequest, `"model" is required when several models are registered`)
+		} else {
+			s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model))
+		}
+		return
+	}
+
+	estimate := req.Estimate
+	if estimate <= 0 {
+		if strings.TrimSpace(req.Query) == "" {
+			s.fail(w, http.StatusBadRequest, `feedback needs "estimate" or "query"`)
+			return
+		}
+		snap := model.Current()
+		q, err := queryparse.Parse(snap.DB, req.Query)
+		if err != nil {
+			s.failParse(w, err)
+			return
+		}
+		estimate, err = s.primaryEstimate(r.Context(), snap, q)
+		if err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+	}
+
+	qerr, flipped := model.ObserveFeedback(estimate, req.TrueCount)
+	s.metrics.ObserveFeedback()
+	s.metrics.ObserveQError(estimate, req.TrueCount)
+
+	rebuildStarted := false
+	if flipped {
+		s.metrics.ObserveDrift()
+		h := model.Health()
+		s.logf("serve: model %s drifted: p90 observed q-error %.2f over %d feedback samples", model.Name, h.DriftP90, h.FeedbackSamples)
+		if s.cfg.RebuildOnDrift {
+			rebuildStarted = s.startRebuild(model.Name, model)
+			if rebuildStarted {
+				s.logf("serve: model %s: early rebuild triggered by drift watchdog", model.Name)
+			}
+		}
+	}
+
+	h := model.Health()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":            model.Name,
+		"qerror":           qerr,
+		"drift_p90":        h.DriftP90,
+		"feedback_samples": h.FeedbackSamples,
+		"drifted":          h.Drifted,
+		"rebuild_started":  rebuildStarted,
+	})
+}
+
+// primaryEstimate runs just the primary estimator (through its
+// degradation chain when available) — the feedback path's recomputation,
+// which bypasses the cache and admission because feedback volume is a
+// trickle next to estimate traffic.
+func (s *Server) primaryEstimate(ctx context.Context, snap *Snapshot, q *query.Query) (float64, error) {
+	est := snap.Primary()
+	if fest, ok := est.(fallbackEstimator); ok {
+		fr, err := fest.EstimateCountFallback(ctx, q, core.EstimateOptions{
+			Budget:        bayesnet.Budget{MaxCells: s.cfg.MaxCells},
+			ApproxSamples: s.cfg.ApproxSamples,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return fr.Estimate, nil
+	}
+	if cest, ok := est.(contextEstimator); ok {
+		return cest.EstimateCountCtx(ctx, q)
+	}
+	return est.EstimateCount(q)
+}
+
 // handleHealthz reports liveness plus per-model serving health. The
 // top-level status is "degraded" when any model's rebuild cycle has
-// exhausted its retries; the HTTP status stays 200 because every model
-// still serves (its last good snapshot) — degraded is an operator signal,
-// not an outage.
+// exhausted its retries or its accuracy watchdog tripped; "recovered"
+// when models are still serving snapshots restored from the durable
+// store (fresh rebuilds pending). The HTTP status stays 200 in every
+// case because every model still serves — these are operator signals,
+// not outages.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
+	recovered := false
 	modelHealth := make(map[string]ModelHealth)
 	for _, name := range s.reg.Names() {
 		m, ok := s.reg.Get(name)
@@ -687,12 +814,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		h := m.Health()
 		modelHealth[name] = h
-		if h.Degraded {
+		if h.Degraded || h.Drifted {
 			status = "degraded"
 		}
+		if h.Recovered {
+			recovered = true
+		}
+	}
+	if status == "ok" && recovered {
+		status = "recovered"
 	}
 	body := map[string]any{
 		"status":         status,
+		"recovered":      recovered,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"models":         s.reg.Names(),
 		"model_health":   modelHealth,

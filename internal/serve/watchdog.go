@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DriftPolicy tunes a model's accuracy watchdog. The watchdog consumes
+// client-reported ground truth (/v1/feedback): each report's q-error
+// lands in a rolling window, and when the window's p90 exceeds Threshold
+// the model flips to drifted in health — the persisted-model freshness
+// signal a restart-heavy deployment needs, because a recovered snapshot
+// can be arbitrarily stale relative to the live data.
+type DriftPolicy struct {
+	// Window is the rolling window size in observations (default 64).
+	Window int
+	// Threshold is the p90 q-error above which the model counts as
+	// drifted. Zero (the default) disables the watchdog.
+	Threshold float64
+	// MinSamples is how many observations the window needs before the
+	// watchdog judges at all (default 8, capped at Window).
+	MinSamples int
+}
+
+func (p DriftPolicy) withDefaults() DriftPolicy {
+	if p.Window <= 0 {
+		p.Window = 64
+	}
+	if p.MinSamples <= 0 {
+		p.MinSamples = 8
+	}
+	if p.MinSamples > p.Window {
+		p.MinSamples = p.Window
+	}
+	return p
+}
+
+// driftWatch is the watchdog's state: a ring buffer of observed q-errors
+// and the sticky drifted flag. Safe for concurrent use.
+type driftWatch struct {
+	policy DriftPolicy
+
+	mu      sync.Mutex
+	window  []float64
+	next    int
+	n       int
+	drifted bool
+}
+
+// newDriftWatch returns a watchdog for the policy; nil when the policy
+// disables it, so callers can guard with a nil check.
+func newDriftWatch(p DriftPolicy) *driftWatch {
+	p = p.withDefaults()
+	if p.Threshold <= 0 {
+		return nil
+	}
+	return &driftWatch{policy: p, window: make([]float64, p.Window)}
+}
+
+// observe records one q-error and reports whether this observation
+// flipped the model into the drifted state (the caller's cue to log,
+// count, and optionally trigger an early rebuild). Drifted is sticky
+// until reset: a window that momentarily dips under the threshold does
+// not flap the signal.
+func (w *driftWatch) observe(qerr float64) (flipped bool) {
+	if math.IsNaN(qerr) || math.IsInf(qerr, 0) {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.window[w.next] = qerr
+	w.next = (w.next + 1) % len(w.window)
+	if w.n < len(w.window) {
+		w.n++
+	}
+	if w.drifted || w.n < w.policy.MinSamples {
+		return false
+	}
+	if w.p90Locked() > w.policy.Threshold {
+		w.drifted = true
+		return true
+	}
+	return false
+}
+
+// p90Locked computes the window's p90 q-error; callers hold w.mu.
+func (w *driftWatch) p90Locked() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	vals := make([]float64, w.n)
+	copy(vals, w.window[:w.n])
+	sort.Float64s(vals)
+	idx := int(math.Ceil(0.9*float64(w.n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return vals[idx]
+}
+
+// snapshot reports the watchdog's current p90, sample count, and drifted
+// state for health.
+func (w *driftWatch) snapshot() (p90 float64, samples int, drifted bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.p90Locked(), w.n, w.drifted
+}
+
+// reset clears the window and the drifted flag — called when a fresh
+// build replaces the model the evidence was about.
+func (w *driftWatch) reset() {
+	w.mu.Lock()
+	w.n = 0
+	w.next = 0
+	w.drifted = false
+	w.mu.Unlock()
+}

@@ -1,0 +1,96 @@
+#!/bin/sh
+# crash_smoke.sh — the durability acceptance check as a live process.
+#
+# Starts prmserved with a durable store directory, waits for the first
+# model build to persist, SIGKILLs the daemon (optionally mid-rebuild to
+# exercise the atomic write protocol), restarts it on the same store
+# directory, and requires:
+#
+#   1. the restart recovers from the persisted snapshot (the startup log
+#      says "recovered from store" — timing-proof, unlike polling health
+#      before the background refresh clears the flag), and
+#   2. the recovered process answers /healthz and a real estimate.
+#
+# No manual cleanup between the kill and the restart: recovery must cope
+# with whatever the SIGKILL left on disk.
+set -eu
+
+PORT="${CRASH_SMOKE_PORT:-18099}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+STORE="${WORK}/store"
+PID=""
+
+cleanup() {
+    [ -n "${PID}" ] && kill -9 "${PID}" 2>/dev/null || true
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "crash-smoke: $*"; }
+
+wait_healthz() {
+    # Wait until /healthz answers 200, or fail after ~15s.
+    i=0
+    while [ "$i" -lt 150 ]; do
+        if curl -fsS "http://${ADDR}/healthz" >"${WORK}/healthz.json" 2>/dev/null; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    say "FAIL: ${ADDR}/healthz never came up"
+    [ -f "$1" ] && { say "--- daemon log ---"; cat "$1"; }
+    exit 1
+}
+
+say "building prmserved"
+go build -o "${WORK}/prmserved" ./cmd/prmserved
+
+say "first run: build fig1 and persist it to ${STORE}"
+"${WORK}/prmserved" -addr "${ADDR}" -datasets fig1 -store-dir "${STORE}" \
+    >"${WORK}/run1.log" 2>&1 &
+PID=$!
+wait_healthz "${WORK}/run1.log"
+
+# Give the write protocol something to be mid-flight in: kick a rebuild
+# and kill without waiting for it.
+curl -fsS -X POST "http://${ADDR}/v1/models/fig1/rebuild" >/dev/null
+say "SIGKILL mid-rebuild (pid ${PID})"
+kill -9 "${PID}"
+wait "${PID}" 2>/dev/null || true
+PID=""
+
+if ! ls "${STORE}"/*.snap >/dev/null 2>&1; then
+    say "FAIL: no snapshot persisted before the kill"
+    cat "${WORK}/run1.log"
+    exit 1
+fi
+
+say "restart on the same store dir; no cleanup"
+"${WORK}/prmserved" -addr "${ADDR}" -datasets fig1 -store-dir "${STORE}" \
+    >"${WORK}/run2.log" 2>&1 &
+PID=$!
+wait_healthz "${WORK}/run2.log"
+
+if ! grep -q "recovered from store" "${WORK}/run2.log"; then
+    say "FAIL: restart built from scratch instead of recovering"
+    cat "${WORK}/run2.log"
+    exit 1
+fi
+say "restart recovered from the persisted snapshot"
+
+EST="$(curl -fsS "http://${ADDR}/v1/estimate" \
+    -d '{"query":"FROM People p WHERE p.Income = high"}')"
+case "${EST}" in
+*'"estimate"'*) say "recovered model answers estimates: ${EST}" ;;
+*)
+    say "FAIL: estimate on recovered model returned: ${EST}"
+    exit 1
+    ;;
+esac
+
+kill "${PID}" 2>/dev/null || true
+wait "${PID}" 2>/dev/null || true
+PID=""
+say "PASS"
