@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz crash-smoke
+.PHONY: check fmt vet build test race bench perf fuzz crash-smoke
 
 ## check: the full verification gate — format, vet, build, tests, race-mode
 ## tests for the concurrent subsystems.
@@ -44,8 +44,17 @@ fuzz:
 crash-smoke:
 	./scripts/crash_smoke.sh
 
-## bench: a smoke pass — every benchmark runs exactly once, so CI catches
-## benchmarks that no longer compile or crash without paying for timing
-## stability. Use `go test -bench=Estimate -benchtime=2s .` for real numbers.
+## bench: a smoke pass — every benchmark runs exactly once with -benchmem,
+## so CI catches benchmarks that no longer compile or crash without paying
+## for timing stability. Use `go test -bench=Estimate -benchtime=2s .` for
+## real numbers, or `make perf` for the estimation-path report.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+
+## perf: the estimation-path performance suite — compiled plans against the
+## plan-free path and batched against sequential estimation, written to
+## BENCH_PR5.json (ns/op, allocs/op, p50/p99, plan-cache hit rate). Stdout
+## is benchstat-consumable: redirect two runs to files and `benchstat old
+## new`.
+perf:
+	$(GO) run ./cmd/prmbench -perf -json BENCH_PR5.json -rows 20000 -iters 300

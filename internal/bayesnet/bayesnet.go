@@ -36,6 +36,10 @@ type Network struct {
 	// memoization safe under concurrent inference.
 	factors []*factor.Factor
 	mu      sync.Mutex
+	// plans caches compiled query plans by shape (see plan.go); it is
+	// dropped whenever structure or parameters change, since plans capture
+	// resolved CPD factors.
+	plans *planCache
 }
 
 // New returns a network over the given variables with no edges and nil
@@ -46,6 +50,7 @@ func New(vars []Variable) *Network {
 		parents: make([][]int, len(vars)),
 		cpds:    make([]CPD, len(vars)),
 		factors: make([]*factor.Factor, len(vars)),
+		plans:   newPlanCache(defaultPlanCacheCap),
 	}
 	return n
 }
@@ -75,6 +80,7 @@ func (n *Network) SetParents(v int, parents []int) {
 	n.mu.Lock()
 	n.factors[v] = nil
 	n.mu.Unlock()
+	n.plans.invalidate()
 }
 
 // CPD returns v's conditional probability distribution.
@@ -86,6 +92,7 @@ func (n *Network) SetCPD(v int, c CPD) {
 	n.mu.Lock()
 	n.factors[v] = nil
 	n.mu.Unlock()
+	n.plans.invalidate()
 }
 
 // ParentCards returns the cardinalities of v's parents, aligned with

@@ -102,22 +102,66 @@ func (n *Network) ProbabilityBudget(ctx context.Context, evt Event, b Budget) (f
 	return n.probability(ctx, evt, MinFill, b)
 }
 
+// ProbabilityUncompiled is Probability forced through the plan-free path:
+// closure, evidence application, ordering, and elimination are all redone
+// per call. It exists for differential testing and benchmarking against
+// compiled plans; production callers use Probability.
+func (n *Network) ProbabilityUncompiled(evt Event) (float64, error) {
+	return n.probabilityUncompiled(context.Background(), evt, MinFill, Budget{})
+}
+
+// ProbabilityUncompiledOrd is ProbabilityUncompiled with an explicit
+// ordering heuristic.
+func (n *Network) ProbabilityUncompiledOrd(evt Event, ord ElimOrder) (float64, error) {
+	return n.probabilityUncompiled(context.Background(), evt, ord, Budget{})
+}
+
+// ProbabilityUncompiledBudget is ProbabilityBudget through the plan-free
+// path.
+func (n *Network) ProbabilityUncompiledBudget(ctx context.Context, evt Event, b Budget) (float64, error) {
+	return n.probabilityUncompiled(ctx, evt, MinFill, b)
+}
+
+// probability answers P(evt) through a compiled plan: the structural work
+// (closure, ordering, operation schedule) is looked up by query shape and
+// only the value-dependent arithmetic runs, through allocation-free
+// kernels in pooled buffers. Results are bit-for-bit identical to
+// probabilityUncompiled — the plan replays the same floating-point
+// operations in the same order.
 func (n *Network) probability(ctx context.Context, evt Event, ord ElimOrder, budget Budget) (float64, error) {
-	if len(evt) == 0 {
+	if err := n.validateEvent(evt); err != nil || len(evt) == 0 {
+		if err != nil {
+			return 0, err
+		}
 		return 1, nil
 	}
+	plan, hit := n.planFor(evt, ord)
+	return n.runPlan(ctx, plan, evt, budget, hit)
+}
+
+func (n *Network) validateEvent(evt Event) error {
 	for v, set := range evt {
 		if v < 0 || v >= len(n.vars) {
-			return 0, fmt.Errorf("bayesnet: event references unknown variable %d", v)
+			return fmt.Errorf("bayesnet: event references unknown variable %d", v)
 		}
 		if len(set) == 0 {
-			return 0, fmt.Errorf("bayesnet: event on %s has empty value set", n.vars[v].Name)
+			return fmt.Errorf("bayesnet: event on %s has empty value set", n.vars[v].Name)
 		}
 		for _, val := range set {
 			if val < 0 || int(val) >= n.vars[v].Card {
-				return 0, fmt.Errorf("bayesnet: event value %d out of domain for %s", val, n.vars[v].Name)
+				return fmt.Errorf("bayesnet: event value %d out of domain for %s", val, n.vars[v].Name)
 			}
 		}
+	}
+	return nil
+}
+
+func (n *Network) probabilityUncompiled(ctx context.Context, evt Event, ord ElimOrder, budget Budget) (float64, error) {
+	if len(evt) == 0 {
+		return 1, nil
+	}
+	if err := n.validateEvent(evt); err != nil {
+		return 0, err
 	}
 
 	closure := n.ancestralClosure(evt)

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"prmsel/internal/bayesnet"
+	"prmsel/internal/obs"
+	"prmsel/internal/query"
+)
+
+// BatchItem is one query's outcome in a batch estimate. Failures are
+// per-item: a bad query yields an Err in its slot without affecting its
+// neighbours.
+type BatchItem struct {
+	Result EstimateResult
+	Err    error
+}
+
+// EstimateBatch estimates every query through the same degradation chain
+// as EstimateCountFallback, amortizing the per-call overhead: the
+// parameter read-lock is taken once for the whole batch (so every item
+// sees one consistent parameter snapshot), queries are grouped by shape so
+// each group compiles its plan once and the rest hit the plan cache, and
+// groups run across a bounded worker pool. workers <= 0 means
+// min(GOMAXPROCS, #groups). Cancellation fails the not-yet-started items
+// with a wrapped ctx error; items already estimated keep their results.
+func (m *PRM) EstimateBatch(ctx context.Context, queries []*query.Query, opts EstimateOptions, workers int) []BatchItem {
+	out := make([]BatchItem, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	ctx, sp := obs.Start(ctx, "estimate_batch")
+
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	m.paramMu.RLock()
+	defer m.paramMu.RUnlock()
+
+	// One worker (a single-CPU host, or an explicit workers=1) needs
+	// neither a pool nor shape grouping: grouping only exists to schedule
+	// same-shape work onto one worker, and a cached plan lookup costs less
+	// than computing the shape key. Run the items inline in submitted
+	// order, keeping the amortized-lock win.
+	if workers == 1 {
+		for i, q := range queries {
+			if q == nil {
+				out[i].Err = fmt.Errorf("core: batch item %d: nil query", i)
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				out[i].Err = fmt.Errorf("core: estimate interrupted: %w", err)
+				continue
+			}
+			out[i].Result, out[i].Err = m.estimateTiered(ctx, q, opts)
+		}
+		finishBatchSpan(sp, out, len(queries), -1, workers)
+		return out
+	}
+
+	// Group by shape: one group = one evaluation network = one compiled
+	// plan. Processing a group on one worker makes every item after the
+	// first a plan-cache hit without cross-worker compile contention.
+	groups := make(map[string][]int)
+	var order []string
+	for i, q := range queries {
+		if q == nil {
+			out[i].Err = fmt.Errorf("core: batch item %d: nil query", i)
+			continue
+		}
+		key := shapeKey(q)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+
+	work := make(chan []int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idxs := range work {
+				for _, i := range idxs {
+					if err := ctx.Err(); err != nil {
+						out[i].Err = fmt.Errorf("core: estimate interrupted: %w", err)
+						continue
+					}
+					out[i].Result, out[i].Err = m.estimateTiered(ctx, queries[i], opts)
+				}
+			}
+		}()
+	}
+	for _, key := range order {
+		work <- groups[key]
+	}
+	close(work)
+	wg.Wait()
+
+	finishBatchSpan(sp, out, len(queries), len(order), workers)
+	return out
+}
+
+// finishBatchSpan stamps and closes the estimate_batch span. shapes < 0
+// means the batch ran inline without shape grouping.
+func finishBatchSpan(sp *obs.Span, out []BatchItem, items, shapes, workers int) {
+	if sp == nil {
+		return
+	}
+	failed := 0
+	for i := range out {
+		if out[i].Err != nil {
+			failed++
+		}
+	}
+	sp.Set(obs.Int("items", items), obs.Int("workers", workers), obs.Int("failed", failed))
+	if shapes >= 0 {
+		sp.Set(obs.Int("shapes", shapes))
+	}
+	sp.End()
+}
+
+// EstimateCountUncompiled is EstimateCount forced through the plan-free
+// elimination path. It exists so differential tests and benchmarks can
+// compare compiled plans against the legacy path in the same process.
+func (m *PRM) EstimateCountUncompiled(q *query.Query) (float64, error) {
+	m.paramMu.RLock()
+	defer m.paramMu.RUnlock()
+	return m.estimateGuarded(context.Background(), q, evalOpts{uncompiled: true})
+}
+
+// PlanStats aggregates the plan-cache counters of every cached evaluation
+// network. RefitParameters and hot swaps drop the evaluation cache, so the
+// counters restart from zero after a parameter change.
+func (m *PRM) PlanStats() bayesnet.PlanCacheStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var agg bayesnet.PlanCacheStats
+	for _, em := range m.evalCache {
+		st := em.net.PlanStats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Entries += st.Entries
+		agg.Capacity += st.Capacity
+	}
+	return agg
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"prmsel/internal/query"
+)
+
+func batchQueries() []*query.Query {
+	var qs []*query.Query
+	// Repeated shape, varying constants — the workload plans exist for.
+	for i := 0; i < 20; i++ {
+		qs = append(qs, query.New().Over("p", "Person").
+			WhereEq("p", "Income", int32(i%2)).WhereEq("p", "Owner", int32(i%2)))
+	}
+	// A join shape and a set-evidence shape mixed in.
+	for i := 0; i < 10; i++ {
+		qs = append(qs, query.New().Over("u", "Purchase").Over("p", "Person").
+			KeyJoin("u", "Buyer", "p").WhereEq("p", "Income", int32(i%2)))
+		qs = append(qs, query.New().Over("p", "Person").Where("p", "Income", 0, 1))
+	}
+	return qs
+}
+
+// TestEstimateBatchMatchesSequential: a batch answers every item exactly as
+// the one-at-a-time chain would, regardless of worker count.
+func TestEstimateBatchMatchesSequential(t *testing.T) {
+	db := skewDB(t, 300, 1500, 21)
+	m := learnPRM(t, db, false)
+	qs := batchQueries()
+
+	want := make([]EstimateResult, len(qs))
+	for i, q := range qs {
+		r, err := m.EstimateCountFallback(context.Background(), q, EstimateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{0, 1, 4} {
+		out := m.EstimateBatch(context.Background(), qs, EstimateOptions{}, workers)
+		if len(out) != len(qs) {
+			t.Fatalf("workers=%d: %d results for %d queries", workers, len(out), len(qs))
+		}
+		for i := range out {
+			if out[i].Err != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, out[i].Err)
+			}
+			if out[i].Result != want[i] {
+				t.Fatalf("workers=%d item %d: %+v, want %+v", workers, i, out[i].Result, want[i])
+			}
+		}
+	}
+}
+
+// TestEstimateBatchPartialFailure: bad items fail in place without
+// affecting their neighbours.
+func TestEstimateBatchPartialFailure(t *testing.T) {
+	db := skewDB(t, 200, 800, 22)
+	m := learnPRM(t, db, false)
+	good := query.New().Over("p", "Person").WhereEq("p", "Income", 1)
+	bad := query.New().Over("x", "NoSuchTable").WhereEq("x", "A", 0)
+	out := m.EstimateBatch(context.Background(), []*query.Query{good, bad, nil, good}, EstimateOptions{}, 2)
+	if out[0].Err != nil || out[3].Err != nil {
+		t.Fatalf("good items failed: %v / %v", out[0].Err, out[3].Err)
+	}
+	if out[1].Err == nil {
+		t.Fatal("unknown-table item succeeded")
+	}
+	if out[2].Err == nil {
+		t.Fatal("nil item succeeded")
+	}
+	if out[0].Result != out[3].Result {
+		t.Fatalf("identical items disagree: %+v vs %+v", out[0].Result, out[3].Result)
+	}
+}
+
+// TestEstimateBatchCancelled: a cancelled context fails the remaining
+// items with a wrapped ctx error instead of hanging or panicking.
+func TestEstimateBatchCancelled(t *testing.T) {
+	db := skewDB(t, 200, 800, 23)
+	m := learnPRM(t, db, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := m.EstimateBatch(ctx, batchQueries(), EstimateOptions{}, 2)
+	for i := range out {
+		if !errors.Is(out[i].Err, context.Canceled) {
+			t.Fatalf("item %d: %v, want context.Canceled", i, out[i].Err)
+		}
+	}
+}
+
+// TestEstimateBatchPlanReuse: a repeated-shape batch should drive the plan
+// cache hit rate past 0.9 — the acceptance bar for the serving workload.
+func TestEstimateBatchPlanReuse(t *testing.T) {
+	db := skewDB(t, 200, 800, 24)
+	m := learnPRM(t, db, false)
+	out := m.EstimateBatch(context.Background(), batchQueries(), EstimateOptions{}, 2)
+	for i := range out {
+		if out[i].Err != nil {
+			t.Fatalf("item %d: %v", i, out[i].Err)
+		}
+	}
+	st := m.PlanStats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no plan-cache traffic recorded")
+	}
+	if r := st.HitRate(); r <= 0.9 {
+		t.Fatalf("plan-cache hit rate %v, want > 0.9 (stats %+v)", r, st)
+	}
+}
+
+// TestEstimateCompiledMatchesUncompiled is the end-to-end differential
+// satellite: the full estimate pipeline through compiled plans must agree
+// with the plan-free path bit for bit (well within the 1e-12 acceptance
+// tolerance), across selects, set predicates, and key joins.
+func TestEstimateCompiledMatchesUncompiled(t *testing.T) {
+	db := skewDB(t, 300, 1500, 25)
+	m := learnPRM(t, db, false)
+	for i, q := range batchQueries() {
+		want, err := m.EstimateCountUncompiled(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.EstimateCount(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d: compiled %v, uncompiled %v (diff %g)", i, got, want, got-want)
+		}
+	}
+}
+
+// TestConcurrentBatchDuringRefit overlaps batch estimation with in-place
+// parameter maintenance; under -race this is the regression test for the
+// plan cache during a RefitParameters hot swap (plans capture resolved CPD
+// factors, so a refit must drop them and estimates must never observe a
+// half-written table).
+func TestConcurrentBatchDuringRefit(t *testing.T) {
+	db := skewDB(t, 300, 1500, 26)
+	db2 := skewDB(t, 300, 1500, 27)
+	m := learnPRM(t, db, false)
+	qs := batchQueries()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 5)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				out := m.EstimateBatch(context.Background(), qs, EstimateOptions{}, 2)
+				for i := range out {
+					if out[i].Err != nil {
+						errs <- out[i].Err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 4; r++ {
+			next := db
+			if r%2 == 0 {
+				next = db2
+			}
+			if err := m.RefitParameters(next); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -64,6 +64,10 @@ type evalOpts struct {
 	approx  bool
 	samples int
 	rng     *rand.Rand
+	// uncompiled forces exact inference through the plan-free elimination
+	// path; used by differential tests and the cached-vs-uncached
+	// benchmark comparison.
+	uncompiled bool
 }
 
 // estimateGuarded is estimateCount behind the panic boundary: an internal
@@ -426,9 +430,12 @@ func (m *PRM) eventProbability(ctx context.Context, q *query.Query, ev evalOpts)
 		evt[node] = vals
 	}
 	var prob float64
-	if ev.approx {
+	switch {
+	case ev.approx:
 		prob, err = em.net.LikelihoodWeightingCtx(ctx, evt, ev.samples, ev.rng)
-	} else {
+	case ev.uncompiled:
+		prob, err = em.net.ProbabilityUncompiledBudget(ctx, evt, ev.budget)
+	default:
 		prob, err = em.net.ProbabilityBudget(ctx, evt, ev.budget)
 	}
 	if err != nil {

@@ -86,13 +86,20 @@ func (m *PRM) EstimateCountFallback(ctx context.Context, q *query.Query, opts Es
 	if err := ctx.Err(); err != nil {
 		return EstimateResult{}, fmt.Errorf("core: estimate interrupted: %w", err)
 	}
+	m.paramMu.RLock()
+	defer m.paramMu.RUnlock()
+	return m.estimateTiered(ctx, q, opts)
+}
+
+// estimateTiered runs the degradation chain for one query. The caller must
+// hold paramMu.RLock; EstimateBatch relies on this split to lock once per
+// batch instead of once per item.
+func (m *PRM) estimateTiered(ctx context.Context, q *query.Query, opts EstimateOptions) (EstimateResult, error) {
 	samples := opts.ApproxSamples
 	if samples <= 0 {
 		samples = 4096
 	}
 	ctx, sp := obs.Start(ctx, "estimate")
-	m.paramMu.RLock()
-	defer m.paramMu.RUnlock()
 
 	est, exactErr := m.estimateGuarded(ctx, q, evalOpts{budget: opts.Budget})
 	if exactErr == nil {

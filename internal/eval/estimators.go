@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"prmsel/internal/baselines"
+	"prmsel/internal/bayesnet"
 	"prmsel/internal/core"
 	"prmsel/internal/dataset"
 	"prmsel/internal/learn"
@@ -45,6 +46,10 @@ func (p *PRMEstimator) EstimateCountFallback(ctx context.Context, q *query.Query
 // Explain reports how an estimate was assembled (closure, probability,
 // scaling, join indicators).
 func (p *PRMEstimator) Explain(q *query.Query) (*core.Explanation, error) { return p.M.Explain(q) }
+
+// PlanStats reports the model's aggregated plan-cache counters; the
+// estimation service surfaces them in /healthz.
+func (p *PRMEstimator) PlanStats() bayesnet.PlanCacheStats { return p.M.PlanStats() }
 
 // StorageBytes implements baselines.Estimator.
 func (p *PRMEstimator) StorageBytes() int { return p.M.StorageBytes() }

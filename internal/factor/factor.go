@@ -70,12 +70,30 @@ func (f *Factor) Value() float64 {
 // Size returns the number of table entries.
 func (f *Factor) Size() int { return len(f.Data) }
 
-// indexOf returns the position of variable v in f.Vars, or -1.
+// indexOf returns the position of variable v in f.Vars, or -1. Vars are
+// sorted ascending, so wide factors binary-search; the linear scan is kept
+// for the narrow factors that dominate (branch prediction beats the
+// bookkeeping below ~8 variables).
 func (f *Factor) indexOf(v int) int {
-	for i, x := range f.Vars {
-		if x == v {
-			return i
+	if len(f.Vars) <= 8 {
+		for i, x := range f.Vars {
+			if x == v {
+				return i
+			}
 		}
+		return -1
+	}
+	lo, hi := 0, len(f.Vars)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.Vars[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(f.Vars) && f.Vars[lo] == v {
+		return lo
 	}
 	return -1
 }

@@ -69,15 +69,20 @@ type entry struct {
 	w       float64
 }
 
-// entries flattens the sparse cells.
+// entries flattens the sparse cells. Every parent vector views into one
+// shared backing array (sized exactly up front, so the appends never
+// reallocate and the views stay valid): flattening costs three allocations
+// regardless of cell count, where a slice per cell used to dominate the
+// tree grower's allocation profile. The grower only reads the vectors.
 func (c *Counts) entries() []entry {
 	out := make([]entry, 0, len(c.Cells))
+	backing := make([]int32, 0, (len(c.Cards)-1)*len(c.Cells))
 	vals := make([]int32, len(c.Cards))
 	for k, w := range c.Cells {
 		c.Unpack(k, vals)
-		pv := make([]int32, len(vals)-1)
-		copy(pv, vals[1:])
-		out = append(out, entry{child: vals[0], parents: pv, w: w})
+		off := len(backing)
+		backing = append(backing, vals[1:]...)
+		out = append(out, entry{child: vals[0], parents: backing[off:len(backing):len(backing)], w: w})
 	}
 	return out
 }

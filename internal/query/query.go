@@ -11,6 +11,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -245,8 +246,23 @@ func (q *Query) String() string {
 // attempt full semantic equivalence (e.g. a NOT IN and its complementary IN
 // produce different keys).
 func (q *Query) CanonicalKey() string {
+	// The key is assembled in one strings.Builder pass with no intermediate
+	// clause strings: this sits on the cache-key path of every served
+	// estimate, so the rewrite trades the old sort-the-rendered-clauses
+	// approach for index sorts over the clause slices (see the AllocsPerRun
+	// guard in the tests). Clause categories are emitted in a fixed order
+	// (vars, keyjoins, non-key joins, predicates), each category sorted by
+	// its fields, which canonicalizes construction order just as sorting
+	// the rendered strings did.
 	var b strings.Builder
-	for i, v := range q.VarNames() {
+	b.Grow(32 + 16*(len(q.Vars)+len(q.Joins)+len(q.NonKeyJoins)+len(q.Preds)))
+
+	names := make([]string, 0, len(q.Vars))
+	for v := range q.Vars {
+		names = append(names, v)
+	}
+	insertionSortStrings(names)
+	for i, v := range names {
 		if i > 0 {
 			b.WriteByte(',')
 		}
@@ -254,47 +270,179 @@ func (q *Query) CanonicalKey() string {
 		b.WriteByte(':')
 		b.WriteString(q.Vars[v])
 	}
-	clauses := make([]string, 0, len(q.Joins)+len(q.NonKeyJoins)+len(q.Preds))
-	for _, j := range q.Joins {
-		clauses = append(clauses, "j|"+j.FromVar+"."+j.FK+"|"+j.ToVar)
+
+	// One index buffer, reused across the three clause categories.
+	n := len(q.Joins)
+	if len(q.NonKeyJoins) > n {
+		n = len(q.NonKeyJoins)
 	}
-	for _, j := range q.NonKeyJoins {
-		l := j.LeftVar + "." + j.LeftAttr
-		r := j.RightVar + "." + j.RightAttr
-		if r < l { // the join is symmetric; order the sides
-			l, r = r, l
-		}
-		clauses = append(clauses, "n|"+l+"|"+r)
+	if len(q.Preds) > n {
+		n = len(q.Preds)
 	}
-	for _, p := range q.Preds {
-		vals := append([]int32(nil), p.Values...)
-		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-		var sb strings.Builder
-		sb.WriteString("p|")
-		sb.WriteString(p.Var)
-		sb.WriteByte('.')
-		sb.WriteString(p.Attr)
+	idx := make([]int, n)
+
+	order := idx[:len(q.Joins)]
+	for i := range order {
+		order[i] = i
+	}
+	insertionSort(order, q.lessJoin)
+	for _, i := range order {
+		j := q.Joins[i]
+		b.WriteString(";j|")
+		b.WriteString(j.FromVar)
+		b.WriteByte('.')
+		b.WriteString(j.FK)
+		b.WriteByte('|')
+		b.WriteString(j.ToVar)
+	}
+
+	order = idx[:len(q.NonKeyJoins)]
+	for i := range order {
+		order[i] = i
+	}
+	insertionSort(order, q.lessNonKeyJoin)
+	for _, i := range order {
+		lv, la, rv, ra := q.NonKeyJoins[i].sides()
+		b.WriteString(";n|")
+		b.WriteString(lv)
+		b.WriteByte('.')
+		b.WriteString(la)
+		b.WriteByte('|')
+		b.WriteString(rv)
+		b.WriteByte('.')
+		b.WriteString(ra)
+	}
+
+	// Predicate value sets are sorted (and deduplicated at emission) in one
+	// shared backing array instead of a copy per predicate.
+	total := 0
+	for i := range q.Preds {
+		total += len(q.Preds[i].Values)
+	}
+	vals := make([]int32, 0, total)
+	starts := make([]int, len(q.Preds)+1)
+	for i := range q.Preds {
+		starts[i] = len(vals)
+		vals = append(vals, q.Preds[i].Values...)
+		sortInt32s(vals[starts[i]:])
+	}
+	starts[len(q.Preds)] = len(vals)
+
+	order = idx[:len(q.Preds)]
+	for i := range order {
+		order[i] = i
+	}
+	insertionSort(order, func(a, c int) bool {
+		return q.lessPred(a, c, vals, starts)
+	})
+	var digits [12]byte
+	for _, i := range order {
+		p := &q.Preds[i]
+		b.WriteString(";p|")
+		b.WriteString(p.Var)
+		b.WriteByte('.')
+		b.WriteString(p.Attr)
 		if p.Negate {
-			sb.WriteString("|not|")
+			b.WriteString("|not|")
 		} else {
-			sb.WriteString("|in|")
+			b.WriteString("|in|")
 		}
 		last := int32(-1)
-		for i, v := range vals {
-			if i > 0 && v == last {
+		for k, v := range vals[starts[i]:starts[i+1]] {
+			if k > 0 && v == last {
 				continue
 			}
 			last = v
-			fmt.Fprintf(&sb, "%d,", v)
+			b.Write(strconv.AppendInt(digits[:0], int64(v), 10))
+			b.WriteByte(',')
 		}
-		clauses = append(clauses, sb.String())
-	}
-	sort.Strings(clauses)
-	for _, c := range clauses {
-		b.WriteByte(';')
-		b.WriteString(c)
 	}
 	return b.String()
+}
+
+// sides returns the non-key join's endpoints with the lexically smaller
+// (var, attr) side first; the join is symmetric, so the key must not
+// depend on which way it was written.
+func (j *NonKeyJoin) sides() (lv, la, rv, ra string) {
+	if j.RightVar < j.LeftVar || (j.RightVar == j.LeftVar && j.RightAttr < j.LeftAttr) {
+		return j.RightVar, j.RightAttr, j.LeftVar, j.LeftAttr
+	}
+	return j.LeftVar, j.LeftAttr, j.RightVar, j.RightAttr
+}
+
+func (q *Query) lessJoin(a, b int) bool {
+	x, y := &q.Joins[a], &q.Joins[b]
+	if x.FromVar != y.FromVar {
+		return x.FromVar < y.FromVar
+	}
+	if x.FK != y.FK {
+		return x.FK < y.FK
+	}
+	return x.ToVar < y.ToVar
+}
+
+func (q *Query) lessNonKeyJoin(a, b int) bool {
+	xlv, xla, xrv, xra := q.NonKeyJoins[a].sides()
+	ylv, yla, yrv, yra := q.NonKeyJoins[b].sides()
+	if xlv != ylv {
+		return xlv < ylv
+	}
+	if xla != yla {
+		return xla < yla
+	}
+	if xrv != yrv {
+		return xrv < yrv
+	}
+	return xra < yra
+}
+
+// lessPred orders predicates by (var, attr, polarity, sorted value set) so
+// duplicate-attribute predicates still key deterministically.
+func (q *Query) lessPred(a, b int, vals []int32, starts []int) bool {
+	x, y := &q.Preds[a], &q.Preds[b]
+	if x.Var != y.Var {
+		return x.Var < y.Var
+	}
+	if x.Attr != y.Attr {
+		return x.Attr < y.Attr
+	}
+	if x.Negate != y.Negate {
+		return !x.Negate
+	}
+	xv, yv := vals[starts[a]:starts[a+1]], vals[starts[b]:starts[b+1]]
+	for i := 0; i < len(xv) && i < len(yv); i++ {
+		if xv[i] != yv[i] {
+			return xv[i] < yv[i]
+		}
+	}
+	return len(xv) < len(yv)
+}
+
+// insertionSort and friends replace sort.Slice on the key path: clause
+// lists are tiny (a handful of entries), and the stdlib sort's interface
+// boxing and closure allocation dominate at that size.
+func insertionSort(idx []int, less func(a, b int) bool) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && less(idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+func insertionSortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortInt32s(v []int32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
 }
 
 // Target identifies one queried attribute of one tuple variable. Suites are

@@ -209,3 +209,24 @@ func TestCanonicalKey(t *testing.T) {
 		t.Errorf("distinct queries collided: %v", keys)
 	}
 }
+
+// TestCanonicalKeyAllocs pins the key builder's allocation budget: the key
+// is computed for every served estimate (cache lookup), so a regression to
+// per-clause string building would show up here long before a profile.
+func TestCanonicalKeyAllocs(t *testing.T) {
+	q := New().Over("p", "Person").Over("u", "Purchase").
+		KeyJoin("u", "Buyer", "p").
+		Where("p", "Income", 2, 0, 1).
+		WhereEq("u", "Amount", 1)
+	var key string
+	allocs := testing.AllocsPerRun(200, func() { key = q.CanonicalKey() })
+	if key == "" {
+		t.Fatal("empty key")
+	}
+	// One builder grow, the sorted name list, the shared index buffer, and
+	// the predicate value scratch (backing + offsets): five allocations,
+	// with headroom for escape-analysis shifts across toolchain versions.
+	if allocs > 8 {
+		t.Errorf("CanonicalKey allocates %v times per call, want <= 8", allocs)
+	}
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postBatch(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/estimate/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/estimate/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func batchItems(t *testing.T, out map[string]any) []map[string]any {
+	t.Helper()
+	raw, ok := out["items"].([]any)
+	if !ok {
+		t.Fatalf("no items in %v", out)
+	}
+	items := make([]map[string]any, len(raw))
+	for i, r := range raw {
+		items[i] = r.(map[string]any)
+	}
+	return items
+}
+
+// TestEstimateBatchEndpoint: every item of a well-formed batch answers
+// exactly as the single-estimate endpoint's primary estimate would, items
+// come back in request order, and a duplicate query is answered from the
+// shared inference cache.
+func TestEstimateBatchEndpoint(t *testing.T) {
+	// One worker makes the duplicate's cache hit deterministic (the sorted
+	// work list puts identical keys adjacent, and the first occurrence has
+	// finished before the second starts).
+	srv := NewServer(Config{
+		Registry:     fig1Registry(t),
+		BatchWorkers: 1,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	queries := []string{
+		"FROM People p WHERE p.Income = high",
+		"FROM People p WHERE p.Income = low",
+		"FROM People p WHERE p.Income = medium",
+		"FROM People p WHERE p.Education = college",
+		"FROM People p WHERE p.Income = high", // duplicate of item 0
+	}
+	body, _ := json.Marshal(map[string]any{"queries": queries})
+	resp, out := postBatch(t, ts.URL, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["model"] != "fig1" {
+		t.Errorf("model = %v, want fig1", out["model"])
+	}
+	if f, _ := out["failed"].(float64); f != 0 {
+		t.Fatalf("failed = %v, want 0 (body %v)", out["failed"], out)
+	}
+	items := batchItems(t, out)
+	if len(items) != len(queries) {
+		t.Fatalf("%d items for %d queries", len(items), len(queries))
+	}
+	for i, q := range queries {
+		// Estimators in the batch run primary-only, so each item must match
+		// the single endpoint's primary estimate for the same query.
+		_, single := postEstimate(t, ts.URL, fmt.Sprintf(`{"query":%q}`, q))
+		want, _ := single["estimate"].(float64)
+		got, _ := items[i]["estimate"].(float64)
+		if got <= 0 || got != want {
+			t.Errorf("item %d (%s): estimate %v, single endpoint says %v", i, q, got, want)
+		}
+		if items[i]["tier"] != string("exact") {
+			t.Errorf("item %d: tier %v, want exact", i, items[i]["tier"])
+		}
+	}
+	dup := items[4]["cache"].(map[string]any)
+	if hit, _ := dup["hit"].(bool); !hit {
+		t.Errorf("duplicate item not served from cache: %v", items[4])
+	}
+
+	snap := srv.Metrics().Snapshot()
+	batch := snap["batch"].(map[string]int64)
+	if batch["requests"] != 1 || batch["items"] != 5 || batch["items_failed"] != 0 {
+		t.Errorf("batch counters = %+v, want 1 request / 5 items / 0 failed", batch)
+	}
+}
+
+// TestEstimateBatchPartialFailure: a bad item fails in place with an error
+// string while its neighbours answer, and the batch still returns 200.
+func TestEstimateBatchPartialFailure(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"queries":[
+		"FROM People p WHERE p.Income = high",
+		"FROM People p WHERE p.Nope = high",
+		"",
+		"FROM People p WHERE p.Income = low"
+	]}`
+	resp, out := postBatch(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+	}
+	if f, _ := out["failed"].(float64); f != 2 {
+		t.Fatalf("failed = %v, want 2", out["failed"])
+	}
+	items := batchItems(t, out)
+	for _, i := range []int{0, 3} {
+		if msg, _ := items[i]["error"].(string); msg != "" {
+			t.Errorf("good item %d failed: %v", i, msg)
+		}
+		if est, _ := items[i]["estimate"].(float64); est <= 0 {
+			t.Errorf("good item %d: estimate %v", i, items[i]["estimate"])
+		}
+	}
+	if msg, _ := items[1]["error"].(string); !strings.Contains(msg, "no attribute") {
+		t.Errorf("item 1 error = %q, want a no-attribute parse error", msg)
+	}
+	if msg, _ := items[2]["error"].(string); msg == "" {
+		t.Error("empty query item did not fail")
+	}
+}
+
+// TestEstimateBatchRejections: malformed batches are refused whole, with
+// the status codes the single endpoint uses for the same sins.
+func TestEstimateBatchRejections(t *testing.T) {
+	srv := NewServer(Config{
+		Registry:      fig1Registry(t),
+		MaxBatchItems: 2,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", `{"queries":`, http.StatusBadRequest},
+		{"unknown field", `{"nope":1}`, http.StatusBadRequest},
+		{"empty batch", `{"queries":[]}`, http.StatusBadRequest},
+		{"over the item limit", `{"queries":["a","b","c"]}`, http.StatusRequestEntityTooLarge},
+		{"unknown model", `{"model":"nope","queries":["FROM People p WHERE p.Income = high"]}`, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, out := postBatch(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d (body %v)", tc.name, resp.StatusCode, tc.want, out)
+		}
+	}
+}
+
+// TestHealthzPlanCache: after batch traffic the health endpoint reports
+// plan-cache counters with a high hit rate — the operator-visible signal
+// that plan compilation is amortizing.
+func TestHealthzPlanCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	var queries []string
+	// Same shape, rotating constants: one compile, then plan-cache hits.
+	for i := 0; i < 12; i++ {
+		queries = append(queries, fmt.Sprintf("FROM People p WHERE p.Income = %s",
+			[]string{"low", "medium", "high"}[i%3]))
+	}
+	body, _ := json.Marshal(map[string]any{"queries": queries})
+	if resp, out := postBatch(t, ts.URL, string(body)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, body %v", resp.StatusCode, out)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	pc, ok := out["plan_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz lacks plan_cache: %v", out)
+	}
+	hits, _ := pc["hits"].(float64)
+	misses, _ := pc["misses"].(float64)
+	if hits+misses == 0 {
+		t.Fatalf("no plan-cache traffic in healthz: %v", pc)
+	}
+	if rate, _ := pc["hit_rate"].(float64); rate <= 0.5 {
+		t.Errorf("plan-cache hit rate %v after a repeated-shape batch, want > 0.5 (%v)", rate, pc)
+	}
+}

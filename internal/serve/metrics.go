@@ -52,6 +52,12 @@ type Metrics struct {
 	feedback          atomic.Int64
 	driftEvents       atomic.Int64
 
+	// Batch counters: /v1/estimate/batch requests, the items they carried,
+	// and the items that failed in place.
+	batchRequests    atomic.Int64
+	batchItems       atomic.Int64
+	batchItemsFailed atomic.Int64
+
 	latCount  atomic.Int64
 	latSumUS  atomic.Int64
 	latBucket []atomic.Int64 // len(latencyBoundsMicros)+1, last is overflow
@@ -198,6 +204,14 @@ func (m *Metrics) ObserveStoreSave(err error) {
 	m.storeSaves.Add(1)
 }
 
+// ObserveBatch records one /v1/estimate/batch request: how many items it
+// carried and how many of them failed in place.
+func (m *Metrics) ObserveBatch(items, failed int) {
+	m.batchRequests.Add(1)
+	m.batchItems.Add(int64(items))
+	m.batchItemsFailed.Add(int64(failed))
+}
+
 // ObserveFeedback records one /v1/feedback ground-truth report.
 func (m *Metrics) ObserveFeedback() { m.feedback.Add(1) }
 
@@ -264,6 +278,11 @@ func (m *Metrics) Snapshot() map[string]any {
 		},
 		"feedback":     m.feedback.Load(),
 		"drift_events": m.driftEvents.Load(),
+		"batch": map[string]int64{
+			"requests":     m.batchRequests.Load(),
+			"items":        m.batchItems.Load(),
+			"items_failed": m.batchItemsFailed.Load(),
+		},
 		"admission": map[string]int64{
 			"rejected_429": m.admissionRejected.Load(),
 			"timeout_503":  m.admissionTimeout.Load(),

@@ -60,6 +60,13 @@ type Config struct {
 	// QueueTimeout bounds how long a request may wait for an inference
 	// slot before a 503 (default 1s).
 	QueueTimeout time.Duration
+	// MaxBatchItems bounds the number of queries in one /v1/estimate/batch
+	// request (default 256); larger batches get a 413.
+	MaxBatchItems int
+	// BatchWorkers bounds the per-batch worker pool (default GOMAXPROCS).
+	// Total inference concurrency is still governed by admission control;
+	// this only caps how much of it one batch can occupy.
+	BatchWorkers int
 	// RebuildOnDrift makes the accuracy watchdog trigger an early
 	// background rebuild the moment a model flips to drifted (see
 	// DriftPolicy); off by default — drifted is then an operator signal
@@ -116,6 +123,12 @@ func NewServer(cfg Config) *Server {
 	if cfg.QueueTimeout == 0 {
 		cfg.QueueTimeout = time.Second
 	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 256
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics()
 	}
@@ -157,6 +170,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	api.HandleFunc("POST /v1/estimate/batch", s.handleEstimateBatch)
 	api.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	api.HandleFunc("GET /v1/models", s.handleModels)
 	api.HandleFunc("POST /v1/models/{name}/rebuild", s.handleRebuild)
@@ -831,6 +845,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"models":         s.reg.Names(),
 		"model_health":   modelHealth,
 		"cache_entries":  s.cache.Len(),
+		"plan_cache":     s.planCacheSnapshot(),
 	}
 	if s.adm != nil {
 		used, queued := s.adm.snapshot()
