@@ -21,26 +21,29 @@ build:
 test:
 	$(GO) test ./...
 
-## race: the service, durability, and inference layers under the race
-## detector — the concurrency regression gate for internal/serve,
-## internal/store, and the estimation read path. internal/core is narrowed
-## to its concurrency tests; the package's randomized property tests are
+## race: the service, durability, ingest, and inference layers under the
+## race detector — the concurrency regression gate for internal/serve,
+## internal/store, internal/ingest (including the kill-mid-ingest crash
+## tests), and the estimation read path. internal/core is narrowed to its
+## concurrency tests; the package's randomized property tests are
 ## exercised by `test` instead.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/bayesnet/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/ingest/... ./internal/bayesnet/...
 	$(GO) test -race -run TestConcurrent ./internal/core/...
 
-## fuzz: a short fuzzing pass over the model codec and the store's snapshot
-## frame — Decode/Payload must return an error or a usable result on
-## arbitrary bytes, never panic. Corpus finds land in each package's
-## testdata/fuzz/ for `test` to replay forever.
+## fuzz: a short fuzzing pass over the model codec, the store's snapshot
+## frame, and the ingest wire framing — each must return an error or a
+## usable result on arbitrary bytes, never panic. Corpus finds land in
+## each package's testdata/fuzz/ for `test` to replay forever.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/bayesnet
 	$(GO) test -run='^$$' -fuzz=FuzzPayload -fuzztime=10s ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzIngestRecord -fuzztime=10s ./internal/ingest
 
 ## crash-smoke: the durability acceptance check as a live process — start
-## prmserved with a store dir, SIGKILL it mid-rebuild, restart, and require
-## instant recovery from the persisted snapshot.
+## prmserved with a store dir and ingest enabled, acknowledge rows that
+## live only in the WAL, SIGKILL mid-rebuild, restart, and require instant
+## recovery plus every acknowledged row replayed (exact count 54 -> 104).
 crash-smoke:
 	./scripts/crash_smoke.sh
 

@@ -54,7 +54,15 @@ func main() {
 	driftThreshold := flag.Float64("drift-threshold", 0, "p90 observed q-error (from /v1/feedback) above which a model reports drifted (0 = watchdog off)")
 	driftWindow := flag.Int("drift-window", 64, "rolling window size for the accuracy watchdog")
 	rebuildOnDrift := flag.Bool("rebuild-on-drift", false, "trigger an early background rebuild when a model drifts")
+	ingestOn := flag.Bool("ingest", false, "enable the WAL-backed streaming write path (POST /v1/ingest); requires -store-dir")
+	refitRows := flag.Int64("refit-rows", 1024, "pending rows that trigger an incremental refit (negative = row trigger off)")
+	refitInterval := flag.Duration("refit-interval", 0, "refit pending rows at least this often (0 = off)")
+	maxPending := flag.Int64("max-pending", 65536, "pending-row backlog before ingest returns 429")
 	flag.Parse()
+
+	if *ingestOn && *storeDir == "" {
+		log.Fatal("-ingest requires -store-dir: acknowledged rows must be durable")
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -72,6 +80,12 @@ func main() {
 		log.Printf("durable model store at %s (keeping %d generations per model)", st.Dir(), *keepGenerations)
 	}
 	drift := serve.DriftPolicy{Window: *driftWindow, Threshold: *driftThreshold}
+	ingestPol := serve.IngestPolicy{
+		Enabled:       *ingestOn,
+		RefitRows:     *refitRows,
+		RefitInterval: *refitInterval,
+		MaxPending:    *maxPending,
+	}
 	add := func(name string, spec serve.BuildSpec) {
 		start := time.Now()
 		m, err := reg.Add(name, spec)
@@ -84,8 +98,11 @@ func main() {
 			storage += e.StorageBytes()
 		}
 		state := "built"
-		if m.Health().Recovered {
+		if h := m.Health(); h.Recovered {
 			state = "recovered"
+			if h.Ingest != nil && h.Ingest.PendingRows > 0 {
+				state = fmt.Sprintf("recovered (+%d rows replayed from WAL)", h.Ingest.PendingRows)
+			}
 		}
 		log.Printf("model %s ready: %d estimators, %d bytes, %s in %v",
 			m.Name, len(snap.Estimators), storage, state, time.Since(start).Round(time.Millisecond))
@@ -103,6 +120,7 @@ func main() {
 			BudgetBytes: *budget,
 			Retry:       serve.RetryPolicy{MaxAttempts: *rebuildRetries},
 			Drift:       drift,
+			Ingest:      ingestPol,
 		})
 	}
 	if *csvDir != "" {
@@ -112,6 +130,7 @@ func main() {
 			BudgetBytes: *budget,
 			Retry:       serve.RetryPolicy{MaxAttempts: *rebuildRetries},
 			Drift:       drift,
+			Ingest:      ingestPol,
 		})
 	}
 	if len(reg.Names()) == 0 {

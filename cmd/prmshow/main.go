@@ -12,6 +12,12 @@
 // daemon, so operators can inspect on-disk state directly:
 //
 //	prmshow -snapshot /var/lib/prmsel/census-00000003.snap
+//
+// With -wal it inspects a model's write-ahead log directory offline:
+// per-segment record counts and sequence ranges, torn tails, and the
+// replay watermark — read-only, nothing is quarantined or repaired:
+//
+//	prmshow -wal /var/lib/prmsel/wal/census
 package main
 
 import (
@@ -44,10 +50,17 @@ func main() {
 	save := flag.String("save", "", "write the learned model (gob) to this path")
 	load := flag.String("load", "", "load a model from this path instead of learning")
 	snapshot := flag.String("snapshot", "", "print a persisted store snapshot (or raw encoded model) and exit; needs no dataset")
+	walDir := flag.String("wal", "", "inspect a write-ahead log directory (read-only) and exit")
 	flag.Parse()
 
 	if *snapshot != "" {
 		if err := showSnapshot(*snapshot, *verbose); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *walDir != "" {
+		if err := showWAL(*walDir); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -150,6 +163,44 @@ func showSnapshot(path string, verbose bool) error {
 	if verbose {
 		fmt.Println("\nconditional probability distributions:")
 		fmt.Print(model.RenderCPDs())
+	}
+	return nil
+}
+
+// showWAL prints a read-only report of a write-ahead log directory:
+// what a restart would replay, and what it would quarantine.
+func showWAL(dir string) error {
+	info, err := store.InspectWAL(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wal: %s\n\n", dir)
+	if len(info.Segments) == 0 {
+		fmt.Println("no segments (empty or never written)")
+		return nil
+	}
+	fmt.Println("segments:")
+	for _, seg := range info.Segments {
+		span := "empty"
+		if seg.Records > 0 {
+			span = fmt.Sprintf("seq %d..%d", seg.FirstSeq, seg.LastSeq)
+		}
+		fmt.Printf("  %-18s %6d records  %8d bytes  %s\n", seg.File, seg.Records, seg.Bytes, span)
+	}
+	fmt.Printf("\ntotal: %d records, %d bytes\n", info.Records, info.Bytes)
+	if info.Records > 0 {
+		fmt.Printf("replay range: seq %d..%d\n", info.FirstSeq, info.LastSeq)
+		if info.FirstSeq > 1 {
+			fmt.Printf("watermark: records through seq %d were persisted in a snapshot and reclaimed\n", info.FirstSeq-1)
+		}
+	}
+	if len(info.TornTails) > 0 {
+		fmt.Println("\ntorn tails (partial records a restart will quarantine, never replay):")
+		for _, tear := range info.TornTails {
+			fmt.Printf("  %s at offset %d: %d bytes (%s)\n", tear.Segment, tear.Offset, tear.Bytes, tear.Reason)
+		}
+	} else {
+		fmt.Println("no torn tails")
 	}
 	return nil
 }

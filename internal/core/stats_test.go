@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"prmsel/internal/bayesnet"
+	"prmsel/internal/dataset"
+	"prmsel/internal/query"
+)
+
+func purchaseCountQuery() *query.Query {
+	return query.New().Over("u", "Purchase").Over("p", "Person").
+		KeyJoin("u", "Buyer", "p").WhereEq("p", "Income", 1).WhereEq("u", "Amount", 1)
+}
+
+func clonePRM(t testing.TB, m *PRM) *PRM {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// growSkewDB appends n random rows to skewDB's tables, folding each into
+// st (append-then-apply). Roughly a third go to Person, the rest to
+// Purchase referencing a random existing person.
+func growSkewDB(t testing.TB, db *dataset.Database, st *ModelStats, n int, rng *rand.Rand) {
+	t.Helper()
+	person := db.Table("Person")
+	purch := db.Table("Purchase")
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			attrs := []int32{int32(rng.Intn(2)), int32(rng.Intn(2))}
+			if err := person.AppendRow(attrs, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.ApplyInsert(db, "Person", person.Len()-1); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			attrs := []int32{int32(rng.Intn(2))}
+			fk := []int32{int32(rng.Intn(person.Len()))}
+			if err := purch.AppendRow(attrs, fk); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.ApplyInsert(db, "Purchase", purch.Len()-1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestRefitFromStatsMatchesScan is the tentpole differential: after a
+// random insert stream, refitting from incrementally maintained
+// statistics must produce bit-for-bit the same parameters as the
+// scan-based RefitParameters over the final dataset. Equality is exact —
+// all maintained weights are integers below 2^53, so float64 accumulation
+// is exact and the normalizing divisions are identical.
+func TestRefitFromStatsMatchesScan(t *testing.T) {
+	for _, inserts := range []int{0, 400} {
+		db := skewDB(t, 150, 600, 11)
+		m := learnPRM(t, db, false)
+		scan := clonePRM(t, m)
+
+		st, err := m.BuildStats(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		growSkewDB(t, db, st, inserts, rand.New(rand.NewSource(int64(5+inserts))))
+
+		if err := m.RefitFromStats(st); err != nil {
+			t.Fatal(err)
+		}
+		if err := scan.RefitParameters(db); err != nil {
+			t.Fatal(err)
+		}
+
+		for id := range m.vars {
+			assertSameDists(t, m.vars[id].Name(), m.cpds[id], scan.cpds[id])
+		}
+		for tn, n := range scan.tableSize {
+			if m.tableSize[tn] != n {
+				t.Fatalf("inserts=%d: tableSize[%s] = %d, scan %d", inserts, tn, m.tableSize[tn], n)
+			}
+		}
+		if st.Rows("Purchase") != int64(db.Table("Purchase").Len()) {
+			t.Fatalf("maintained row count %d, table has %d", st.Rows("Purchase"), db.Table("Purchase").Len())
+		}
+	}
+}
+
+// TestStatsEstimatesTrackInserts: after ingesting rows the refit model's
+// estimates reflect the new data, not the build-time snapshot.
+func TestStatsEstimatesTrackInserts(t *testing.T) {
+	db := skewDB(t, 150, 600, 7)
+	m := learnPRM(t, db, false)
+	st, err := m.BuildStats(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growSkewDB(t, db, st, 600, rand.New(rand.NewSource(3)))
+	if err := m.RefitFromStats(st); err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateCount(purchaseCountQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := db.Count(purchaseCountQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := relErr(est, truth); re > 0.5 {
+		t.Fatalf("post-ingest estimate %0.1f vs truth %d (rel err %.2f)", est, truth, re)
+	}
+}
+
+func TestBuildStatsRejectsSchemaMismatch(t *testing.T) {
+	db := skewDB(t, 50, 100, 1)
+	m := learnPRM(t, db, false)
+	other := dataset.NewDatabase()
+	if _, err := m.BuildStats(other); err == nil {
+		t.Fatal("BuildStats accepted a database missing the model's tables")
+	}
+	db2 := skewDB(t, 50, 100, 2)
+	m2 := learnPRM(t, db2, false)
+	st, err := m2.BuildStats(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RefitFromStats(st); err == nil {
+		t.Fatal("RefitFromStats accepted statistics from a different model")
+	}
+}
+
+func TestApplyInsertValidatesRow(t *testing.T) {
+	db := skewDB(t, 50, 100, 1)
+	m := learnPRM(t, db, false)
+	st, err := m.BuildStats(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplyInsert(db, "Nope", 0); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := st.ApplyInsert(db, "Person", db.Table("Person").Len()); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+// assertSameDists requires exact float64 equality of every distribution
+// entry in two CPDs of the same structure.
+func assertSameDists(t testing.TB, name string, a, b bayesnet.CPD) {
+	t.Helper()
+	switch ca := a.(type) {
+	case *bayesnet.TableCPD:
+		cb, ok := b.(*bayesnet.TableCPD)
+		if !ok || len(ca.Dist) != len(cb.Dist) {
+			t.Fatalf("%s: table CPD shape mismatch", name)
+		}
+		for i := range ca.Dist {
+			if ca.Dist[i] != cb.Dist[i] {
+				t.Fatalf("%s: dist[%d] = %v, scan %v", name, i, ca.Dist[i], cb.Dist[i])
+			}
+		}
+	case *bayesnet.TreeCPD:
+		cb, ok := b.(*bayesnet.TreeCPD)
+		if !ok {
+			t.Fatalf("%s: tree CPD kind mismatch", name)
+		}
+		var da, dbb [][]float64
+		ca.Walk(func(n *bayesnet.TreeNode) {
+			if n.IsLeaf() {
+				da = append(da, n.Dist)
+			}
+		})
+		cb.Walk(func(n *bayesnet.TreeNode) {
+			if n.IsLeaf() {
+				dbb = append(dbb, n.Dist)
+			}
+		})
+		if len(da) != len(dbb) {
+			t.Fatalf("%s: leaf count %d vs %d", name, len(da), len(dbb))
+		}
+		for i := range da {
+			for j := range da[i] {
+				if da[i][j] != dbb[i][j] {
+					t.Fatalf("%s: leaf %d dist[%d] = %v, scan %v", name, i, j, da[i][j], dbb[i][j])
+				}
+			}
+		}
+	default:
+		t.Fatalf("%s: unexpected CPD kind %T", name, a)
+	}
+}

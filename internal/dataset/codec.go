@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Database serialization and deep copy. The ingest subsystem needs both:
+// the durable store persists the ingested database beside each model
+// generation (so WAL truncation never loses acknowledged rows), and the
+// serve layer publishes copy-on-write clones of the mutable staging
+// database so estimate readers always see an immutable snapshot.
+
+// tableDTO is the flat gob image of one table. Columns are copied as-is;
+// the label-code cache is rebuilt lazily on demand.
+type tableDTO struct {
+	Schema Schema
+	Cols   [][]int32
+	FKs    [][]int32
+	N      int
+}
+
+// dbDTO is the gob image of a database, tables in registration order.
+type dbDTO struct {
+	Tables []tableDTO
+}
+
+// Encode writes the database as a gob stream.
+func (db *Database) Encode(w io.Writer) error {
+	dto := dbDTO{Tables: make([]tableDTO, 0, len(db.order))}
+	for _, name := range db.order {
+		t := db.tables[name]
+		dto.Tables = append(dto.Tables, tableDTO{Schema: t.Schema, Cols: t.cols, FKs: t.fks, N: t.n})
+	}
+	if err := gob.NewEncoder(w).Encode(dto); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	return nil
+}
+
+// DecodeDatabase reads a database gob stream and validates it: column
+// shapes must match the schema, every code must be in its attribute
+// domain, and referential integrity must hold. Arbitrary bytes produce an
+// error, never a panic or an invalid database.
+func DecodeDatabase(r io.Reader) (*Database, error) {
+	var dto dbDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	db := NewDatabase()
+	for _, td := range dto.Tables {
+		if td.N < 0 {
+			return nil, fmt.Errorf("dataset: decode: table %s: negative row count %d", td.Schema.Name, td.N)
+		}
+		if len(td.Cols) != len(td.Schema.Attributes) {
+			return nil, fmt.Errorf("dataset: decode: table %s: %d columns for %d attributes", td.Schema.Name, len(td.Cols), len(td.Schema.Attributes))
+		}
+		if len(td.FKs) != len(td.Schema.ForeignKeys) {
+			return nil, fmt.Errorf("dataset: decode: table %s: %d fk columns for %d foreign keys", td.Schema.Name, len(td.FKs), len(td.Schema.ForeignKeys))
+		}
+		t := NewTable(td.Schema)
+		for i, col := range td.Cols {
+			if len(col) != td.N {
+				return nil, fmt.Errorf("dataset: decode: table %s: column %s has %d rows, want %d", td.Schema.Name, td.Schema.Attributes[i].Name, len(col), td.N)
+			}
+			card := int32(td.Schema.Attributes[i].Card())
+			for _, v := range col {
+				if v < 0 || v >= card {
+					return nil, fmt.Errorf("dataset: decode: table %s: attribute %s code %d out of domain [0,%d)", td.Schema.Name, td.Schema.Attributes[i].Name, v, card)
+				}
+			}
+			t.cols[i] = col
+		}
+		for i, col := range td.FKs {
+			if len(col) != td.N {
+				return nil, fmt.Errorf("dataset: decode: table %s: fk column %s has %d rows, want %d", td.Schema.Name, td.Schema.ForeignKeys[i].Name, len(col), td.N)
+			}
+			t.fks[i] = col
+		}
+		t.n = td.N
+		if err := db.AddTable(t); err != nil {
+			return nil, fmt.Errorf("dataset: decode: %w", err)
+		}
+	}
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	return db, nil
+}
+
+// Clone returns a deep copy of the database: schemas shared (they are
+// immutable by convention), column data copied. Appends to the original
+// never disturb the clone — the copy-on-write primitive behind published
+// ingest snapshots.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, name := range db.order {
+		t := db.tables[name]
+		ct := NewTable(t.Schema)
+		for i, col := range t.cols {
+			ct.cols[i] = append(make([]int32, 0, len(col)), col...)
+		}
+		for i, col := range t.fks {
+			ct.fks[i] = append(make([]int32, 0, len(col)), col...)
+		}
+		ct.n = t.n
+		out.tables[name] = ct
+		out.order = append(out.order, name)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package ingest is the estimator's write path: validated row batches are
+// appended to a crash-safe WAL, folded into the model's incremental
+// sufficient statistics, and periodically turned into a refit + published
+// snapshot generation — closing the adaptive loop the paper's maintenance
+// section (§6) sketches: detect drift, delta-refit, persist.
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Row is one ingested tuple in schema-positional form: attribute value
+// codes aligned with the table's attribute list, foreign-key row indexes
+// aligned with its foreign-key list. This is the WAL record unit — small,
+// schema-stable, and validated on both the ingest and replay paths.
+type Row struct {
+	Table string
+	Attrs []int32
+	FKs   []int32
+}
+
+// Wire framing of one WAL record: a batch of rows.
+//
+//	u32  row count
+//	per row:
+//	  u8   table-name length, then the name bytes
+//	  u16  attribute count, u16 foreign-key count
+//	  i32  attribute codes, then foreign-key row indexes (little-endian)
+//
+// Decoding is strict and bounded: counts are capped, every length is
+// checked before reading, and trailing bytes are an error — the fuzz
+// target FuzzIngestRecord drives arbitrary bytes through it.
+const (
+	// MaxBatchRows bounds one record's row count.
+	MaxBatchRows = 4096
+	// maxRowCols bounds per-row column counts against corrupt frames.
+	maxRowCols = 4096
+)
+
+// EncodeBatch serializes a row batch into one WAL record payload.
+func EncodeBatch(rows []Row) ([]byte, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ingest: empty batch")
+	}
+	if len(rows) > MaxBatchRows {
+		return nil, fmt.Errorf("ingest: batch of %d rows exceeds the %d-row bound", len(rows), MaxBatchRows)
+	}
+	size := 4
+	for _, r := range rows {
+		if len(r.Table) == 0 || len(r.Table) > 255 {
+			return nil, fmt.Errorf("ingest: table name %q has invalid length", r.Table)
+		}
+		if len(r.Attrs) > maxRowCols || len(r.FKs) > maxRowCols {
+			return nil, fmt.Errorf("ingest: row of table %s has too many columns", r.Table)
+		}
+		size += 1 + len(r.Table) + 2 + 2 + 4*(len(r.Attrs)+len(r.FKs))
+	}
+	out := make([]byte, 0, size)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(rows)))
+	out = append(out, u32[:]...)
+	var u16 [2]byte
+	for _, r := range rows {
+		out = append(out, byte(len(r.Table)))
+		out = append(out, r.Table...)
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(r.Attrs)))
+		out = append(out, u16[:]...)
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(r.FKs)))
+		out = append(out, u16[:]...)
+		for _, v := range r.Attrs {
+			binary.LittleEndian.PutUint32(u32[:], uint32(v))
+			out = append(out, u32[:]...)
+		}
+		for _, v := range r.FKs {
+			binary.LittleEndian.PutUint32(u32[:], uint32(v))
+			out = append(out, u32[:]...)
+		}
+	}
+	return out, nil
+}
+
+// DecodeBatch parses one WAL record payload. Arbitrary bytes produce an
+// error, never a panic or an unbounded allocation.
+func DecodeBatch(b []byte) ([]Row, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("ingest: record too short: %d bytes", len(b))
+	}
+	count := binary.LittleEndian.Uint32(b)
+	if count == 0 || count > MaxBatchRows {
+		return nil, fmt.Errorf("ingest: record row count %d out of range [1,%d]", count, MaxBatchRows)
+	}
+	b = b[4:]
+	rows := make([]Row, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("ingest: row %d: truncated table name length", i)
+		}
+		nameLen := int(b[0])
+		b = b[1:]
+		if nameLen == 0 || len(b) < nameLen {
+			return nil, fmt.Errorf("ingest: row %d: truncated table name", i)
+		}
+		name := string(b[:nameLen])
+		b = b[nameLen:]
+		if len(b) < 4 {
+			return nil, fmt.Errorf("ingest: row %d: truncated column counts", i)
+		}
+		nAttrs := int(binary.LittleEndian.Uint16(b))
+		nFKs := int(binary.LittleEndian.Uint16(b[2:]))
+		b = b[4:]
+		if nAttrs > maxRowCols || nFKs > maxRowCols {
+			return nil, fmt.Errorf("ingest: row %d: column counts %d/%d out of range", i, nAttrs, nFKs)
+		}
+		need := 4 * (nAttrs + nFKs)
+		if len(b) < need {
+			return nil, fmt.Errorf("ingest: row %d: truncated column data", i)
+		}
+		r := Row{Table: name}
+		if nAttrs > 0 {
+			r.Attrs = make([]int32, nAttrs)
+			for j := 0; j < nAttrs; j++ {
+				r.Attrs[j] = int32(binary.LittleEndian.Uint32(b[4*j:]))
+			}
+		}
+		b = b[4*nAttrs:]
+		if nFKs > 0 {
+			r.FKs = make([]int32, nFKs)
+			for j := 0; j < nFKs; j++ {
+				r.FKs[j] = int32(binary.LittleEndian.Uint32(b[4*j:]))
+			}
+		}
+		b = b[4*nFKs:]
+		rows = append(rows, r)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("ingest: %d trailing bytes after last row", len(b))
+	}
+	return rows, nil
+}

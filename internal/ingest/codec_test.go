@@ -1,0 +1,104 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleRows() []Row {
+	return []Row{
+		{Table: "Person", Attrs: []int32{1, 0}},
+		{Table: "Purchase", Attrs: []int32{1}, FKs: []int32{7}},
+		{Table: "Purchase", Attrs: []int32{0}, FKs: []int32{0}},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	rows := sampleRows()
+	b, err := EncodeBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", len(got), len(rows))
+	}
+	for i, r := range rows {
+		g := got[i]
+		if g.Table != r.Table || len(g.Attrs) != len(r.Attrs) || len(g.FKs) != len(r.FKs) {
+			t.Fatalf("row %d: %+v != %+v", i, g, r)
+		}
+		for j := range r.Attrs {
+			if g.Attrs[j] != r.Attrs[j] {
+				t.Fatalf("row %d attr %d: %d != %d", i, j, g.Attrs[j], r.Attrs[j])
+			}
+		}
+		for j := range r.FKs {
+			if g.FKs[j] != r.FKs[j] {
+				t.Fatalf("row %d fk %d: %d != %d", i, j, g.FKs[j], r.FKs[j])
+			}
+		}
+	}
+}
+
+func TestEncodeBatchRejectsBadInput(t *testing.T) {
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Fatal("empty batch encoded")
+	}
+	if _, err := EncodeBatch(make([]Row, MaxBatchRows+1)); err == nil {
+		t.Fatal("oversized batch encoded")
+	}
+	if _, err := EncodeBatch([]Row{{Table: ""}}); err == nil {
+		t.Fatal("empty table name encoded")
+	}
+}
+
+func TestDecodeBatchRejectsCorruptFrames(t *testing.T) {
+	good, err := EncodeBatch(sampleRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short header":   good[:3],
+		"truncated row":  good[:len(good)-2],
+		"trailing bytes": append(append([]byte(nil), good...), 0),
+		"zero count":     {0, 0, 0, 0},
+		"huge count":     {0xff, 0xff, 0xff, 0xff},
+	}
+	for name, b := range cases {
+		if _, err := DecodeBatch(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzIngestRecord drives arbitrary bytes through the WAL record decoder:
+// it must never panic, and anything it accepts must survive a
+// re-encode/re-decode round trip unchanged.
+func FuzzIngestRecord(f *testing.F) {
+	if seed, err := EncodeBatch(sampleRows()); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := EncodeBatch([]Row{{Table: "T", Attrs: []int32{0}}}); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{1, 0, 0, 0, 1, 'T', 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rows, err := DecodeBatch(b)
+		if err != nil {
+			return
+		}
+		re, err := EncodeBatch(rows)
+		if err != nil {
+			t.Fatalf("decoded batch failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("round trip changed bytes:\n in  %x\n out %x", b, re)
+		}
+	})
+}

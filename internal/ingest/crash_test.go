@@ -1,0 +1,212 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"prmsel/internal/faults"
+	"prmsel/internal/store"
+)
+
+// TestCrashDuringIngestLosesNoAckedRow simulates the kill-mid-ingest
+// scenario with fault injection: a batch torn mid-append is never
+// acknowledged and never replayed, while every acknowledged batch
+// survives the "restart" (reopen + replay) exactly once.
+func TestCrashDuringIngestLosesNoAckedRow(t *testing.T) {
+	for _, point := range []string{"store.wal.append", "store.wal.fsync"} {
+		t.Run(point, func(t *testing.T) {
+			faults.Reset()
+			t.Cleanup(faults.Reset)
+			dir := t.TempDir()
+			db := testDB(t, 30, 60, 10)
+			m := learnModel(t, db)
+			w := openTestWAL(t, dir)
+			ing := newIngestor(t, Config{Model: m, DB: db, WAL: w, RefitRows: -1})
+
+			// Acknowledge a few batches, then tear one mid-write.
+			var acked []Row
+			for i := 0; i < 4; i++ {
+				batch := []Row{{Table: "Person", Attrs: []int32{int32(i % 2), 1}}}
+				if _, err := ing.Ingest(batch); err != nil {
+					t.Fatalf("ingest %d: %v", i, err)
+				}
+				acked = append(acked, batch...)
+			}
+			faults.Set(point, faults.Fault{Err: fmt.Errorf("injected crash"), Times: 1})
+			torn := []Row{{Table: "Person", Attrs: []int32{1, 1}}}
+			if _, err := ing.Ingest(torn); err == nil {
+				t.Fatal("torn batch was acknowledged")
+			}
+			// The write path is down until restart, like a crashed process.
+			if _, err := ing.Ingest(torn); !errors.Is(err, store.ErrWALBroken) {
+				t.Fatalf("ingest on broken WAL: %v, want ErrWALBroken", err)
+			}
+			ing.Close()
+			w.Close()
+
+			// "Restart": reopen the log, replay onto the base dataset.
+			w2, info, err := store.OpenWAL(dir, store.WALOptions{})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer w2.Close()
+			// An acked batch must never be lost. The unacked one may or may
+			// not have reached the disk (its bytes were written before the
+			// failed fsync) — both outcomes are legal; the client saw no ack
+			// and must treat its fate as unknown. What is never legal is a
+			// torn (partially written) record surviving as data.
+			if info.Records < 4 || info.Records > 5 {
+				t.Fatalf("reopen found %d records, want 4 acked (+ at most 1 unacked), info %+v", info.Records, info)
+			}
+			base := testDB(t, 30, 60, 10)
+			n, last, err := Replay(base, w2, 0)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if n < len(acked) {
+				t.Fatalf("replayed %d rows, acked %d were lost", n, len(acked))
+			}
+			if last != uint64(info.Records) {
+				t.Fatalf("replay ended at seq %d, want %d", last, info.Records)
+			}
+			if base.Table("Person").Len() != 30+n {
+				t.Fatalf("recovered %d persons, want %d", base.Table("Person").Len(), 30+n)
+			}
+			// The ingest path works again on the reopened log.
+			m2 := learnModel(t, base)
+			ing2, err := New(Config{Model: m2, DB: base, WAL: w2, RefitRows: -1, Pending: int64(n), Watermark: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ing2.Close()
+			if seq, err := ing2.Ingest(torn); err != nil || seq != uint64(info.Records)+1 {
+				t.Fatalf("ingest after recovery: seq=%d err=%v", seq, err)
+			}
+		})
+	}
+}
+
+// TestRefitFaultLeavesRowsPending: an injected refit failure keeps the
+// rows pending; the next refit publishes them.
+func TestRefitFaultLeavesRowsPending(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	db := testDB(t, 20, 40, 11)
+	m := learnModel(t, db)
+	w := openTestWAL(t, t.TempDir())
+	pubs := 0
+	ing := newIngestor(t, Config{
+		Model: m, DB: db, WAL: w, RefitRows: -1,
+		Publish: func(Publication) error { pubs++; return nil },
+	})
+	if _, err := ing.Ingest([]Row{{Table: "Person", Attrs: []int32{0, 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	faults.Set("ingest.refit", faults.Fault{Err: fmt.Errorf("injected"), Times: 1})
+	if err := ing.Refit("faulted"); err == nil {
+		t.Fatal("injected refit fault did not surface")
+	}
+	if pending, _, _ := ing.Pending(); pending != 1 {
+		t.Fatalf("pending = %d after failed refit, want 1", pending)
+	}
+	if err := ing.Refit("retry"); err != nil {
+		t.Fatal(err)
+	}
+	if pending, _, _ := ing.Pending(); pending != 0 || pubs != 1 {
+		t.Fatalf("after retry: pending %d, %d publications", pending, pubs)
+	}
+}
+
+// TestConcurrentIngestAndRefit hammers the write path from many
+// goroutines with refits and snapshots interleaved — the -race target's
+// main ingest workout. Every acknowledged row must be in the staging
+// database and in the WAL afterwards.
+func TestConcurrentIngestAndRefit(t *testing.T) {
+	dir := t.TempDir()
+	db := testDB(t, 50, 100, 12)
+	m := learnModel(t, db)
+	w := openTestWAL(t, dir)
+	var pubMu sync.Mutex
+	var lastPub Publication
+	ing := newIngestor(t, Config{
+		Model: m, DB: db, WAL: w, RefitRows: 64,
+		Publish: func(p Publication) error {
+			pubMu.Lock()
+			defer pubMu.Unlock()
+			lastPub = p
+			return nil
+		},
+	})
+
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	var ackMu sync.Mutex
+	acked := 0
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < perWorker; i++ {
+				// Person-only rows keep batches valid regardless of
+				// interleaving (purchase FKs would race on table growth).
+				batch := []Row{{Table: "Person", Attrs: []int32{int32(rng.Intn(2)), int32(rng.Intn(2))}}}
+				if _, err := ing.Ingest(batch); err != nil {
+					t.Errorf("worker %d ingest %d: %v", g, i, err)
+					return
+				}
+				ackMu.Lock()
+				acked++
+				ackMu.Unlock()
+				if i%16 == 0 {
+					ing.TriggerRefit("stress")
+				}
+				if i%10 == 0 {
+					snap, _, _ := ing.SnapshotDB()
+					if err := snap.Validate(); err != nil {
+						t.Errorf("worker %d: snapshot invalid: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := ing.Refit("final"); err != nil {
+		t.Fatal(err)
+	}
+	want := 50 + workers*perWorker
+	if got := db.Table("Person").Len(); got != want {
+		t.Fatalf("staging has %d persons, want %d", got, want)
+	}
+	pubMu.Lock()
+	pub := lastPub
+	pubMu.Unlock()
+	if pub.DB == nil || pub.DB.Table("Person").Len() != want {
+		t.Fatalf("final publication incomplete: %+v", pub)
+	}
+	ing.Close()
+	w.Close()
+
+	// Every acknowledged row is durable: full replay reproduces the count.
+	w2, _, err := store.OpenWAL(dir, store.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	base := testDB(t, 50, 100, 12)
+	n, _, err := Replay(base, w2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*perWorker {
+		t.Fatalf("replayed %d rows, acked %d", n, workers*perWorker)
+	}
+}

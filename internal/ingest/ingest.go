@@ -1,0 +1,397 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"prmsel/internal/core"
+	"prmsel/internal/dataset"
+	"prmsel/internal/faults"
+	"prmsel/internal/store"
+)
+
+// ErrBacklog reports that the unpublished-row backlog is full — the
+// admission-control signal the HTTP layer maps to 429. Ingest faster than
+// refit can absorb must push back, not grow without bound.
+var ErrBacklog = errors.New("ingest: refit backlog full")
+
+// Publication is one refit's output, handed to the publish callback: the
+// refit model, an immutable clone of the staging database, and the WAL
+// watermark the clone reflects. The callback persists a new snapshot
+// generation and truncates the WAL through Watermark; returning an error
+// leaves the rows pending for the next refit.
+type Publication struct {
+	Model     *core.PRM
+	DB        *dataset.Database
+	Watermark uint64
+	Rows      int64
+	Trigger   string
+}
+
+// Config assembles an Ingestor.
+type Config struct {
+	// Model is the PRM whose parameters the refits maintain.
+	Model *core.PRM
+	// DB is the mutable staging database; ownership transfers to the
+	// ingestor (all further access through its methods).
+	DB *dataset.Database
+	// WAL is the open write-ahead log; appended rows are acknowledged only
+	// after its fsync.
+	WAL *store.WAL
+	// Watermark is the WAL sequence number already reflected in a
+	// persisted snapshot (rows past it count as pending).
+	Watermark uint64
+	// Pending is how many applied-but-unpublished rows DB already holds —
+	// the WAL replay count at cold start.
+	Pending int64
+	// RefitRows triggers a refit once this many rows are pending
+	// (default 1024; negative disables the threshold trigger).
+	RefitRows int
+	// RefitInterval triggers periodic refits (0 disables).
+	RefitInterval time.Duration
+	// MaxPending bounds the unpublished backlog (default 65536; negative
+	// disables admission control).
+	MaxPending int
+	// Publish persists one refit's output; nil skips persistence (tests).
+	Publish func(pub Publication) error
+	// SkipRefit, when set and true, defers a refit attempt — the serve
+	// layer uses it to keep refits from racing a full structure rebuild.
+	SkipRefit func() bool
+	// OnIngest and OnRefit feed metrics; either may be nil.
+	OnIngest func(rows int, walBytes int)
+	OnRefit  func(d time.Duration, err error)
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Ingestor owns a model's write path: WAL-acknowledged row ingestion into
+// a private staging database, incremental sufficient statistics, and a
+// background refit loop driven by row-count threshold, wall-clock
+// interval, and external triggers (the drift watchdog). Safe for
+// concurrent use.
+type Ingestor struct {
+	cfg Config
+
+	mu        sync.Mutex // guards db, stats, model pointer, counters
+	model     *core.PRM
+	db        *dataset.Database
+	stats     *core.ModelStats
+	lastSeq   uint64 // last acked WAL sequence applied to db
+	published uint64 // watermark of the last successful publication
+	applied   int64  // cumulative rows applied since New
+	pubRows   int64  // `applied` as of the last successful publication
+	closed    bool
+
+	refitMu sync.Mutex // serializes refit runs
+	refitc  chan string
+	stopc   chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds the ingestor: one scan of the staging database constructs
+// the model's sufficient statistics, then the refit loop starts.
+func New(cfg Config) (*Ingestor, error) {
+	if cfg.Model == nil || cfg.DB == nil || cfg.WAL == nil {
+		return nil, errors.New("ingest: Config needs Model, DB, and WAL")
+	}
+	if cfg.RefitRows == 0 {
+		cfg.RefitRows = 1024
+	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = 1 << 16
+	}
+	stats, err := cfg.Model.BuildStats(cfg.DB)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: build stats: %w", err)
+	}
+	ing := &Ingestor{
+		cfg:       cfg,
+		model:     cfg.Model,
+		db:        cfg.DB,
+		stats:     stats,
+		lastSeq:   cfg.WAL.LastSeq(),
+		published: cfg.Watermark,
+		applied:   cfg.Pending,
+		refitc:    make(chan string, 1),
+		stopc:     make(chan struct{}),
+	}
+	ing.wg.Add(1)
+	go ing.loop()
+	return ing, nil
+}
+
+// loop drains refit triggers until Close.
+func (ing *Ingestor) loop() {
+	defer ing.wg.Done()
+	var tick <-chan time.Time
+	if ing.cfg.RefitInterval > 0 {
+		t := time.NewTicker(ing.cfg.RefitInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ing.stopc:
+			return
+		case reason := <-ing.refitc:
+			ing.runRefit(reason)
+		case <-tick:
+			ing.runRefit("interval")
+		}
+	}
+}
+
+// validateRows checks a batch against the staging schema before anything
+// is logged: tables must exist, codes must be in domain, and foreign-key
+// references must land inside the referenced table — where "inside"
+// includes rows earlier in the same batch, so a batch can insert a parent
+// and its children together.
+func validateRows(db *dataset.Database, rows []Row) error {
+	grown := make(map[string]int)
+	for i, r := range rows {
+		t := db.Table(r.Table)
+		if t == nil {
+			return fmt.Errorf("ingest: row %d: unknown table %q", i, r.Table)
+		}
+		if len(r.Attrs) != len(t.Attributes) {
+			return fmt.Errorf("ingest: row %d: table %s needs %d attributes, got %d", i, r.Table, len(t.Attributes), len(r.Attrs))
+		}
+		if len(r.FKs) != len(t.ForeignKeys) {
+			return fmt.Errorf("ingest: row %d: table %s needs %d foreign keys, got %d", i, r.Table, len(t.ForeignKeys), len(r.FKs))
+		}
+		for j, v := range r.Attrs {
+			if v < 0 || int(v) >= t.Attributes[j].Card() {
+				return fmt.Errorf("ingest: row %d: attribute %s.%s code %d out of domain [0,%d)",
+					i, r.Table, t.Attributes[j].Name, v, t.Attributes[j].Card())
+			}
+		}
+		for j, ref := range r.FKs {
+			target := db.Table(t.ForeignKeys[j].To)
+			limit := target.Len() + grown[t.ForeignKeys[j].To]
+			if ref < 0 || int(ref) >= limit {
+				return fmt.Errorf("ingest: row %d: foreign key %s.%s reference %d out of range [0,%d)",
+					i, r.Table, t.ForeignKeys[j].Name, ref, limit)
+			}
+		}
+		grown[r.Table]++
+	}
+	return nil
+}
+
+// applyRow appends one validated row and folds it into the statistics.
+func applyRow(db *dataset.Database, stats *core.ModelStats, r Row) error {
+	t := db.Table(r.Table)
+	if err := t.AppendRow(r.Attrs, r.FKs); err != nil {
+		return err
+	}
+	return stats.ApplyInsert(db, r.Table, t.Len()-1)
+}
+
+// Ingest durably ingests one validated batch. The returned sequence
+// number is the batch's WAL position; when err is nil the batch is
+// acknowledged — fsynced in the log and folded into the staging database
+// and statistics. A full backlog returns ErrBacklog without logging
+// anything.
+func (ing *Ingestor) Ingest(rows []Row) (seq uint64, err error) {
+	if len(rows) == 0 {
+		return 0, errors.New("ingest: empty batch")
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.closed {
+		return 0, errors.New("ingest: closed")
+	}
+	if ing.cfg.MaxPending > 0 && ing.applied-ing.pubRows+int64(len(rows)) > int64(ing.cfg.MaxPending) {
+		return 0, ErrBacklog
+	}
+	if err := validateRows(ing.db, rows); err != nil {
+		return 0, err
+	}
+	payload, err := EncodeBatch(rows)
+	if err != nil {
+		return 0, err
+	}
+	seq, err = ing.cfg.WAL.Append(payload)
+	if err != nil {
+		return 0, err
+	}
+	// The batch is durable; validation guarantees the applies succeed.
+	for _, r := range rows {
+		if err := applyRow(ing.db, ing.stats, r); err != nil {
+			return 0, fmt.Errorf("ingest: apply acknowledged row: %w", err)
+		}
+	}
+	ing.lastSeq = seq
+	ing.applied += int64(len(rows))
+	if ing.cfg.OnIngest != nil {
+		ing.cfg.OnIngest(len(rows), len(payload))
+	}
+	if ing.cfg.RefitRows > 0 && ing.applied-ing.pubRows >= int64(ing.cfg.RefitRows) {
+		ing.triggerLocked("rows")
+	}
+	return seq, nil
+}
+
+// TriggerRefit asks the loop for a refit (non-blocking; coalesces with a
+// pending trigger). The drift watchdog's hook.
+func (ing *Ingestor) TriggerRefit(reason string) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if !ing.closed {
+		ing.triggerLocked(reason)
+	}
+}
+
+func (ing *Ingestor) triggerLocked(reason string) {
+	select {
+	case ing.refitc <- reason:
+	default:
+	}
+}
+
+// runRefit wraps one refit attempt with metrics and logging.
+func (ing *Ingestor) runRefit(reason string) {
+	start := time.Now()
+	err := ing.Refit(reason)
+	if ing.cfg.OnRefit != nil {
+		ing.cfg.OnRefit(time.Since(start), err)
+	}
+	if err != nil && ing.cfg.Logf != nil {
+		ing.cfg.Logf("ingest: refit (%s): %v", reason, err)
+	}
+}
+
+// Refit synchronously runs one refit-and-publish cycle: re-estimate the
+// CPDs from the maintained statistics (O(delta-derived), no scan), clone
+// the staging database, and hand both to the publish callback. Nothing
+// pending is a no-op. Refit runs are serialized; ingestion continues
+// concurrently while the publish callback persists.
+func (ing *Ingestor) Refit(reason string) error {
+	ing.refitMu.Lock()
+	defer ing.refitMu.Unlock()
+	if ing.cfg.SkipRefit != nil && ing.cfg.SkipRefit() {
+		return nil
+	}
+	if ferr := faults.Inject("ingest.refit"); ferr != nil {
+		return fmt.Errorf("ingest: refit: %w", ferr)
+	}
+	ing.mu.Lock()
+	if ing.applied == ing.pubRows {
+		ing.mu.Unlock()
+		return nil
+	}
+	model := ing.model
+	if err := model.RefitFromStats(ing.stats); err != nil {
+		ing.mu.Unlock()
+		return err
+	}
+	pub := Publication{
+		Model:     model,
+		DB:        ing.db.Clone(),
+		Watermark: ing.lastSeq,
+		Rows:      ing.applied - ing.pubRows,
+		Trigger:   reason,
+	}
+	appliedAtClone := ing.applied
+	ing.mu.Unlock()
+
+	if ing.cfg.Publish != nil {
+		if err := ing.cfg.Publish(pub); err != nil {
+			return err
+		}
+	}
+	ing.mu.Lock()
+	ing.published = pub.Watermark
+	ing.pubRows = appliedAtClone
+	ing.mu.Unlock()
+	return nil
+}
+
+// SnapshotDB returns an immutable clone of the staging database, the WAL
+// watermark it reflects, and the cumulative applied-row count at clone
+// time — the data source for full structure rebuilds, which must see the
+// ingested rows, not the base dataset.
+func (ing *Ingestor) SnapshotDB() (db *dataset.Database, watermark uint64, appliedAt int64) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.db.Clone(), ing.lastSeq, ing.applied
+}
+
+// Adopt re-anchors the ingestor on a freshly learned model (a structure
+// rebuild): the statistics are rebuilt by one scan of the current staging
+// database. Rows ingested since the rebuild's snapshot stay pending and
+// publish at the next refit.
+func (ing *Ingestor) Adopt(m *core.PRM) error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	stats, err := m.BuildStats(ing.db)
+	if err != nil {
+		return fmt.Errorf("ingest: adopt: %w", err)
+	}
+	ing.model = m
+	ing.stats = stats
+	return nil
+}
+
+// MarkPublished records that a snapshot at the given watermark (from
+// SnapshotDB) was durably published — the rebuild path's counterpart of
+// Refit's own bookkeeping.
+func (ing *Ingestor) MarkPublished(watermark uint64, appliedAt int64) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if watermark > ing.published {
+		ing.published = watermark
+		ing.pubRows = appliedAt
+	}
+}
+
+// Pending reports the write-path position: rows applied but not yet in a
+// published snapshot, the last acknowledged WAL sequence, and the
+// published watermark.
+func (ing *Ingestor) Pending() (rows int64, lastSeq, published uint64) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.applied - ing.pubRows, ing.lastSeq, ing.published
+}
+
+// Close stops the refit loop. The WAL is left to its owner to close.
+func (ing *Ingestor) Close() {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return
+	}
+	ing.closed = true
+	ing.mu.Unlock()
+	close(ing.stopc)
+	ing.wg.Wait()
+}
+
+// Replay applies every WAL record with sequence number greater than
+// `after` to db, validating each batch against the schema — the
+// cold-start recovery path that makes an acknowledged row survive a
+// crash. It returns the number of rows applied and the last sequence
+// observed. Statistics are not touched: the caller builds them (via New)
+// after the database is complete.
+func Replay(db *dataset.Database, w *store.WAL, after uint64) (rows int, last uint64, err error) {
+	err = w.Replay(after, func(seq uint64, payload []byte) error {
+		batch, err := DecodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("ingest: replay seq %d: %w", seq, err)
+		}
+		if err := validateRows(db, batch); err != nil {
+			return fmt.Errorf("ingest: replay seq %d: %w", seq, err)
+		}
+		for _, r := range batch {
+			if err := db.Table(r.Table).AppendRow(r.Attrs, r.FKs); err != nil {
+				return fmt.Errorf("ingest: replay seq %d: %w", seq, err)
+			}
+		}
+		rows += len(batch)
+		last = seq
+		return nil
+	})
+	return rows, last, err
+}

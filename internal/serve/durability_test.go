@@ -106,8 +106,11 @@ func TestRecoverAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	hr.Body.Close()
-	if health["status"] != "recovered" || health["recovered"] != true {
-		t.Errorf("healthz = status %v recovered %v, want recovered/true", health["status"], health["recovered"])
+	// The blocked refresh cycle may already have exhausted its retries
+	// by now, which legitimately reports "degraded"; either way the
+	// recovered flag must be visible.
+	if s := health["status"]; (s != "recovered" && s != "degraded") || health["recovered"] != true {
+		t.Errorf("healthz = status %v recovered %v, want recovered (or degraded)/true", health["status"], health["recovered"])
 	}
 
 	// Let the background refresh through: the model hot-swaps to a

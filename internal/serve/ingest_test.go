@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"prmsel/internal/store"
+)
+
+// ingestRegistry opens a store in dir and registers fig1 with the
+// streaming write path enabled.
+func ingestRegistry(t *testing.T, dir string, pol IngestPolicy) (*Registry, *Model) {
+	t.Helper()
+	st, err := store.Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol.Enabled = true
+	reg := NewRegistry()
+	reg.SetLogf(func(string, ...any) {})
+	reg.UseStore(st)
+	m, err := reg.Add("fig1", BuildSpec{Dataset: "fig1", Retry: fastRetry, Ingest: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		reg.Close(ctx)
+	})
+	return reg, m
+}
+
+func postJSON(t *testing.T, url, path, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return resp, out
+}
+
+// waitForGeneration polls until the served snapshot reaches at least gen.
+func waitForGeneration(t *testing.T, m *Model, gen int64) *Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap := m.Current(); snap.Generation >= gen {
+			return snap
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("snapshot never reached generation %d (at %d)", gen, m.Current().Generation)
+	return nil
+}
+
+// TestIngestEndpointEndToEnd walks the closed loop over HTTP: ingest rows
+// into a live model, cross the refit threshold, and watch the served
+// estimates move to the new distribution.
+func TestIngestEndpointEndToEnd(t *testing.T) {
+	reg, m := ingestRegistry(t, t.TempDir(), IngestPolicy{RefitRows: 50})
+	srv, ts := durableServer(t, reg, Config{})
+	baseGen := m.Current().Generation
+
+	// Single-row form, labels resolved against the schema.
+	resp, out := postJSON(t, ts.URL, "/v1/ingest",
+		`{"row":{"table":"People","attrs":{"Education":"college","Income":"high","HomeOwner":"true"}}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["accepted"].(float64) != 1 || out["wal_seq"].(float64) != 1 {
+		t.Fatalf("unexpected ingest response %v", out)
+	}
+	if out["pending_rows"].(float64) < 1 {
+		t.Fatalf("pending_rows = %v, want >= 1", out["pending_rows"])
+	}
+
+	// Batch form with numeric codes; 49 more rows crosses RefitRows=50.
+	rows := make([]string, 49)
+	for i := range rows {
+		rows[i] = `{"table":"People","attrs":{"Education":1,"Income":2,"HomeOwner":1}}`
+	}
+	resp, out = postJSON(t, ts.URL, "/v1/ingest", `{"rows":[`+strings.Join(rows, ",")+`]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch ingest status = %d, body %v", resp.StatusCode, out)
+	}
+
+	// The refit publishes a new generation whose dataset holds the rows.
+	snap := waitForGeneration(t, m, baseGen+1)
+	if got := snap.DB.Table("People").Len(); got != 1050 {
+		t.Fatalf("published snapshot has %d rows, want 1050", got)
+	}
+	resp, out = postJSON(t, ts.URL, "/v1/estimate",
+		`{"query":"FROM People p WHERE p.Education = college AND p.Income = high AND p.HomeOwner = true","exact":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status = %d, body %v", resp.StatusCode, out)
+	}
+	exact := out["exact"].(map[string]any)
+	if count := exact["count"].(float64); count != 104 {
+		t.Fatalf("exact count after ingest = %v, want 104 (54 base + 50 ingested)", count)
+	}
+
+	// The write path shows up in health and metrics.
+	h := m.Health()
+	if h.Ingest == nil || h.Ingest.LastSeq != 2 {
+		t.Fatalf("health ingest block = %+v, want last_seq 2", h.Ingest)
+	}
+	ms := srv.Metrics().Snapshot()
+	ingestVars := ms["ingest"].(map[string]int64)
+	if ingestVars["rows_ingested"] != 50 || ingestVars["wal_bytes"] <= 0 {
+		t.Fatalf("ingest metrics = %v", ingestVars)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().Snapshot()["ingest"].(map[string]int64)["refit_total"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("refit_total never incremented")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestIngestEndpointRejections covers the failure statuses: bad rows 400,
+// a model without a write path 409.
+func TestIngestEndpointRejections(t *testing.T) {
+	reg, _ := ingestRegistry(t, t.TempDir(), IngestPolicy{RefitRows: -1})
+	srv, ts := durableServer(t, reg, Config{})
+
+	for name, body := range map[string]string{
+		"unknown table": `{"row":{"table":"Nope","attrs":{"X":0}}}`,
+		"bad label":     `{"row":{"table":"People","attrs":{"Education":"phd","Income":"high","HomeOwner":"true"}}}`,
+		"bad code":      `{"row":{"table":"People","attrs":{"Education":9,"Income":2,"HomeOwner":1}}}`,
+		"missing attr":  `{"row":{"table":"People","attrs":{"Education":1}}}`,
+		"no rows":       `{}`,
+		"unknown field": `{"row":{"table":"People","attrs":{"Education":1,"Income":2,"HomeOwner":1},"extra":1}}`,
+	} {
+		resp, out := postJSON(t, ts.URL, "/v1/ingest", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, body %v", name, resp.StatusCode, out)
+		}
+	}
+	if rejected := srv.Metrics().Snapshot()["ingest"].(map[string]int64)["rejected"]; rejected != 6 {
+		t.Errorf("rejected counter = %d, want 6", rejected)
+	}
+
+	// A read-only model refuses ingest with 409.
+	_, roTS := newTestServer(t)
+	resp, out := postJSON(t, roTS.URL, "/v1/ingest",
+		`{"row":{"table":"People","attrs":{"Education":1,"Income":2,"HomeOwner":1}}}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("read-only ingest status = %d, body %v", resp.StatusCode, out)
+	}
+}
+
+// TestIngestRecoveryAcrossRestart is the crash path in-process: rows
+// acknowledged but never refit (they live only in the WAL) must reappear
+// in the served snapshot after a registry "restart" on the same store.
+func TestIngestRecoveryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg1, m1 := ingestRegistry(t, dir, IngestPolicy{RefitRows: -1})
+	_, ts1 := durableServer(t, reg1, Config{})
+	for i := 0; i < 3; i++ {
+		resp, out := postJSON(t, ts1.URL, "/v1/ingest",
+			`{"rows":[{"table":"People","attrs":{"Education":"college","Income":"high","HomeOwner":"true"}},
+			          {"table":"People","attrs":{"Education":"advanced","Income":"low","HomeOwner":"false"}}]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d, body %v", i, resp.StatusCode, out)
+		}
+	}
+	if h := m1.Health(); h.Ingest == nil || h.Ingest.PendingRows != 6 {
+		t.Fatalf("pending before restart = %+v, want 6", h.Ingest)
+	}
+	// The served snapshot predates the rows: they are only in the WAL.
+	if got := m1.Current().DB.Table("People").Len(); got != 1000 {
+		t.Fatalf("pre-restart snapshot has %d rows, want 1000", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := reg1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, m2 := ingestRegistry(t, dir, IngestPolicy{RefitRows: -1})
+	snap := m2.Current()
+	if got := snap.DB.Table("People").Len(); got != 1006 {
+		t.Fatalf("recovered snapshot has %d rows, want 1006", got)
+	}
+	if h := m2.Health(); !h.Recovered || h.Ingest == nil || h.Ingest.LastSeq != 3 {
+		t.Fatalf("recovered health = %+v / %+v", m2.Health(), m2.Health().Ingest)
+	}
+	// Ingest continues past the replayed sequence numbers.
+	_, ts2 := durableServer(t, reg2, Config{})
+	resp, out := postJSON(t, ts2.URL, "/v1/ingest",
+		`{"row":{"table":"People","attrs":{"Education":1,"Income":2,"HomeOwner":1}}}`)
+	if resp.StatusCode != http.StatusOK || out["wal_seq"].(float64) != 4 {
+		t.Fatalf("post-recovery ingest: status %d, body %v", resp.StatusCode, out)
+	}
+}
+
+// TestRebuildSeesIngestedRows is the immutability audit's regression
+// test: a full structure rebuild must learn from the live staging
+// database (base + ingested rows), not reload the spec's dataset.
+func TestRebuildSeesIngestedRows(t *testing.T) {
+	reg, m := ingestRegistry(t, t.TempDir(), IngestPolicy{RefitRows: -1})
+	_, ts := durableServer(t, reg, Config{})
+	for i := 0; i < 4; i++ {
+		resp, out := postJSON(t, ts.URL, "/v1/ingest",
+			`{"row":{"table":"People","attrs":{"Education":"college","Income":"high","HomeOwner":"true"}}}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d, body %v", i, resp.StatusCode, out)
+		}
+	}
+	gen := m.Current().Generation
+	resp, out := postJSON(t, ts.URL, "/v1/models/fig1/rebuild", `{}`)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebuild status = %d, body %v", resp.StatusCode, out)
+	}
+	snap := waitForGeneration(t, m, gen+1)
+	if got := snap.DB.Table("People").Len(); got != 1004 {
+		t.Fatalf("rebuilt snapshot has %d rows, want 1004 — rebuild ignored the staging database", got)
+	}
+	if snap.Watermark != 4 {
+		t.Fatalf("rebuilt snapshot watermark = %d, want 4", snap.Watermark)
+	}
+	// The rebuild settles the ledger: nothing stays pending.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := m.Health()
+		if h.Ingest != nil && h.Ingest.PendingRows == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending after rebuild = %+v, want 0", h.Ingest)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

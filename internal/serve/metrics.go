@@ -58,6 +58,15 @@ type Metrics struct {
 	batchItems       atomic.Int64
 	batchItemsFailed atomic.Int64
 
+	// Streaming write-path counters: acknowledged rows and their WAL
+	// bytes, rejected ingest requests (any non-200), and incremental
+	// refit outcomes. Refit latency lands in the "refit" stage histogram.
+	rowsIngested   atomic.Int64
+	walBytes       atomic.Int64
+	ingestRejected atomic.Int64
+	refits         atomic.Int64
+	refitFailures  atomic.Int64
+
 	latCount  atomic.Int64
 	latSumUS  atomic.Int64
 	latBucket []atomic.Int64 // len(latencyBoundsMicros)+1, last is overflow
@@ -80,7 +89,7 @@ type Metrics struct {
 // exact executor on sampled requests. They match the span names the
 // request trace produces, so ObserveStage can be fed by walking a
 // finished trace.
-var stageNames = []string{"parse", "cache", "closure", "infer", "exact"}
+var stageNames = []string{"parse", "cache", "closure", "infer", "exact", "refit"}
 
 // stageHist is one stage's latency histogram (same bucket bounds as the
 // request histogram).
@@ -212,6 +221,30 @@ func (m *Metrics) ObserveBatch(items, failed int) {
 	m.batchItemsFailed.Add(int64(failed))
 }
 
+// ObserveIngest records one acknowledged ingest batch: rows folded into
+// the staging database and the bytes their WAL record cost.
+func (m *Metrics) ObserveIngest(rows, walBytes int) {
+	m.rowsIngested.Add(int64(rows))
+	m.walBytes.Add(int64(walBytes))
+}
+
+// ObserveIngestReject records one refused /v1/ingest request (validation,
+// backlog, or a broken WAL).
+func (m *Metrics) ObserveIngestReject() { m.ingestRejected.Add(1) }
+
+// ObserveRefit records one incremental refit attempt and its latency; a
+// non-nil err counts it as a failure (the rows stay pending).
+func (m *Metrics) ObserveRefit(d time.Duration, err error) {
+	if err != nil {
+		m.refitFailures.Add(1)
+		return
+	}
+	m.refits.Add(1)
+	if h, ok := m.stages["refit"]; ok {
+		h.observe(d.Microseconds())
+	}
+}
+
 // ObserveFeedback records one /v1/feedback ground-truth report.
 func (m *Metrics) ObserveFeedback() { m.feedback.Add(1) }
 
@@ -278,6 +311,13 @@ func (m *Metrics) Snapshot() map[string]any {
 		},
 		"feedback":     m.feedback.Load(),
 		"drift_events": m.driftEvents.Load(),
+		"ingest": map[string]int64{
+			"rows_ingested":  m.rowsIngested.Load(),
+			"wal_bytes":      m.walBytes.Load(),
+			"rejected":       m.ingestRejected.Load(),
+			"refit_total":    m.refits.Load(),
+			"refit_failures": m.refitFailures.Load(),
+		},
 		"batch": map[string]int64{
 			"requests":     m.batchRequests.Load(),
 			"items":        m.batchItems.Load(),

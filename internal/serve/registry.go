@@ -16,6 +16,7 @@ import (
 	"prmsel/internal/dataset"
 	"prmsel/internal/eval"
 	"prmsel/internal/faults"
+	"prmsel/internal/ingest"
 	"prmsel/internal/learn"
 	"prmsel/internal/store"
 )
@@ -47,6 +48,28 @@ type BuildSpec struct {
 	Retry RetryPolicy
 	// Drift tunes the accuracy watchdog fed by /v1/feedback.
 	Drift DriftPolicy
+	// Ingest, when enabled, attaches the WAL-backed streaming write path:
+	// POST /v1/ingest appends rows durably and incremental refits fold
+	// them into the served model. Requires a durable store.
+	Ingest IngestPolicy
+}
+
+// IngestPolicy configures a model's streaming write path.
+type IngestPolicy struct {
+	// Enabled turns the write path on. It requires UseStore: the WAL
+	// lives next to the snapshot store, and recovery needs both.
+	Enabled bool
+	// RefitRows triggers an incremental refit once this many rows are
+	// pending (default 1024; negative disables the row trigger).
+	RefitRows int64
+	// RefitInterval triggers a refit this often while rows are pending
+	// (zero disables the timer).
+	RefitInterval time.Duration
+	// MaxPending bounds unpublished rows before ingest returns 429
+	// (default 65536).
+	MaxPending int64
+	// MaxSegmentBytes caps one WAL segment before rotation (default 4 MiB).
+	MaxSegmentBytes int64
 }
 
 // RetryPolicy shapes the rebuild retry loop: exponential backoff with
@@ -149,6 +172,20 @@ type ModelHealth struct {
 	DriftP90 float64 `json:"drift_p90,omitempty"`
 	// FeedbackSamples counts /v1/feedback observations in the window.
 	FeedbackSamples int `json:"feedback_samples,omitempty"`
+	// Ingest reports the streaming write path's position; nil for
+	// read-only models.
+	Ingest *IngestHealth `json:"ingest,omitempty"`
+}
+
+// IngestHealth is one model's write-path position.
+type IngestHealth struct {
+	// PendingRows counts acknowledged rows not yet folded into a
+	// published snapshot.
+	PendingRows int64 `json:"pending_rows"`
+	// LastSeq is the last acknowledged WAL sequence number.
+	LastSeq uint64 `json:"last_seq"`
+	// PublishedWatermark is the WAL sequence the served snapshot reflects.
+	PublishedWatermark uint64 `json:"published_watermark"`
 }
 
 func (s BuildSpec) withDefaults() BuildSpec {
@@ -184,6 +221,13 @@ type Snapshot struct {
 	Generation int64
 	BuiltAt    time.Time
 	BuildTime  time.Duration
+	// Watermark is the last WAL sequence folded into this snapshot (zero
+	// when the model has no ingest path).
+	Watermark uint64
+	// appliedAt is the ingestor's cumulative applied-row count when this
+	// snapshot's dataset was cloned; MarkPublished uses it to settle the
+	// pending-row ledger after a full rebuild.
+	appliedAt int64
 }
 
 // Primary returns the headline estimator (the PRM).
@@ -210,6 +254,12 @@ type Model struct {
 	gen      atomic.Int64
 	building atomic.Bool
 
+	// ing and wal are the streaming write path, set once during Add when
+	// Spec.Ingest.Enabled and never changed afterwards. Both nil for
+	// read-only models.
+	ing atomic.Pointer[ingest.Ingestor]
+	wal *store.WAL
+
 	// reg is the owning registry: the durable store, the shutdown
 	// signal, and the rebuild-goroutine waitgroup all live there.
 	reg *Registry
@@ -226,6 +276,25 @@ type Model struct {
 // Current returns the served snapshot (never nil once the model is
 // registered).
 func (m *Model) Current() *Snapshot { return m.cur.Load() }
+
+// ingestor returns the streaming write path, or nil for read-only models.
+func (m *Model) ingestor() *ingest.Ingestor { return m.ing.Load() }
+
+// publish installs snap as the served snapshot unless a strictly newer
+// generation already landed — refits and rebuilds race for the pointer,
+// and an older generation must never clobber a newer one. Reports
+// whether snap is now (or already was) superseded-free, i.e. installed.
+func (m *Model) publish(snap *Snapshot) bool {
+	for {
+		old := m.cur.Load()
+		if old != nil && old.Generation >= snap.Generation {
+			return false
+		}
+		if m.cur.CompareAndSwap(old, snap) {
+			return true
+		}
+	}
+}
 
 // Rebuilding reports whether a background rebuild is in flight.
 func (m *Model) Rebuilding() bool { return m.building.Load() }
@@ -244,6 +313,10 @@ func (m *Model) Health() ModelHealth {
 	}
 	if m.drift != nil {
 		h.DriftP90, h.FeedbackSamples, h.Drifted = m.drift.snapshot()
+	}
+	if ing := m.ingestor(); ing != nil {
+		pending, last, published := ing.Pending()
+		h.Ingest = &IngestHealth{PendingRows: pending, LastSeq: last, PublishedWatermark: published}
 	}
 	return h
 }
@@ -323,15 +396,28 @@ func (m *Model) noteExhausted() {
 	m.healthMu.Unlock()
 }
 
-// build constructs the next snapshot from the spec.
+// build constructs the next snapshot from the spec. Models with a
+// streaming write path learn from the ingestor's staging snapshot — the
+// base dataset plus every ingested row — never from a stale reload; the
+// spec's dataset source only describes the pre-ingest baseline.
 func (m *Model) build() (*Snapshot, error) {
 	if err := faults.Inject("serve.rebuild"); err != nil {
 		return nil, fmt.Errorf("serve: build %s: %w", m.Name, err)
 	}
 	start := time.Now()
-	db, err := cliutil.LoadDB(m.Spec.CSVDir, m.Spec.Dataset, m.Spec.Rows, m.Spec.Scale, m.Spec.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("serve: load %s: %w", m.Name, err)
+	var (
+		db        *dataset.Database
+		watermark uint64
+		appliedAt int64
+		err       error
+	)
+	if ing := m.ingestor(); ing != nil {
+		db, watermark, appliedAt = ing.SnapshotDB()
+	} else {
+		db, err = cliutil.LoadDB(m.Spec.CSVDir, m.Spec.Dataset, m.Spec.Rows, m.Spec.Scale, m.Spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("serve: load %s: %w", m.Name, err)
+		}
 	}
 	prm, err := eval.LearnPRM(db, "PRM", eval.LearnOptions{
 		Kind:      learn.Tree,
@@ -348,6 +434,8 @@ func (m *Model) build() (*Snapshot, error) {
 		Generation: m.gen.Add(1),
 		BuiltAt:    time.Now(),
 		BuildTime:  time.Since(start),
+		Watermark:  watermark,
+		appliedAt:  appliedAt,
 	}, nil
 }
 
@@ -438,6 +526,19 @@ func (m *Model) persist(snap *Snapshot) {
 	err := st.Save(m.Name, snap.Generation, snap.BuiltAt, func(w io.Writer) error {
 		return prm.M.Encode(w)
 	})
+	// Ingest models also persist the dataset-state artifact so recovery
+	// replays only the WAL suffix past the snapshot, and the covered WAL
+	// prefix can be reclaimed. Truncation happens only once both the
+	// model snapshot and the state are durable — an unreclaimed WAL is
+	// merely wasted disk, a reclaimed-but-unpersisted one is data loss.
+	if err == nil && m.wal != nil {
+		err = st.SaveState(m.Name, snap.Generation, snap.Watermark, snap.DB)
+		if err == nil {
+			if terr := m.wal.TruncateThrough(snap.Watermark); terr != nil {
+				m.reg.logf("serve: truncate WAL of %s through %d: %v", m.Name, snap.Watermark, terr)
+			}
+		}
+	}
 	m.noteStoreError(err)
 	if err != nil {
 		m.reg.logf("serve: persist %s generation %d: %v", m.Name, snap.Generation, err)
@@ -485,13 +586,28 @@ func (m *Model) Rebuild(onDone func(*Snapshot, error), onAttempt ...func(attempt
 			m.noteAttempt(attempt)
 			snap, err := m.build()
 			if err == nil {
-				m.cur.Store(snap)
+				if ing := m.ingestor(); ing != nil {
+					// Re-anchor the write path on the new structure before
+					// it serves: later refits must maintain this model's
+					// parameters, not the old one's.
+					err = ing.Adopt(snap.Primary().(*eval.PRMEstimator).M)
+				}
+			}
+			if err == nil {
+				m.publish(snap)
 				m.noteSuccess(snap.BuiltAt)
 				// Persist before reporting done: a caller that shuts
 				// down on onDone still gets a durable snapshot, and
 				// Registry.Close waits for this goroutine, so the flush
 				// always completes before exit.
 				m.persist(snap)
+				if ing := m.ingestor(); ing != nil {
+					// Rows ingested while the rebuild ran stay pending;
+					// settle the ledger at the snapshot's clone point and
+					// fold the stragglers in with an immediate refit.
+					ing.MarkPublished(snap.Watermark, snap.appliedAt)
+					ing.TriggerRefit("rebuild")
+				}
 				if onDone != nil {
 					onDone(snap, nil)
 				}
@@ -536,6 +652,8 @@ type Registry struct {
 	models    map[string]*Model
 	store     *store.Store
 	onPersist func(err error)
+	onIngest  func(rows, walBytes int)
+	onRefit   func(d time.Duration, err error)
 	logger    func(format string, args ...any)
 
 	// Shutdown plumbing: stopc aborts retry waits, wg tracks every
@@ -576,6 +694,38 @@ func (r *Registry) setOnPersist(hook func(err error)) {
 	r.mu.Lock()
 	r.onPersist = hook
 	r.mu.Unlock()
+}
+
+// setOnIngest and setOnRefit install the write-path metric hooks; the
+// server wires them to its ingest counters and refit histogram.
+func (r *Registry) setOnIngest(hook func(rows, walBytes int)) {
+	r.mu.Lock()
+	r.onIngest = hook
+	r.mu.Unlock()
+}
+
+func (r *Registry) setOnRefit(hook func(d time.Duration, err error)) {
+	r.mu.Lock()
+	r.onRefit = hook
+	r.mu.Unlock()
+}
+
+func (r *Registry) noteIngest(rows, walBytes int) {
+	r.mu.RLock()
+	hook := r.onIngest
+	r.mu.RUnlock()
+	if hook != nil {
+		hook(rows, walBytes)
+	}
+}
+
+func (r *Registry) noteRefit(d time.Duration, err error) {
+	r.mu.RLock()
+	hook := r.onRefit
+	r.mu.RUnlock()
+	if hook != nil {
+		hook(d, err)
+	}
 }
 
 func (r *Registry) snapshotStore() *store.Store {
@@ -621,6 +771,26 @@ func (r *Registry) Close(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		r.wg.Wait()
+		// With every rebuild drained, stop the write paths: the refit
+		// loops first (they may still publish through the WAL-owning
+		// persist path), then the logs themselves. Ingest calls after
+		// this observe the closed ingestor and fail cleanly.
+		r.mu.RLock()
+		models := make([]*Model, 0, len(r.order))
+		for _, name := range r.order {
+			models = append(models, r.models[name])
+		}
+		r.mu.RUnlock()
+		for _, m := range models {
+			if ing := m.ingestor(); ing != nil {
+				ing.Close()
+			}
+			if m.wal != nil {
+				if err := m.wal.Close(); err != nil {
+					r.logf("serve: close WAL of %s: %v", m.Name, err)
+				}
+			}
+		}
 		close(done)
 	}()
 	select {
@@ -655,6 +825,28 @@ func (r *Registry) Add(name string, spec BuildSpec) (*Model, error) {
 	r.mu.Unlock()
 
 	m := &Model{Name: name, Spec: spec, reg: r, drift: newDriftWatch(spec.Drift)}
+
+	if spec.Ingest.Enabled {
+		// The streaming write path has its own recovery dance (WAL
+		// repair, state recovery, suffix replay) and publishes its own
+		// initial snapshot; it subsumes the plain paths below.
+		if err := m.setupIngest(r); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		if _, dup := r.models[name]; dup {
+			r.mu.Unlock()
+			if ing := m.ingestor(); ing != nil {
+				ing.Close()
+			}
+			m.wal.Close()
+			return nil, fmt.Errorf("serve: model %q already registered", name)
+		}
+		r.models[name] = m
+		r.order = append(r.order, name)
+		r.mu.Unlock()
+		return m, nil
+	}
 
 	recovered := false
 	if st := r.snapshotStore(); st != nil {

@@ -145,6 +145,10 @@ func NewServer(cfg Config) *Server {
 	// Persist outcomes (snapshot saves to the durable store) happen in
 	// registry rebuild goroutines; route them into this server's metrics.
 	cfg.Registry.setOnPersist(func(err error) { cfg.Metrics.ObserveStoreSave(err) })
+	// The write path's row counters and refit latencies likewise come out
+	// of registry-owned goroutines.
+	cfg.Registry.setOnIngest(cfg.Metrics.ObserveIngest)
+	cfg.Registry.setOnRefit(cfg.Metrics.ObserveRefit)
 	return &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
@@ -171,6 +175,7 @@ func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	api.HandleFunc("POST /v1/estimate/batch", s.handleEstimateBatch)
+	api.HandleFunc("POST /v1/ingest", s.handleIngest)
 	api.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	api.HandleFunc("GET /v1/models", s.handleModels)
 	api.HandleFunc("POST /v1/models/{name}/rebuild", s.handleRebuild)
@@ -774,6 +779,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			if rebuildStarted {
 				s.logf("serve: model %s: early rebuild triggered by drift watchdog", model.Name)
 			}
+		}
+		if ing := model.ingestor(); ing != nil {
+			// A drifted ingest model refits immediately: the pending rows
+			// are often exactly the distribution shift the watchdog saw.
+			ing.TriggerRefit("drift")
 		}
 	}
 

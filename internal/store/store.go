@@ -342,6 +342,7 @@ func (s *Store) pruneLocked(model string, activeGen int64) {
 		}
 		os.Remove(filepath.Join(s.dir, snapName(model, g)))
 	}
+	s.pruneStateLocked(model)
 }
 
 // Recovered is the result of recovering one model from the store.

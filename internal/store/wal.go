@@ -1,0 +1,595 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"prmsel/internal/faults"
+)
+
+// The write-ahead log gives the estimator a durable write path: every
+// ingested row batch is appended (and fsynced) here before it is
+// acknowledged, so an acknowledged write survives a crash even though the
+// model snapshot that will eventually absorb it has not been persisted
+// yet. The WAL follows the same trust-nothing discipline as the snapshot
+// store: CRC-framed records, replay-on-open that validates every byte,
+// and quarantine (never silent deletion) of torn tails.
+//
+// Layout (one directory per model):
+//
+//	<dir>/wal-<segment>.seg        CRC-framed record segments
+//	<dir>/<file>.torn              quarantined torn tails (forensics)
+//
+// Segment format:
+//
+//	[0:8)   magic "PRMWAL01"
+//	[8]     format version (1)
+//	records...
+//
+// Record format (little-endian):
+//
+//	[0:4)   CRC32 (IEEE) of bytes [4:16+len) — length, seq, payload
+//	[4:8)   payload length (uint32)
+//	[8:16)  sequence number (uint64), strictly increasing across the log
+//	[16:)   payload
+//
+// A crash mid-append leaves a torn tail: replay-on-open validates records
+// up to the first frame that is short, checksum-broken, or out of
+// sequence, copies the invalid suffix to <segment>.torn, truncates the
+// segment back to its last valid record, and resumes appending there. A
+// record is acknowledged only after fsync, so a torn tail can only hold
+// unacknowledged bytes — quarantining it never loses an acked write.
+const (
+	// WALMagic opens every WAL segment file.
+	WALMagic = "PRMWAL01"
+	// WALVersion is the current segment format version.
+	WALVersion = 1
+
+	walHeaderSize    = len(WALMagic) + 1
+	recordHeaderSize = 4 + 4 + 8
+
+	// maxRecordBytes bounds one record's payload — a corrupt length field
+	// must not drive a giant allocation during replay.
+	maxRecordBytes = 64 << 20
+)
+
+// ErrWALBroken reports an append attempted after a write error left the
+// active segment in an unknown state. The log must be reopened (replay
+// will quarantine whatever the failed write left behind) before further
+// appends.
+var ErrWALBroken = errors.New("store: wal: previous append failed; reopen to recover")
+
+// WALOptions tunes a write-ahead log.
+type WALOptions struct {
+	// MaxSegmentBytes rotates the active segment once it grows past this
+	// size (default 4 MiB). Rotation bounds how much one truncation pass
+	// can reclaim at once; records never span segments.
+	MaxSegmentBytes int64
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// WALSegment describes one on-disk segment, as seen by the last scan.
+type WALSegment struct {
+	// File is the segment filename inside the WAL directory.
+	File string `json:"file"`
+	// FirstSeq and LastSeq bound the records the segment holds; both zero
+	// when the segment is empty.
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+	// Records is how many valid records the segment holds.
+	Records int `json:"records"`
+	// Bytes is the segment's valid size (after any torn-tail truncation).
+	Bytes int64 `json:"bytes"`
+}
+
+// WALTornTail describes one quarantined torn tail.
+type WALTornTail struct {
+	// Segment is the segment the tail was cut from.
+	Segment string `json:"segment"`
+	// Offset is where the valid prefix ends.
+	Offset int64 `json:"offset"`
+	// Bytes is how many invalid bytes were quarantined.
+	Bytes int64 `json:"bytes"`
+	// Quarantined is the <segment>.torn file holding the bytes (empty in
+	// read-only inspection, which reports tears without touching disk).
+	Quarantined string `json:"quarantined,omitempty"`
+	// Reason says what broke: short header, bad checksum, bad sequence.
+	Reason string `json:"reason"`
+}
+
+// WALInfo is the result of scanning a log directory: the per-segment
+// breakdown plus totals. FirstSeq > 1 means the log has been truncated up
+// to a persisted snapshot watermark of FirstSeq-1.
+type WALInfo struct {
+	Segments  []WALSegment  `json:"segments"`
+	TornTails []WALTornTail `json:"torn_tails,omitempty"`
+	Records   int           `json:"records"`
+	Bytes     int64         `json:"bytes"`
+	FirstSeq  uint64        `json:"first_seq"`
+	LastSeq   uint64        `json:"last_seq"`
+}
+
+// WAL is one open write-ahead log. Append and TruncateThrough are safe
+// for concurrent use.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	mu       sync.Mutex
+	active   *os.File
+	activeAt int64 // valid bytes in the active segment
+	segs     []WALSegment
+	nextSeq  uint64
+	broken   bool
+}
+
+func walSegName(n int) string { return fmt.Sprintf("wal-%08d.seg", n) }
+
+// walSegIndex parses the segment ordinal out of a wal-<n>.seg name, or -1.
+func walSegIndex(name string) int {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return -1
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	n, err := strconv.Atoi(num)
+	if err != nil || walSegName(n) != name {
+		return -1
+	}
+	return n
+}
+
+// listWALSegments returns the segment filenames in dir, ordinal order.
+func listWALSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if walSegIndex(e.Name()) >= 0 {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return walSegIndex(names[i]) < walSegIndex(names[j]) })
+	return names, nil
+}
+
+// scanSegment validates one segment file front to back. It returns the
+// segment summary, the offset where the valid prefix ends, and a non-nil
+// tear description when invalid bytes follow it. nextSeq carries the
+// sequence discipline across segments (0 = accept any start).
+func scanSegment(path string, nextSeq uint64) (seg WALSegment, validEnd int64, tear *WALTornTail, lastSeq uint64, err error) {
+	seg.File = filepath.Base(path)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return seg, 0, nil, nextSeq, err
+	}
+	if len(b) < walHeaderSize || string(b[:len(WALMagic)]) != WALMagic || b[len(WALMagic)] != WALVersion {
+		// A header that never finished (crash during segment creation) or
+		// foreign bytes: the whole file is a torn tail.
+		return seg, 0, &WALTornTail{Segment: seg.File, Offset: 0, Bytes: int64(len(b)), Reason: "invalid segment header"}, nextSeq, nil
+	}
+	off := int64(walHeaderSize)
+	for {
+		rest := b[off:]
+		if len(rest) == 0 {
+			break
+		}
+		if len(rest) < recordHeaderSize {
+			tear = &WALTornTail{Segment: seg.File, Offset: off, Bytes: int64(len(rest)), Reason: "short record header"}
+			break
+		}
+		wantCRC := binary.LittleEndian.Uint32(rest[0:])
+		length := uint64(binary.LittleEndian.Uint32(rest[4:]))
+		seq := binary.LittleEndian.Uint64(rest[8:])
+		if length > maxRecordBytes || int64(length) > int64(len(rest)-recordHeaderSize) {
+			tear = &WALTornTail{Segment: seg.File, Offset: off, Bytes: int64(len(rest)), Reason: "short or oversized record payload"}
+			break
+		}
+		if crc32.ChecksumIEEE(rest[4:recordHeaderSize+int(length)]) != wantCRC {
+			tear = &WALTornTail{Segment: seg.File, Offset: off, Bytes: int64(len(rest)), Reason: "record checksum mismatch"}
+			break
+		}
+		if nextSeq != 0 && seq != nextSeq {
+			tear = &WALTornTail{Segment: seg.File, Offset: off, Bytes: int64(len(rest)), Reason: fmt.Sprintf("sequence skew: record %d, expected %d", seq, nextSeq)}
+			break
+		}
+		if seg.Records == 0 {
+			seg.FirstSeq = seq
+		}
+		seg.LastSeq = seq
+		seg.Records++
+		nextSeq = seq + 1
+		off += int64(recordHeaderSize) + int64(length)
+	}
+	seg.Bytes = off
+	return seg, off, tear, nextSeq, nil
+}
+
+// quarantineTail copies the invalid suffix of a segment to <file>.torn and
+// truncates the segment back to its valid prefix. A fully invalid segment
+// (validEnd 0) is renamed aside instead of truncated to nothing.
+func quarantineTail(path string, validEnd int64, tear *WALTornTail) error {
+	if validEnd == 0 {
+		if err := os.Rename(path, path+".torn"); err != nil {
+			return err
+		}
+		tear.Quarantined = filepath.Base(path) + ".torn"
+		return nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if int64(len(b)) > validEnd {
+		if err := os.WriteFile(path+".torn", b[validEnd:], 0o644); err != nil {
+			return err
+		}
+		tear.Quarantined = filepath.Base(path) + ".torn"
+	}
+	if err := os.Truncate(path, validEnd); err != nil {
+		return err
+	}
+	return nil
+}
+
+// InspectWAL scans a log directory read-only: every segment is validated
+// and tears are reported, but nothing is quarantined, truncated, or
+// created — the offline form behind prmshow -wal.
+func InspectWAL(dir string) (*WALInfo, error) {
+	names, err := listWALSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: wal: inspect %s: %w", dir, err)
+	}
+	info := &WALInfo{}
+	var nextSeq uint64
+	for _, name := range names {
+		seg, _, tear, ns, err := scanSegment(filepath.Join(dir, name), nextSeq)
+		if err != nil {
+			return nil, fmt.Errorf("store: wal: inspect %s: %w", name, err)
+		}
+		nextSeq = ns
+		info.Segments = append(info.Segments, seg)
+		info.Records += seg.Records
+		info.Bytes += seg.Bytes
+		if seg.Records > 0 {
+			if info.FirstSeq == 0 {
+				info.FirstSeq = seg.FirstSeq
+			}
+			info.LastSeq = seg.LastSeq
+		}
+		if tear != nil {
+			info.TornTails = append(info.TornTails, *tear)
+			// Records past a tear are unreachable under the sequence
+			// discipline; report the remaining segments as tails too.
+			break
+		}
+	}
+	return info, nil
+}
+
+// OpenWAL opens (creating if needed) the log directory, replays and
+// validates every segment, quarantines torn tails, and positions the log
+// for appending. The returned WALInfo describes what the scan found —
+// including quarantines, which the caller should surface.
+func OpenWAL(dir string, opts WALOptions) (*WAL, *WALInfo, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: wal: open: %w", err)
+	}
+	names, err := listWALSegments(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: wal: open: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, nextSeq: 1}
+	info := &WALInfo{}
+	var nextSeq uint64
+	torn := false
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if torn {
+			// Everything after a tear is unreachable; quarantine whole.
+			tail := WALTornTail{Segment: name, Offset: 0, Reason: "follows a torn segment"}
+			if fi, err := os.Stat(path); err == nil {
+				tail.Bytes = fi.Size()
+			}
+			if err := os.Rename(path, path+".torn"); err == nil {
+				tail.Quarantined = name + ".torn"
+			}
+			info.TornTails = append(info.TornTails, tail)
+			continue
+		}
+		seg, validEnd, tear, ns, err := scanSegment(path, nextSeq)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: wal: open %s: %w", name, err)
+		}
+		nextSeq = ns
+		if tear != nil {
+			if err := quarantineTail(path, validEnd, tear); err != nil {
+				return nil, nil, fmt.Errorf("store: wal: quarantine %s: %w", name, err)
+			}
+			info.TornTails = append(info.TornTails, *tear)
+			torn = true
+			if validEnd == 0 {
+				continue // renamed aside entirely; not a live segment
+			}
+		}
+		w.segs = append(w.segs, seg)
+		info.Segments = append(info.Segments, seg)
+		info.Records += seg.Records
+		info.Bytes += seg.Bytes
+		if seg.Records > 0 {
+			if info.FirstSeq == 0 {
+				info.FirstSeq = seg.FirstSeq
+			}
+			info.LastSeq = seg.LastSeq
+		}
+	}
+	if info.LastSeq > 0 {
+		w.nextSeq = info.LastSeq + 1
+	} else if len(w.segs) == 0 && len(names) > 0 {
+		// Every segment was quarantined; sequence continuity with the
+		// quarantined records is unknowable, so restart at 1 — the caller's
+		// watermark discipline (replay only past the persisted watermark)
+		// is what keeps this safe.
+		w.nextSeq = 1
+	}
+	if len(w.segs) == 0 {
+		if err := w.createSegmentLocked(1); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		last := w.segs[len(w.segs)-1]
+		f, err := os.OpenFile(filepath.Join(dir, last.File), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: wal: open %s: %w", last.File, err)
+		}
+		w.active = f
+		w.activeAt = last.Bytes
+	}
+	return w, info, nil
+}
+
+// createSegmentLocked starts segment ordinal n and makes it active.
+func (w *WAL) createSegmentLocked(n int) error {
+	name := walSegName(n)
+	path := filepath.Join(w.dir, name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: wal: create %s: %w", name, err)
+	}
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, WALMagic)
+	hdr[len(WALMagic)] = WALVersion
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("store: wal: create %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("store: wal: create %s: %w", name, err)
+	}
+	syncDirPath(w.dir)
+	w.active = f
+	w.activeAt = int64(walHeaderSize)
+	w.segs = append(w.segs, WALSegment{File: name, Bytes: int64(walHeaderSize)})
+	return nil
+}
+
+// syncDirPath fsyncs a directory so completed creates/renames are durable.
+func syncDirPath(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Append durably appends one record and returns its sequence number. The
+// record counts as acknowledged only when Append returns nil: the frame
+// has been written and fsynced. Any failure (including the injected
+// points store.wal.append and store.wal.fsync) may leave a torn tail in
+// the active segment — exactly what a crash would — so the log marks
+// itself broken and refuses further appends until reopened, when replay
+// quarantines the tail.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken {
+		return 0, ErrWALBroken
+	}
+	if w.active == nil {
+		return 0, errors.New("store: wal: closed")
+	}
+	if w.activeAt >= w.opts.MaxSegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.broken = true
+			return 0, err
+		}
+	}
+	seq := w.nextSeq
+	rec := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(rec[8:], seq)
+	copy(rec[recordHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(rec[0:], crc32.ChecksumIEEE(rec[4:]))
+
+	if ferr := faults.Inject("store.wal.append"); ferr != nil {
+		// A crash mid-write: half the frame reaches the disk and the
+		// writer dies. The tail stays for replay to quarantine.
+		w.active.Write(rec[:len(rec)/2])
+		w.broken = true
+		return 0, fmt.Errorf("store: wal: append: %w", ferr)
+	}
+	if _, err := w.active.Write(rec); err != nil {
+		w.broken = true
+		return 0, fmt.Errorf("store: wal: append: %w", err)
+	}
+	if ferr := faults.Inject("store.wal.fsync"); ferr != nil {
+		// A crash between write and fsync: the bytes may never have left
+		// the page cache, so the record must not be acknowledged.
+		w.broken = true
+		return 0, fmt.Errorf("store: wal: fsync: %w", ferr)
+	}
+	if err := w.active.Sync(); err != nil {
+		w.broken = true
+		return 0, fmt.Errorf("store: wal: fsync: %w", err)
+	}
+	w.activeAt += int64(len(rec))
+	w.nextSeq = seq + 1
+	seg := &w.segs[len(w.segs)-1]
+	if seg.Records == 0 {
+		seg.FirstSeq = seq
+	}
+	seg.LastSeq = seq
+	seg.Records++
+	seg.Bytes = w.activeAt
+	return seq, nil
+}
+
+// rotateLocked seals the active segment and starts the next one.
+func (w *WAL) rotateLocked() error {
+	if err := w.active.Sync(); err != nil {
+		return fmt.Errorf("store: wal: rotate: %w", err)
+	}
+	if err := w.active.Close(); err != nil {
+		return fmt.Errorf("store: wal: rotate: %w", err)
+	}
+	w.active = nil
+	next := walSegIndex(w.segs[len(w.segs)-1].File) + 1
+	return w.createSegmentLocked(next)
+}
+
+// TruncateThrough removes sealed segments whose records are all covered
+// by the given watermark — called after a snapshot generation that
+// absorbs those records has been durably persisted. The active segment is
+// never removed, so the log always has an append target.
+func (w *WAL) TruncateThrough(watermark uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.segs[:0]
+	for i, seg := range w.segs {
+		last := i == len(w.segs)-1
+		if !last && seg.Records > 0 && seg.LastSeq <= watermark {
+			if err := os.Remove(filepath.Join(w.dir, seg.File)); err != nil {
+				return fmt.Errorf("store: wal: truncate: %w", err)
+			}
+			continue
+		}
+		if !last && seg.Records == 0 {
+			// An empty sealed segment (rotation raced a truncation) holds
+			// nothing; reclaim it too.
+			if err := os.Remove(filepath.Join(w.dir, seg.File)); err != nil {
+				return fmt.Errorf("store: wal: truncate: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	w.segs = append([]WALSegment(nil), kept...)
+	syncDirPath(w.dir)
+	return nil
+}
+
+// Replay streams every durable record with sequence number greater than
+// `after`, in order, from disk. It reads the segments as scanned at Open
+// (plus anything appended since); fn returning an error stops the replay.
+func (w *WAL) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	w.mu.Lock()
+	segs := append([]WALSegment(nil), w.segs...)
+	dir := w.dir
+	w.mu.Unlock()
+	for _, seg := range segs {
+		if seg.Records == 0 || seg.LastSeq <= after {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, seg.File))
+		if err != nil {
+			return fmt.Errorf("store: wal: replay %s: %w", seg.File, err)
+		}
+		if int64(len(b)) > seg.Bytes {
+			b = b[:seg.Bytes]
+		}
+		off := int64(walHeaderSize)
+		for off < int64(len(b)) {
+			rest := b[off:]
+			if len(rest) < recordHeaderSize {
+				return fmt.Errorf("store: wal: replay %s: truncated record at %d", seg.File, off)
+			}
+			length := int(binary.LittleEndian.Uint32(rest[4:]))
+			seq := binary.LittleEndian.Uint64(rest[8:])
+			if length < 0 || recordHeaderSize+length > len(rest) {
+				return fmt.Errorf("store: wal: replay %s: truncated record at %d", seg.File, off)
+			}
+			if seq > after {
+				if err := fn(seq, rest[recordHeaderSize:recordHeaderSize+length]); err != nil {
+					return err
+				}
+			}
+			off += int64(recordHeaderSize + length)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the log for health reporting.
+func (w *WAL) Stats() WALInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	info := WALInfo{Segments: append([]WALSegment(nil), w.segs...)}
+	for _, seg := range w.segs {
+		info.Records += seg.Records
+		info.Bytes += seg.Bytes
+		if seg.Records > 0 {
+			if info.FirstSeq == 0 {
+				info.FirstSeq = seg.FirstSeq
+			}
+			info.LastSeq = seg.LastSeq
+		}
+	}
+	return info
+}
+
+// LastSeq returns the highest acknowledged sequence number (0 when the
+// log has none).
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq - 1
+}
+
+// Dir returns the log's directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Close syncs and closes the active segment. Appends after Close fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.active == nil {
+		return nil
+	}
+	err := w.active.Sync()
+	if cerr := w.active.Close(); err == nil {
+		err = cerr
+	}
+	w.active = nil
+	if err != nil {
+		return fmt.Errorf("store: wal: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prmsel/internal/cliutil"
+	"prmsel/internal/dataset"
+	"prmsel/internal/faults"
+)
+
+func smallDB(t *testing.T) *dataset.Database {
+	t.Helper()
+	db, err := cliutil.LoadDB("", "fig1", 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func openWAL(t *testing.T, dir string, opts WALOptions) (*WAL, *WALInfo) {
+	t.Helper()
+	w, info, err := OpenWAL(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, info
+}
+
+func collect(t *testing.T, w *WAL, after uint64) map[uint64]string {
+	t.Helper()
+	out := make(map[uint64]string)
+	err := w.Replay(after, func(seq uint64, payload []byte) error {
+		out[seq] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, info := openWAL(t, dir, WALOptions{})
+	if info.Records != 0 {
+		t.Fatalf("fresh log reports %d records", info.Records)
+	}
+	for i := 1; i <= 5; i++ {
+		seq, err := w.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("Append %d returned seq %d", i, seq)
+		}
+	}
+	got := collect(t, w, 0)
+	if len(got) != 5 || got[3] != "rec-3" {
+		t.Fatalf("replay got %v", got)
+	}
+	if got := collect(t, w, 3); len(got) != 2 || got[4] != "rec-4" {
+		t.Fatalf("replay after 3 got %v", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: records survive, sequence numbering continues.
+	w2, info2 := openWAL(t, dir, WALOptions{})
+	if info2.Records != 5 || info2.FirstSeq != 1 || info2.LastSeq != 5 {
+		t.Fatalf("reopen info = %+v", info2)
+	}
+	if len(info2.TornTails) != 0 {
+		t.Fatalf("clean reopen reported torn tails: %+v", info2.TornTails)
+	}
+	seq, err := w2.Append([]byte("rec-6"))
+	if err != nil || seq != 6 {
+		t.Fatalf("append after reopen: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestWALRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every append past the first rotates.
+	w, _ := openWAL(t, dir, WALOptions{MaxSegmentBytes: 64})
+	payload := make([]byte, 40)
+	for i := 0; i < 6; i++ {
+		if _, err := w.Append(payload); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := w.Stats()
+	if len(st.Segments) < 3 {
+		t.Fatalf("expected rotation to produce >= 3 segments, got %d", len(st.Segments))
+	}
+	if st.Records != 6 || st.LastSeq != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Truncating through seq 4 removes sealed segments fully covered by it.
+	if err := w.TruncateThrough(4); err != nil {
+		t.Fatalf("TruncateThrough: %v", err)
+	}
+	got := collect(t, w, 0)
+	for seq := uint64(5); seq <= 6; seq++ {
+		if _, ok := got[seq]; !ok {
+			t.Fatalf("seq %d lost by truncation; kept %v", seq, got)
+		}
+	}
+	st = w.Stats()
+	if st.LastSeq != 6 {
+		t.Fatalf("stats after truncate = %+v", st)
+	}
+	// The log still appends and replays correctly after truncation.
+	if seq, err := w.Append(payload); err != nil || seq != 7 {
+		t.Fatalf("append after truncate: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestWALTornTailQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openWAL(t, dir, WALOptions{})
+	for i := 1; i <= 3; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := w.Stats()
+	segPath := filepath.Join(dir, st.Segments[len(st.Segments)-1].File)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// A crash mid-append: garbage after the last valid record.
+	f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, info := openWAL(t, dir, WALOptions{})
+	if len(info.TornTails) != 1 {
+		t.Fatalf("expected one torn tail, got %+v", info.TornTails)
+	}
+	if info.TornTails[0].Quarantined == "" {
+		t.Fatalf("torn tail not quarantined: %+v", info.TornTails[0])
+	}
+	if _, err := os.Stat(filepath.Join(dir, info.TornTails[0].Quarantined)); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if info.Records != 3 {
+		t.Fatalf("valid records lost: %+v", info)
+	}
+	// No torn record is replayed; acknowledged records all are.
+	got := collect(t, w2, 0)
+	if len(got) != 3 || got[1] != "rec-1" || got[3] != "rec-3" {
+		t.Fatalf("replay after quarantine got %v", got)
+	}
+	// Appends continue from the valid tail.
+	if seq, err := w2.Append([]byte("rec-4")); err != nil || seq != 4 {
+		t.Fatalf("append after quarantine: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestWALCorruptMiddleRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openWAL(t, dir, WALOptions{})
+	for i := 1; i <= 3; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := w.Stats()
+	segPath := filepath.Join(dir, st.Segments[0].File)
+	w.Close()
+	// Flip a byte inside the second record's payload.
+	b, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := walHeaderSize + recordHeaderSize + len("rec-1") + recordHeaderSize + 2
+	b[off] ^= 0xff
+	if err := os.WriteFile(segPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, info := openWAL(t, dir, WALOptions{})
+	if info.Records != 1 {
+		t.Fatalf("expected only the first record to survive, got %+v", info)
+	}
+	if len(info.TornTails) != 1 || info.TornTails[0].Reason == "" {
+		t.Fatalf("torn tails = %+v", info.TornTails)
+	}
+	got := collect(t, w2, 0)
+	if len(got) != 1 || got[1] != "rec-1" {
+		t.Fatalf("replay got %v", got)
+	}
+}
+
+func TestWALAppendFaultMarksBroken(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	dir := t.TempDir()
+	w, _ := openWAL(t, dir, WALOptions{})
+	if _, err := w.Append([]byte("good")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	faults.Set("store.wal.append", faults.Fault{Err: fmt.Errorf("injected"), Times: 1})
+	if _, err := w.Append([]byte("torn")); err == nil {
+		t.Fatal("injected append fault did not error")
+	}
+	// The log is broken until reopened — it may hold a torn tail.
+	if _, err := w.Append([]byte("after")); err != ErrWALBroken {
+		t.Fatalf("append after fault: %v, want ErrWALBroken", err)
+	}
+	w.Close()
+
+	w2, info := openWAL(t, dir, WALOptions{})
+	if info.Records != 1 {
+		t.Fatalf("expected 1 durable record, got %+v", info)
+	}
+	if len(info.TornTails) != 1 {
+		t.Fatalf("expected the half-written record quarantined, got %+v", info.TornTails)
+	}
+	got := collect(t, w2, 0)
+	if len(got) != 1 || got[1] != "good" {
+		t.Fatalf("replay got %v", got)
+	}
+}
+
+func TestWALFsyncFaultNotAcknowledged(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	dir := t.TempDir()
+	w, _ := openWAL(t, dir, WALOptions{})
+	faults.Set("store.wal.fsync", faults.Fault{Err: fmt.Errorf("injected"), Times: 1})
+	if _, err := w.Append([]byte("unacked")); err == nil {
+		t.Fatal("injected fsync fault did not error")
+	}
+	if _, err := w.Append([]byte("more")); err != ErrWALBroken {
+		t.Fatalf("append after fsync fault: %v, want ErrWALBroken", err)
+	}
+	w.Close()
+	// The record may or may not be on disk (the bytes were written but
+	// never synced); either way reopen must not fail, and an acknowledged
+	// append afterwards must work.
+	w2, info := openWAL(t, dir, WALOptions{})
+	if len(info.TornTails) != 0 && info.Records != 0 {
+		t.Fatalf("unexpected scan state: %+v", info)
+	}
+	if _, err := w2.Append([]byte("acked")); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
+func TestInspectWALReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openWAL(t, dir, WALOptions{})
+	for i := 1; i <= 4; i++ {
+		if _, err := w.Append([]byte("x")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := w.Stats()
+	segPath := filepath.Join(dir, st.Segments[len(st.Segments)-1].File)
+	w.Close()
+	f, _ := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+
+	before, _ := os.ReadFile(segPath)
+	info, err := InspectWAL(dir)
+	if err != nil {
+		t.Fatalf("InspectWAL: %v", err)
+	}
+	if info.Records != 4 || info.FirstSeq != 1 || info.LastSeq != 4 {
+		t.Fatalf("inspect info = %+v", info)
+	}
+	if len(info.TornTails) != 1 || info.TornTails[0].Quarantined != "" {
+		t.Fatalf("inspect must report but not quarantine tears: %+v", info.TornTails)
+	}
+	after, _ := os.ReadFile(segPath)
+	if string(before) != string(after) {
+		t.Fatal("InspectWAL modified the segment")
+	}
+}
+
+func TestStateRoundTripAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := smallDB(t)
+	if err := s.SaveState("m", 7, 42, db); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	wm, got, err := s.RecoverState("m", 7)
+	if err != nil {
+		t.Fatalf("RecoverState: %v", err)
+	}
+	if wm != 42 {
+		t.Fatalf("watermark = %d, want 42", wm)
+	}
+	if got.Rows() != db.Rows() {
+		t.Fatalf("recovered %d rows, want %d", got.Rows(), db.Rows())
+	}
+	// Missing generation surfaces as not-exist for fallback.
+	if _, _, err := s.RecoverState("m", 9); !os.IsNotExist(err) {
+		t.Fatalf("missing state: %v, want not-exist", err)
+	}
+	// Corrupt state is quarantined, not trusted.
+	path := filepath.Join(dir, stateName("m", 7))
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xff
+	os.WriteFile(path, b, 0o644)
+	if _, _, err := s.RecoverState("m", 7); err == nil {
+		t.Fatal("corrupt state recovered without error")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt state not quarantined: %v", err)
+	}
+}

@@ -11,6 +11,11 @@
 #      before the background refresh clears the flag), and
 #   2. the recovered process answers /healthz and a real estimate.
 #
+# The run also exercises the streaming write path: rows acknowledged by
+# POST /v1/ingest before the SIGKILL exist only in the write-ahead log
+# (the refit threshold is set out of reach), and the restart must replay
+# them — the exact row count over the ingested cell moves from 54 to 104.
+#
 # No manual cleanup between the kill and the restart: recovery must cope
 # with whatever the SIGKILL left on disk.
 set -eu
@@ -44,19 +49,56 @@ wait_healthz() {
     exit 1
 }
 
-say "building prmserved"
+say "building prmserved and prmshow"
 go build -o "${WORK}/prmserved" ./cmd/prmserved
+go build -o "${WORK}/prmshow" ./cmd/prmshow
 
-say "first run: build fig1 and persist it to ${STORE}"
+# exact_count QUERY — the exact executor's row count for a query.
+exact_count() {
+    curl -fsS "http://${ADDR}/v1/estimate" \
+        -d "{\"query\":\"$1\",\"exact\":true}" |
+        sed -n 's/.*"count": *\([0-9][0-9]*\).*/\1/p' | head -n 1
+}
+
+CELL="FROM People p WHERE p.Education = college AND p.Income = high AND p.HomeOwner = true"
+
+say "first run: build fig1 and persist it to ${STORE} (ingest on, refit threshold out of reach)"
 "${WORK}/prmserved" -addr "${ADDR}" -datasets fig1 -store-dir "${STORE}" \
+    -ingest -refit-rows 100000 \
     >"${WORK}/run1.log" 2>&1 &
 PID=$!
 wait_healthz "${WORK}/run1.log"
 
+COUNT="$(exact_count "${CELL}")"
+if [ "${COUNT}" != "54" ]; then
+    say "FAIL: baseline exact count for the fig1 cell = '${COUNT}', want 54"
+    exit 1
+fi
+say "baseline exact count is 54"
+
+# Durably ingest 50 rows into that cell. A 200 response means the batch
+# is fsynced in the WAL; with the refit threshold out of reach the rows
+# exist ONLY there until the restart replays them.
+ROW='{"table":"People","attrs":{"Education":"college","Income":"high","HomeOwner":"true"}}'
+ROWS="${ROW}"
+i=1
+while [ "$i" -lt 50 ]; do
+    ROWS="${ROWS},${ROW}"
+    i=$((i + 1))
+done
+ING="$(curl -fsS "http://${ADDR}/v1/ingest" -d "{\"rows\":[${ROWS}]}")"
+case "${ING}" in
+*'"accepted": 50'*) say "ingested 50 rows (acknowledged): ${ING}" ;;
+*)
+    say "FAIL: ingest returned: ${ING}"
+    exit 1
+    ;;
+esac
+
 # Give the write protocol something to be mid-flight in: kick a rebuild
 # and kill without waiting for it.
 curl -fsS -X POST "http://${ADDR}/v1/models/fig1/rebuild" >/dev/null
-say "SIGKILL mid-rebuild (pid ${PID})"
+say "SIGKILL mid-rebuild, acked rows in the WAL (pid ${PID})"
 kill -9 "${PID}"
 wait "${PID}" 2>/dev/null || true
 PID=""
@@ -67,8 +109,17 @@ if ! ls "${STORE}"/*.snap >/dev/null 2>&1; then
     exit 1
 fi
 
+say "offline WAL inspection before the restart"
+if ! "${WORK}/prmshow" -wal "${STORE}/wal/fig1" >"${WORK}/wal.txt" 2>&1; then
+    say "FAIL: prmshow -wal failed"
+    cat "${WORK}/wal.txt"
+    exit 1
+fi
+sed 's/^/crash-smoke:   /' "${WORK}/wal.txt"
+
 say "restart on the same store dir; no cleanup"
 "${WORK}/prmserved" -addr "${ADDR}" -datasets fig1 -store-dir "${STORE}" \
+    -ingest -refit-rows 100000 \
     >"${WORK}/run2.log" 2>&1 &
 PID=$!
 wait_healthz "${WORK}/run2.log"
@@ -79,6 +130,14 @@ if ! grep -q "recovered from store" "${WORK}/run2.log"; then
     exit 1
 fi
 say "restart recovered from the persisted snapshot"
+
+COUNT="$(exact_count "${CELL}")"
+if [ "${COUNT}" != "104" ]; then
+    say "FAIL: exact count after recovery = '${COUNT}', want 104 (54 base + 50 replayed from the WAL)"
+    cat "${WORK}/run2.log"
+    exit 1
+fi
+say "all 50 acknowledged rows survived the SIGKILL: exact count is 104"
 
 EST="$(curl -fsS "http://${ADDR}/v1/estimate" \
     -d '{"query":"FROM People p WHERE p.Income = high"}')"
