@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench perf fuzz crash-smoke
+.PHONY: check fmt vet build test race bench perf fuzz crash-smoke loadsmoke
 
 ## check: the full verification gate — format, vet, build, tests, race-mode
 ## tests for the concurrent subsystems.
@@ -47,6 +47,14 @@ fuzz:
 crash-smoke:
 	./scripts/crash_smoke.sh
 
+## loadsmoke: the telemetry acceptance check as a live process — start
+## prmserved with an explicit SLO, fire a 10s coordinated-omission-safe
+## open-loop burst from prmload, and fail on any non-2xx, a p99 over
+## 500ms, or any SLO objective burning; then verify /metrics,
+## /debug/requests, and the X-PRM-Trace join are live.
+loadsmoke:
+	./scripts/load_smoke.sh
+
 ## bench: a smoke pass — every benchmark runs exactly once with -benchmem,
 ## so CI catches benchmarks that no longer compile or crash without paying
 ## for timing stability. Use `go test -bench=Estimate -benchtime=2s .` for
@@ -56,8 +64,13 @@ bench:
 
 ## perf: the estimation-path performance suite — compiled plans against the
 ## plan-free path and batched against sequential estimation, written to
-## BENCH_PR5.json (ns/op, allocs/op, p50/p99, plan-cache hit rate). Stdout
-## is benchstat-consumable: redirect two runs to files and `benchstat old
-## new`.
+## BENCH_PR5.json (ns/op, allocs/op, p50/p99, plan-cache hit rate), plus
+## the service-level load profile: a 10s open-loop prmload run against the
+## in-process serving stack, written to BENCH_PR7.json (p50/p99/p99.9,
+## achieved QPS, server SLO state). Stdout is benchstat-consumable:
+## redirect two runs to files and `benchstat old new`.
 perf:
 	$(GO) run ./cmd/prmbench -perf -json BENCH_PR5.json -rows 20000 -iters 300
+	$(GO) run ./cmd/prmload -inprocess -rows 20000 -rate 200 -duration 10s \
+		-distinct 256 -slo-latency 500ms -slo-latency-target 0.99 \
+		-json BENCH_PR7.json

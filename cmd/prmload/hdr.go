@@ -1,0 +1,124 @@
+package main
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// hdrHist is an HDR-style log-linear latency histogram: 64 linear
+// subbuckets per power-of-two magnitude, so every recorded value lands in
+// a bucket within ~1.6% of its true value regardless of scale. Values are
+// microseconds. Recording is one atomic add — safe from every worker
+// goroutine — and quantiles are computed once at the end of the run.
+//
+// Unlike a plain sorted-sample percentile, the histogram never drops or
+// samples observations, which is what makes the coordinated-omission
+// correction honest: every scheduled request contributes its full
+// schedule-to-completion latency.
+type hdrHist struct {
+	counts [hdrSize]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+const (
+	hdrSubBits = 6               // 64 subbuckets per magnitude
+	hdrSub     = 1 << hdrSubBits // 64
+	// Values below 2*hdrSub (128µs) index exactly; above, log-linear.
+	hdrLinearMax = hdrSub * 2
+	// Magnitudes 7..62 cover every positive int64 microsecond value.
+	hdrSize = hdrLinearMax + (63-7)*hdrSub
+)
+
+// indexOf maps a microsecond value to its bucket.
+func indexOf(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	if us < hdrLinearMax {
+		return int(us)
+	}
+	exp := bits.Len64(uint64(us)) - 1 // 7..62
+	sub := int((us >> uint(exp-hdrSubBits)) & (hdrSub - 1))
+	return hdrLinearMax + (exp-7)*hdrSub + sub
+}
+
+// valueAt returns the inclusive upper edge of a bucket, so reported
+// quantiles never understate the measured latency.
+func valueAt(idx int) int64 {
+	if idx < hdrLinearMax {
+		return int64(idx)
+	}
+	rel := idx - hdrLinearMax
+	exp := 7 + rel/hdrSub
+	sub := int64(rel % hdrSub)
+	return (int64(hdrSub)+sub+1)<<uint(exp-hdrSubBits) - 1
+}
+
+func (h *hdrHist) record(us int64) {
+	h.counts[indexOf(us)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(us)
+	for {
+		old := h.max.Load()
+		if us <= old || h.max.CompareAndSwap(old, us) {
+			return
+		}
+	}
+}
+
+// quantile returns the latency at or below which fraction q of the
+// recorded values fall (0 when nothing was recorded).
+func (h *hdrHist) quantile(q float64) int64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			return valueAt(i)
+		}
+	}
+	return h.max.Load()
+}
+
+func (h *hdrHist) mean() float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(total)
+}
+
+// latencySummary is the report block rendered from one histogram.
+type latencySummary struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  int64   `json:"p50_us"`
+	P90US  int64   `json:"p90_us"`
+	P99US  int64   `json:"p99_us"`
+	P999US int64   `json:"p999_us"`
+	MaxUS  int64   `json:"max_us"`
+}
+
+func (h *hdrHist) summary() latencySummary {
+	return latencySummary{
+		Count:  h.total.Load(),
+		MeanUS: h.mean(),
+		P50US:  h.quantile(0.50),
+		P90US:  h.quantile(0.90),
+		P99US:  h.quantile(0.99),
+		P999US: h.quantile(0.999),
+		MaxUS:  h.max.Load(),
+	}
+}

@@ -1,0 +1,434 @@
+// Command prmload is an open-loop, coordinated-omission-safe load
+// generator for the prmserved estimation service — the proof harness for
+// the telemetry layer.
+//
+// Open loop means arrivals follow a fixed schedule (Poisson by default)
+// that does not slow down when the server does; every request's latency
+// is measured from its *scheduled* start, so time a request spends
+// implicitly queued behind a stalled server counts against the server
+// instead of silently vanishing (the coordinated-omission trap of
+// closed-loop "send, wait, send" harnesses). Latencies land in an
+// HDR-style log-linear histogram, so tail quantiles are exact to ~1.6%
+// with no sampling.
+//
+//	prmload -addr http://localhost:8080 -model census -rate 300 -duration 10s
+//	prmload -inprocess -rate 500 -duration 5s -json BENCH_PR7.json
+//
+// -inprocess builds the full serving stack in this process (no network)
+// and can arm a fault-injection point (-fault) to soak the degradation
+// paths under load. The run fails (exit 1) when -max-p99/-max-p999,
+// -max-error-rate, or -fail-on-burn is violated, which is what `make
+// loadsmoke` gates on.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"prmsel/internal/cliutil"
+	"prmsel/internal/faults"
+	"prmsel/internal/serve"
+	"prmsel/internal/store"
+)
+
+type targetInfo struct {
+	Addr        string  `json:"addr"`
+	InProcess   bool    `json:"in_process"`
+	Dataset     string  `json:"dataset"`
+	Model       string  `json:"model"`
+	RateQPS     float64 `json:"rate_qps"`
+	DurationSec float64 `json:"duration_seconds"`
+	Mix         string  `json:"mix"`
+	Distinct    int     `json:"distinct_queries"`
+	BatchSize   int     `json:"batch_size"`
+	Poisson     bool    `json:"poisson"`
+	Seed        int64   `json:"seed"`
+	Fault       string  `json:"fault,omitempty"`
+}
+
+type report struct {
+	GoVersion       string                    `json:"go_version"`
+	GOMAXPROCS      int                       `json:"gomaxprocs"`
+	Target          targetInfo                `json:"target"`
+	Sent            int64                     `json:"sent"`
+	Completed       int64                     `json:"completed"`
+	Non2xx          int64                     `json:"non_2xx"`
+	TransportErrors int64                     `json:"transport_errors"`
+	ErrorRate       float64                   `json:"error_rate"`
+	ElapsedSeconds  float64                   `json:"elapsed_seconds"`
+	AchievedQPS     float64                   `json:"achieved_qps"`
+	Latency         latencySummary            `json:"latency"` // successful requests, schedule-to-completion
+	ByKind          map[string]latencySummary `json:"by_kind"`
+	StatusCounts    map[string]int64          `json:"status_counts"`
+	SLO             json.RawMessage           `json:"slo,omitempty"`
+	Journal         json.RawMessage           `json:"journal,omitempty"`
+	Violations      []string                  `json:"violations,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prmload: ")
+	addr := flag.String("addr", "", "target base URL (e.g. http://localhost:8080); empty requires -inprocess")
+	inprocess := flag.Bool("inprocess", false, "build the serving stack in this process instead of dialing -addr")
+	datasetName := flag.String("dataset", "census", "dataset whose schema drives query generation (and the in-process model): "+cliutil.DatasetHelp)
+	model := flag.String("model", "", "model name on the server (default: the dataset name)")
+	rows := flag.Int("rows", 20000, "in-process model rows")
+	scale := flag.Float64("scale", 1.0, "in-process TB/FIN/Shop scale")
+	seed := flag.Int64("seed", 1, "workload seed")
+	rate := flag.Float64("rate", 200, "target arrival rate, requests/second")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	mix := flag.String("mix", "estimate=1", "workload mix, e.g. estimate=0.9,batch=0.05,ingest=0.05")
+	distinct := flag.Int("distinct", 256, "distinct point queries in the pool (controls server cache hit rate)")
+	batchSize := flag.Int("batch-size", 8, "queries per batch request")
+	poisson := flag.Bool("poisson", true, "Poisson arrivals (false: fixed intervals)")
+	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "per-request client timeout")
+	warmup := flag.Duration("warmup", 0, "extra unmeasured random traffic after the pool sweep")
+	jsonPath := flag.String("json", "", "write the report as JSON to this file")
+	maxP99 := flag.Duration("max-p99", 0, "fail when successful-request p99 exceeds this (0 = off)")
+	maxP999 := flag.Duration("max-p999", 0, "fail when successful-request p99.9 exceeds this (0 = off)")
+	maxErrRate := flag.Float64("max-error-rate", -1, "fail when the non-2xx+transport error fraction exceeds this (negative = off; 0 = any error fails)")
+	failOnBurn := flag.Bool("fail-on-burn", false, "fail when the server reports any SLO objective burning after the run")
+	fault := flag.String("fault", "", "arm this fault-injection point for the run (requires -inprocess), e.g. bayesnet.infer")
+	faultLatency := flag.Duration("fault-latency", 0, "injected latency at -fault")
+	faultErr := flag.String("fault-err", "", "injected error message at -fault (empty = latency only)")
+	journalSample := flag.Int("journal-sample", 64, "in-process server: journal 1 in N ordinary successes")
+	sloLatency := flag.Duration("slo-latency", 0, "in-process server: latency objective threshold (0 = server default)")
+	sloTarget := flag.Float64("slo-latency-target", 0, "in-process server: fraction of estimates that must meet -slo-latency (0 = server default)")
+	flag.Parse()
+
+	if *model == "" {
+		*model = *datasetName
+	}
+	if *addr == "" && !*inprocess {
+		log.Fatal("need -addr or -inprocess")
+	}
+	if *fault != "" && !*inprocess {
+		log.Fatal("-fault requires -inprocess (fault points live in this process)")
+	}
+
+	// The workload generator needs the dataset schema (tables, attributes,
+	// labels) whether the server is local or remote; synthetic schemas are
+	// deterministic, so a local load always matches the served model.
+	db, err := cliutil.LoadDB("", *datasetName, *rows, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := newGenerator(db, *model, *mix, *distinct, *batchSize, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := *addr
+	if *inprocess {
+		ts, cleanup := startInProcess(*datasetName, *model, *rows, *scale, *seed, *mix, *journalSample, *sloLatency, *sloTarget)
+		defer cleanup()
+		base = ts.URL
+	}
+	base = strings.TrimRight(base, "/")
+
+	if *fault != "" {
+		f := faults.Fault{Latency: *faultLatency}
+		if *faultErr != "" {
+			f.Err = errors.New(*faultErr)
+		}
+		defer faults.Set(*fault, f)()
+		log.Printf("armed fault %s (latency=%v err=%q)", *fault, *faultLatency, *faultErr)
+	}
+
+	client := &http.Client{
+		Timeout: *reqTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+
+	// Warmup, closed loop and unmeasured: sweep the distinct-query pool
+	// once so the measured run exercises the server's steady state (cache
+	// hits at the configured pool size) rather than a cold cache — a cold
+	// multi-attribute inference costs orders of magnitude more than a hit
+	// and would swamp a short run's tail. -warmup adds extra random
+	// traffic on top for connection and allocator warm-in.
+	post := func(path string, body []byte) {
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	warmStart := time.Now()
+	for _, body := range gen.pool {
+		post("/v1/estimate", body)
+	}
+	for deadline := time.Now().Add(*warmup); time.Now().Before(deadline); {
+		r := gen.next()
+		post(r.path, r.body)
+	}
+	log.Printf("warmed %d distinct queries in %v", len(gen.pool), time.Since(warmStart).Round(time.Millisecond))
+
+	rep := run(client, base, gen, *rate, *duration, *poisson, *seed)
+	rep.Target = targetInfo{
+		Addr: *addr, InProcess: *inprocess, Dataset: *datasetName, Model: *model,
+		RateQPS: *rate, DurationSec: duration.Seconds(), Mix: *mix,
+		Distinct: *distinct, BatchSize: *batchSize, Poisson: *poisson, Seed: *seed,
+		Fault: *fault,
+	}
+	rep.GoVersion = runtime.Version()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	attachHealth(client, base, rep)
+
+	// Gate the run.
+	if *maxP99 > 0 && rep.Latency.P99US > maxP99.Microseconds() {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("p99 %dµs over the %v limit", rep.Latency.P99US, *maxP99))
+	}
+	if *maxP999 > 0 && rep.Latency.P999US > maxP999.Microseconds() {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("p99.9 %dµs over the %v limit", rep.Latency.P999US, *maxP999))
+	}
+	if *maxErrRate >= 0 && rep.ErrorRate > *maxErrRate {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("error rate %.4f over the %.4f limit (%d non-2xx, %d transport)",
+				rep.ErrorRate, *maxErrRate, rep.Non2xx, rep.TransportErrors))
+	}
+	if *failOnBurn {
+		for _, name := range burningObjectives(rep.SLO) {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("SLO objective %q is burning", name))
+		}
+	}
+
+	printReport(rep)
+	if *jsonPath != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *jsonPath)
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			log.Printf("VIOLATION: %s", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// run drives the open-loop schedule and collects the histograms.
+func run(client *http.Client, base string, gen *generator, rate float64, duration time.Duration, poisson bool, seed int64) *report {
+	var (
+		sent, completed, non2xx, transport int64
+		mu                                 sync.Mutex
+		statuses                           = map[int]int64{}
+		success                            = &hdrHist{}
+		byKind                             = map[string]*hdrHist{}
+	)
+	for _, k := range []string{"estimate", "batch", "ingest"} {
+		byKind[k] = &hdrHist{}
+	}
+
+	arrivals := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	started := time.Now()
+	sched := started
+	deadline := started.Add(duration)
+	for {
+		if poisson {
+			sched = sched.Add(time.Duration(arrivals.ExpFloat64() * float64(interval)))
+		} else {
+			sched = sched.Add(interval)
+		}
+		if sched.After(deadline) {
+			break
+		}
+		// Sleep until the scheduled instant, then fire regardless of how
+		// many requests are still in flight — the open-loop property.
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		r := gen.next()
+		sent++
+		wg.Add(1)
+		go func(scheduled time.Time, r genReq) {
+			defer wg.Done()
+			resp, err := client.Post(base+r.path, "application/json", bytes.NewReader(r.body))
+			status := 0
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				status = resp.StatusCode
+			}
+			lat := time.Since(scheduled) // from the schedule: CO-safe
+			mu.Lock()
+			completed++
+			statuses[status]++
+			mu.Unlock()
+			switch {
+			case err != nil:
+				mu.Lock()
+				transport++
+				mu.Unlock()
+			case status >= 200 && status < 300:
+				success.record(lat.Microseconds())
+				byKind[r.kind].record(lat.Microseconds())
+			default:
+				mu.Lock()
+				non2xx++
+				mu.Unlock()
+			}
+		}(sched, r)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	rep := &report{
+		Sent:            sent,
+		Completed:       completed,
+		Non2xx:          non2xx,
+		TransportErrors: transport,
+		ElapsedSeconds:  elapsed.Seconds(),
+		AchievedQPS:     float64(completed) / elapsed.Seconds(),
+		Latency:         success.summary(),
+		ByKind:          map[string]latencySummary{},
+		StatusCounts:    map[string]int64{},
+	}
+	if completed > 0 {
+		rep.ErrorRate = float64(non2xx+transport) / float64(completed)
+	}
+	for k, h := range byKind {
+		if h.total.Load() > 0 {
+			rep.ByKind[k] = h.summary()
+		}
+	}
+	for code, n := range statuses {
+		key := fmt.Sprintf("%d", code)
+		if code == 0 {
+			key = "transport_error"
+		}
+		rep.StatusCounts[key] = n
+	}
+	return rep
+}
+
+// startInProcess builds the full serving stack locally: a registry with
+// one model, ingest enabled (on a throwaway store) when the mix sends
+// writes, and the standard handler behind an httptest listener.
+func startInProcess(dataset, model string, rows int, scale float64, seed int64, mix string, journalSample int, sloLatency time.Duration, sloTarget float64) (*httptest.Server, func()) {
+	reg := serve.NewRegistry()
+	spec := serve.BuildSpec{
+		Dataset: dataset, Rows: rows, Scale: scale, Seed: seed,
+		Retry: serve.RetryPolicy{MaxAttempts: 3},
+	}
+	var tmpDir string
+	if strings.Contains(mix, "ingest") {
+		dir, err := os.MkdirTemp("", "prmload-store-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		tmpDir = dir
+		st, err := store.Open(dir, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg.UseStore(st)
+		spec.Ingest = serve.IngestPolicy{Enabled: true, RefitRows: 4096, MaxPending: 1 << 20}
+	}
+	if _, err := reg.Add(model, spec); err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.NewServer(serve.Config{
+		Registry:           reg,
+		JournalSampleEvery: journalSample,
+		SLOLatency:         sloLatency,
+		SLOLatencyTarget:   sloTarget,
+		// Keep the in-process server's rebuild chatter and per-request log
+		// lines out of the load report.
+		Logf:   func(string, ...any) {},
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	cleanup := func() {
+		ts.Close()
+		if tmpDir != "" {
+			os.RemoveAll(tmpDir)
+		}
+	}
+	return ts, cleanup
+}
+
+// attachHealth embeds the server's post-run SLO and journal state in the
+// report, so one artifact carries both sides: what the client measured
+// and what the server believes about its own objectives.
+func attachHealth(client *http.Client, base string, rep *report) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		SLO     json.RawMessage `json:"slo"`
+		Journal json.RawMessage `json:"journal"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) == nil {
+		rep.SLO = body.SLO
+		rep.Journal = body.Journal
+	}
+}
+
+// burningObjectives extracts the names of objectives the server reports
+// as burning from the raw healthz SLO block.
+func burningObjectives(raw json.RawMessage) []string {
+	var objs []struct {
+		Name    string `json:"name"`
+		Burning bool   `json:"burning"`
+	}
+	if raw == nil || json.Unmarshal(raw, &objs) != nil {
+		return nil
+	}
+	var out []string
+	for _, o := range objs {
+		if o.Burning {
+			out = append(out, o.Name)
+		}
+	}
+	return out
+}
+
+func printReport(rep *report) {
+	fmt.Printf("sent %d, completed %d in %.2fs — %.1f req/s achieved\n",
+		rep.Sent, rep.Completed, rep.ElapsedSeconds, rep.AchievedQPS)
+	fmt.Printf("errors: %d non-2xx, %d transport (rate %.4f)\n",
+		rep.Non2xx, rep.TransportErrors, rep.ErrorRate)
+	l := rep.Latency
+	fmt.Printf("latency (schedule→completion, successes): p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
+		us(l.P50US), us(l.P90US), us(l.P99US), us(l.P999US), us(l.MaxUS))
+	kinds := make([]string, 0, len(rep.ByKind))
+	for k := range rep.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		s := rep.ByKind[k]
+		fmt.Printf("  %-8s n=%-7d p50 %s  p99 %s\n", k, s.Count, us(s.P50US), us(s.P99US))
+	}
+	for _, name := range burningObjectives(rep.SLO) {
+		fmt.Printf("server SLO burning: %s\n", name)
+	}
+}
+
+func us(v int64) string { return time.Duration(v * int64(time.Microsecond)).String() }

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prmsel/internal/dataset"
+)
+
+// genReq is one scheduled request: where to send it and what to send.
+type genReq struct {
+	kind string // estimate | batch | ingest
+	path string
+	body []byte
+}
+
+// generator produces the request stream. Query bodies are pre-rendered:
+// a pool of distinct point queries (the pool size controls how much of
+// the traffic the server's inference cache can absorb) drawn uniformly,
+// batches assembled from the same pool so batch and single traffic share
+// cache keys, and ingest rows rolled fresh per request.
+type generator struct {
+	rng       *rand.Rand
+	db        *dataset.Database
+	model     string
+	batchSize int
+
+	kinds   []string
+	weights []float64 // cumulative, same order as kinds
+
+	pool      [][]byte // rendered /v1/estimate bodies
+	poolBatch []string // the pool's raw query texts, for batches
+
+	ingestTables []string // tables without foreign keys accept simple rows
+}
+
+// parseMix parses "estimate=0.9,batch=0.1" into cumulative weights.
+func parseMix(spec string) (kinds []string, cum []float64, err error) {
+	total := 0.0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("mix entry %q is not kind=weight", part)
+		}
+		switch name {
+		case "estimate", "batch", "ingest":
+		default:
+			return nil, nil, fmt.Errorf("unknown workload kind %q (estimate, batch, ingest)", name)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return nil, nil, fmt.Errorf("bad weight in %q", part)
+		}
+		if w == 0 {
+			continue
+		}
+		total += w
+		kinds = append(kinds, name)
+		cum = append(cum, total)
+	}
+	if total == 0 {
+		return nil, nil, fmt.Errorf("mix %q has no positive weights", spec)
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return kinds, cum, nil
+}
+
+func newGenerator(db *dataset.Database, model, mixSpec string, distinct, batchSize int, seed int64) (*generator, error) {
+	kinds, weights, err := parseMix(mixSpec)
+	if err != nil {
+		return nil, err
+	}
+	g := &generator{
+		rng:       rand.New(rand.NewSource(seed)),
+		db:        db,
+		model:     model,
+		batchSize: batchSize,
+		kinds:     kinds,
+		weights:   weights,
+	}
+	for _, tn := range db.TableNames() {
+		if len(db.Table(tn).ForeignKeys) == 0 {
+			g.ingestTables = append(g.ingestTables, tn)
+		}
+	}
+	for _, k := range kinds {
+		if k == "ingest" && len(g.ingestTables) == 0 {
+			return nil, fmt.Errorf("mix includes ingest but every table has foreign keys")
+		}
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	seen := map[string]bool{}
+	for len(g.pool) < distinct {
+		q := g.randomQuery()
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		body, _ := json.Marshal(map[string]string{"model": model, "query": q})
+		g.pool = append(g.pool, body)
+		g.poolBatch = append(g.poolBatch, q)
+	}
+	return g, nil
+}
+
+// randomQuery renders one point query: a random table, one to three
+// distinct attributes, a random label each.
+func (g *generator) randomQuery() string {
+	names := g.db.TableNames()
+	tn := names[g.rng.Intn(len(names))]
+	t := g.db.Table(tn)
+	alias := strings.ToLower(tn[:1])
+	n := 1 + g.rng.Intn(3)
+	if n > len(t.Attributes) {
+		n = len(t.Attributes)
+	}
+	idx := g.rng.Perm(len(t.Attributes))[:n]
+	sort.Ints(idx)
+	var b strings.Builder
+	fmt.Fprintf(&b, "FROM %s %s WHERE ", tn, alias)
+	for i, ai := range idx {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		a := t.Attributes[ai]
+		fmt.Fprintf(&b, "%s.%s = %s", alias, a.Name, a.Values[g.rng.Intn(a.Card())])
+	}
+	return b.String()
+}
+
+// next draws the next request from the mix.
+func (g *generator) next() genReq {
+	r := g.rng.Float64()
+	kind := g.kinds[len(g.kinds)-1]
+	for i, cum := range g.weights {
+		if r < cum {
+			kind = g.kinds[i]
+			break
+		}
+	}
+	switch kind {
+	case "batch":
+		qs := make([]string, g.batchSize)
+		for i := range qs {
+			qs[i] = g.poolBatch[g.rng.Intn(len(g.poolBatch))]
+		}
+		body, _ := json.Marshal(map[string]any{"model": g.model, "queries": qs})
+		return genReq{kind: "batch", path: "/v1/estimate/batch", body: body}
+	case "ingest":
+		tn := g.ingestTables[g.rng.Intn(len(g.ingestTables))]
+		t := g.db.Table(tn)
+		attrs := make(map[string]any, len(t.Attributes))
+		for _, a := range t.Attributes {
+			attrs[a.Name] = a.Values[g.rng.Intn(a.Card())]
+		}
+		body, _ := json.Marshal(map[string]any{
+			"model": g.model,
+			"row":   map[string]any{"table": tn, "attrs": attrs},
+		})
+		return genReq{kind: "ingest", path: "/v1/ingest", body: body}
+	default:
+		return genReq{kind: "estimate", path: "/v1/estimate", body: g.pool[g.rng.Intn(len(g.pool))]}
+	}
+}

@@ -58,6 +58,12 @@ func main() {
 	refitRows := flag.Int64("refit-rows", 1024, "pending rows that trigger an incremental refit (negative = row trigger off)")
 	refitInterval := flag.Duration("refit-interval", 0, "refit pending rows at least this often (0 = off)")
 	maxPending := flag.Int64("max-pending", 65536, "pending-row backlog before ingest returns 429")
+	journalSize := flag.Int("journal-size", 0, "request journal ring capacity in events (0 = default 1024, negative = journal off)")
+	journalSample := flag.Int("journal-sample", 0, "journal 1 in N ordinary successes; errors, degraded, and slow requests are always kept (0 = default)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "latency above which a request is journaled as slow (0 = default: the SLO latency threshold)")
+	sloLatency := flag.Duration("slo-latency", 0, "latency SLO threshold for estimate requests (0 = default 100ms)")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0, "fraction of estimate requests that must meet -slo-latency (0 = default 0.999)")
+	sloQErrorMax := flag.Float64("slo-qerror-max", 0, "q-error SLO threshold for feedback and exact-checked estimates (0 = default 16)")
 	flag.Parse()
 
 	if *ingestOn && *storeDir == "" {
@@ -138,18 +144,25 @@ func main() {
 	}
 
 	srv := serve.NewServer(serve.Config{
-		Registry:       reg,
-		CacheCapacity:  *cacheCap,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		ExactEvery:     *exactEvery,
-		MaxCells:       *maxCells,
-		ApproxSamples:  *approxSamples,
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueued:      *maxQueued,
-		QueueTimeout:   *queueTimeout,
-		RebuildOnDrift: *rebuildOnDrift,
-		Logger:         logger,
+		Registry:           reg,
+		CacheCapacity:      *cacheCap,
+		RequestTimeout:     *timeout,
+		MaxBodyBytes:       *maxBody,
+		ExactEvery:         *exactEvery,
+		MaxCells:           *maxCells,
+		ApproxSamples:      *approxSamples,
+		MaxConcurrent:      *maxConcurrent,
+		MaxQueued:          *maxQueued,
+		QueueTimeout:       *queueTimeout,
+		RebuildOnDrift:     *rebuildOnDrift,
+		Logger:             logger,
+		JournalSize:        *journalSize,
+		JournalSampleEvery: *journalSample,
+		DisableJournal:     *journalSize < 0,
+		SlowThreshold:      *slowThreshold,
+		SLOLatency:         *sloLatency,
+		SLOLatencyTarget:   *sloLatencyTarget,
+		SLOQErrorMax:       *sloQErrorMax,
 	})
 	srv.Metrics().Publish()
 

@@ -1,0 +1,39 @@
+// Idempotent expvar publication. expvar.Publish is process-global and
+// panics on a duplicate name, but services are constructed freely —
+// several per process in tests, and again after a reconfiguration. The
+// registry-style fix: each name is registered with expvar exactly once,
+// as a Func that dereferences a swappable snapshot function, and
+// PublishExpvar merely swaps the function. Every call is safe and the
+// last call wins.
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	expvarMu    sync.Mutex
+	expvarFuncs = make(map[string]*atomic.Value) // name -> func() any
+)
+
+// PublishExpvar exposes f's return value as the named expvar. Safe to
+// call any number of times for the same name from any number of callers;
+// the most recent f wins.
+func PublishExpvar(name string, f func() any) {
+	expvarMu.Lock()
+	slot, ok := expvarFuncs[name]
+	if !ok {
+		slot = &atomic.Value{}
+		expvarFuncs[name] = slot
+		slot.Store(f)
+		expvar.Publish(name, expvar.Func(func() any {
+			return slot.Load().(func() any)()
+		}))
+		expvarMu.Unlock()
+		return
+	}
+	slot.Store(f)
+	expvarMu.Unlock()
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJournalSamplingPriority: errors, degraded answers, and slow
+// requests are always sampled regardless of the uniform rate; fast
+// successes follow the 1-in-N rate, and N=0 drops them all.
+func TestJournalSamplingPriority(t *testing.T) {
+	j := NewJournal(JournalConfig{Size: 64, SlowThreshold: 10 * time.Millisecond, SampleEvery: 0})
+
+	if reason, ok := j.Sample(500, false, time.Microsecond); !ok || reason != SampleError {
+		t.Errorf("error request: sampled=%v reason=%q, want error", ok, reason)
+	}
+	if reason, ok := j.Sample(200, true, time.Microsecond); !ok || reason != SampleDegraded {
+		t.Errorf("degraded request: sampled=%v reason=%q, want degraded", ok, reason)
+	}
+	if reason, ok := j.Sample(200, false, 50*time.Millisecond); !ok || reason != SampleSlow {
+		t.Errorf("slow request: sampled=%v reason=%q, want slow", ok, reason)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := j.Sample(200, false, time.Microsecond); ok {
+			t.Fatal("SampleEvery=0 sampled an ordinary fast success")
+		}
+	}
+
+	u := NewJournal(JournalConfig{Size: 64, SampleEvery: 10})
+	var hits int
+	for i := 0; i < 1000; i++ {
+		if reason, ok := u.Sample(200, false, time.Microsecond); ok {
+			if reason != SampleUniform {
+				t.Fatalf("uniform sample reason = %q", reason)
+			}
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Errorf("1-in-10 sampling over 1000 requests hit %d times, want 100", hits)
+	}
+}
+
+// TestJournalNilSafe: a nil journal issues ids and drops everything.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	a, b := j.NextID(), j.NextID()
+	if a == 0 || b != a+1 {
+		t.Errorf("nil journal ids = %d, %d; want dense nonzero", a, b)
+	}
+	if _, ok := j.Sample(500, true, time.Hour); ok {
+		t.Error("nil journal sampled a request")
+	}
+	j.Record(&Event{ID: 1})
+	if got := j.Events(10, nil); got != nil {
+		t.Errorf("nil journal returned events: %v", got)
+	}
+	if st := j.Stats(); st.Recorded != 0 {
+		t.Errorf("nil journal stats: %+v", st)
+	}
+}
+
+// TestJournalRing: the ring keeps the newest entries, newest first, and
+// never exceeds its capacity.
+func TestJournalRing(t *testing.T) {
+	j := NewJournal(JournalConfig{Size: 8})
+	for i := 1; i <= 20; i++ {
+		j.Record(&Event{ID: uint64(i), Reason: SampleUniform})
+	}
+	evs := j.Events(0, nil)
+	if len(evs) != 8 {
+		t.Fatalf("ring returned %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(20 - i); ev.ID != want {
+			t.Errorf("events[%d].ID = %d, want %d (newest first)", i, ev.ID, want)
+		}
+	}
+	filtered := j.Events(0, func(e *Event) bool { return e.ID%2 == 0 })
+	if len(filtered) != 4 {
+		t.Errorf("filter kept %d events, want 4", len(filtered))
+	}
+}
+
+// TestJournalConcurrent is the -race torn-entry check: many writers
+// record self-consistent events while readers walk the ring; every event
+// a reader sees must be internally consistent, and memory stays bounded
+// by the ring size.
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(JournalConfig{Size: 128, SampleEvery: 1})
+	const writers = 8
+	const perWriter = 2000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := j.Events(0, nil)
+				if len(evs) > 128 {
+					t.Errorf("ring returned %d events, capacity 128", len(evs))
+					return
+				}
+				for _, ev := range evs {
+					// Each writer stamps Query and Error from the id; a torn
+					// entry would mix fields from two writes.
+					if ev.Query != strconv.FormatUint(ev.ID, 10) || ev.Error != fmt.Sprintf("e%d", ev.ID) {
+						t.Errorf("torn event: id=%d query=%q error=%q", ev.ID, ev.Query, ev.Error)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				id := j.NextID()
+				j.Record(&Event{
+					ID:     id,
+					Query:  strconv.FormatUint(id, 10),
+					Error:  fmt.Sprintf("e%d", id),
+					Reason: SampleUniform,
+				})
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := j.Stats()
+	if st.Recorded != writers*perWriter {
+		t.Errorf("recorded = %d, want %d", st.Recorded, writers*perWriter)
+	}
+	if st.IDsIssued != writers*perWriter {
+		t.Errorf("ids issued = %d, want %d", st.IDsIssued, writers*perWriter)
+	}
+}
+
+// TestTraceID: fixed-width 16-hex rendering.
+func TestTraceID(t *testing.T) {
+	if got := TraceID(0xff); got != "00000000000000ff" {
+		t.Errorf("TraceID(255) = %q", got)
+	}
+	if got := TraceID(0); got != "0000000000000000" {
+		t.Errorf("TraceID(0) = %q", got)
+	}
+}

@@ -1,0 +1,190 @@
+// Prometheus text exposition for the metrics registry: the classic
+// text/plain version 0.0.4 format, plus OpenMetrics when the scraper asks
+// for it — OpenMetrics is where histogram bucket exemplars (the links
+// from a latency bucket to a request-journal entry) are legal syntax.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Exposition content types, for the /metrics handler's Content-Type.
+const (
+	ContentTypeText        = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// WritePrometheus renders every family in name order. With openMetrics
+// set it emits the OpenMetrics dialect: counter families render their
+// series with the `_total` suffix on the sample line kept as-is (our
+// counter names already end in _total by convention), bucket lines carry
+// exemplars, and the output ends with `# EOF`.
+func (r *Registry) WritePrometheus(w io.Writer, openMetrics bool) error {
+	bw := &errWriter{w: w}
+	for _, f := range r.familiesSorted() {
+		f.write(bw, openMetrics)
+	}
+	if openMetrics {
+		bw.printf("# EOF\n")
+	}
+	return bw.err
+}
+
+// errWriter latches the first write error so rendering code stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) printf(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}
+
+func (f *family) write(w *errWriter, openMetrics bool) {
+	// Snapshot the series list under the family lock; instrument reads
+	// below are lock-free.
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	fn := f.fn
+	f.mu.Unlock()
+
+	if len(series) == 0 && fn == nil {
+		return
+	}
+
+	typ := string(f.typ)
+	name := f.name
+	if openMetrics && f.typ == typeCounter {
+		// OpenMetrics names the family without the _total suffix and puts
+		// it back on the sample line.
+		name = strings.TrimSuffix(name, "_total")
+	}
+	w.printf("# HELP %s %s\n", name, escapeHelp(f.help))
+	w.printf("# TYPE %s %s\n", name, typ)
+
+	if fn != nil {
+		w.printf("%s %s\n", f.name, formatValue(fn()))
+		return
+	}
+
+	for i, s := range series {
+		labels := strings.Split(keys[i], "\x00")
+		if keys[i] == "" {
+			labels = nil
+		}
+		switch m := s.(type) {
+		case *Counter:
+			w.printf("%s%s %d\n", f.name, renderLabels(f.labels, labels, "", ""), m.Value())
+		case *Gauge:
+			w.printf("%s%s %s\n", f.name, renderLabels(f.labels, labels, "", ""), formatValue(m.Value()))
+		case *Histogram:
+			snap := m.Snapshot()
+			var cum int64
+			for b := 0; b <= len(snap.Bounds); b++ {
+				cum += snap.Buckets[b]
+				le := "+Inf"
+				if b < len(snap.Bounds) {
+					le = formatValue(snap.Bounds[b])
+				}
+				w.printf("%s_bucket%s %d", f.name, renderLabels(f.labels, labels, "le", le), cum)
+				if openMetrics {
+					if ex := m.exemplarFor(b); ex != nil {
+						w.printf(" # {trace_id=\"%s\"} %s %s",
+							escapeLabel(ex.TraceID), formatValue(ex.Value),
+							formatValue(float64(ex.UnixNs)/1e9))
+					}
+				}
+				w.printf("\n")
+			}
+			w.printf("%s_sum%s %s\n", f.name, renderLabels(f.labels, labels, "", ""), formatValue(snap.Sum))
+			w.printf("%s_count%s %d\n", f.name, renderLabels(f.labels, labels, "", ""), snap.Count)
+		}
+	}
+}
+
+// renderLabels renders {k="v",...}, appending an extra pair (the
+// histogram's le) when extraKey is non-empty. Returns "" for no labels.
+func renderLabels(names, values []string, extraKey, extraVal string) string {
+	if len(names) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double-quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes help text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a float the way Prometheus clients conventionally
+// do: shortest round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,182 @@
+// SLO burn-rate engine. An objective is "at least Target of requests are
+// good" (fast enough, successful, accurate enough); the engine keeps
+// per-second good/bad counts in a fixed ring and reports, per
+// configurable window, how fast the error budget is burning:
+//
+//	burn = observed bad fraction / allowed bad fraction (1 - Target)
+//
+// burn < 1 means the objective is being met over that window; burn = 10
+// means the whole budget would be gone in a tenth of the objective
+// period. Multi-window evaluation is the standard way to make the signal
+// both fast and unflappable: the short window notices a spike
+// immediately, the long window confirms it is not noise, and "burning"
+// fires only when every window agrees. The drift watchdog, /healthz, and
+// the prmload harness all read this one signal.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Objective is one SLO: a name, what counts as good (decided by the
+// caller at Observe time), and the required good fraction.
+type Objective struct {
+	// Name labels the objective in metrics and health ("latency",
+	// "errors", "qerror").
+	Name string `json:"name"`
+	// Target is the required good fraction in (0,1), e.g. 0.999.
+	Target float64 `json:"target"`
+	// Description says what "good" means, for humans reading /healthz.
+	Description string `json:"description,omitempty"`
+}
+
+// SLOConfig tunes the engine.
+type SLOConfig struct {
+	Objectives []Objective
+	// Windows are the burn-rate evaluation windows, ascending (default
+	// 1m, 5m, 30m). The ring is sized to the longest.
+	Windows []time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// sloCell is one second of one objective's history.
+type sloCell struct {
+	epoch atomic.Int64 // unix second this cell currently counts for
+	good  atomic.Int64
+	bad   atomic.Int64
+}
+
+// SLO is the engine. Observe is wait-free modulo a once-per-second CAS.
+type SLO struct {
+	objectives []Objective
+	windows    []time.Duration
+	now        func() time.Time
+	size       int64 // ring length in seconds
+	cells      [][]sloCell
+}
+
+// NewSLO builds an engine. Nil-receiver safe consumers: a nil *SLO
+// ignores Observe and reports nothing.
+func NewSLO(cfg SLOConfig) *SLO {
+	windows := cfg.Windows
+	if len(windows) == 0 {
+		windows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute}
+	}
+	size := int64(windows[len(windows)-1]/time.Second) + 2
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &SLO{
+		objectives: cfg.Objectives,
+		windows:    windows,
+		now:        now,
+		size:       size,
+		cells:      make([][]sloCell, len(cfg.Objectives)),
+	}
+	for i := range s.cells {
+		s.cells[i] = make([]sloCell, size)
+	}
+	return s
+}
+
+// Objectives returns the configured objectives (nil on nil).
+func (s *SLO) Objectives() []Objective {
+	if s == nil {
+		return nil
+	}
+	return s.objectives
+}
+
+// Observe records one good or bad outcome for objective i.
+func (s *SLO) Observe(i int, good bool) {
+	if s == nil || i < 0 || i >= len(s.cells) {
+		return
+	}
+	sec := s.now().Unix()
+	c := &s.cells[i][sec%s.size]
+	if e := c.epoch.Load(); e != sec {
+		// First writer of a new second claims the cell and resets it; a
+		// racing loser simply adds to the freshly reset cell. Counts from
+		// the dying instant of the overwritten second may be lost, which
+		// is noise at the cardinalities SLOs care about.
+		if c.epoch.CompareAndSwap(e, sec) {
+			c.good.Store(0)
+			c.bad.Store(0)
+		}
+	}
+	if good {
+		c.good.Add(1)
+	} else {
+		c.bad.Add(1)
+	}
+}
+
+// WindowBurn is one objective's state over one window.
+type WindowBurn struct {
+	Window      time.Duration `json:"-"`
+	WindowSecs  int64         `json:"window_seconds"`
+	Good        int64         `json:"good"`
+	Bad         int64         `json:"bad"`
+	BadFraction float64       `json:"bad_fraction"`
+	// BurnRate is BadFraction over the objective's error budget; >= 1
+	// means the budget is being consumed faster than allowed.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// ObjectiveStatus is one objective's multi-window view.
+type ObjectiveStatus struct {
+	Objective
+	Windows []WindowBurn `json:"windows"`
+	// Burning is the paging signal: every window's burn rate is >= 1
+	// (the short window sees it now, the long window confirms it is
+	// sustained), with at least one observation in the shortest window.
+	Burning bool `json:"burning"`
+}
+
+// Status evaluates every objective over every window at the current
+// clock reading.
+func (s *SLO) Status() []ObjectiveStatus {
+	if s == nil {
+		return nil
+	}
+	nowSec := s.now().Unix()
+	out := make([]ObjectiveStatus, len(s.objectives))
+	for i, obj := range s.objectives {
+		st := ObjectiveStatus{Objective: obj, Windows: make([]WindowBurn, len(s.windows))}
+		budget := 1 - obj.Target
+		for wi, w := range s.windows {
+			secs := int64(w / time.Second)
+			var good, bad int64
+			for d := int64(0); d < secs && d < s.size; d++ {
+				sec := nowSec - d
+				c := &s.cells[i][sec%s.size]
+				if c.epoch.Load() == sec {
+					good += c.good.Load()
+					bad += c.bad.Load()
+				}
+			}
+			wb := WindowBurn{Window: w, WindowSecs: secs, Good: good, Bad: bad}
+			if total := good + bad; total > 0 {
+				wb.BadFraction = float64(bad) / float64(total)
+			}
+			if budget > 0 {
+				wb.BurnRate = wb.BadFraction / budget
+			} else if wb.BadFraction > 0 {
+				wb.BurnRate = 1e9 // zero budget and any badness: fully burning
+			}
+			st.Windows[wi] = wb
+		}
+		st.Burning = len(st.Windows) > 0 && st.Windows[0].Good+st.Windows[0].Bad > 0
+		for _, wb := range st.Windows {
+			if wb.BurnRate < 1 {
+				st.Burning = false
+				break
+			}
+		}
+		out[i] = st
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for driving the per-second ring.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newSLOTest() (*SLO, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	s := NewSLO(SLOConfig{
+		Objectives: []Objective{
+			{Name: "latency", Target: 0.9},
+			{Name: "errors", Target: 0.99},
+		},
+		Windows: []time.Duration{10 * time.Second, time.Minute},
+		Now:     clk.now,
+	})
+	return s, clk
+}
+
+// TestSLOBurnRates: bad fractions over each window divide by the error
+// budget, and the short window reacts while the long window smooths.
+func TestSLOBurnRates(t *testing.T) {
+	s, clk := newSLOTest()
+
+	// 55 seconds of perfection: 10 good per second on both objectives.
+	// The clock advances before each second's traffic so the last written
+	// second is the one Status evaluates as "now".
+	for sec := 0; sec < 55; sec++ {
+		clk.advance(time.Second)
+		for i := 0; i < 10; i++ {
+			s.Observe(0, true)
+			s.Observe(1, true)
+		}
+	}
+	st := s.Status()
+	if st[0].Windows[0].BurnRate != 0 || st[0].Burning {
+		t.Fatalf("healthy objective reports burn %v burning=%v", st[0].Windows[0].BurnRate, st[0].Burning)
+	}
+
+	// 5 seconds of 50% badness on latency only.
+	for sec := 0; sec < 5; sec++ {
+		clk.advance(time.Second)
+		for i := 0; i < 10; i++ {
+			s.Observe(0, i%2 == 0)
+			s.Observe(1, true)
+		}
+	}
+	st = s.Status()
+	lat := st[0]
+	// Short window (10s): 5s clean + 5s half-bad = 25 bad / 100 total.
+	short := lat.Windows[0]
+	if short.Bad != 25 || short.Good != 75 {
+		t.Fatalf("short window = %+v, want 25 bad / 75 good", short)
+	}
+	wantBurn := 0.25 / 0.1 // bad fraction over the 10%% budget
+	if diff := short.BurnRate - wantBurn; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("short burn = %v, want %v", short.BurnRate, wantBurn)
+	}
+	// Long window (60s): 25 bad over 600 → burn well under the short's.
+	long := lat.Windows[1]
+	if long.BurnRate >= short.BurnRate {
+		t.Errorf("long burn %v not smoothed below short burn %v", long.BurnRate, short.BurnRate)
+	}
+	// Burning requires every window over budget; the long window is not.
+	if lat.Burning {
+		t.Error("latency burning despite healthy long window")
+	}
+	// The untouched errors objective stays clean.
+	if st[1].Windows[0].Bad != 0 || st[1].Burning {
+		t.Errorf("errors objective dirtied: %+v", st[1])
+	}
+
+	// Sustained badness: a full minute of 50% bad flips Burning.
+	for sec := 0; sec < 60; sec++ {
+		clk.advance(time.Second)
+		for i := 0; i < 10; i++ {
+			s.Observe(0, i%2 == 0)
+		}
+	}
+	st = s.Status()
+	if !st[0].Burning {
+		t.Errorf("sustained 50%%%% badness did not flip burning: %+v", st[0].Windows)
+	}
+}
+
+// TestSLOWindowExpiry: old seconds age out of the windows.
+func TestSLOWindowExpiry(t *testing.T) {
+	s, clk := newSLOTest()
+	s.Observe(0, false)
+	clk.advance(2 * time.Minute)
+	st := s.Status()
+	if st[0].Windows[1].Bad != 0 {
+		t.Errorf("2-minute-old badness still visible: %+v", st[0].Windows[1])
+	}
+	if st[0].Burning {
+		t.Error("empty windows report burning")
+	}
+}
+
+// TestSLONil: a nil engine is inert.
+func TestSLONil(t *testing.T) {
+	var s *SLO
+	s.Observe(0, false)
+	if s.Status() != nil || s.Objectives() != nil {
+		t.Error("nil SLO returned status")
+	}
+}

@@ -172,6 +172,14 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.ObserveRequest(time.Since(started))
 	s.metrics.ObserveBatch(len(items), failed)
+	s.journalEvent(r.Context(), "batch", http.StatusOK, failed > 0, started, func(ev *obs.Event) {
+		ev.Model = model.Name
+		ev.Generation = snap.Generation
+		ev.Items = len(items)
+		if failed > 0 {
+			ev.Error = fmt.Sprintf("%d of %d items failed", failed, len(items))
+		}
+	})
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -221,23 +229,10 @@ type planStatser interface {
 	PlanStats() bayesnet.PlanCacheStats
 }
 
-// planCacheSnapshot aggregates plan-cache counters across every served
-// model for /healthz.
+// planCacheSnapshot renders the aggregated plan-cache counters for
+// /healthz (the raw numbers come from planCacheStats in telemetry.go).
 func (s *Server) planCacheSnapshot() map[string]any {
-	var agg bayesnet.PlanCacheStats
-	for _, name := range s.reg.Names() {
-		m, ok := s.reg.Get(name)
-		if !ok {
-			continue
-		}
-		if ps, ok := m.Current().Primary().(planStatser); ok {
-			st := ps.PlanStats()
-			agg.Hits += st.Hits
-			agg.Misses += st.Misses
-			agg.Entries += st.Entries
-			agg.Capacity += st.Capacity
-		}
-	}
+	agg := s.planCacheStats()
 	return map[string]any{
 		"hits":     agg.Hits,
 		"misses":   agg.Misses,

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"time"
 
 	"prmsel/internal/dataset"
 	"prmsel/internal/ingest"
+	"prmsel/internal/obs"
 	"prmsel/internal/store"
 )
 
@@ -90,13 +92,26 @@ func attrNames(t *dataset.Table) []string {
 // acknowledged — fsynced in the log; they survive a crash and reach the
 // served model at the next refit.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	var model *Model
+	// reject counts the refusal, answers it, and journals the wide event
+	// (rejects are errors, so the journal always keeps them).
+	reject := func(code int, msg string) {
+		s.metrics.ObserveIngestReject()
+		s.fail(w, code, msg)
+		s.journalEvent(r.Context(), "ingest", code, false, started, func(ev *obs.Event) {
+			if model != nil {
+				ev.Model = model.Name
+			}
+			ev.Error = msg
+		})
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req ingestRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.metrics.ObserveIngestReject()
-		s.fail(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		reject(http.StatusBadRequest, "malformed JSON: "+err.Error())
 		return
 	}
 	rows := req.Rows
@@ -104,29 +119,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		rows = append([]ingestRowJSON{*req.Row}, rows...)
 	}
 	if len(rows) == 0 {
-		s.metrics.ObserveIngestReject()
-		s.fail(w, http.StatusBadRequest, `ingest needs "row" or "rows"`)
+		reject(http.StatusBadRequest, `ingest needs "row" or "rows"`)
 		return
 	}
 	if len(rows) > ingest.MaxBatchRows {
-		s.metrics.ObserveIngestReject()
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("batch of %d rows exceeds the %d-row limit", len(rows), ingest.MaxBatchRows))
+		reject(http.StatusBadRequest, fmt.Sprintf("batch of %d rows exceeds the %d-row limit", len(rows), ingest.MaxBatchRows))
 		return
 	}
-	model, ok := s.resolveModel(req.Model)
+	var ok bool
+	model, ok = s.resolveModel(req.Model)
 	if !ok {
-		s.metrics.ObserveIngestReject()
+		model = nil
 		if req.Model == "" {
-			s.fail(w, http.StatusBadRequest, `"model" is required when several models are registered`)
+			reject(http.StatusBadRequest, `"model" is required when several models are registered`)
 		} else {
-			s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model))
+			reject(http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model))
 		}
 		return
 	}
 	ing := model.ingestor()
 	if ing == nil {
-		s.metrics.ObserveIngestReject()
-		s.fail(w, http.StatusConflict, fmt.Sprintf("model %q does not accept ingest (enable it with -ingest)", model.Name))
+		reject(http.StatusConflict, fmt.Sprintf("model %q does not accept ingest (enable it with -ingest)", model.Name))
 		return
 	}
 
@@ -135,8 +148,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for i, jr := range rows {
 		row, err := resolveIngestRow(snap.DB, i, jr)
 		if err != nil {
-			s.metrics.ObserveIngestReject()
-			s.fail(w, http.StatusBadRequest, err.Error())
+			reject(http.StatusBadRequest, err.Error())
 			return
 		}
 		batch[i] = row
@@ -144,18 +156,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 	seq, err := ing.Ingest(batch)
 	if err != nil {
-		s.metrics.ObserveIngestReject()
 		switch {
 		case errors.Is(err, ingest.ErrBacklog):
-			s.fail(w, http.StatusTooManyRequests, "refit backlog full; retry later")
+			reject(http.StatusTooManyRequests, "refit backlog full; retry later")
 		case errors.Is(err, store.ErrWALBroken):
-			s.fail(w, http.StatusServiceUnavailable, "write-ahead log failed; ingest is down until restart")
+			reject(http.StatusServiceUnavailable, "write-ahead log failed; ingest is down until restart")
 		default:
-			s.fail(w, http.StatusBadRequest, err.Error())
+			reject(http.StatusBadRequest, err.Error())
 		}
 		return
 	}
 	pending, _, _ := ing.Pending()
+	s.journalEvent(r.Context(), "ingest", http.StatusOK, false, started, func(ev *obs.Event) {
+		ev.Model = model.Name
+		ev.Items = len(batch)
+	})
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model":        model.Name,
 		"accepted":     len(batch),

@@ -1,11 +1,11 @@
 package serve
 
 import (
-	"expvar"
 	"math"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"prmsel/internal/obs"
 )
 
 // latencyBoundsMicros are the upper bounds (µs) of the latency histogram
@@ -14,69 +14,76 @@ import (
 // estimates (paper §5.3).
 var latencyBoundsMicros = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000}
 
+// latencyBoundsSeconds are the same bounds in the base unit the
+// Prometheus histograms use.
+var latencyBoundsSeconds = func() []float64 {
+	out := make([]float64, len(latencyBoundsMicros))
+	for i, us := range latencyBoundsMicros {
+		out[i] = float64(us) / 1e6
+	}
+	return out
+}()
+
 // Metrics tracks the service's runtime counters: request and error
-// volume, QPS, a latency histogram, cache effectiveness, singleflight
-// deduplication, rebuilds, and the estimation error observed on requests
-// that were sampled against the exact executor. All methods are safe for
-// concurrent use.
+// volume, QPS, latency histograms, cache effectiveness, singleflight
+// deduplication, rebuilds, durability, the streaming write path, and the
+// estimation error observed on requests checked against the exact
+// executor. Every signal is a typed instrument on an obs.Registry, so
+// the same numbers surface three ways without drifting apart: the
+// Prometheus text at GET /metrics, the expvar snapshot at /debug/vars,
+// and the /healthz detail. All methods are safe for concurrent use.
 type Metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	requests    atomic.Int64
-	errors      atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	deduped     atomic.Int64
-	rebuilds    atomic.Int64
+	requests *obs.Counter
+	errors   *obs.Counter
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	deduped     *obs.Counter
+
+	rebuilds        *obs.Counter
+	rebuildFailures *obs.Counter
+	rebuildRetries  *obs.Counter
 
 	// Degradation-chain tier counters: which inference tier answered each
 	// primary estimate. tierApprox+tierAVI is the degraded volume.
-	tierExact  atomic.Int64
-	tierApprox atomic.Int64
-	tierAVI    atomic.Int64
+	tierExact  *obs.Counter
+	tierApprox *obs.Counter
+	tierAVI    *obs.Counter
 
-	// Robustness counters: estimates rejected for being non-finite,
-	// requests refused by admission control, rebuild attempts that
-	// failed, and retries scheduled after such failures.
-	nonFinite         atomic.Int64
-	admissionRejected atomic.Int64
-	admissionTimeout  atomic.Int64
-	rebuildFailures   atomic.Int64
-	rebuildRetries    atomic.Int64
+	nonFinite         *obs.Counter
+	admissionRejected *obs.Counter
+	admissionTimeout  *obs.Counter
 
-	// Durability and watchdog counters: snapshot persists to the model
-	// store (and failures, which cost durability but never serving),
-	// /v1/feedback observations, and drift flips.
-	storeSaves        atomic.Int64
-	storeSaveFailures atomic.Int64
-	feedback          atomic.Int64
-	driftEvents       atomic.Int64
+	storeSaves        *obs.Counter
+	storeSaveFailures *obs.Counter
+	feedback          *obs.Counter
+	driftEvents       *obs.Counter
 
-	// Batch counters: /v1/estimate/batch requests, the items they carried,
-	// and the items that failed in place.
-	batchRequests    atomic.Int64
-	batchItems       atomic.Int64
-	batchItemsFailed atomic.Int64
+	batchRequests    *obs.Counter
+	batchItems       *obs.Counter
+	batchItemsFailed *obs.Counter
 
-	// Streaming write-path counters: acknowledged rows and their WAL
-	// bytes, rejected ingest requests (any non-200), and incremental
-	// refit outcomes. Refit latency lands in the "refit" stage histogram.
-	rowsIngested   atomic.Int64
-	walBytes       atomic.Int64
-	ingestRejected atomic.Int64
-	refits         atomic.Int64
-	refitFailures  atomic.Int64
+	rowsIngested   *obs.Counter
+	walBytes       *obs.Counter
+	ingestRejected *obs.Counter
+	refits         *obs.Counter
+	refitFailures  *obs.Counter
 
-	latCount  atomic.Int64
-	latSumUS  atomic.Int64
-	latBucket []atomic.Int64 // len(latencyBoundsMicros)+1, last is overflow
+	// Request latency, with per-bucket exemplars linking into the request
+	// journal on sampled requests.
+	latency *obs.Histogram
 
 	// Per-stage latency histograms over the estimate pipeline, keyed by
 	// span name (see stageNames). The map is fixed at construction; the
-	// histograms themselves are atomic.
-	stages map[string]*stageHist
+	// histograms themselves are lock-striped atomics.
+	stages map[string]*obs.Histogram
 
-	// Estimation error vs. the exact executor, on sampled requests.
+	// Estimation error vs. the exact executor, on sampled requests. The
+	// geometric mean wants a float log-sum, which no counter models;
+	// /metrics reads it through gauge funcs.
 	errMu      sync.Mutex
 	errSamples int64
 	qerrSum    float64 // sum of log(q-error); reported as geometric mean
@@ -85,70 +92,119 @@ type Metrics struct {
 
 // stageNames are the estimate-pipeline stages with their own latency
 // histograms: query parsing, the cache lookup (including singleflight
-// waits), the shape-cache/closure build, variable elimination, and the
-// exact executor on sampled requests. They match the span names the
-// request trace produces, so ObserveStage can be fed by walking a
-// finished trace.
+// waits), the shape-cache/closure build, variable elimination, the exact
+// executor on sampled requests, and incremental refits. They match the
+// span names the request trace produces, so ObserveStage can be fed by
+// walking a finished trace.
 var stageNames = []string{"parse", "cache", "closure", "infer", "exact", "refit"}
 
-// stageHist is one stage's latency histogram (same bucket bounds as the
-// request histogram).
-type stageHist struct {
-	count  atomic.Int64
-	sumUS  atomic.Int64
-	bucket []atomic.Int64
-}
-
-func (h *stageHist) observe(us int64) {
-	h.count.Add(1)
-	h.sumUS.Add(us)
-	for i, b := range latencyBoundsMicros {
-		if us <= b {
-			h.bucket[i].Add(1)
-			return
-		}
-	}
-	h.bucket[len(latencyBoundsMicros)].Add(1)
-}
-
-// NewMetrics returns zeroed metrics anchored at now.
+// NewMetrics returns zeroed metrics anchored at now, on a fresh registry.
 func NewMetrics() *Metrics {
+	return NewMetricsOn(obs.NewRegistry())
+}
+
+// NewMetricsOn builds the instrument set on reg. Registration is
+// idempotent, so any number of Metrics may share one registry (they then
+// share series too).
+func NewMetricsOn(reg *obs.Registry) *Metrics {
+	cache := reg.CounterVec("prm_cache_lookups_total",
+		"Inference-cache lookups by outcome (dedup waited on another caller's in-flight inference).",
+		"outcome")
+	tier := reg.CounterVec("prm_tier_estimates_total",
+		"Primary estimates by the degradation-chain tier that answered.", "tier")
+	adm := reg.CounterVec("prm_admission_refused_total",
+		"Requests refused by admission control (queue_full maps to 429, timeout to 503).", "reason")
+	saves := reg.CounterVec("prm_store_saves_total",
+		"Snapshot persists to the durable model store by outcome.", "outcome")
+
 	m := &Metrics{
-		start:     time.Now(),
-		latBucket: make([]atomic.Int64, len(latencyBoundsMicros)+1),
-		stages:    make(map[string]*stageHist, len(stageNames)),
+		start: time.Now(),
+		reg:   reg,
+
+		requests: reg.Counter("prm_estimate_requests_total", "Completed /v1/estimate requests."),
+		errors:   reg.Counter("prm_estimate_errors_total", "Failed requests (5xx, estimator failures, parse failures)."),
+
+		cacheHits:   cache.With("hit"),
+		cacheMisses: cache.With("miss"),
+		deduped:     cache.With("dedup"),
+
+		rebuilds:        reg.Counter("prm_rebuilds_total", "Completed model rebuilds."),
+		rebuildFailures: reg.Counter("prm_rebuild_failures_total", "Failed rebuild attempts."),
+		rebuildRetries:  reg.Counter("prm_rebuild_retries_total", "Rebuild retries scheduled after failures."),
+
+		tierExact:  tier.With("exact"),
+		tierApprox: tier.With("approx"),
+		tierAVI:    tier.With("avi"),
+
+		nonFinite:         reg.Counter("prm_nonfinite_rejected_total", "Estimates rejected for being NaN or infinite."),
+		admissionRejected: adm.With("queue_full"),
+		admissionTimeout:  adm.With("timeout"),
+
+		storeSaves:        saves.With("ok"),
+		storeSaveFailures: saves.With("error"),
+		feedback:          reg.Counter("prm_feedback_total", "Ground-truth reports received at /v1/feedback."),
+		driftEvents:       reg.Counter("prm_drift_events_total", "Accuracy-watchdog trips (models flipping to drifted)."),
+
+		batchRequests:    reg.Counter("prm_batch_requests_total", "Completed /v1/estimate/batch requests."),
+		batchItems:       reg.Counter("prm_batch_items_total", "Queries carried by batch requests."),
+		batchItemsFailed: reg.Counter("prm_batch_item_failures_total", "Batch items that failed in place."),
+
+		rowsIngested:   reg.Counter("prm_ingest_rows_total", "Rows acknowledged by the streaming write path."),
+		walBytes:       reg.Counter("prm_ingest_wal_bytes_total", "Bytes appended to write-ahead logs for acknowledged rows."),
+		ingestRejected: reg.Counter("prm_ingest_rejected_total", "Refused /v1/ingest requests (validation, backlog, broken WAL)."),
+		refits:         reg.Counter("prm_refits_total", "Completed incremental refits."),
+		refitFailures:  reg.Counter("prm_refit_failures_total", "Failed incremental refit attempts."),
+
+		latency: reg.Histogram("prm_request_latency_seconds",
+			"End-to-end /v1/estimate latency.", latencyBoundsSeconds),
+		stages: make(map[string]*obs.Histogram, len(stageNames)),
 	}
+	stageVec := reg.HistogramVec("prm_stage_latency_seconds",
+		"Estimate-pipeline stage latency by span name.", latencyBoundsSeconds, "stage")
 	for _, name := range stageNames {
-		m.stages[name] = &stageHist{bucket: make([]atomic.Int64, len(latencyBoundsMicros)+1)}
+		m.stages[name] = stageVec.With(name)
 	}
+
+	reg.GaugeFunc("prm_uptime_seconds", "Seconds since this metrics instance was created.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	reg.GaugeFunc("prm_qerror_geomean", "Geometric-mean q-error over exact-checked requests.",
+		func() float64 { g, _, _ := m.qerrStats(); return g })
+	reg.GaugeFunc("prm_qerror_max", "Maximum q-error over exact-checked requests.",
+		func() float64 { _, mx, _ := m.qerrStats(); return mx })
+	reg.GaugeFunc("prm_qerror_samples", "Requests checked against the exact executor.",
+		func() float64 { _, _, n := m.qerrStats(); return float64(n) })
 	return m
 }
+
+// Registry exposes the instrument registry — the /metrics handler
+// renders it, and the server hangs scrape-time gauges off it.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // ObserveStage records one stage latency. Unknown stage names are ignored,
 // so callers may feed every span of a trace without filtering.
 func (m *Metrics) ObserveStage(stage string, d time.Duration) {
 	if h, ok := m.stages[stage]; ok {
-		h.observe(d.Microseconds())
+		h.Observe(d.Seconds())
 	}
 }
 
 // ObserveRequest records one estimate request and its latency.
 func (m *Metrics) ObserveRequest(d time.Duration) {
-	m.requests.Add(1)
-	us := d.Microseconds()
-	m.latCount.Add(1)
-	m.latSumUS.Add(us)
-	for i, b := range latencyBoundsMicros {
-		if us <= b {
-			m.latBucket[i].Add(1)
-			return
-		}
-	}
-	m.latBucket[len(latencyBoundsMicros)].Add(1)
+	m.requests.Inc()
+	m.latency.Observe(d.Seconds())
+}
+
+// ObserveRequestExemplar records one estimate request whose journal
+// entry survives sampling: the latency bucket gets an exemplar carrying
+// the entry's trace id, so a scrape can walk from a slow bucket straight
+// to the wide event behind it.
+func (m *Metrics) ObserveRequestExemplar(d time.Duration, traceID string) {
+	m.requests.Inc()
+	m.latency.ObserveExemplar(d.Seconds(), traceID, time.Now().UnixNano())
 }
 
 // ObserveError records one failed request.
-func (m *Metrics) ObserveError() { m.errors.Add(1) }
+func (m *Metrics) ObserveError() { m.errors.Inc() }
 
 // ObserveCache records one cache outcome. A deduped lookup is one that
 // waited on another caller's in-flight inference instead of running its
@@ -156,50 +212,50 @@ func (m *Metrics) ObserveError() { m.errors.Add(1) }
 func (m *Metrics) ObserveCache(hit, deduped bool) {
 	switch {
 	case hit:
-		m.cacheHits.Add(1)
+		m.cacheHits.Inc()
 	case deduped:
-		m.deduped.Add(1)
+		m.deduped.Inc()
 	default:
-		m.cacheMisses.Add(1)
+		m.cacheMisses.Inc()
 	}
 }
 
 // ObserveRebuild records one completed model rebuild.
-func (m *Metrics) ObserveRebuild() { m.rebuilds.Add(1) }
+func (m *Metrics) ObserveRebuild() { m.rebuilds.Inc() }
 
 // ObserveTier records which degradation tier answered a primary estimate.
 // Unknown tiers count as degraded-to-AVI (the most conservative bucket).
 func (m *Metrics) ObserveTier(tier string) {
 	switch tier {
 	case "exact":
-		m.tierExact.Add(1)
+		m.tierExact.Inc()
 	case "approx":
-		m.tierApprox.Add(1)
+		m.tierApprox.Inc()
 	default:
-		m.tierAVI.Add(1)
+		m.tierAVI.Inc()
 	}
 }
 
 // ObserveNonFinite records one estimate rejected for being NaN or ±Inf
 // before it could poison the cache.
-func (m *Metrics) ObserveNonFinite() { m.nonFinite.Add(1) }
+func (m *Metrics) ObserveNonFinite() { m.nonFinite.Inc() }
 
 // ObserveAdmission records one request refused by admission control;
 // timedOut distinguishes a queue-deadline 503 from a queue-full 429.
 func (m *Metrics) ObserveAdmission(timedOut bool) {
 	if timedOut {
-		m.admissionTimeout.Add(1)
+		m.admissionTimeout.Inc()
 	} else {
-		m.admissionRejected.Add(1)
+		m.admissionRejected.Inc()
 	}
 }
 
 // ObserveRebuildFailure records one failed rebuild attempt; willRetry
 // notes whether the retry loop scheduled another attempt.
 func (m *Metrics) ObserveRebuildFailure(willRetry bool) {
-	m.rebuildFailures.Add(1)
+	m.rebuildFailures.Inc()
 	if willRetry {
-		m.rebuildRetries.Add(1)
+		m.rebuildRetries.Inc()
 	}
 }
 
@@ -207,16 +263,16 @@ func (m *Metrics) ObserveRebuildFailure(willRetry bool) {
 // store; a non-nil err counts it as a failure instead.
 func (m *Metrics) ObserveStoreSave(err error) {
 	if err != nil {
-		m.storeSaveFailures.Add(1)
+		m.storeSaveFailures.Inc()
 		return
 	}
-	m.storeSaves.Add(1)
+	m.storeSaves.Inc()
 }
 
 // ObserveBatch records one /v1/estimate/batch request: how many items it
 // carried and how many of them failed in place.
 func (m *Metrics) ObserveBatch(items, failed int) {
-	m.batchRequests.Add(1)
+	m.batchRequests.Inc()
 	m.batchItems.Add(int64(items))
 	m.batchItemsFailed.Add(int64(failed))
 }
@@ -230,27 +286,25 @@ func (m *Metrics) ObserveIngest(rows, walBytes int) {
 
 // ObserveIngestReject records one refused /v1/ingest request (validation,
 // backlog, or a broken WAL).
-func (m *Metrics) ObserveIngestReject() { m.ingestRejected.Add(1) }
+func (m *Metrics) ObserveIngestReject() { m.ingestRejected.Inc() }
 
 // ObserveRefit records one incremental refit attempt and its latency; a
 // non-nil err counts it as a failure (the rows stay pending).
 func (m *Metrics) ObserveRefit(d time.Duration, err error) {
 	if err != nil {
-		m.refitFailures.Add(1)
+		m.refitFailures.Inc()
 		return
 	}
-	m.refits.Add(1)
-	if h, ok := m.stages["refit"]; ok {
-		h.observe(d.Microseconds())
-	}
+	m.refits.Inc()
+	m.ObserveStage("refit", d)
 }
 
 // ObserveFeedback records one /v1/feedback ground-truth report.
-func (m *Metrics) ObserveFeedback() { m.feedback.Add(1) }
+func (m *Metrics) ObserveFeedback() { m.feedback.Inc() }
 
 // ObserveDrift records one accuracy-watchdog trip (a model flipping to
 // drifted).
-func (m *Metrics) ObserveDrift() { m.driftEvents.Add(1) }
+func (m *Metrics) ObserveDrift() { m.driftEvents.Inc() }
 
 // ObserveQError records the q-error (max(est/truth, truth/est), with both
 // sides floored at 1 row to stay finite) of one request that was checked
@@ -271,94 +325,112 @@ func (m *Metrics) ObserveQError(estimate float64, truth int64) {
 	m.errMu.Unlock()
 }
 
+// qerrStats returns (geomean, max, samples) under the error lock.
+func (m *Metrics) qerrStats() (float64, float64, int64) {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	if m.errSamples == 0 {
+		return 0, 0, 0
+	}
+	return math.Exp(m.qerrSum / float64(m.errSamples)), m.qerrMax, m.errSamples
+}
+
+// histMap renders a histogram snapshot as the legacy per-bucket map keyed
+// by the bucket's upper bound in microseconds.
+func histMap(snap obs.HistSnapshot) map[string]int64 {
+	out := make(map[string]int64, len(latencyBoundsMicros)+1)
+	for i, b := range latencyBoundsMicros {
+		out[fmt6(b)] = snap.Buckets[i]
+	}
+	out["+Inf"] = snap.Buckets[len(latencyBoundsMicros)]
+	return out
+}
+
 // Snapshot renders every counter as a JSON-friendly map — the payload
-// behind the published expvar and the /healthz detail.
+// behind the published expvar and the /healthz detail. It reads the same
+// instruments /metrics scrapes.
 func (m *Metrics) Snapshot() map[string]any {
 	uptime := time.Since(m.start).Seconds()
-	requests := m.requests.Load()
-	hits := m.cacheHits.Load()
-	misses := m.cacheMisses.Load()
-	deduped := m.deduped.Load()
-
-	hist := make(map[string]int64, len(latencyBoundsMicros)+1)
-	for i, b := range latencyBoundsMicros {
-		hist[fmt6(b)] = m.latBucket[i].Load()
-	}
-	hist["+Inf"] = m.latBucket[len(latencyBoundsMicros)].Load()
+	requests := m.requests.Value()
+	hits := m.cacheHits.Value()
+	misses := m.cacheMisses.Value()
+	deduped := m.deduped.Value()
+	lat := m.latency.Snapshot()
 
 	out := map[string]any{
 		"uptime_seconds":     uptime,
 		"requests":           requests,
-		"errors":             m.errors.Load(),
+		"errors":             m.errors.Value(),
 		"qps":                float64(requests) / math.Max(uptime, 1e-9),
 		"cache_hits":         hits,
 		"cache_misses":       misses,
 		"deduped":            deduped,
 		"cache_hit_rate":     rate(hits, hits+misses+deduped),
-		"rebuilds":           m.rebuilds.Load(),
-		"rebuild_failures":   m.rebuildFailures.Load(),
-		"rebuild_retries":    m.rebuildRetries.Load(),
-		"nonfinite_rejected": m.nonFinite.Load(),
+		"rebuilds":           m.rebuilds.Value(),
+		"rebuild_failures":   m.rebuildFailures.Value(),
+		"rebuild_retries":    m.rebuildRetries.Value(),
+		"nonfinite_rejected": m.nonFinite.Value(),
 		"tiers": map[string]int64{
-			"exact":  m.tierExact.Load(),
-			"approx": m.tierApprox.Load(),
-			"avi":    m.tierAVI.Load(),
+			"exact":  m.tierExact.Value(),
+			"approx": m.tierApprox.Value(),
+			"avi":    m.tierAVI.Value(),
 		},
-		"degraded": m.tierApprox.Load() + m.tierAVI.Load(),
+		"degraded": m.tierApprox.Value() + m.tierAVI.Value(),
 		"store": map[string]int64{
-			"saves":         m.storeSaves.Load(),
-			"save_failures": m.storeSaveFailures.Load(),
+			"saves":         m.storeSaves.Value(),
+			"save_failures": m.storeSaveFailures.Value(),
 		},
-		"feedback":     m.feedback.Load(),
-		"drift_events": m.driftEvents.Load(),
+		"feedback":     m.feedback.Value(),
+		"drift_events": m.driftEvents.Value(),
 		"ingest": map[string]int64{
-			"rows_ingested":  m.rowsIngested.Load(),
-			"wal_bytes":      m.walBytes.Load(),
-			"rejected":       m.ingestRejected.Load(),
-			"refit_total":    m.refits.Load(),
-			"refit_failures": m.refitFailures.Load(),
+			"rows_ingested":  m.rowsIngested.Value(),
+			"wal_bytes":      m.walBytes.Value(),
+			"rejected":       m.ingestRejected.Value(),
+			"refit_total":    m.refits.Value(),
+			"refit_failures": m.refitFailures.Value(),
 		},
 		"batch": map[string]int64{
-			"requests":     m.batchRequests.Load(),
-			"items":        m.batchItems.Load(),
-			"items_failed": m.batchItemsFailed.Load(),
+			"requests":     m.batchRequests.Value(),
+			"items":        m.batchItems.Value(),
+			"items_failed": m.batchItemsFailed.Value(),
 		},
 		"admission": map[string]int64{
-			"rejected_429": m.admissionRejected.Load(),
-			"timeout_503":  m.admissionTimeout.Load(),
+			"rejected_429": m.admissionRejected.Value(),
+			"timeout_503":  m.admissionTimeout.Value(),
 		},
-		"latency_us_buckets": hist,
-		"latency_us_mean":    rate(m.latSumUS.Load(), m.latCount.Load()),
-		"latency_obs":        m.latCount.Load(),
+		"latency_us_buckets": histMap(lat),
+		"latency_us_mean":    meanMicros(lat),
+		"latency_obs":        lat.Count,
 	}
 	stages := make(map[string]any, len(m.stages))
 	for name, h := range m.stages {
-		n := h.count.Load()
-		if n == 0 {
+		snap := h.Snapshot()
+		if snap.Count == 0 {
 			continue
 		}
-		sh := make(map[string]int64, len(latencyBoundsMicros)+1)
-		for i, b := range latencyBoundsMicros {
-			sh[fmt6(b)] = h.bucket[i].Load()
-		}
-		sh["+Inf"] = h.bucket[len(latencyBoundsMicros)].Load()
 		stages[name] = map[string]any{
-			"obs":        n,
-			"us_mean":    rate(h.sumUS.Load(), n),
-			"us_buckets": sh,
+			"obs":        snap.Count,
+			"us_mean":    meanMicros(snap),
+			"us_buckets": histMap(snap),
 		}
 	}
 	if len(stages) > 0 {
 		out["stages"] = stages
 	}
-	m.errMu.Lock()
-	if m.errSamples > 0 {
-		out["exact_samples"] = m.errSamples
-		out["qerror_geomean"] = math.Exp(m.qerrSum / float64(m.errSamples))
-		out["qerror_max"] = m.qerrMax
+	if geo, mx, n := m.qerrStats(); n > 0 {
+		out["exact_samples"] = n
+		out["qerror_geomean"] = geo
+		out["qerror_max"] = mx
 	}
-	m.errMu.Unlock()
 	return out
+}
+
+// meanMicros is the histogram's mean observation in microseconds.
+func meanMicros(snap obs.HistSnapshot) float64 {
+	if snap.Count == 0 {
+		return 0
+	}
+	return snap.Sum * 1e6 / float64(snap.Count)
 }
 
 func rate(num, den int64) float64 {
@@ -383,31 +455,10 @@ func fmt6(v int64) string {
 	return string(buf[i:])
 }
 
-// published is the Metrics instance /debug/vars reads. This indirection is
-// the canonical fix for expvar's duplicate-name panic: expvar.Publish is
-// process-global and panics when a name is registered twice, but servers
-// are constructed freely (several per process in tests, and again after a
-// restartless reconfiguration). So the "prmserved" var is registered
-// exactly once, as a Func that dereferences this pointer, and Publish
-// merely swaps the pointer — every call is safe, and /debug/vars always
-// reports the most recently published instance.
-var (
-	published   atomic.Pointer[Metrics]
-	publishOnce sync.Once
-)
-
 // Publish exposes m as the expvar "prmserved", making it visible at
 // GET /debug/vars alongside the runtime's memstats. Safe to call any
-// number of times across any number of Metrics instances; the last call
-// wins (see published).
+// number of times across any number of Metrics instances — idempotent
+// registration is the obs registry's job now; the last publish wins.
 func (m *Metrics) Publish() {
-	published.Store(m)
-	publishOnce.Do(func() {
-		expvar.Publish("prmserved", expvar.Func(func() any {
-			if mm := published.Load(); mm != nil {
-				return mm.Snapshot()
-			}
-			return nil
-		}))
-	})
+	obs.PublishExpvar("prmserved", func() any { return m.Snapshot() })
 }

@@ -2,8 +2,6 @@ package serve
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -79,6 +77,36 @@ type Config struct {
 	// Logger receives one structured record per request (trace id, method,
 	// path, status, latency); slog.Default() when nil.
 	Logger *slog.Logger
+	// JournalSize bounds the request journal ring (default 1024 events,
+	// rounded up to a power of two).
+	JournalSize int
+	// JournalSampleEvery keeps 1 in N ordinary fast successes in the
+	// journal (default 0: none; errors, degraded answers, and slow
+	// requests are always kept regardless).
+	JournalSampleEvery int
+	// SlowThreshold marks a request slow for journal sampling
+	// (default 25ms).
+	SlowThreshold time.Duration
+	// DisableJournal turns the request journal off entirely; trace ids
+	// still flow from the package-level sequence.
+	DisableJournal bool
+	// SLOLatency is the latency objective's threshold (default 100ms).
+	SLOLatency time.Duration
+	// SLOLatencyTarget is the fraction of estimate requests that must
+	// finish within SLOLatency (default 0.999).
+	SLOLatencyTarget float64
+	// SLOErrorTarget is the fraction of API requests that must not fail
+	// with a 5xx (default 0.999).
+	SLOErrorTarget float64
+	// SLOQErrorMax is the accuracy objective's threshold: an observed
+	// q-error above it counts against the budget (default 16).
+	SLOQErrorMax float64
+	// SLOQErrorTarget is the fraction of observed q-errors that must stay
+	// within SLOQErrorMax (default 0.99).
+	SLOQErrorTarget float64
+	// SLOWindows are the burn-rate windows, shortest first
+	// (default 1m, 5m, 30m).
+	SLOWindows []time.Duration
 }
 
 // Server is the estimation service.
@@ -88,10 +116,16 @@ type Server struct {
 	cache   *Cache
 	adm     *admission // nil when admission control is disabled
 	metrics *Metrics
+	journal *obs.Journal // nil when DisableJournal is set
+	slo     *obs.SLO
 	logf    func(format string, args ...any)
 	logger  *slog.Logger
 	reqSeq  atomic.Int64 // drives ExactEvery sampling
 	start   time.Time
+
+	// Scrape-time projections of the SLO engine, filled by /metrics.
+	sloBurn    *obs.GaugeVec
+	sloBurning *obs.GaugeVec
 }
 
 // NewServer wires a server from the config.
@@ -138,6 +172,21 @@ func NewServer(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.SLOLatency == 0 {
+		cfg.SLOLatency = 100 * time.Millisecond
+	}
+	if cfg.SLOLatencyTarget == 0 {
+		cfg.SLOLatencyTarget = 0.999
+	}
+	if cfg.SLOErrorTarget == 0 {
+		cfg.SLOErrorTarget = 0.999
+	}
+	if cfg.SLOQErrorMax == 0 {
+		cfg.SLOQErrorMax = 16
+	}
+	if cfg.SLOQErrorTarget == 0 {
+		cfg.SLOQErrorTarget = 0.99
+	}
 	var adm *admission
 	if cfg.MaxConcurrent > 0 {
 		adm = newAdmission(int64(cfg.MaxConcurrent), cfg.MaxQueued, cfg.QueueTimeout)
@@ -149,16 +198,28 @@ func NewServer(cfg Config) *Server {
 	// of registry-owned goroutines.
 	cfg.Registry.setOnIngest(cfg.Metrics.ObserveIngest)
 	cfg.Registry.setOnRefit(cfg.Metrics.ObserveRefit)
-	return &Server{
+	var journal *obs.Journal
+	if !cfg.DisableJournal {
+		journal = obs.NewJournal(obs.JournalConfig{
+			Size:          cfg.JournalSize,
+			SlowThreshold: cfg.SlowThreshold,
+			SampleEvery:   cfg.JournalSampleEvery,
+		})
+	}
+	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
 		cache:   NewCache(cfg.CacheCapacity, cfg.CacheShards),
 		adm:     adm,
 		metrics: cfg.Metrics,
+		journal: journal,
+		slo:     newSLO(cfg),
 		logf:    cfg.Logf,
 		logger:  cfg.Logger,
 		start:   time.Now(),
 	}
+	s.registerScrapeGauges()
+	return s
 }
 
 // Metrics returns the server's metrics (for publication or inspection).
@@ -184,6 +245,8 @@ func (s *Server) Handler() http.Handler {
 
 	root := http.NewServeMux()
 	root.Handle("/", http.TimeoutHandler(api, s.cfg.RequestTimeout, `{"error":"request timed out"}`))
+	root.HandleFunc("GET /metrics", s.handleMetrics)
+	root.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	root.HandleFunc("GET /debug/pprof/", pprof.Index)
 	root.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	root.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -192,28 +255,40 @@ func (s *Server) Handler() http.Handler {
 	return s.logging(root)
 }
 
-// logging assigns every request a trace id (echoed in the X-Trace-Id
-// response header) and emits one structured log record when it completes.
-// It sits outside the timeout handler so timed-out requests log their real
-// 503 status.
+// logging assigns every request a trace id — the journal's event id,
+// echoed in the X-Trace-Id and X-PRM-Trace response headers and stamped
+// on the structured log record, so a log line, a journal entry, and a
+// histogram exemplar join on one id. It sits outside the timeout handler
+// so timed-out requests log their real 503 status, and it feeds the SLO
+// engine's availability and latency objectives.
 func (s *Server) logging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
-		id := newTraceID()
-		w.Header().Set("X-Trace-Id", id)
+		id := s.journal.NextID()
+		tid := obs.TraceID(id)
+		w.Header().Set("X-Trace-Id", tid)
+		w.Header().Set("X-PRM-Trace", tid)
+		r = r.WithContext(context.WithValue(r.Context(), traceIDKey{}, id))
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK
 		}
+		d := time.Since(started)
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			s.slo.Observe(sloErrors, status < 500)
+			if strings.HasPrefix(r.URL.Path, "/v1/estimate") {
+				s.slo.Observe(sloLatency, status < 500 && d <= s.cfg.SLOLatency)
+			}
+		}
 		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
-			slog.String("trace_id", id),
+			slog.String("trace_id", tid),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", status),
 			slog.Int("bytes", sw.bytes),
-			slog.Int64("micros", time.Since(started).Microseconds()),
+			slog.Int64("micros", d.Microseconds()),
 		)
 	})
 }
@@ -239,15 +314,6 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += n
 	return n, err
-}
-
-// newTraceID returns a 16-hex-digit random request id.
-func newTraceID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "0000000000000000"
-	}
-	return hex.EncodeToString(b[:])
 }
 
 // estimateRequest is the POST /v1/estimate body.
@@ -331,10 +397,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// per-stage latency histograms, and ?trace=1 additionally returns it.
 	tr := obs.NewTracer("request")
 	ctx := obs.NewContext(r.Context(), tr.Root())
+	jd := &estimateDraft{}
 	defer func() {
 		tr.End()
 		tr.Root().Visit(s.metrics.ObserveStage)
+		s.finishEstimate(r.Context(), jd, started, tr)
 	}()
+	// fail routes every error through the journal draft on its way out.
+	fail := func(code int, msg string) {
+		jd.status, jd.errMsg = code, msg
+		s.fail(w, code, msg)
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req estimateRequest
 	dec := json.NewDecoder(r.Body)
@@ -342,39 +415,42 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body over %d bytes", tooBig.Limit))
+			fail(http.StatusRequestEntityTooLarge, fmt.Sprintf("request body over %d bytes", tooBig.Limit))
 			return
 		}
-		s.fail(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		fail(http.StatusBadRequest, "malformed JSON: "+err.Error())
 		return
 	}
+	jd.query = req.Query
 	if strings.TrimSpace(req.Query) == "" {
-		s.fail(w, http.StatusBadRequest, `"query" is required`)
+		fail(http.StatusBadRequest, `"query" is required`)
 		return
 	}
 
 	model, ok := s.resolveModel(req.Model)
 	if !ok {
 		if req.Model == "" {
-			s.fail(w, http.StatusBadRequest, `"model" is required when several models are registered`)
+			fail(http.StatusBadRequest, `"model" is required when several models are registered`)
 		} else {
-			s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model))
+			fail(http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model))
 		}
 		return
 	}
 	snap := model.Current()
+	jd.model, jd.generation = model.Name, snap.Generation
 
 	psp := tr.Root().Start("parse")
 	q, err := queryparse.Parse(snap.DB, req.Query)
 	psp.End()
 	if err != nil {
+		jd.status, jd.errMsg = http.StatusBadRequest, err.Error()
 		s.failParse(w, err)
 		return
 	}
 
 	wanted, err := selectEstimators(snap, req.Estimators)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 
@@ -401,10 +477,18 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	csp.Set(obs.Bool("hit", hit), obs.Bool("deduped", deduped))
 	csp.End()
 	s.metrics.ObserveCache(hit, deduped)
+	jd.cache = "miss"
+	if hit {
+		jd.cache = "hit"
+	} else if deduped {
+		jd.cache = "deduped"
+	}
 	if err != nil {
+		jd.status, jd.errMsg = 0, err.Error()
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.metrics.ObserveAdmission(false)
+			jd.status = http.StatusTooManyRequests
 			writeJSON(w, http.StatusTooManyRequests, map[string]any{
 				"error":  err.Error(),
 				"reason": "admission queue full; back off and retry",
@@ -412,6 +496,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return
 		case errors.Is(err, ErrQueueTimeout):
 			s.metrics.ObserveAdmission(true)
+			jd.status = http.StatusServiceUnavailable
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 				"error":  err.Error(),
 				"reason": "inference capacity saturated past the queue deadline",
@@ -422,23 +507,25 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		var nf *nonFiniteError
 		if errors.As(err, &nf) {
 			s.metrics.ObserveNonFinite()
-			s.fail(w, http.StatusInternalServerError, err.Error())
+			fail(http.StatusInternalServerError, err.Error())
 			return
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The client went away (or the request deadline fired) while
 			// inference was running; report it as an availability failure
 			// rather than a query problem.
+			jd.status = http.StatusServiceUnavailable
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 				"error":  err.Error(),
 				"reason": "request cancelled before inference finished",
 			})
 			return
 		}
-		s.fail(w, http.StatusUnprocessableEntity, err.Error())
+		fail(http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	ce := val.(*cachedEstimate)
+	jd.query, jd.tier = ce.query, ce.tier
 
 	resp := &estimateResponse{
 		Model:      model.Name,
@@ -461,16 +548,18 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		esp.End()
 		if err == nil {
 			s.metrics.ObserveQError(ce.estimate, truth)
+			qe := qerror(ce.estimate, truth)
+			s.slo.Observe(sloQError, qe <= s.cfg.SLOQErrorMax)
 			resp.Exact = &exactResult{
 				Count:  truth,
 				Micros: time.Since(exactStart).Microseconds(),
-				QError: qerror(ce.estimate, truth),
+				QError: qe,
 			}
 		}
 	}
 
 	resp.LatencyMicros = time.Since(started).Microseconds()
-	s.metrics.ObserveRequest(time.Since(started))
+	jd.status = http.StatusOK
 
 	if r.URL.Query().Get("trace") == "1" {
 		tr.End()
@@ -768,6 +857,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	qerr, flipped := model.ObserveFeedback(estimate, req.TrueCount)
 	s.metrics.ObserveFeedback()
 	s.metrics.ObserveQError(estimate, req.TrueCount)
+	s.slo.Observe(sloQError, qerr <= s.cfg.SLOQErrorMax)
 
 	rebuildStarted := false
 	if flipped {
@@ -856,6 +946,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"model_health":   modelHealth,
 		"cache_entries":  s.cache.Len(),
 		"plan_cache":     s.planCacheSnapshot(),
+		"slo":            s.slo.Status(),
+	}
+	if s.journal != nil {
+		body["journal"] = s.journal.Stats()
 	}
 	if s.adm != nil {
 		used, queued := s.adm.snapshot()

@@ -1,0 +1,101 @@
+#!/bin/sh
+# load_smoke.sh — the telemetry layer's acceptance check as a live process.
+#
+# Starts prmserved with an explicit SLO (99% of estimates within 1s — an
+# objective only a genuinely sick server misses, so the gate is stable on
+# small CI machines), fires a 10-second open-loop prmload burst at it, and
+# requires:
+#
+#   1. zero non-2xx and zero transport errors across the burst,
+#   2. a sane client-measured tail (p99 under 500ms, coordinated-omission
+#      safe: latencies are measured from each request's *scheduled* start),
+#   3. the server reports no SLO objective burning after the run, and
+#   4. the observability surfaces are live: /metrics exposes the request
+#      histogram and burn-rate gauges, /debug/requests returns journaled
+#      wide events, and estimate responses carry the X-PRM-Trace header
+#      that joins logs, journal entries, and exemplars.
+set -eu
+
+PORT="${LOAD_SMOKE_PORT:-18098}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+PID=""
+
+RATE="${LOAD_SMOKE_RATE:-100}"
+DURATION="${LOAD_SMOKE_DURATION:-10s}"
+
+cleanup() {
+    [ -n "${PID}" ] && kill -9 "${PID}" 2>/dev/null || true
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "load-smoke: $*"; }
+
+wait_healthz() {
+    # Wait until /healthz answers 200, or fail after ~30s (the census
+    # model builds on startup).
+    i=0
+    while [ "$i" -lt 300 ]; do
+        if curl -fsS "http://${ADDR}/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    say "FAIL: ${ADDR}/healthz never came up"
+    [ -f "$1" ] && { say "--- daemon log ---"; cat "$1"; }
+    exit 1
+}
+
+say "building prmserved and prmload"
+go build -o "${WORK}/prmserved" ./cmd/prmserved
+go build -o "${WORK}/prmload" ./cmd/prmload
+
+say "starting prmserved (census, SLO: 99% of estimates within 1s)"
+"${WORK}/prmserved" -addr "${ADDR}" -datasets census -rows 5000 \
+    -slo-latency 1s -slo-latency-target 0.99 -journal-sample 8 \
+    >"${WORK}/serve.log" 2>&1 &
+PID=$!
+wait_healthz "${WORK}/serve.log"
+
+say "open-loop burst: ${RATE} req/s for ${DURATION}, gating on errors, p99, and SLO burn"
+if ! "${WORK}/prmload" -addr "http://${ADDR}" -dataset census -rows 5000 \
+    -rate "${RATE}" -duration "${DURATION}" -distinct 64 \
+    -max-error-rate 0 -max-p99 500ms -fail-on-burn \
+    -json "${WORK}/load.json"; then
+    say "FAIL: load run violated its gates"
+    say "--- daemon log tail ---"
+    tail -n 20 "${WORK}/serve.log"
+    exit 1
+fi
+
+say "checking the observability surfaces"
+curl -fsS "http://${ADDR}/metrics" >"${WORK}/metrics.txt"
+for family in prm_request_latency_seconds_bucket prm_slo_burn_rate prm_journal_recorded; do
+    if ! grep -q "^${family}" "${WORK}/metrics.txt"; then
+        say "FAIL: /metrics is missing ${family}"
+        exit 1
+    fi
+done
+say "/metrics exposes the request histogram, burn-rate gauges, and journal depth"
+
+TRACE="$(curl -fsS -D - -o /dev/null "http://${ADDR}/v1/estimate" \
+    -d '{"query":"FROM Census c WHERE c.Sex = sex0"}' |
+    tr -d '\r' | sed -n 's/^X-PRM-Trace: //Ip')"
+if [ -z "${TRACE}" ]; then
+    say "FAIL: estimate response carries no X-PRM-Trace header"
+    exit 1
+fi
+say "estimate responses carry X-PRM-Trace (${TRACE})"
+
+if ! curl -fsS "http://${ADDR}/debug/requests?n=5" | grep -q '"trace_id"'; then
+    say "FAIL: /debug/requests returned no journaled events"
+    exit 1
+fi
+say "/debug/requests serves journaled wide events"
+
+kill "${PID}" 2>/dev/null || true
+wait "${PID}" 2>/dev/null || true
+PID=""
+say "PASS"
