@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench perf fuzz crash-smoke loadsmoke
+.PHONY: check fmt vet build test race bench perf fuzz crash-smoke loadsmoke chaossmoke
 
 ## check: the full verification gate — format, vet, build, tests, race-mode
 ## tests for the concurrent subsystems.
@@ -28,7 +28,7 @@ test:
 ## concurrency tests; the package's randomized property tests are
 ## exercised by `test` instead.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/ingest/... ./internal/bayesnet/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/ingest/... ./internal/bayesnet/... ./internal/resilience/... ./internal/faults/...
 	$(GO) test -race -run TestConcurrent ./internal/core/...
 
 ## fuzz: a short fuzzing pass over the model codec, the store's snapshot
@@ -54,6 +54,15 @@ crash-smoke:
 ## /debug/requests, and the X-PRM-Trace join are live.
 loadsmoke:
 	./scripts/load_smoke.sh
+
+## chaossmoke: the resilience acceptance check — prmload's chaos mode runs
+## a seeded random fault schedule (slow/failing inference, WAL fsync and
+## snapshot-write failures, failing refits) under closed-loop load against
+## the in-process stack and fails on any mislabeled degraded answer, any
+## unstructured 5xx, a wedged request, or a server that does not recover
+## to resilience state normal after the faults clear.
+chaossmoke:
+	./scripts/chaos_soak.sh
 
 ## bench: a smoke pass — every benchmark runs exactly once with -benchmem,
 ## so CI catches benchmarks that no longer compile or crash without paying

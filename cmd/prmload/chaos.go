@@ -1,0 +1,430 @@
+package main
+
+// Chaos soak mode: run the in-process stack under closed-loop load while
+// a seeded random fault schedule arms and clears injection points across
+// the inference, WAL, and refit paths, then assert the self-protection
+// invariants from the outside:
+//
+//   - never a wrong answer presented as a sound one: every 200 estimate
+//     carries a tier, and any tier below exact carries a tier_reason;
+//   - never wedged: every request gets an HTTP answer, and the only 5xx
+//     allowed is a structured 503 (JSON body, Retry-After) from the shed /
+//     breaker / degraded-WAL paths;
+//   - recovers: once the schedule's fault-free tail has passed and the
+//     load stops, /healthz must report resilience state "normal" within
+//     the recovery timeout.
+//
+// The schedule is deterministic in -chaos-seed; the fault *timing* is
+// wall-clock, so runs are reproducible in shape rather than bit-for-bit.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"prmsel/internal/faults"
+)
+
+type chaosConfig struct {
+	gen             *generator
+	dataset, model  string
+	rows            int
+	scale           float64
+	seed            int64 // workload/model seed
+	chaosSeed       int64 // fault schedule seed
+	duration        time.Duration
+	recoveryTimeout time.Duration
+}
+
+// chaosStats accumulates what the workers observed. Violations keep the
+// first few verbatim and count the rest, so a broken invariant doesn't
+// flood the report.
+type chaosStats struct {
+	mu          sync.Mutex
+	requests    int64
+	statuses    map[int]int64
+	degraded    int64 // 200 answers from a tier below exact (all labeled)
+	protective  int64 // structured shed / breaker / backlog refusals
+	violations  []string
+	nViolations int64
+	statesSeen  map[string]bool
+}
+
+func (c *chaosStats) violate(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nViolations++
+	if len(c.violations) < 15 {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func runChaos(cfg chaosConfig) int {
+	log.Printf("chaos soak: %v of load, fault schedule seed %d, recovery timeout %v",
+		cfg.duration, cfg.chaosSeed, cfg.recoveryTimeout)
+
+	// Chaos-tuned stack: short SLO windows and a fast controller tick so
+	// brownout cycles (engage under faults, release after) fit inside a
+	// seconds-long soak; a small cache so the query pool keeps missing and
+	// the inference fault points stay hot; ingest always on so the WAL and
+	// refit points are reachable whatever the mix says.
+	ts, cleanup := startInProcess(inprocOptions{
+		dataset: cfg.dataset, model: cfg.model,
+		rows: cfg.rows, scale: cfg.scale, seed: cfg.seed,
+		ingest:         true,
+		cacheCapacity:  64,
+		requestTimeout: 30 * time.Second,
+		journalSample:  64,
+		sloLatency:     10 * time.Millisecond,
+		sloTarget:      0.999,
+		sloWindows:     []time.Duration{2 * time.Second, 10 * time.Second},
+		brownoutTick:   250 * time.Millisecond,
+	})
+	defer cleanup()
+	base := strings.TrimRight(ts.URL, "/")
+
+	// The fault menu: slow-and-flaky inference (the latency rides only the
+	// erroring fraction; the approx point adds unconditional latency to
+	// the sampling tier), a failing WAL fsync, failing snapshot writes,
+	// and failing refits. Injected latencies sit just past the 10ms SLO
+	// threshold, so fault windows burn the latency budget and engage the
+	// brownout controller without stalling the soak.
+	points := map[string]faults.Fault{
+		"bayesnet.infer": faults.Compose(
+			faults.Delay(15*time.Millisecond),
+			faults.Prob(0.3, errors.New("chaos: injected inference failure"))),
+		"bayesnet.approx": faults.Delay(12 * time.Millisecond),
+		"store.wal.fsync": faults.Prob(0.5, errors.New("chaos: injected fsync failure")),
+		"store.write":     faults.Prob(0.5, errors.New("chaos: injected snapshot write failure")),
+		"ingest.refit":    faults.Prob(0.8, errors.New("chaos: injected refit failure")),
+	}
+	sched := faults.RandomSchedule(cfg.chaosSeed, cfg.duration, points)
+	for _, ev := range sched.Events() {
+		verb := "clear"
+		if ev.Arm {
+			verb = "arm"
+		}
+		log.Printf("schedule %8v %-5s %s", ev.At.Round(time.Millisecond), verb, ev.Point)
+	}
+
+	stopSched := make(chan struct{})
+	schedDone := sched.Run(stopSched)
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+	stats := &chaosStats{
+		statuses:   map[int]int64{},
+		statesSeen: map[string]bool{},
+	}
+
+	// Monitor: sample the reported resilience state through the run, both
+	// as evidence the controller engaged and for the final report.
+	stopLoad := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		tick := time.NewTicker(300 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopLoad:
+				return
+			case <-tick.C:
+				if state, _, ok := chaosHealth(client, base); ok {
+					stats.mu.Lock()
+					stats.statesSeen[state] = true
+					stats.mu.Unlock()
+				}
+			}
+		}
+	}()
+
+	// Closed-loop workers: unlike the open-loop measured run, chaos wants
+	// sustained pressure, and a closed loop self-paces through the fault
+	// windows instead of stacking unbounded in-flight requests.
+	var genMu sync.Mutex
+	nextReq := func() genReq {
+		genMu.Lock()
+		defer genMu.Unlock()
+		return cfg.gen.next()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				r := nextReq()
+				resp, err := client.Post(base+r.path, "application/json", bytes.NewReader(r.body))
+				stats.mu.Lock()
+				stats.requests++
+				stats.mu.Unlock()
+				if err != nil {
+					stats.violate("transport error on %s: %v (a self-protecting server answers, it does not wedge)", r.kind, err)
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+				inspectChaosResponse(stats, r.kind, resp.StatusCode, resp.Header.Get("Retry-After"), body)
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	<-time.After(cfg.duration)
+	close(stopLoad)
+	wg.Wait()
+	monWG.Wait()
+	close(stopSched)
+	<-schedDone // all fault points cleared from here on
+
+	// Recovery: the schedule leaves the last 30% of the run fault-free, so
+	// by the time the load stops the controller should be stepping down;
+	// give it the recovery timeout to reach normal.
+	recoveryStart := time.Now()
+	recovered := false
+	var transitions int64
+	var lastState string
+	for time.Since(recoveryStart) < cfg.recoveryTimeout {
+		state, tr, ok := chaosHealth(client, base)
+		if ok {
+			lastState, transitions = state, tr
+			if state == "normal" {
+				recovered = true
+				break
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if !recovered {
+		stats.violate("server did not recover to resilience state normal within %v after faults cleared (last state %q)",
+			cfg.recoveryTimeout, lastState)
+	}
+	if transitions == 0 {
+		stats.violate("brownout controller never left normal — the chaos schedule produced no pressure")
+	}
+
+	// The operator surface must expose the resilience loop throughout.
+	if mbody, err := chaosGet(client, base+"/metrics"); err != nil {
+		stats.violate("/metrics unreachable after the soak: %v", err)
+	} else {
+		for _, want := range []string{"prm_resilience_state", "prm_resilience_transitions_total", "prm_breaker_state"} {
+			if !strings.Contains(mbody, want) {
+				stats.violate("/metrics lacks the %s series", want)
+			}
+		}
+	}
+
+	printChaosReport(stats, recovered, time.Since(recoveryStart), transitions)
+	if stats.nViolations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// inspectChaosResponse applies the soak invariants to one answer.
+func inspectChaosResponse(stats *chaosStats, kind string, status int, retryAfter string, body []byte) {
+	stats.mu.Lock()
+	stats.statuses[status]++
+	stats.mu.Unlock()
+
+	switch {
+	case status == http.StatusOK:
+		switch kind {
+		case "estimate":
+			var out struct {
+				Estimate   float64 `json:"estimate"`
+				Tier       string  `json:"tier"`
+				TierReason string  `json:"tier_reason"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil {
+				stats.violate("estimate 200 with unparseable body: %v", err)
+				return
+			}
+			checkAnswer(stats, "estimate", out.Estimate, out.Tier, out.TierReason)
+		case "batch":
+			var out struct {
+				Items []struct {
+					Estimate   float64 `json:"estimate"`
+					Tier       string  `json:"tier"`
+					TierReason string  `json:"tier_reason"`
+					Error      string  `json:"error"`
+				} `json:"items"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil {
+				stats.violate("batch 200 with unparseable body: %v", err)
+				return
+			}
+			for _, item := range out.Items {
+				if item.Error != "" {
+					// In-place refusal (shed or per-item failure): allowed, as
+					// long as it is a refusal and not a mislabeled answer.
+					stats.mu.Lock()
+					stats.protective++
+					stats.mu.Unlock()
+					continue
+				}
+				checkAnswer(stats, "batch item", item.Estimate, item.Tier, item.TierReason)
+			}
+		}
+	case status == http.StatusTooManyRequests:
+		if retryAfter == "" {
+			stats.violate("429 on %s without Retry-After", kind)
+			return
+		}
+		stats.mu.Lock()
+		stats.protective++
+		stats.mu.Unlock()
+	case status == http.StatusServiceUnavailable:
+		// The only 5xx a protecting server may emit: structured (JSON
+		// error/reason) and schedulable (Retry-After).
+		if retryAfter == "" {
+			stats.violate("503 on %s without Retry-After: %s", kind, truncateBody(body))
+			return
+		}
+		var out struct {
+			Error  string `json:"error"`
+			Reason string `json:"reason"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil || (out.Error == "" && out.Reason == "") {
+			stats.violate("503 on %s without a structured body: %s", kind, truncateBody(body))
+			return
+		}
+		stats.mu.Lock()
+		stats.protective++
+		stats.mu.Unlock()
+	case status >= 500:
+		stats.violate("unexpected %d on %s: %s", status, kind, truncateBody(body))
+	default:
+		// Other 4xx (the generator only sends well-formed requests, so
+		// these should not appear): counted in the status table, reported,
+		// but not an invariant violation.
+	}
+}
+
+// checkAnswer enforces the labeling invariant on one 200 estimate: finite
+// non-negative value, a tier, and a reason whenever the tier is degraded.
+func checkAnswer(stats *chaosStats, what string, estimate float64, tier, reason string) {
+	if math.IsNaN(estimate) || math.IsInf(estimate, 0) || estimate < 0 {
+		stats.violate("%s 200 with non-finite or negative estimate %v", what, estimate)
+		return
+	}
+	if tier == "" {
+		stats.violate("%s 200 without a tier label", what)
+		return
+	}
+	if tier != "exact" {
+		if reason == "" {
+			stats.violate("%s 200 degraded to tier %q without a tier_reason", what, tier)
+			return
+		}
+		stats.mu.Lock()
+		stats.degraded++
+		stats.mu.Unlock()
+	}
+}
+
+// chaosHealth reads the resilience block out of /healthz.
+func chaosHealth(client *http.Client, base string) (state string, transitions int64, ok bool) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return "", 0, false
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Resilience struct {
+			State       string `json:"state"`
+			Transitions int64  `json:"transitions"`
+		} `json:"resilience"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) != nil || body.Resilience.State == "" {
+		return "", 0, false
+	}
+	return body.Resilience.State, body.Resilience.Transitions, true
+}
+
+func chaosGet(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func truncateBody(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+func printChaosReport(stats *chaosStats, recovered bool, recoveryTime time.Duration, transitions int64) {
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	codes := make([]int, 0, len(stats.statuses))
+	for code := range stats.statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	var byStatus strings.Builder
+	for i, code := range codes {
+		if i > 0 {
+			byStatus.WriteString(", ")
+		}
+		fmt.Fprintf(&byStatus, "%d×%d", code, stats.statuses[code])
+	}
+	states := make([]string, 0, len(stats.statesSeen))
+	for s := range stats.statesSeen {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+
+	log.Printf("chaos: %d requests (%s)", stats.requests, byStatus.String())
+	log.Printf("chaos: %d degraded answers (all tier-labeled), %d protective refusals (shed/breaker/backlog, all with Retry-After)",
+		stats.degraded, stats.protective)
+	log.Printf("chaos: resilience states seen during the soak: %s", strings.Join(states, ", "))
+	if recovered {
+		log.Printf("chaos: recovered to normal %v after faults cleared (%d controller transitions)",
+			recoveryTime.Round(10*time.Millisecond), transitions)
+	}
+	if stats.nViolations > 0 {
+		for _, v := range stats.violations {
+			log.Printf("VIOLATION: %s", v)
+		}
+		if extra := stats.nViolations - int64(len(stats.violations)); extra > 0 {
+			log.Printf("VIOLATION: ... and %d more", extra)
+		}
+		log.Printf("chaos soak FAILED (%d violations)", stats.nViolations)
+	} else {
+		log.Printf("chaos soak passed: no invariant violations")
+	}
+}

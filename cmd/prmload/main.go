@@ -109,6 +109,9 @@ func main() {
 	journalSample := flag.Int("journal-sample", 64, "in-process server: journal 1 in N ordinary successes")
 	sloLatency := flag.Duration("slo-latency", 0, "in-process server: latency objective threshold (0 = server default)")
 	sloTarget := flag.Float64("slo-latency-target", 0, "in-process server: fraction of estimates that must meet -slo-latency (0 = server default)")
+	chaos := flag.Bool("chaos", false, "chaos soak: run a seeded random fault schedule against the in-process stack and assert self-protection invariants (requires -inprocess)")
+	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the random fault schedule (chaos mode)")
+	chaosRecovery := flag.Duration("chaos-recovery-timeout", 20*time.Second, "how long after the load stops the server has to report resilience state normal (chaos mode)")
 	flag.Parse()
 
 	if *model == "" {
@@ -119,6 +122,12 @@ func main() {
 	}
 	if *fault != "" && !*inprocess {
 		log.Fatal("-fault requires -inprocess (fault points live in this process)")
+	}
+	if *chaos && !*inprocess {
+		log.Fatal("-chaos requires -inprocess (fault points and the brownout loop live in this process)")
+	}
+	if *chaos && *fault != "" {
+		log.Fatal("-chaos builds its own fault schedule; drop -fault")
 	}
 
 	// The workload generator needs the dataset schema (tables, attributes,
@@ -133,9 +142,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *chaos {
+		os.Exit(runChaos(chaosConfig{
+			gen: gen, dataset: *datasetName, model: *model,
+			rows: *rows, scale: *scale, seed: *seed,
+			chaosSeed: *chaosSeed, duration: *duration,
+			recoveryTimeout: *chaosRecovery,
+		}))
+	}
+
 	base := *addr
 	if *inprocess {
-		ts, cleanup := startInProcess(*datasetName, *model, *rows, *scale, *seed, *mix, *journalSample, *sloLatency, *sloTarget)
+		ts, cleanup := startInProcess(inprocOptions{
+			dataset: *datasetName, model: *model, rows: *rows, scale: *scale, seed: *seed,
+			ingest:        strings.Contains(*mix, "ingest"),
+			journalSample: *journalSample,
+			sloLatency:    *sloLatency, sloTarget: *sloTarget,
+		})
 		defer cleanup()
 		base = ts.URL
 	}
@@ -325,17 +348,37 @@ func run(client *http.Client, base string, gen *generator, rate float64, duratio
 	return rep
 }
 
+// inprocOptions configures the locally built serving stack. The zero
+// fields fall back to the serve package's defaults; the chaos harness
+// overrides the timing knobs to compress fault-and-recovery cycles into
+// a short run.
+type inprocOptions struct {
+	dataset, model string
+	rows           int
+	scale          float64
+	seed           int64
+	ingest         bool // enable the WAL write path on a throwaway store
+	cacheCapacity  int
+	requestTimeout time.Duration
+	journalSample  int
+	sloLatency     time.Duration
+	sloTarget      float64
+	sloWindows     []time.Duration
+	brownoutTick   time.Duration
+	memSoftLimit   int64
+}
+
 // startInProcess builds the full serving stack locally: a registry with
 // one model, ingest enabled (on a throwaway store) when the mix sends
 // writes, and the standard handler behind an httptest listener.
-func startInProcess(dataset, model string, rows int, scale float64, seed int64, mix string, journalSample int, sloLatency time.Duration, sloTarget float64) (*httptest.Server, func()) {
+func startInProcess(o inprocOptions) (*httptest.Server, func()) {
 	reg := serve.NewRegistry()
 	spec := serve.BuildSpec{
-		Dataset: dataset, Rows: rows, Scale: scale, Seed: seed,
+		Dataset: o.dataset, Rows: o.rows, Scale: o.scale, Seed: o.seed,
 		Retry: serve.RetryPolicy{MaxAttempts: 3},
 	}
 	var tmpDir string
-	if strings.Contains(mix, "ingest") {
+	if o.ingest {
 		dir, err := os.MkdirTemp("", "prmload-store-*")
 		if err != nil {
 			log.Fatal(err)
@@ -348,14 +391,19 @@ func startInProcess(dataset, model string, rows int, scale float64, seed int64, 
 		reg.UseStore(st)
 		spec.Ingest = serve.IngestPolicy{Enabled: true, RefitRows: 4096, MaxPending: 1 << 20}
 	}
-	if _, err := reg.Add(model, spec); err != nil {
+	if _, err := reg.Add(o.model, spec); err != nil {
 		log.Fatal(err)
 	}
 	srv := serve.NewServer(serve.Config{
 		Registry:           reg,
-		JournalSampleEvery: journalSample,
-		SLOLatency:         sloLatency,
-		SLOLatencyTarget:   sloTarget,
+		CacheCapacity:      o.cacheCapacity,
+		RequestTimeout:     o.requestTimeout,
+		JournalSampleEvery: o.journalSample,
+		SLOLatency:         o.sloLatency,
+		SLOLatencyTarget:   o.sloTarget,
+		SLOWindows:         o.sloWindows,
+		BrownoutTick:       o.brownoutTick,
+		MemSoftLimit:       o.memSoftLimit,
 		// Keep the in-process server's rebuild chatter and per-request log
 		// lines out of the load report.
 		Logf:   func(string, ...any) {},
@@ -364,6 +412,7 @@ func startInProcess(dataset, model string, rows int, scale float64, seed int64, 
 	ts := httptest.NewServer(srv.Handler())
 	cleanup := func() {
 		ts.Close()
+		srv.Close()
 		if tmpDir != "" {
 			os.RemoveAll(tmpDir)
 		}

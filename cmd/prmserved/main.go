@@ -40,6 +40,10 @@ func main() {
 	budget := flag.Int("budget", 4400, "model storage budget in bytes")
 	cacheCap := flag.Int("cache", 4096, "inference cache capacity (entries)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	requestTimeout := flag.Duration("request-timeout", 0, "hard per-request context deadline, mapped to a structured 503 deadline_exceeded (0 = off; -timeout still bounds handler time)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max time to read a full request, body included")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "max time to write a full response")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
 	exactEvery := flag.Int("exact-every", 0, "run every Nth estimate through the exact executor for q-error metrics (0 = off)")
 	logJSON := flag.Bool("log-json", false, "emit request logs as JSON (default: logfmt-style text)")
@@ -64,6 +68,9 @@ func main() {
 	sloLatency := flag.Duration("slo-latency", 0, "latency SLO threshold for estimate requests (0 = default 100ms)")
 	sloLatencyTarget := flag.Float64("slo-latency-target", 0, "fraction of estimate requests that must meet -slo-latency (0 = default 0.999)")
 	sloQErrorMax := flag.Float64("slo-qerror-max", 0, "q-error SLO threshold for feedback and exact-checked estimates (0 = default 16)")
+	brownout := flag.Bool("brownout", true, "enable the adaptive brownout controller and circuit breakers")
+	brownoutTick := flag.Duration("brownout-tick", 0, "brownout controller sampling period (0 = default 1s)")
+	memSoftLimit := flag.Int64("mem-soft-limit", 0, "heap bytes feeding the brownout memory-pressure signal (0 = signal off)")
 	flag.Parse()
 
 	if *ingestOn && *storeDir == "" {
@@ -163,13 +170,22 @@ func main() {
 		SLOLatency:         *sloLatency,
 		SLOLatencyTarget:   *sloLatencyTarget,
 		SLOQErrorMax:       *sloQErrorMax,
+		DisableBrownout:    !*brownout,
+		BrownoutTick:       *brownoutTick,
+		MemSoftLimit:       *memSoftLimit,
 	})
 	srv.Metrics().Publish()
 
+	// Full server-side timeouts, not just the header read: a client that
+	// trickles a body or never drains a response must not pin a
+	// connection (and its admission slot) forever.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           requestDeadline(*requestTimeout, srv.Handler()),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -196,9 +212,51 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "prmserved: shutdown: %v\n", err)
 	}
+	srv.Close() // stop the brownout controller before model teardown
 	log.Print("shutting down: stopping rebuilds and flushing snapshots")
 	if err := reg.Close(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "prmserved: shutdown: %v\n", err)
 	}
 	log.Print("shutdown complete")
+}
+
+// requestDeadline wraps the whole handler tree in a per-request context
+// deadline. The serve layer already cancels inference when the context
+// ends; this middleware additionally guarantees the client gets a
+// structured answer — if the deadline fired and nothing was written yet,
+// it answers 503 deadline_exceeded itself (with Retry-After, so the
+// refusal reads as pushback, not an outage).
+func requestDeadline(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		dw := &deadlineWriter{ResponseWriter: w}
+		next.ServeHTTP(dw, r.WithContext(ctx))
+		if !dw.wrote && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "{\"error\":\"deadline_exceeded\",\"timeout\":%q}\n", d)
+		}
+	})
+}
+
+// deadlineWriter tracks whether the inner handler wrote anything, so the
+// deadline middleware never stacks a second response on a real one.
+type deadlineWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *deadlineWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *deadlineWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }

@@ -255,6 +255,22 @@ func (c *planCache) lookup(key string) (*planEntry, bool) {
 	return e, false
 }
 
+// setCapacity retunes the LRU bound, evicting down to it immediately.
+// capacity <= 0 restores the default.
+func (c *planCache) setCapacity(capacity int) {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheCap
+	}
+	c.mu.Lock()
+	c.capacity = capacity
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*planNode).key)
+	}
+	c.mu.Unlock()
+}
+
 func (c *planCache) invalidate() {
 	c.mu.Lock()
 	c.ll.Init()
@@ -293,6 +309,10 @@ func (s PlanCacheStats) HitRate() float64 {
 
 // PlanStats returns the network's plan-cache counters.
 func (n *Network) PlanStats() PlanCacheStats { return n.plans.stats() }
+
+// SetPlanCapacity retunes the plan LRU bound (brownout control shrinks
+// it under memory pressure); <= 0 restores the default.
+func (n *Network) SetPlanCapacity(capacity int) { n.plans.setCapacity(capacity) }
 
 // InvalidatePlans drops every compiled plan. SetParents/SetCPD call this;
 // callers that mutate CPDs in place must call it themselves.

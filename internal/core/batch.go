@@ -137,6 +137,21 @@ func (m *PRM) EstimateCountUncompiled(q *query.Query) (float64, error) {
 	return m.estimateGuarded(context.Background(), q, evalOpts{uncompiled: true})
 }
 
+// SetPlanCapacity retunes the plan-cache bound of every cached
+// evaluation network and of networks built afterwards; n <= 0 restores
+// the per-network default.
+func (m *PRM) SetPlanCapacity(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	m.planCap = n
+	for _, em := range m.evalCache {
+		em.net.SetPlanCapacity(n)
+	}
+}
+
 // PlanStats aggregates the plan-cache counters of every cached evaluation
 // network. RefitParameters and hot swaps drop the evaluation cache, so the
 // counters restart from zero after a parameter change.

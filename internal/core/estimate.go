@@ -375,6 +375,9 @@ func (m *PRM) model(q *query.Query) (em *evalModel, hit bool, err error) {
 	}
 
 	m.mu.Lock()
+	if m.planCap > 0 {
+		em.net.SetPlanCapacity(m.planCap)
+	}
 	m.evalCache[key] = em
 	m.mu.Unlock()
 	return em, false, nil

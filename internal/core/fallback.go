@@ -55,7 +55,16 @@ type EstimateOptions struct {
 	// are deterministic for a fixed seed, which keeps cached and
 	// uncached responses consistent.
 	Seed int64
+	// MaxTier caps where the chain may start ("" or TierExact = full
+	// chain). TierApprox (or below) skips exact elimination entirely —
+	// the brownout controller uses this to shed inference cost while
+	// still answering every query.
+	MaxTier Tier
 }
+
+// errExactDisabled is the degradation reason when the exact tier was
+// skipped by policy rather than failing on its own.
+var errExactDisabled = errors.New("core: exact tier disabled by brownout ceiling")
 
 // EstimateResult is an estimate annotated with how it was produced.
 type EstimateResult struct {
@@ -101,7 +110,13 @@ func (m *PRM) estimateTiered(ctx context.Context, q *query.Query, opts EstimateO
 	}
 	ctx, sp := obs.Start(ctx, "estimate")
 
-	est, exactErr := m.estimateGuarded(ctx, q, evalOpts{budget: opts.Budget})
+	var est float64
+	var exactErr error
+	if opts.MaxTier != "" && opts.MaxTier != TierExact {
+		exactErr = errExactDisabled
+	} else {
+		est, exactErr = m.estimateGuarded(ctx, q, evalOpts{budget: opts.Budget})
+	}
 	if exactErr == nil {
 		if sp != nil {
 			sp.Set(obs.Str("tier", string(TierExact)), obs.Float("estimate", est))

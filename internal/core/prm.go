@@ -69,6 +69,10 @@ type PRM struct {
 	// CPDs are read-only on the Prob/Factor path).
 	mu        sync.Mutex
 	evalCache map[string]*evalModel
+	// planCap, when > 0, overrides the plan-cache capacity of every
+	// evaluation network (existing and future) — the brownout
+	// controller's memory knob. Guarded by mu.
+	planCap int
 	// paramMu serializes in-place parameter maintenance (RefitParameters
 	// writes CPDs and tableSize) against concurrent estimation reads.
 	// Estimation holds the read side, so many queries proceed in

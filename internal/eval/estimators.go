@@ -51,6 +51,10 @@ func (p *PRMEstimator) Explain(q *query.Query) (*core.Explanation, error) { retu
 // estimation service surfaces them in /healthz.
 func (p *PRMEstimator) PlanStats() bayesnet.PlanCacheStats { return p.M.PlanStats() }
 
+// SetPlanCapacity retunes the model's plan-cache bound (<= 0 restores
+// the default); the serve layer's brownout controller drives this.
+func (p *PRMEstimator) SetPlanCapacity(n int) { p.M.SetPlanCapacity(n) }
+
 // StorageBytes implements baselines.Estimator.
 func (p *PRMEstimator) StorageBytes() int { return p.M.StorageBytes() }
 

@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Prob builds a fault that returns err on fraction p of hits. Combine
+// with Compose to add latency to the firing hits.
+func Prob(p float64, err error) Fault {
+	return Fault{Prob: p, Err: err}
+}
+
+// Delay builds a pure latency fault: every hit sleeps d and then
+// succeeds.
+func Delay(d time.Duration) Fault {
+	return Fault{Latency: d}
+}
+
+// Compose overlays faults left to right into one Fault, so schedules
+// can mix slow IO with probabilistic errors at a single point (a point
+// holds exactly one Fault — Set replaces). Latencies accumulate; for
+// every other field the last non-zero value wins; hit counting (and so
+// Hits) is unchanged, since the result is still one armed Fault.
+func Compose(fs ...Fault) Fault {
+	var out Fault
+	for _, f := range fs {
+		out.Latency += f.Latency
+		if f.Err != nil {
+			out.Err = f.Err
+		}
+		if f.Panic != "" {
+			out.Panic = f.Panic
+		}
+		if f.SkipFirst != 0 {
+			out.SkipFirst = f.SkipFirst
+		}
+		if f.Times != 0 {
+			out.Times = f.Times
+		}
+		if f.OnHit != nil {
+			out.OnHit = f.OnHit
+		}
+		if f.Prob != 0 {
+			out.Prob = f.Prob
+		}
+		if f.Seed != 0 {
+			out.Seed = f.Seed
+		}
+	}
+	return out
+}
+
+// ScheduleEvent arms (Arm true) or clears (Arm false) one point at a
+// relative offset from the schedule's start.
+type ScheduleEvent struct {
+	At    time.Duration
+	Point string
+	Arm   bool
+	Fault Fault
+}
+
+// Schedule is an ordered list of arm/clear events replayed in real time
+// by Run. Build one deterministically with RandomSchedule.
+type Schedule struct {
+	events []ScheduleEvent
+}
+
+// Events returns the ordered event list (for logging and tests).
+func (s *Schedule) Events() []ScheduleEvent { return s.events }
+
+// RandomSchedule derives a deterministic chaos schedule from seed: for
+// each injection point it picks one or two non-overlapping fault
+// windows inside the first activeFrac (70%) of total, leaving the tail
+// fault-free so a soak can assert recovery. The same seed and inputs
+// always produce the same schedule.
+func RandomSchedule(seed int64, total time.Duration, points map[string]Fault) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, 0, len(points))
+	for name := range points {
+		names = append(names, name)
+	}
+	sort.Strings(names) // map order must not leak into the schedule
+
+	const activeFrac = 0.7
+	active := time.Duration(float64(total) * activeFrac)
+	var events []ScheduleEvent
+	for _, name := range names {
+		f := points[name]
+		if f.Seed == 0 {
+			// Give each point's probabilistic draw its own derived seed so
+			// two points with the same Prob don't fire in lockstep.
+			f.Seed = seed + int64(len(events)) + 1
+		}
+		windows := 1 + rng.Intn(2)
+		cursor := time.Duration(rng.Int63n(int64(active)/4 + 1))
+		for w := 0; w < windows && cursor < active; w++ {
+			dur := time.Duration(float64(active) * (0.15 + 0.25*rng.Float64()))
+			end := cursor + dur
+			if end > active {
+				end = active
+			}
+			events = append(events,
+				ScheduleEvent{At: cursor, Point: name, Arm: true, Fault: f},
+				ScheduleEvent{At: end, Point: name, Arm: false},
+			)
+			// Leave a gap before any second window.
+			cursor = end + time.Duration(float64(active)*(0.1+0.2*rng.Float64()))
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return &Schedule{events: events}
+}
+
+// Run replays the schedule in real time on a goroutine: each event Sets
+// or Clears its point at its offset. Closing stop aborts the replay and
+// clears every point the schedule touched. The returned channel closes
+// once the replay (or abort cleanup) is finished.
+func (s *Schedule) Run(stop <-chan struct{}) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			for _, ev := range s.events {
+				Clear(ev.Point)
+			}
+		}()
+		start := time.Now()
+		for _, ev := range s.events {
+			wait := ev.At - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-stop:
+					return
+				}
+			} else {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+			if ev.Arm {
+				Set(ev.Point, ev.Fault)
+			} else {
+				Clear(ev.Point)
+			}
+		}
+	}()
+	return done
+}

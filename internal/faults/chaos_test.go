@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestProbDeterministicUnderSeed(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	pattern := func(seed int64) []bool {
+		f := Prob(0.5, boom)
+		f.Seed = seed
+		restore := Set("test.prob", f)
+		defer restore()
+		var fired []bool
+		for i := 0; i < 200; i++ {
+			fired = append(fired, Inject("test.prob") != nil)
+		}
+		return fired
+	}
+	a := pattern(7)
+	b := pattern(7)
+	c := pattern(8)
+	firesA, firesC := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if a[i] {
+			firesA++
+		}
+		if c[i] {
+			firesC++
+		}
+	}
+	if firesA == 0 || firesA == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times; want a genuine mix", firesA, len(a))
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical firing patterns")
+	}
+}
+
+func TestProbMissesDoNotCountAsHits(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	f := Prob(0.3, boom)
+	f.Times = 5
+	Set("test.prob.hits", f)
+	fired := 0
+	for i := 0; i < 500; i++ {
+		if Inject("test.prob.hits") != nil {
+			fired++
+		}
+	}
+	// Times bounds firing hits only: exactly 5 fire even though far more
+	// than 5 calls were made, and Hits matches.
+	if fired != 5 {
+		t.Fatalf("fired %d times, want exactly Times=5", fired)
+	}
+	if got := Hits("test.prob.hits"); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+}
+
+func TestDelayConstructor(t *testing.T) {
+	defer Reset()
+	Set("test.delay", Delay(20*time.Millisecond))
+	start := time.Now()
+	if err := Inject("test.delay"); err != nil {
+		t.Fatalf("Delay fault returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("Inject returned after %v, want >= 20ms sleep", d)
+	}
+	if got := Hits("test.delay"); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	boom := errors.New("boom")
+	f := Compose(Delay(5*time.Millisecond), Prob(0.5, boom), Delay(5*time.Millisecond))
+	if f.Latency != 10*time.Millisecond {
+		t.Fatalf("Latency = %v, want 10ms (accumulated)", f.Latency)
+	}
+	if f.Prob != 0.5 || f.Err != boom {
+		t.Fatalf("Compose lost prob/err: %+v", f)
+	}
+	// Last non-zero wins for scalar fields.
+	g := Compose(Fault{Times: 3}, Fault{Times: 7})
+	if g.Times != 7 {
+		t.Fatalf("Times = %d, want 7", g.Times)
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	points := map[string]Fault{
+		"store.write":    Prob(1, errors.New("chaos write")),
+		"bayesnet.infer": Compose(Delay(time.Millisecond), Prob(0.5, errors.New("chaos infer"))),
+	}
+	a := RandomSchedule(42, time.Minute, points).Events()
+	b := RandomSchedule(42, time.Minute, points).Events()
+	if len(a) == 0 {
+		t.Fatal("schedule has no events")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Point != b[i].Point || a[i].Arm != b[i].Arm {
+			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Every window must close inside the active fraction, leaving the
+	// tail fault-free for recovery assertions.
+	activeEnd := time.Duration(float64(time.Minute) * 0.7)
+	armed := map[string]int{}
+	for _, ev := range a {
+		if ev.At > activeEnd {
+			t.Fatalf("event at %v past active window end %v", ev.At, activeEnd)
+		}
+		if ev.Arm {
+			armed[ev.Point]++
+		} else {
+			armed[ev.Point]--
+		}
+	}
+	for p, n := range armed {
+		if n != 0 {
+			t.Fatalf("point %s has %d unmatched arm events", p, n)
+		}
+	}
+	// A different seed should give a different schedule.
+	c := RandomSchedule(43, time.Minute, points).Events()
+	diff := len(c) != len(a)
+	for i := 0; !diff && i < len(a); i++ {
+		diff = a[i].At != c[i].At || a[i].Point != c[i].Point
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestScheduleRunArmsAndClears(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	s := &Schedule{events: []ScheduleEvent{
+		{At: 0, Point: "test.sched", Arm: true, Fault: Fault{Err: boom}},
+		{At: 30 * time.Millisecond, Point: "test.sched", Arm: false},
+	}}
+	stop := make(chan struct{})
+	done := s.Run(stop)
+	deadline := time.Now().Add(2 * time.Second)
+	for Inject("test.sched") == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if Inject("test.sched") == nil {
+		t.Fatal("schedule never armed the point")
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("schedule did not finish")
+	}
+	if err := Inject("test.sched"); err != nil {
+		t.Fatalf("point still armed after schedule end: %v", err)
+	}
+	close(stop)
+}
+
+func TestScheduleRunStopClearsArmed(t *testing.T) {
+	defer Reset()
+	s := &Schedule{events: []ScheduleEvent{
+		{At: 0, Point: "test.sched.stop", Arm: true, Fault: Fault{Err: errors.New("x")}},
+		{At: time.Hour, Point: "test.sched.stop", Arm: false},
+	}}
+	stop := make(chan struct{})
+	done := s.Run(stop)
+	deadline := time.Now().Add(2 * time.Second)
+	for Inject("test.sched.stop") == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("schedule did not abort on stop")
+	}
+	if err := Inject("test.sched.stop"); err != nil {
+		t.Fatalf("stop did not clear armed point: %v", err)
+	}
+}

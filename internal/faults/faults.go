@@ -13,6 +13,7 @@ package faults
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,13 @@ type Fault struct {
 	// OnHit, when non-nil, runs on every firing hit (after Latency,
 	// before Err/Panic) — a test-side observation hook.
 	OnHit func(hit int)
+	// Prob, when in (0, 1), fires the fault on only that fraction of
+	// hits; the rest pass through untouched and do not count toward
+	// Times or Hits. Draws come from a per-point generator seeded by
+	// Seed, so a fixed seed replays the same firing pattern.
+	Prob float64
+	// Seed drives the Prob draw (0 means seed 1).
+	Seed int64
 }
 
 // registry is the process-global armed-point table. armed is the fast-path
@@ -50,6 +58,7 @@ var (
 type entry struct {
 	fault Fault
 	hits  int
+	rng   *rand.Rand // probabilistic draw state; nil unless Prob is set
 }
 
 // Set arms the named point and returns a func that disarms it. Arming an
@@ -62,7 +71,15 @@ func Set(point string, f Fault) (restore func()) {
 	if _, ok := table[point]; !ok {
 		armed.Add(1)
 	}
-	table[point] = &entry{fault: f}
+	e := &entry{fault: f}
+	if f.Prob > 0 && f.Prob < 1 {
+		seed := f.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		e.rng = rand.New(rand.NewSource(seed))
+	}
+	table[point] = e
 	mu.Unlock()
 	return func() { Clear(point) }
 }
@@ -114,6 +131,10 @@ func Inject(point string) error {
 		return nil
 	}
 	if e.fault.Times > 0 && e.hits >= e.fault.Times {
+		mu.Unlock()
+		return nil
+	}
+	if e.rng != nil && e.rng.Float64() >= e.fault.Prob {
 		mu.Unlock()
 		return nil
 	}

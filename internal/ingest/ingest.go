@@ -17,6 +17,12 @@ import (
 // refit can absorb must push back, not grow without bound.
 var ErrBacklog = errors.New("ingest: refit backlog full")
 
+// ErrRefitDeferred reports that a refit attempt did not run because
+// SkipRefit declined it (a rebuild is in flight, or a circuit breaker
+// holds the path). The pending rows stay staged; a later trigger will
+// pick them up.
+var ErrRefitDeferred = errors.New("ingest: refit deferred")
+
 // Publication is one refit's output, handed to the publish callback: the
 // refit model, an immutable clone of the staging database, and the WAL
 // watermark the clone reflects. The callback persists a new snapshot
@@ -251,10 +257,16 @@ func (ing *Ingestor) triggerLocked(reason string) {
 	}
 }
 
-// runRefit wraps one refit attempt with metrics and logging.
+// runRefit wraps one refit attempt with metrics and logging. A deferred
+// refit (SkipRefit said not now) is reported to no one: it is neither a
+// success nor a failure of the refit path, and feeding it to OnRefit
+// would let a breaker or metric mistake "didn't run" for "ran fine".
 func (ing *Ingestor) runRefit(reason string) {
 	start := time.Now()
 	err := ing.Refit(reason)
+	if errors.Is(err, ErrRefitDeferred) {
+		return
+	}
 	if ing.cfg.OnRefit != nil {
 		ing.cfg.OnRefit(time.Since(start), err)
 	}
@@ -272,7 +284,7 @@ func (ing *Ingestor) Refit(reason string) error {
 	ing.refitMu.Lock()
 	defer ing.refitMu.Unlock()
 	if ing.cfg.SkipRefit != nil && ing.cfg.SkipRefit() {
-		return nil
+		return ErrRefitDeferred
 	}
 	if ferr := faults.Inject("ingest.refit"); ferr != nil {
 		return fmt.Errorf("ingest: refit: %w", ferr)

@@ -304,8 +304,8 @@ func TestSkipRefitDefers(t *testing.T) {
 	if _, err := ing.Ingest([]Row{{Table: "Person", Attrs: []int32{1, 0}}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ing.Refit("blocked"); err != nil {
-		t.Fatal(err)
+	if err := ing.Refit("blocked"); !errors.Is(err, ErrRefitDeferred) {
+		t.Fatalf("Refit while blocked = %v, want ErrRefitDeferred", err)
 	}
 	mu.Lock()
 	c := calls

@@ -76,7 +76,7 @@ type Journal struct {
 	slot []atomic.Pointer[Event]
 
 	slowUS      int64
-	sampleEvery uint64
+	sampleEvery atomic.Uint64 // brownout control retunes this live
 
 	nextID  atomic.Uint64
 	uniform atomic.Uint64 // 1-in-N selector for ordinary successes
@@ -105,12 +105,26 @@ func NewJournal(cfg JournalConfig) *Journal {
 	if slow <= 0 {
 		slow = 25 * time.Millisecond
 	}
-	return &Journal{
-		mask:        uint64(pow - 1),
-		slot:        make([]atomic.Pointer[Event], pow),
-		slowUS:      slow.Microseconds(),
-		sampleEvery: uint64(cfg.SampleEvery),
+	j := &Journal{
+		mask:   uint64(pow - 1),
+		slot:   make([]atomic.Pointer[Event], pow),
+		slowUS: slow.Microseconds(),
 	}
+	j.sampleEvery.Store(uint64(cfg.SampleEvery))
+	return j
+}
+
+// SetSampleEvery retunes uniform sampling to one-in-n (n <= 0 disables
+// uniform sampling; errors, degraded, and slow are still always kept).
+// Safe concurrently and on a nil journal.
+func (j *Journal) SetSampleEvery(n int) {
+	if j == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	j.sampleEvery.Store(uint64(n))
 }
 
 // NextID issues the next request id. Ids are dense and monotonic per
@@ -151,7 +165,7 @@ func (j *Journal) Sample(status int, degraded bool, d time.Duration) (string, bo
 	case d.Microseconds() >= j.slowUS:
 		return SampleSlow, true
 	}
-	if n := j.sampleEvery; n > 0 && j.uniform.Add(1)%n == 0 {
+	if n := j.sampleEvery.Load(); n > 0 && j.uniform.Add(1)%n == 0 {
 		return SampleUniform, true
 	}
 	return "", false

@@ -136,6 +136,38 @@ type ObjectiveStatus struct {
 	Burning bool `json:"burning"`
 }
 
+// Burn returns objective i's burn rate over the shortest window only.
+// Unlike Status it allocates nothing — it exists for callers polling on
+// a tick (the brownout controller) that must not perturb allocation
+// accounting. Returns 0 on a nil engine, an unknown objective, or an
+// empty window.
+func (s *SLO) Burn(i int) float64 {
+	if s == nil || i < 0 || i >= len(s.cells) || len(s.windows) == 0 {
+		return 0
+	}
+	nowSec := s.now().Unix()
+	secs := int64(s.windows[0] / time.Second)
+	var good, bad int64
+	for d := int64(0); d < secs && d < s.size; d++ {
+		sec := nowSec - d
+		c := &s.cells[i][sec%s.size]
+		if c.epoch.Load() == sec {
+			good += c.good.Load()
+			bad += c.bad.Load()
+		}
+	}
+	total := good + bad
+	if total == 0 || bad == 0 {
+		return 0
+	}
+	frac := float64(bad) / float64(total)
+	budget := 1 - s.objectives[i].Target
+	if budget <= 0 {
+		return 1e9
+	}
+	return frac / budget
+}
+
 // Status evaluates every objective over every window at the current
 // clock reading.
 func (s *SLO) Status() []ObjectiveStatus {

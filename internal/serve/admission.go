@@ -26,13 +26,19 @@ var (
 // let one expensive multi-join query count as several cheap ones, so the
 // concurrency cap tracks load rather than request count.
 type admission struct {
-	capacity int64
+	// maxCap is the configured capacity, immutable for the semaphore's
+	// lifetime. Weights are clamped against it — never against the
+	// dynamic capacity — so an acquire and its matching release always
+	// clamp identically and the accounting cannot drift when the
+	// brownout controller moves capacity between them.
+	maxCap   int64
 	maxQueue int
 	timeout  time.Duration
 
-	mu      sync.Mutex
-	used    int64
-	waiters list.List // of *waiter, FIFO
+	mu       sync.Mutex
+	capacity int64 // current admission bound in [1, maxCap]
+	used     int64
+	waiters  list.List // of *waiter, FIFO
 }
 
 type waiter struct {
@@ -44,7 +50,23 @@ type waiter struct {
 // concurrently, queueing at most maxQueue waiters, each for at most
 // timeout.
 func newAdmission(capacity int64, maxQueue int, timeout time.Duration) *admission {
-	return &admission{capacity: capacity, maxQueue: maxQueue, timeout: timeout}
+	return &admission{maxCap: capacity, capacity: capacity, maxQueue: maxQueue, timeout: timeout}
+}
+
+// setCapacity retunes the admission bound, clamped to [1, maxCap]. A
+// shrink only affects future grants — admitted work is never revoked; a
+// grow immediately grants queued waiters that now fit.
+func (a *admission) setCapacity(c int64) {
+	if c < 1 {
+		c = 1
+	}
+	if c > a.maxCap {
+		c = a.maxCap
+	}
+	a.mu.Lock()
+	a.capacity = c
+	a.grantLocked()
+	a.mu.Unlock()
 }
 
 // queryWeight scores a query's expected inference cost: each key join
@@ -55,15 +77,24 @@ func queryWeight(q *query.Query) int64 {
 	return w
 }
 
+// fitsLocked reports whether weight w may be admitted now. The used == 0
+// escape keeps progress guaranteed: a query clamped to maxCap (or any
+// weight above a brownout-shrunken capacity) runs alone rather than
+// wedging forever.
+func (a *admission) fitsLocked(w int64) bool {
+	return a.used+w <= a.capacity || a.used == 0
+}
+
 // acquire blocks until w slots are granted, the queue deadline passes, or
-// the caller's context ends. Weights above capacity are clamped so a huge
-// query is admissible (alone) rather than wedged forever.
+// the caller's context ends. Weights above the configured capacity are
+// clamped so a huge query is admissible (alone) rather than wedged
+// forever.
 func (a *admission) acquire(done <-chan struct{}, w int64) error {
-	if w > a.capacity {
-		w = a.capacity
+	if w > a.maxCap {
+		w = a.maxCap
 	}
 	a.mu.Lock()
-	if a.used+w <= a.capacity && a.waiters.Len() == 0 {
+	if a.fitsLocked(w) && a.waiters.Len() == 0 {
 		a.used += w
 		a.mu.Unlock()
 		return nil
@@ -115,30 +146,36 @@ func (a *admission) abandon(elem *list.Element) bool {
 // release returns w slots and grants as many queued waiters as now fit, in
 // FIFO order.
 func (a *admission) release(w int64) {
-	if w > a.capacity {
-		w = a.capacity
+	if w > a.maxCap {
+		w = a.maxCap
 	}
 	a.mu.Lock()
 	a.used -= w
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked admits queued waiters in FIFO order while they fit.
+func (a *admission) grantLocked() {
 	for {
 		front := a.waiters.Front()
 		if front == nil {
 			break
 		}
 		wt := front.Value.(*waiter)
-		if a.used+wt.weight > a.capacity {
+		if !a.fitsLocked(wt.weight) {
 			break
 		}
 		a.used += wt.weight
 		a.waiters.Remove(front)
 		close(wt.ready)
 	}
-	a.mu.Unlock()
 }
 
-// load reports the in-use weight and queue length (for health output).
-func (a *admission) snapshot() (used int64, queued int) {
+// snapshot reports the in-use weight, queue length, and current capacity
+// (for health output and the brownout controller's signals).
+func (a *admission) snapshot() (used int64, queued int, capacity int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.used, a.waiters.Len()
+	return a.used, a.waiters.Len(), a.capacity
 }

@@ -23,11 +23,11 @@ func TestAdmissionImmediateGrant(t *testing.T) {
 			t.Fatalf("acquire %d = %v", i, err)
 		}
 	}
-	if used, queued := a.snapshot(); used != 4 || queued != 0 {
+	if used, queued, _ := a.snapshot(); used != 4 || queued != 0 {
 		t.Fatalf("snapshot = (%d, %d), want (4, 0)", used, queued)
 	}
 	a.release(4)
-	if used, _ := a.snapshot(); used != 0 {
+	if used, _, _ := a.snapshot(); used != 0 {
 		t.Fatalf("used after release = %d, want 0", used)
 	}
 }
@@ -41,7 +41,7 @@ func TestAdmissionQueueFullAndTimeout(t *testing.T) {
 	// Second caller queues and eventually times out.
 	errc := make(chan error, 1)
 	go func() { errc <- a.acquire(done, 1) }()
-	waitFor(t, "second caller to queue", func() bool { _, q := a.snapshot(); return q == 1 })
+	waitFor(t, "second caller to queue", func() bool { _, q, _ := a.snapshot(); return q == 1 })
 	// Third caller finds the queue full.
 	if err := a.acquire(done, 1); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third acquire = %v, want ErrQueueFull", err)
@@ -72,7 +72,7 @@ func TestAdmissionFIFOGrantOnRelease(t *testing.T) {
 			order <- i
 			a.release(1)
 		}()
-		waitFor(t, "waiter to queue", func() bool { _, q := a.snapshot(); return q == i })
+		waitFor(t, "waiter to queue", func() bool { _, q, _ := a.snapshot(); return q == i })
 	}
 	a.release(1)
 	wg.Wait()
@@ -94,7 +94,7 @@ func TestAdmissionOversizedWeightClamped(t *testing.T) {
 		t.Fatalf("oversized acquire = %v, want grant (clamped)", err)
 	}
 	a.release(100)
-	if used, _ := a.snapshot(); used != 0 {
+	if used, _, _ := a.snapshot(); used != 0 {
 		t.Fatalf("used = %d after clamped release, want 0", used)
 	}
 }
@@ -184,7 +184,7 @@ func TestAdmissionRejectionsOverHTTP(t *testing.T) {
 		resp.Body.Close()
 		r2 <- resp.StatusCode
 	}()
-	waitFor(t, "second request to queue", func() bool { _, q := srv.adm.snapshot(); return q == 1 })
+	waitFor(t, "second request to queue", func() bool { _, q, _ := srv.adm.snapshot(); return q == 1 })
 
 	// Request 3 finds the queue full: immediate 429.
 	resp, out := postEstimate(t, ts.URL, `{"query":"FROM People p WHERE p.Income = medium"}`)

@@ -190,19 +190,16 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) estimateBatchItem(ctx context.Context, snap *Snapshot, wanted []string, key string, q *query.Query, item *batchItemResponse) {
 	itemStart := time.Now()
 	val, hit, deduped, err := s.cache.Do(key, func() (any, error) {
-		if s.adm != nil {
-			if err := s.adm.acquire(ctx.Done(), queryWeight(q)); err != nil {
-				return nil, err
-			}
-			defer s.adm.release(queryWeight(q))
-		}
-		return s.runEstimators(ctx, snap, wanted, q)
+		return s.estimateMiss(ctx, snap, wanted, q)
 	})
 	item.Cache = cacheInfo{Hit: hit, Deduped: deduped}
 	item.Micros = time.Since(itemStart).Microseconds()
 	s.metrics.ObserveCache(hit, deduped)
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrShed):
+			// A shed refusal is the server protecting itself, not an
+			// internal error; the item reports it without counting one.
 		case errors.Is(err, ErrQueueFull):
 			s.metrics.ObserveAdmission(false)
 		case errors.Is(err, ErrQueueTimeout):

@@ -20,16 +20,23 @@ import (
 // (singleflight). Values are immutable once stored; callers must not
 // mutate what they get back.
 type Cache struct {
-	shards   []cacheShard
-	perShard int
-	seed     maphash.Seed
+	shards []cacheShard
+	seed   maphash.Seed
 }
 
 type cacheShard struct {
 	mu     sync.Mutex
+	cap    int                      // per-shard entry bound; Resize retunes it
 	ll     *list.List               // front = most recently used
 	items  map[string]*list.Element // key -> element; Value is *cacheEntry
 	flight map[string]*flightCall
+}
+
+// noStore wraps a Do computation result that must be returned to callers
+// but never cached — brownout-degraded answers use it so a recovered
+// server doesn't keep serving stale degraded tiers out of the cache.
+type noStore struct {
+	val any
 }
 
 type cacheEntry struct {
@@ -55,16 +62,40 @@ func NewCache(capacity, shards int) *Cache {
 	}
 	perShard := (capacity + shards - 1) / shards
 	c := &Cache{
-		shards:   make([]cacheShard, shards),
-		perShard: perShard,
-		seed:     maphash.MakeSeed(),
+		shards: make([]cacheShard, shards),
+		seed:   maphash.MakeSeed(),
 	}
 	for i := range c.shards {
+		c.shards[i].cap = perShard
 		c.shards[i].ll = list.New()
 		c.shards[i].items = make(map[string]*list.Element)
 		c.shards[i].flight = make(map[string]*flightCall)
 	}
 	return c
+}
+
+// Resize retunes the total capacity (floored at one entry per shard),
+// evicting LRU entries immediately on a shrink. The brownout controller
+// uses this to trade hit rate for heap under memory pressure.
+func (c *Cache) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	perShard := (capacity + len(c.shards) - 1) / len(c.shards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.cap = perShard
+		for len(s.items) > s.cap {
+			back := s.ll.Back()
+			if back == nil {
+				break
+			}
+			s.ll.Remove(back)
+			delete(s.items, back.Value.(*cacheEntry).key)
+		}
+		s.mu.Unlock()
+	}
 }
 
 func (c *Cache) shard(key string) *cacheShard {
@@ -95,11 +126,17 @@ func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit, shared boo
 	s.mu.Unlock()
 
 	f.val, f.err = fn()
+	// A noStore result is unwrapped before waiters see it and is never
+	// inserted; the next Do for this key recomputes.
+	_, skipStore := f.val.(noStore)
+	if skipStore {
+		f.val = f.val.(noStore).val
+	}
 
 	s.mu.Lock()
 	delete(s.flight, key)
-	if f.err == nil {
-		s.insert(key, f.val, c.perShard)
+	if f.err == nil && !skipStore {
+		s.insert(key, f.val)
 	}
 	s.mu.Unlock()
 	close(f.done)
@@ -121,14 +158,14 @@ func (c *Cache) Get(key string) (any, bool) {
 
 // insert adds key under the shard lock, evicting the least recently used
 // entry when the shard is full.
-func (s *cacheShard) insert(key string, val any, cap int) {
+func (s *cacheShard) insert(key string, val any) {
 	if el, ok := s.items[key]; ok { // a racing Do may have stored already
 		s.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).val = val
 		return
 	}
 	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
-	for len(s.items) > cap {
+	for len(s.items) > s.cap {
 		back := s.ll.Back()
 		if back == nil {
 			break

@@ -11,6 +11,7 @@ import (
 	"prmsel/internal/dataset"
 	"prmsel/internal/ingest"
 	"prmsel/internal/obs"
+	"prmsel/internal/resilience"
 	"prmsel/internal/store"
 )
 
@@ -142,6 +143,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		reject(http.StatusConflict, fmt.Sprintf("model %q does not accept ingest (enable it with -ingest)", model.Name))
 		return
 	}
+	// A tripped WAL breaker fails the write fast — before row resolution —
+	// instead of grinding every batch against a log that keeps failing.
+	if s.res != nil {
+		if err := s.res.walBr.Allow(); err != nil {
+			ra := time.Second
+			var oe *resilience.OpenError
+			if errors.As(err, &oe) {
+				ra = oe.RetryAfter
+			}
+			setRetryAfter(w, ra)
+			reject(http.StatusServiceUnavailable, err.Error())
+			return
+		}
+	}
 
 	snap := model.Current()
 	batch := make([]ingest.Row, len(rows))
@@ -155,11 +170,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	seq, err := ing.Ingest(batch)
+	if s.res != nil {
+		// Only log health is the breaker's business: validation errors and
+		// backlog pushback say nothing about whether the WAL can append.
+		if err == nil || errors.Is(err, store.ErrWALBroken) {
+			s.res.walBr.Record(err)
+		}
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, ingest.ErrBacklog):
+			setRetryAfter(w, time.Second)
 			reject(http.StatusTooManyRequests, "refit backlog full; retry later")
 		case errors.Is(err, store.ErrWALBroken):
+			// Structured degraded-mode refusal, not an SLO violation: the
+			// log stays down until restart, so clients should back off
+			// (Retry-After) while reads keep serving.
+			setRetryAfter(w, time.Second)
 			reject(http.StatusServiceUnavailable, "write-ahead log failed; ingest is down until restart")
 		default:
 			reject(http.StatusBadRequest, err.Error())

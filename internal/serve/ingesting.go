@@ -97,10 +97,13 @@ func (m *Model) setupIngest(r *Registry) error {
 		RefitInterval: pol.RefitInterval,
 		MaxPending:    int(pol.MaxPending),
 		Publish:       m.publishRefit,
-		SkipRefit:     m.building.Load,
-		OnIngest:      r.noteIngest,
-		OnRefit:       r.noteRefit,
-		Logf:          r.logf,
+		// A refit defers while a full rebuild is staging (the original
+		// rule) or while the refit breaker refuses work (repeated refit
+		// failures); deferred rows stay pending for the next trigger.
+		SkipRefit: func() bool { return m.building.Load() || !r.refitAllowedNow() },
+		OnIngest:  r.noteIngest,
+		OnRefit:   r.noteRefit,
+		Logf:      r.logf,
 	})
 	if err != nil {
 		w.Close()

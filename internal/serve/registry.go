@@ -18,6 +18,7 @@ import (
 	"prmsel/internal/faults"
 	"prmsel/internal/ingest"
 	"prmsel/internal/learn"
+	"prmsel/internal/resilience"
 	"prmsel/internal/store"
 )
 
@@ -523,6 +524,19 @@ func (m *Model) persist(snap *Snapshot) {
 	if !ok {
 		return
 	}
+	// A tripped persist breaker skips the save fast instead of stalling
+	// the rebuild goroutine behind a disk that keeps failing; the skip
+	// still flows through health and the persist hook so the outage is
+	// visible, but it does not Record against the breaker (no new
+	// evidence either way).
+	br := m.reg.persistBreaker()
+	if berr := br.Allow(); berr != nil {
+		err := fmt.Errorf("serve: persist %s generation %d skipped: %w", m.Name, snap.Generation, berr)
+		m.noteStoreError(err)
+		m.reg.logf("%v", err)
+		m.reg.notePersist(err)
+		return
+	}
 	err := st.Save(m.Name, snap.Generation, snap.BuiltAt, func(w io.Writer) error {
 		return prm.M.Encode(w)
 	})
@@ -539,6 +553,7 @@ func (m *Model) persist(snap *Snapshot) {
 			}
 		}
 	}
+	br.Record(err)
 	m.noteStoreError(err)
 	if err != nil {
 		m.reg.logf("serve: persist %s generation %d: %v", m.Name, snap.Generation, err)
@@ -654,6 +669,13 @@ type Registry struct {
 	onPersist func(err error)
 	onIngest  func(rows, walBytes int)
 	onRefit   func(d time.Duration, err error)
+	// persistBr, when set, circuit-breaks the snapshot-save path: while
+	// open, persists are skipped fast instead of stalling rebuild
+	// goroutines behind a broken disk.
+	persistBr *resilience.Breaker
+	// refitGate, when set, is consulted by every ingest refit trigger
+	// (true = allow); the server points it at the refit breaker.
+	refitGate func() bool
 	logger    func(format string, args ...any)
 
 	// Shutdown plumbing: stopc aborts retry waits, wg tracks every
@@ -708,6 +730,34 @@ func (r *Registry) setOnRefit(hook func(d time.Duration, err error)) {
 	r.mu.Lock()
 	r.onRefit = hook
 	r.mu.Unlock()
+}
+
+// setPersistBreaker installs the circuit breaker guarding snapshot saves.
+func (r *Registry) setPersistBreaker(b *resilience.Breaker) {
+	r.mu.Lock()
+	r.persistBr = b
+	r.mu.Unlock()
+}
+
+func (r *Registry) persistBreaker() *resilience.Breaker {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.persistBr
+}
+
+// setRefitGate installs the refit admission gate (true = allow now).
+func (r *Registry) setRefitGate(gate func() bool) {
+	r.mu.Lock()
+	r.refitGate = gate
+	r.mu.Unlock()
+}
+
+// refitAllowedNow consults the gate; no gate means always allowed.
+func (r *Registry) refitAllowedNow() bool {
+	r.mu.RLock()
+	gate := r.refitGate
+	r.mu.RUnlock()
+	return gate == nil || gate()
 }
 
 func (r *Registry) noteIngest(rows, walBytes int) {

@@ -107,6 +107,15 @@ type Config struct {
 	// SLOWindows are the burn-rate windows, shortest first
 	// (default 1m, 5m, 30m).
 	SLOWindows []time.Duration
+	// DisableBrownout turns the adaptive self-protection loop off: no
+	// controller goroutine, no circuit breakers, no shed state.
+	DisableBrownout bool
+	// BrownoutTick is the brownout controller's sampling period
+	// (default 1s).
+	BrownoutTick time.Duration
+	// MemSoftLimit, when positive, is the heap size in bytes that feeds
+	// the brownout controller's memory-pressure signal (0 = signal off).
+	MemSoftLimit int64
 }
 
 // Server is the estimation service.
@@ -122,6 +131,7 @@ type Server struct {
 	logger  *slog.Logger
 	reqSeq  atomic.Int64 // drives ExactEvery sampling
 	start   time.Time
+	res     *resilienceState // nil when DisableBrownout is set
 
 	// Scrape-time projections of the SLO engine, filled by /metrics.
 	sloBurn    *obs.GaugeVec
@@ -219,11 +229,24 @@ func NewServer(cfg Config) *Server {
 		start:   time.Now(),
 	}
 	s.registerScrapeGauges()
+	if !cfg.DisableBrownout {
+		s.res = newResilience(s)
+		s.res.start()
+	}
 	return s
 }
 
 // Metrics returns the server's metrics (for publication or inspection).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops the server's background brownout controller. It does not
+// touch the registry — Registry.Close owns model shutdown. Safe on a
+// server built with DisableBrownout, and safe to call more than once.
+func (s *Server) Close() {
+	if s.res != nil {
+		s.res.ctrl.Stop()
+	}
+}
 
 // Handler returns the service's HTTP handler: the versioned JSON API,
 // health, and debug vars behind the per-request timeout, plus the pprof
@@ -277,9 +300,18 @@ func (s *Server) logging(next http.Handler) http.Handler {
 		}
 		d := time.Since(started)
 		if strings.HasPrefix(r.URL.Path, "/v1/") {
-			s.slo.Observe(sloErrors, status < 500)
-			if strings.HasPrefix(r.URL.Path, "/v1/estimate") {
-				s.slo.Observe(sloLatency, status < 500 && d <= s.cfg.SLOLatency)
+			// Protective rejections (shed, breaker-open, admission pushback)
+			// carry a Retry-After header. They are the server defending its
+			// SLO, not violating it, so they stay out of the error budget —
+			// counting them would hold the burn rate up through the very
+			// shedding meant to bring it down, and the brownout would never
+			// release (positive feedback).
+			protective := sw.Header().Get("Retry-After") != ""
+			if !protective {
+				s.slo.Observe(sloErrors, status < 500)
+				if strings.HasPrefix(r.URL.Path, "/v1/estimate") {
+					s.slo.Observe(sloLatency, status < 500 && d <= s.cfg.SLOLatency)
+				}
 			}
 		}
 		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
@@ -463,16 +495,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	cctx, csp := obs.Start(ctx, "cache")
 	val, hit, deduped, err := s.cache.Do(key, func() (any, error) {
-		// Admission sits on the cache-miss path only: a hit costs nothing
-		// worth queueing for, and an admission refusal is an error, so it
-		// can never be cached against the query.
-		if s.adm != nil {
-			if err := s.adm.acquire(cctx.Done(), queryWeight(q)); err != nil {
-				return nil, err
-			}
-			defer s.adm.release(queryWeight(q))
-		}
-		return s.runEstimators(cctx, snap, wanted, q)
+		return s.estimateMiss(cctx, snap, wanted, q)
 	})
 	csp.Set(obs.Bool("hit", hit), obs.Bool("deduped", deduped))
 	csp.End()
@@ -486,9 +509,18 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		jd.status, jd.errMsg = 0, err.Error()
 		switch {
+		case errors.Is(err, ErrShed):
+			jd.status = http.StatusServiceUnavailable
+			setRetryAfter(w, s.res.retryAfter())
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":  err.Error(),
+				"reason": "brownout shed state: cache-missing estimates refused until pressure clears",
+			})
+			return
 		case errors.Is(err, ErrQueueFull):
 			s.metrics.ObserveAdmission(false)
 			jd.status = http.StatusTooManyRequests
+			setRetryAfter(w, time.Second)
 			writeJSON(w, http.StatusTooManyRequests, map[string]any{
 				"error":  err.Error(),
 				"reason": "admission queue full; back off and retry",
@@ -497,6 +529,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrQueueTimeout):
 			s.metrics.ObserveAdmission(true)
 			jd.status = http.StatusServiceUnavailable
+			setRetryAfter(w, s.cfg.QueueTimeout)
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 				"error":  err.Error(),
 				"reason": "inference capacity saturated past the queue deadline",
@@ -600,6 +633,36 @@ type fallbackEstimator interface {
 	EstimateCountFallback(ctx context.Context, q *query.Query, opts core.EstimateOptions) (core.EstimateResult, error)
 }
 
+// estimateMiss is the shared cache-miss body for single and batch
+// estimates: shed check first (a shed server still serves cache hits,
+// which never reach here), then admission, then the estimator run.
+// Answers degraded by the brownout tier ceiling come back wrapped in
+// noStore so they never enter the cache — a cached AVI answer would
+// otherwise keep serving long after the brownout released.
+func (s *Server) estimateMiss(ctx context.Context, snap *Snapshot, wanted []string, q *query.Query) (any, error) {
+	if s.res != nil && s.res.shedding() {
+		s.res.noteShed()
+		return nil, ErrShed
+	}
+	// Admission sits on the cache-miss path only: a hit costs nothing
+	// worth queueing for, and an admission refusal is an error, so it
+	// can never be cached against the query.
+	if s.adm != nil {
+		if err := s.adm.acquire(ctx.Done(), queryWeight(q)); err != nil {
+			return nil, err
+		}
+		defer s.adm.release(queryWeight(q))
+	}
+	ce, err := s.runEstimators(ctx, snap, wanted, q)
+	if err != nil {
+		return nil, err
+	}
+	if ce.tier != string(core.TierExact) && s.tierCeiling() > tierCeilExact {
+		return noStore{val: ce}, nil
+	}
+	return ce, nil
+}
+
 // runEstimators is the cache-miss path: run every selected estimator on
 // the parsed query. The primary (PRM) runs through the degradation chain —
 // exact elimination under the configured budget, then likelihood
@@ -612,6 +675,7 @@ type fallbackEstimator interface {
 // never enters the cache.
 func (s *Server) runEstimators(ctx context.Context, snap *Snapshot, wanted []string, q *query.Query) (*cachedEstimate, error) {
 	ce := &cachedEstimate{query: q.String(), tier: string(core.TierExact)}
+	ceil := s.tierCeiling()
 	for _, name := range wanted {
 		est := snap.Estimator(name)
 		res := estimatorResult{Estimator: name}
@@ -619,12 +683,31 @@ func (s *Server) runEstimators(ctx context.Context, snap *Snapshot, wanted []str
 		var v float64
 		var err error
 		if est == snap.Primary() {
-			if fest, ok := est.(fallbackEstimator); ok {
-				var fr core.EstimateResult
-				fr, err = fest.EstimateCountFallback(ctx, q, core.EstimateOptions{
+			answered := false
+			if ceil >= tierCeilAVI {
+				// Brownout floor: serve straight from the AVI baseline
+				// without touching inference at all. If AVI can't answer
+				// this query shape, fall back into the (capped) chain.
+				if avi := snap.Estimator("AVI"); avi != nil && avi != est {
+					if av, aerr := avi.EstimateCount(q); aerr == nil {
+						ce.tier = string(core.TierAVI)
+						ce.tierReason = "brownout: inference disabled at current load"
+						v, answered = av, true
+					}
+				}
+			}
+			if answered {
+				// fallthrough to bookkeeping below
+			} else if fest, ok := est.(fallbackEstimator); ok {
+				opts := core.EstimateOptions{
 					Budget:        bayesnet.Budget{MaxCells: s.cfg.MaxCells},
 					ApproxSamples: s.cfg.ApproxSamples,
-				})
+				}
+				if ceil >= tierCeilApprox {
+					opts.MaxTier = core.TierApprox
+				}
+				var fr core.EstimateResult
+				fr, err = fest.EstimateCountFallback(ctx, q, opts)
 				if err == nil {
 					v = fr.Estimate
 					ce.tier = string(fr.Tier)
@@ -952,12 +1035,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["journal"] = s.journal.Stats()
 	}
 	if s.adm != nil {
-		used, queued := s.adm.snapshot()
+		used, queued, capacity := s.adm.snapshot()
 		body["admission"] = map[string]any{
 			"in_use":   used,
-			"capacity": s.cfg.MaxConcurrent,
+			"capacity": capacity,
 			"queued":   queued,
 		}
+	}
+	if s.res != nil {
+		body["resilience"] = s.res.health()
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -95,6 +95,9 @@ func (s *Server) syncSLOGauges() {
 // histogram-bucket exemplars (journal links) are legal syntax.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.syncSLOGauges()
+	if s.res != nil {
+		s.res.syncGauges()
+	}
 	openMetrics := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") ||
 		r.URL.Query().Get("format") == "openmetrics"
 	if openMetrics {

@@ -67,6 +67,23 @@ const (
 // appends.
 var ErrWALBroken = errors.New("store: wal: previous append failed; reopen to recover")
 
+// brokenError is the failure that broke the log: it keeps the original
+// cause in the message and chain while also matching ErrWALBroken, so
+// callers can treat "the log just broke" and "the log was already
+// broken" as the same degraded mode instead of misfiling the first
+// failure as a request error.
+type brokenError struct{ cause error }
+
+func (e *brokenError) Error() string        { return e.cause.Error() }
+func (e *brokenError) Unwrap() error        { return e.cause }
+func (e *brokenError) Is(target error) bool { return target == ErrWALBroken }
+
+// breakLocked marks the log broken and wraps the cause. Callers hold w.mu.
+func (w *WAL) breakLocked(err error) error {
+	w.broken = true
+	return &brokenError{err}
+}
+
 // WALOptions tunes a write-ahead log.
 type WALOptions struct {
 	// MaxSegmentBytes rotates the active segment once it grows past this
@@ -418,8 +435,7 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	}
 	if w.activeAt >= w.opts.MaxSegmentBytes {
 		if err := w.rotateLocked(); err != nil {
-			w.broken = true
-			return 0, err
+			return 0, w.breakLocked(err)
 		}
 	}
 	seq := w.nextSeq
@@ -433,22 +449,18 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 		// A crash mid-write: half the frame reaches the disk and the
 		// writer dies. The tail stays for replay to quarantine.
 		w.active.Write(rec[:len(rec)/2])
-		w.broken = true
-		return 0, fmt.Errorf("store: wal: append: %w", ferr)
+		return 0, w.breakLocked(fmt.Errorf("store: wal: append: %w", ferr))
 	}
 	if _, err := w.active.Write(rec); err != nil {
-		w.broken = true
-		return 0, fmt.Errorf("store: wal: append: %w", err)
+		return 0, w.breakLocked(fmt.Errorf("store: wal: append: %w", err))
 	}
 	if ferr := faults.Inject("store.wal.fsync"); ferr != nil {
 		// A crash between write and fsync: the bytes may never have left
 		// the page cache, so the record must not be acknowledged.
-		w.broken = true
-		return 0, fmt.Errorf("store: wal: fsync: %w", ferr)
+		return 0, w.breakLocked(fmt.Errorf("store: wal: fsync: %w", ferr))
 	}
 	if err := w.active.Sync(); err != nil {
-		w.broken = true
-		return 0, fmt.Errorf("store: wal: fsync: %w", err)
+		return 0, w.breakLocked(fmt.Errorf("store: wal: fsync: %w", err))
 	}
 	w.activeAt += int64(len(rec))
 	w.nextSeq = seq + 1

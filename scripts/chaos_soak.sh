@@ -1,0 +1,41 @@
+#!/bin/sh
+# chaos_soak.sh — the resilience layer's acceptance check.
+#
+# Runs prmload's chaos mode against the in-process serving stack: a
+# seeded random fault schedule arms and clears injection points across
+# inference (latency + errors), the WAL fsync path, snapshot writes, and
+# refits, while closed-loop load hammers the estimate/batch/ingest
+# endpoints. The run fails (exit 1) unless every self-protection
+# invariant holds:
+#
+#   1. never a mislabeled answer: every 200 estimate carries a tier, and
+#      any tier below exact carries a tier_reason;
+#   2. never wedged: every request gets an HTTP answer, and the only 5xx
+#      is a structured 503 (JSON body + Retry-After) from the shed,
+#      breaker, or degraded-WAL paths;
+#   3. the brownout controller engages under the faults (states and
+#      transitions observed via /healthz) and recovers to "normal"
+#      within the recovery timeout once the schedule's fault-free tail
+#      has passed;
+#   4. /metrics exposes the prm_resilience_* and prm_breaker_* series
+#      throughout.
+#
+# The schedule is deterministic in CHAOS_SEED; pass a different seed to
+# explore a different fault pattern.
+set -eu
+
+SEED="${CHAOS_SEED:-42}"
+DURATION="${CHAOS_DURATION:-15s}"
+RECOVERY="${CHAOS_RECOVERY_TIMEOUT:-30s}"
+
+say() { echo "chaos-soak: $*"; }
+
+say "seeded chaos soak: ${DURATION} of load, schedule seed ${SEED}"
+if ! go run ./cmd/prmload -inprocess -chaos \
+    -duration "${DURATION}" -chaos-seed "${SEED}" \
+    -chaos-recovery-timeout "${RECOVERY}" \
+    -mix "estimate=0.8,batch=0.1,ingest=0.1" -rows 5000; then
+    say "FAIL: chaos soak violated a self-protection invariant"
+    exit 1
+fi
+say "PASS"
