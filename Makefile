@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench perf fuzz crash-smoke loadsmoke chaossmoke
+.PHONY: check fmt vet build test race bench perf fuzz crash-smoke loadsmoke chaossmoke clustersmoke
 
 ## check: the full verification gate — format, vet, build, tests, race-mode
 ## tests for the concurrent subsystems.
@@ -28,7 +28,7 @@ test:
 ## concurrency tests; the package's randomized property tests are
 ## exercised by `test` instead.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/ingest/... ./internal/bayesnet/... ./internal/resilience/... ./internal/faults/...
+	$(GO) test -race ./internal/serve/... ./internal/cluster/... ./internal/httpretry/... ./internal/store/... ./internal/ingest/... ./internal/bayesnet/... ./internal/resilience/... ./internal/faults/...
 	$(GO) test -race -run TestConcurrent ./internal/core/...
 
 ## fuzz: a short fuzzing pass over the model codec, the store's snapshot
@@ -63,6 +63,15 @@ loadsmoke:
 ## to resilience state normal after the faults clear.
 chaossmoke:
 	./scripts/chaos_soak.sh
+
+## clustersmoke: the cluster acceptance check as live processes — three
+## prmserved replicas behind a prmgate; a rolling rollout must promote and
+## pin every response to the new generation, SIGKILL of a replica mid-burst
+## must produce only 200s or structured pushback (429/503 + Retry-After),
+## the routing ring must converge within the health interval, and operator
+## drain/undrain must move traffic without an error.
+clustersmoke:
+	./scripts/cluster_smoke.sh
 
 ## bench: a smoke pass — every benchmark runs exactly once with -benchmem,
 ## so CI catches benchmarks that no longer compile or crash without paying

@@ -13,7 +13,6 @@ package main
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -29,6 +28,7 @@ import (
 	"prmsel"
 	"prmsel/internal/bayesnet"
 	"prmsel/internal/cliutil"
+	"prmsel/internal/httpretry"
 	"prmsel/internal/obs"
 	"prmsel/internal/queryparse"
 )
@@ -181,7 +181,11 @@ func remoteRun(base, model, text string, exact, trace bool) {
 	if trace {
 		url += "?trace=1"
 	}
-	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	// The shared retrying client: connection errors and protective
+	// 429/503 answers retry with jittered backoff, honoring the server's
+	// own Retry-After — a shedding server says how long to stay away.
+	client := httpretry.New(httpretry.Config{})
+	httpResp, err := client.Post(context.Background(), url, "application/json", body)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return

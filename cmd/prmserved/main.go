@@ -68,6 +68,7 @@ func main() {
 	sloLatency := flag.Duration("slo-latency", 0, "latency SLO threshold for estimate requests (0 = default 100ms)")
 	sloLatencyTarget := flag.Float64("slo-latency-target", 0, "fraction of estimate requests that must meet -slo-latency (0 = default 0.999)")
 	sloQErrorMax := flag.Float64("slo-qerror-max", 0, "q-error SLO threshold for feedback and exact-checked estimates (0 = default 16)")
+	drainGrace := flag.Duration("drain-grace", 0, "pause between flipping /readyz to 503 and closing the listener, so upstreams stop routing before connections start failing (0 = immediate)")
 	brownout := flag.Bool("brownout", true, "enable the adaptive brownout controller and circuit breakers")
 	brownoutTick := flag.Duration("brownout-tick", 0, "brownout controller sampling period (0 = default 1s)")
 	memSoftLimit := flag.Int64("mem-soft-limit", 0, "heap bytes feeding the brownout memory-pressure signal (0 = signal off)")
@@ -200,12 +201,19 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown, in dependency order: stop accepting and drain
-	// in-flight HTTP requests (which empties the admission queue — every
-	// queued request either finishes or times out under the server
+	// Graceful shutdown, in dependency order: flip /readyz to not-ready
+	// first and give upstreams (the cluster gate, load balancers) a grace
+	// period to notice and stop routing here, then stop accepting and
+	// drain in-flight HTTP requests (which empties the admission queue —
+	// every queued request either finishes or times out under the server
 	// deadline), then stop the rebuild loops and wait for any pending
 	// snapshot flush to the durable store, so a SIGTERM never loses a
 	// just-built generation.
+	srv.StartDrain()
+	if *drainGrace > 0 {
+		log.Printf("shutting down: not-ready on /readyz, waiting %v for upstreams", *drainGrace)
+		time.Sleep(*drainGrace)
+	}
 	log.Print("shutting down: draining requests")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -1,0 +1,438 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prmsel/internal/faults"
+	"prmsel/internal/serve"
+)
+
+// replica is one in-process prmserved over the tiny fig1 dataset: fast
+// enough to stand up three of in a unit test.
+type replica struct {
+	srv *serve.Server
+	reg *serve.Registry
+	ts  *httptest.Server
+}
+
+func (r *replica) addr() string { return r.ts.URL }
+
+func newReplica(t *testing.T) *replica {
+	t.Helper()
+	reg := serve.NewRegistry()
+	if _, err := reg.Add("fig1", serve.BuildSpec{Dataset: "fig1"}); err != nil {
+		t.Fatalf("building fig1 model: %v", err)
+	}
+	srv := serve.NewServer(serve.Config{
+		Registry: reg,
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Logf:     func(string, ...any) {},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return &replica{srv: srv, reg: reg, ts: ts}
+}
+
+func newReplicas(t *testing.T, n int) []*replica {
+	t.Helper()
+	out := make([]*replica, n)
+	for i := range out {
+		out[i] = newReplica(t)
+	}
+	return out
+}
+
+func addrs(reps []*replica) []string {
+	out := make([]string, len(reps))
+	for i, r := range reps {
+		out[i] = r.addr()
+	}
+	return out
+}
+
+// rebuildReplica drives one replica's fig1 model a generation forward.
+func rebuildReplica(t *testing.T, rep *replica) int64 {
+	t.Helper()
+	m, ok := rep.reg.Get("fig1")
+	if !ok {
+		t.Fatal("no fig1 model")
+	}
+	done := make(chan error, 1)
+	if !m.Rebuild(func(_ *serve.Snapshot, err error) { done <- err }) {
+		t.Fatal("rebuild refused")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("rebuild timed out")
+	}
+	return m.Current().Generation
+}
+
+// newGate builds and starts a gate over the replicas with a fast health
+// loop, registering its shutdown.
+func newGate(t *testing.T, reps []*replica, mutate func(*Config)) *Gate {
+	t.Helper()
+	cfg := Config{
+		Replicas:       addrs(reps),
+		HealthInterval: 50 * time.Millisecond,
+		Seed:           1,
+		Logf:           func(string, ...any) {},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	g, err := NewGate(cfg)
+	if err != nil {
+		t.Fatalf("NewGate: %v", err)
+	}
+	t.Cleanup(g.Close)
+	g.Start()
+	return g
+}
+
+const fig1Query = `{"query":"FROM People p WHERE p.Income = high"}`
+
+// fig1QueryN varies the alias so each i is a distinct query shape —
+// a distinct routing key — that still parses against fig1.
+func fig1QueryN(i int) string {
+	return fmt.Sprintf(`{"query":"FROM People q%d WHERE q%d.Income = high"}`, i, i)
+}
+
+func postEstimate(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST estimate: %v", err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// structured reports whether a non-200 response is the protective kind
+// the gate promises: 429 or 503, always with Retry-After and JSON.
+func structured(resp *http.Response) bool {
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return false
+	}
+	return resp.Header.Get("Retry-After") != ""
+}
+
+func TestGateRoutesAndStampsResponses(t *testing.T) {
+	reps := newReplicas(t, 3)
+	g := newGate(t, reps, nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	resp := postEstimate(t, ts, fig1Query)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("estimate through gate = %d: %s", resp.StatusCode, body)
+	}
+	who := resp.Header.Get(replicaHeader)
+	if who == "" {
+		t.Error("response lacks the replica stamp")
+	}
+	if got := resp.Header.Get(genHeader); got != "1" {
+		t.Errorf("%s = %q, want 1", genHeader, got)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if est, _ := out["estimate"].(float64); est <= 0 {
+		t.Errorf("estimate = %v, want > 0", out["estimate"])
+	}
+
+	// Consistent hashing: the same (model, query) shape keeps landing on
+	// the same replica while membership is stable.
+	for i := 0; i < 10; i++ {
+		again := postEstimate(t, ts, fig1Query)
+		if got := again.Header.Get(replicaHeader); got != who {
+			t.Fatalf("query moved from %s to %s with stable membership", who, got)
+		}
+	}
+}
+
+func TestGateFailoverUnderReplicaKill(t *testing.T) {
+	reps := newReplicas(t, 3)
+	g := newGate(t, reps, nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	victim := reps[2]
+	queries := make([]string, 8)
+	for i := range queries {
+		// Distinct shapes so the burst spreads over the whole ring.
+		queries[i] = fig1QueryN(i)
+	}
+
+	var (
+		mu         sync.Mutex
+		unhandled  []string
+		killOnce   sync.Once
+		wg         sync.WaitGroup
+		totalReqs  = 240
+		killAtReq  = 40
+		reqCounter = make(chan int, totalReqs)
+	)
+	for i := 0; i < totalReqs; i++ {
+		reqCounter <- i
+	}
+	close(reqCounter)
+
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range reqCounter {
+				if i == killAtReq {
+					// SIGKILL stand-in: sever every connection, then close.
+					killOnce.Do(func() {
+						victim.ts.CloseClientConnections()
+						victim.ts.Close()
+					})
+				}
+				resp, err := http.Post(ts.URL+"/v1/estimate", "application/json",
+					strings.NewReader(queries[i%len(queries)]))
+				if err != nil {
+					mu.Lock()
+					unhandled = append(unhandled, fmt.Sprintf("transport error: %v", err))
+					mu.Unlock()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && !structured(resp) {
+					mu.Lock()
+					unhandled = append(unhandled, fmt.Sprintf("status %d without Retry-After", resp.StatusCode))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(unhandled) > 0 {
+		t.Fatalf("%d non-structured failures during the kill, e.g. %s", len(unhandled), unhandled[0])
+	}
+
+	// The ring converges within a health interval: the dead replica
+	// leaves, and no later response comes from it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g.byAddr[victim.addr()].State() == StateDown {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim still %s after 2s", g.byAddr[victim.addr()].State())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := g.ring.Load().Len(); got != 2 {
+		t.Errorf("ring size after kill = %d, want 2", got)
+	}
+	for i := 0; i < 30; i++ {
+		resp := postEstimate(t, ts, queries[i%len(queries)])
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-convergence estimate = %d", resp.StatusCode)
+		}
+		if who := resp.Header.Get(replicaHeader); who == victim.addr() {
+			t.Fatalf("response routed to the dead replica %s", who)
+		}
+	}
+}
+
+func TestGateRetriesInjectedForwardFault(t *testing.T) {
+	reps := newReplicas(t, 3)
+	g := newGate(t, reps, nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	restore := faults.Set("cluster.forward", faults.Fault{Err: errors.New("injected cut"), Times: 1})
+	defer restore()
+
+	resp := postEstimate(t, ts, fig1Query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate with one injected transport fault = %d, want 200 via retry", resp.StatusCode)
+	}
+	if metricValue(t, ts, "prm_gate_retries_total") < 1 {
+		t.Error("retry counter did not move")
+	}
+	_ = g
+}
+
+func TestGateOperatorDrain(t *testing.T) {
+	reps := newReplicas(t, 3)
+	g := newGate(t, reps, nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	target := reps[0].addr()
+	drain := func(undrain bool) {
+		body, _ := json.Marshal(map[string]any{"replica": target, "undrain": undrain})
+		resp, err := http.Post(ts.URL+"/v1/cluster/drain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("drain call: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("drain = %d", resp.StatusCode)
+		}
+	}
+
+	drain(false)
+	if g.ring.Load().Len() != 2 {
+		t.Fatalf("ring size with one drained = %d, want 2", g.ring.Load().Len())
+	}
+	for i := 0; i < 30; i++ {
+		resp := postEstimate(t, ts, fig1QueryN(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate while drained = %d", resp.StatusCode)
+		}
+		if who := resp.Header.Get(replicaHeader); who == target {
+			t.Fatalf("request routed to the drained replica %s", who)
+		}
+	}
+
+	drain(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for g.ring.Load().Len() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ring did not recover after undrain; size %d", g.ring.Load().Len())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestGateSeesReplicaSelfDrain(t *testing.T) {
+	reps := newReplicas(t, 2)
+	g := newGate(t, reps, nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	// The replica flips its own /readyz before closing its listener; the
+	// gate must stop routing to it within a health interval — while the
+	// replica still answers requests in flight.
+	reps[0].srv.StartDrain()
+	rep := g.byAddr[reps[0].addr()]
+	deadline := time.Now().Add(2 * time.Second)
+	for rep.State() != StateDraining {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate still sees %s after self-drain", rep.State())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g.ring.Load().Len() != 1 {
+		t.Errorf("ring size with one draining = %d, want 1", g.ring.Load().Len())
+	}
+	for i := 0; i < 20; i++ {
+		resp := postEstimate(t, ts, fig1QueryN(i))
+		if who := resp.Header.Get(replicaHeader); who == reps[0].addr() {
+			t.Fatalf("new request routed to the draining replica")
+		}
+	}
+}
+
+func TestGateNoReplicaIsStructured(t *testing.T) {
+	reps := newReplicas(t, 1)
+	reps[0].ts.CloseClientConnections()
+	reps[0].ts.Close()
+	g := newGate(t, reps, nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	resp := postEstimate(t, ts, fig1Query)
+	if !structured(resp) {
+		t.Fatalf("empty-cluster estimate = %d with Retry-After %q; want structured 503",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if out["error"] == "" {
+		t.Error("structured 503 lacks an error field")
+	}
+
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("gate readyz with no replicas = %d, want 503", rresp.StatusCode)
+	}
+	_ = g
+}
+
+func TestGateDrainFlipsOwnReadyz(t *testing.T) {
+	reps := newReplicas(t, 1)
+	g := newGate(t, reps, nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gate readyz = %d, want 200", resp.StatusCode)
+	}
+
+	g.StartDrain()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining gate readyz = %d (Retry-After %q), want structured 503",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// Forwarding continues while draining: in-flight upstream balancers
+	// get time to move away before the listener closes.
+	eresp := postEstimate(t, ts, fig1Query)
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate on draining gate = %d, want 200", eresp.StatusCode)
+	}
+}
+
+// metricValue scrapes the gate's /metrics and returns the named series'
+// (unlabelled) value, 0 when absent.
+func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+			fields := strings.Fields(line)
+			var v float64
+			fmt.Sscanf(fields[len(fields)-1], "%g", &v)
+			return v
+		}
+	}
+	return 0
+}

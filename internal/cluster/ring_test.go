@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingSequenceDistinctAndOrdered(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 64)
+	seq := r.Sequence("some-key", 3)
+	if len(seq) != 3 {
+		t.Fatalf("Sequence returned %d members, want 3", len(seq))
+	}
+	seen := map[string]bool{}
+	for _, m := range seq {
+		if seen[m] {
+			t.Fatalf("duplicate member %q in %v", m, seq)
+		}
+		seen[m] = true
+	}
+	// Stability: the same key always yields the same chain.
+	for i := 0; i < 10; i++ {
+		again := r.Sequence("some-key", 3)
+		for j := range seq {
+			if again[j] != seq[j] {
+				t.Fatalf("Sequence not deterministic: %v then %v", seq, again)
+			}
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	r := NewRing(members, 64)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Sequence(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	for _, m := range members {
+		if share := float64(counts[m]) / keys; share < 0.15 {
+			t.Errorf("member %s owns %.1f%% of keys; the ring is badly skewed (%v)", m, 100*share, counts)
+		}
+	}
+}
+
+func TestRingMinimalRemapOnMemberLoss(t *testing.T) {
+	full := NewRing([]string{"a", "b", "c"}, 64)
+	without := NewRing([]string{"a", "c"}, 64)
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before := full.Sequence(k, 1)[0]
+		after := without.Sequence(k, 1)[0]
+		if before == "b" {
+			continue // these must move; anywhere is fine
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved > 0 {
+		t.Errorf("%d keys whose primary survived were remapped; consistent hashing should move only the dead member's share", moved)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 64)
+	if got := r.Sequence("anything", 3); got != nil {
+		t.Errorf("Sequence on empty ring = %v, want nil", got)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestRingFailoverChainAgreement(t *testing.T) {
+	// The chain for a key must be a prefix-consistent view: asking for 1
+	// gives the head of asking for 3.
+	r := NewRing([]string{"a", "b", "c", "d"}, 64)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%d", i)
+		one := r.Sequence(k, 1)
+		three := r.Sequence(k, 3)
+		if one[0] != three[0] {
+			t.Fatalf("key %s: Sequence(1)=%v disagrees with Sequence(3)=%v", k, one, three)
+		}
+	}
+}

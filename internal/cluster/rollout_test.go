@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"prmsel/internal/faults"
+)
+
+func waitRollout(t *testing.T, g *Gate, model string) *RolloutStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st, ok := g.Rollout(model); ok && (st.State == "done" || st.State == "failed") {
+			return st
+		}
+		if time.Now().After(deadline) {
+			st, _ := g.Rollout(model)
+			t.Fatalf("rollout did not finish; last status %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestRolloutDistributesAndPromotes(t *testing.T) {
+	reps := newReplicas(t, 3)
+	gen := rebuildReplica(t, reps[0]) // one replica moves ahead
+	if gen < 2 {
+		t.Fatalf("rebuild produced generation %d, want >= 2", gen)
+	}
+	g := newGate(t, reps, nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/cluster/rollout", "application/json",
+		strings.NewReader(`{"model":"fig1"}`))
+	if err != nil {
+		t.Fatalf("rollout call: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("rollout = %d, want 202", resp.StatusCode)
+	}
+
+	st := waitRollout(t, g, "fig1")
+	if st.State != "done" || !st.Promoted {
+		t.Fatalf("rollout finished %q promoted=%v (error %q), want done+promoted", st.State, st.Promoted, st.Error)
+	}
+	if st.TargetGeneration != gen {
+		t.Errorf("target generation = %d, want %d", st.TargetGeneration, gen)
+	}
+	if st.Source != reps[0].addr() {
+		t.Errorf("source = %s, want the rebuilt replica %s", st.Source, reps[0].addr())
+	}
+	if len(st.Updated) != 2 {
+		t.Errorf("updated %v, want both lagging replicas", st.Updated)
+	}
+
+	// Generation pinning: after promotion, every response through the
+	// gate serves exactly the promoted generation — no replica still on
+	// the old one takes traffic.
+	want := fmt.Sprintf("%d", gen)
+	for i := 0; i < 30; i++ {
+		resp := postEstimate(t, ts, fig1QueryN(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-rollout estimate = %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get(genHeader); got != want {
+			t.Fatalf("response generation = %q, want %q (replica %s)", got, want, resp.Header.Get(replicaHeader))
+		}
+	}
+	if metricValue(t, ts, "prm_gate_promoted_generation") != float64(gen) {
+		t.Errorf("promoted-generation gauge did not move to %d", gen)
+	}
+}
+
+func TestRolloutRefetchesTornSnapshot(t *testing.T) {
+	reps := newReplicas(t, 2)
+	rebuildReplica(t, reps[0])
+	g := newGate(t, reps, nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	// The first fetch loses its tail mid-transfer; the CRC frame check
+	// rejects it and the gate re-fetches before distributing anything.
+	restore := faults.Set("cluster.fetch", faults.Fault{Err: errors.New("torn transfer"), Times: 1})
+	defer restore()
+
+	if _, err := g.StartRollout("fig1"); err != nil {
+		t.Fatalf("StartRollout: %v", err)
+	}
+	st := waitRollout(t, g, "fig1")
+	if st.State != "done" || !st.Promoted {
+		t.Fatalf("rollout with one torn fetch finished %q (error %q), want done", st.State, st.Error)
+	}
+	if metricValue(t, ts, "prm_gate_snapshot_refetch_total") < 1 {
+		t.Error("refetch counter did not move; the torn frame was not caught")
+	}
+}
+
+func TestRolloutQuorumFailure(t *testing.T) {
+	reps := newReplicas(t, 3)
+	rebuildReplica(t, reps[0])
+	// Two of three replicas are gone: one survivor cannot make the
+	// default majority quorum, so nothing is promoted.
+	for _, rep := range reps[1:] {
+		rep.ts.CloseClientConnections()
+		rep.ts.Close()
+	}
+	g := newGate(t, reps, nil)
+
+	if _, err := g.StartRollout("fig1"); err != nil {
+		t.Fatalf("StartRollout: %v", err)
+	}
+	st := waitRollout(t, g, "fig1")
+	if st.State != "failed" || st.Promoted {
+		t.Fatalf("quorum-starved rollout finished %q promoted=%v, want failed", st.State, st.Promoted)
+	}
+	if !strings.Contains(st.Error, "quorum") {
+		t.Errorf("error %q does not name the quorum", st.Error)
+	}
+	g.mu.Lock()
+	floor := g.promoted["fig1"]
+	g.mu.Unlock()
+	if floor != 0 {
+		t.Errorf("routing floor moved to %d despite failed rollout", floor)
+	}
+}
+
+func TestRolloutUnknownModelFails(t *testing.T) {
+	reps := newReplicas(t, 2)
+	g := newGate(t, reps, nil)
+	if _, err := g.StartRollout("nope"); err != nil {
+		t.Fatalf("StartRollout: %v", err)
+	}
+	st := waitRollout(t, g, "nope")
+	if st.State != "failed" {
+		t.Fatalf("rollout of unknown model finished %q, want failed", st.State)
+	}
+}
+
+func TestRolloutRejectsConcurrentStart(t *testing.T) {
+	reps := newReplicas(t, 2)
+	rebuildReplica(t, reps[0])
+	g := newGate(t, reps, nil)
+	if _, err := g.StartRollout("fig1"); err != nil {
+		t.Fatalf("first StartRollout: %v", err)
+	}
+	if _, err := g.StartRollout("fig1"); err == nil {
+		// A fast rollout may already be done; only a still-running one
+		// must refuse. Check which happened.
+		if st, ok := g.Rollout("fig1"); ok && (st.State == "surveying" || st.State == "distributing") {
+			t.Fatal("second StartRollout accepted while the first was in flight")
+		}
+	}
+	waitRollout(t, g, "fig1")
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -97,6 +98,7 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := model.Current()
+	w.Header().Set(GenHeader, strconv.FormatInt(snap.Generation, 10))
 	wanted := []string{snap.Primary().Name()}
 
 	// Parse everything up front under one span; a parse failure costs its

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -13,6 +14,7 @@ import (
 
 	"prmsel/internal/baselines"
 	"prmsel/internal/cliutil"
+	"prmsel/internal/core"
 	"prmsel/internal/dataset"
 	"prmsel/internal/eval"
 	"prmsel/internal/faults"
@@ -438,6 +440,59 @@ func (m *Model) build() (*Snapshot, error) {
 		Watermark:  watermark,
 		appliedAt:  appliedAt,
 	}, nil
+}
+
+// ErrStaleGeneration rejects a remote snapshot whose generation is not
+// strictly newer than the served one — distribution must never move a
+// replica backwards.
+var ErrStaleGeneration = errors.New("serve: snapshot generation not newer than served generation")
+
+// ErrNotAdoptable rejects remote snapshots on models that own a local
+// write path: an ingest model's parameters track its WAL, and adopting a
+// foreign structure would orphan acknowledged rows.
+var ErrNotAdoptable = errors.New("serve: model has a local ingest path; remote snapshots are refused")
+
+// AdoptRemote publishes a remotely learned PRM as this model's serving
+// snapshot at the given generation — the receiving half of rolling
+// rollout. The snapshot keeps the served dataset (the expensive artifact
+// is the learned structure, exactly what travels) and rebuilds the
+// baseline estimators around the new primary, mirroring store recovery.
+// Returns ErrStaleGeneration when gen does not advance the served
+// generation and ErrNotAdoptable for ingest models.
+func (m *Model) AdoptRemote(prm *core.PRM, gen int64) (*Snapshot, error) {
+	if m.ingestor() != nil {
+		return nil, ErrNotAdoptable
+	}
+	cur := m.Current()
+	if cur == nil {
+		return nil, fmt.Errorf("serve: model %s has no served snapshot to adopt onto", m.Name)
+	}
+	if gen <= cur.Generation {
+		return nil, fmt.Errorf("%w: serving %d, offered %d", ErrStaleGeneration, cur.Generation, gen)
+	}
+	start := time.Now()
+	snap := &Snapshot{
+		DB:         cur.DB,
+		Estimators: m.estimators(cur.DB, &eval.PRMEstimator{Label: "PRM", M: prm}),
+		Generation: gen,
+		BuiltAt:    time.Now(),
+		BuildTime:  time.Since(start),
+	}
+	// Raise the local generation counter past the adopted generation so a
+	// later local rebuild continues the sequence instead of colliding.
+	for {
+		old := m.gen.Load()
+		if old >= gen || m.gen.CompareAndSwap(old, gen) {
+			break
+		}
+	}
+	if !m.publish(snap) {
+		// A concurrent rebuild or a newer adoption won the pointer race.
+		return nil, fmt.Errorf("%w: serving %d, offered %d", ErrStaleGeneration, m.Current().Generation, gen)
+	}
+	m.noteSuccess(snap.BuiltAt)
+	m.persist(snap)
+	return snap, nil
 }
 
 // estimators assembles a snapshot's estimator list around the primary:

@@ -13,6 +13,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -118,20 +119,27 @@ type Config struct {
 	MemSoftLimit int64
 }
 
+// GenHeader is the response header carrying the serving model
+// generation. The cluster gate pins rolling rollouts on it and
+// operators use it to attribute a response to a model version during
+// mixed-generation windows.
+const GenHeader = "X-PRM-Gen"
+
 // Server is the estimation service.
 type Server struct {
-	cfg     Config
-	reg     *Registry
-	cache   *Cache
-	adm     *admission // nil when admission control is disabled
-	metrics *Metrics
-	journal *obs.Journal // nil when DisableJournal is set
-	slo     *obs.SLO
-	logf    func(format string, args ...any)
-	logger  *slog.Logger
-	reqSeq  atomic.Int64 // drives ExactEvery sampling
-	start   time.Time
-	res     *resilienceState // nil when DisableBrownout is set
+	cfg      Config
+	reg      *Registry
+	cache    *Cache
+	adm      *admission // nil when admission control is disabled
+	metrics  *Metrics
+	journal  *obs.Journal // nil when DisableJournal is set
+	slo      *obs.SLO
+	logf     func(format string, args ...any)
+	logger   *slog.Logger
+	reqSeq   atomic.Int64 // drives ExactEvery sampling
+	start    time.Time
+	draining atomic.Bool      // set by StartDrain; flips /readyz to 503
+	res      *resilienceState // nil when DisableBrownout is set
 
 	// Scrape-time projections of the SLO engine, filled by /metrics.
 	sloBurn    *obs.GaugeVec
@@ -248,6 +256,16 @@ func (s *Server) Close() {
 	}
 }
 
+// StartDrain flips the server to not-ready: /readyz answers 503
+// "draining" from this point on while every other endpoint keeps
+// serving, so upstreams (the cluster gate, a load balancer) stop
+// routing new work here before the listener actually closes. Requests
+// already in flight are unaffected. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Handler returns the service's HTTP handler: the versioned JSON API,
 // health, and debug vars behind the per-request timeout, plus the pprof
 // endpoints mounted outside it (a 30-second CPU profile must not be killed
@@ -263,11 +281,16 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	api.HandleFunc("GET /v1/models", s.handleModels)
 	api.HandleFunc("POST /v1/models/{name}/rebuild", s.handleRebuild)
+	api.HandleFunc("GET /v1/models/{name}/snapshot", s.handleSnapshotGet)
+	api.HandleFunc("POST /v1/models/{name}/load", s.handleSnapshotLoad)
 	api.HandleFunc("GET /healthz", s.handleHealthz)
 	api.Handle("GET /debug/vars", expvar.Handler())
 
 	root := http.NewServeMux()
 	root.Handle("/", http.TimeoutHandler(api, s.cfg.RequestTimeout, `{"error":"request timed out"}`))
+	// Readiness sits outside the timeout handler: a readiness probe must
+	// answer even when the request path is saturated enough to time out.
+	root.HandleFunc("GET /readyz", s.handleReadyz)
 	root.HandleFunc("GET /metrics", s.handleMetrics)
 	root.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	root.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -470,6 +493,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := model.Current()
 	jd.model, jd.generation = model.Name, snap.Generation
+	w.Header().Set(GenHeader, strconv.FormatInt(snap.Generation, 10))
 
 	psp := tr.Root().Start("parse")
 	q, err := queryparse.Parse(snap.DB, req.Query)

@@ -1,0 +1,223 @@
+#!/bin/sh
+# cluster_smoke.sh — the cluster layer's acceptance check as live processes.
+#
+# Stands up three prmserved replicas and a prmgate in front of them, then
+# requires:
+#
+#   1. routed estimates answer 200 with a replica stamp (X-PRM-Replica)
+#      and the serving generation (X-PRM-Gen),
+#   2. a rolling rollout moves every replica to the newest generation and,
+#      once promoted, every routed response is pinned to exactly that
+#      generation — and during the rollout, to one of the two generations,
+#   3. SIGKILL of one replica mid-burst produces only ordinary 200s or
+#      structured pushback (429/503 with Retry-After) — never a raw
+#      transport error or an unlabelled 5xx,
+#   4. the routing ring converges: within the health interval the dead
+#      replica is marked down and no later response is stamped with it,
+#   5. operator drain removes a replica from rotation without an error,
+#      and undrain restores it,
+#   6. the gate's /metrics exposes the prm_gate_* series.
+set -eu
+
+BASE_PORT="${CLUSTER_SMOKE_PORT:-18120}"
+P1=$((BASE_PORT))
+P2=$((BASE_PORT + 1))
+P3=$((BASE_PORT + 2))
+GP=$((BASE_PORT + 3))
+R1="http://127.0.0.1:${P1}"
+R2="http://127.0.0.1:${P2}"
+R3="http://127.0.0.1:${P3}"
+GATE="http://127.0.0.1:${GP}"
+WORK="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+    for pid in ${PIDS}; do
+        kill -9 "${pid}" 2>/dev/null || true
+    done
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "cluster-smoke: $*"; }
+
+wait_200() {
+    # wait_200 <url> <log> — poll until the URL answers 200, ~30s limit.
+    i=0
+    while [ "$i" -lt 300 ]; do
+        if curl -fsS "$1" >/dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    say "FAIL: $1 never came up"
+    [ -f "$2" ] && { say "--- log ---"; cat "$2"; }
+    exit 1
+}
+
+# estimate <i> — one routed estimate with a distinct query shape; prints
+# the HTTP status, leaves headers in ${WORK}/hdr and body in ${WORK}/body.
+estimate() {
+    curl -s -D "${WORK}/hdr" -o "${WORK}/body" -w '%{http_code}' \
+        "${GATE}/v1/estimate" \
+        -d "{\"query\":\"FROM Census q$1 WHERE q$1.Sex = sex0\"}" 2>/dev/null || echo 000
+}
+
+hdr() { tr -d '\r' <"${WORK}/hdr" | sed -n "s/^$1: //Ip" | head -n 1; }
+
+say "building prmserved and prmgate"
+go build -o "${WORK}/prmserved" ./cmd/prmserved
+go build -o "${WORK}/prmgate" ./cmd/prmgate
+
+say "starting three census replicas on ${P1}-${P3}"
+for port in ${P1} ${P2} ${P3}; do
+    "${WORK}/prmserved" -addr "127.0.0.1:${port}" -datasets census -rows 2000 \
+        >"${WORK}/serve-${port}.log" 2>&1 &
+    PIDS="${PIDS} $!"
+    eval "PID_${port}=$!"
+done
+for port in ${P1} ${P2} ${P3}; do
+    wait_200 "http://127.0.0.1:${port}/readyz" "${WORK}/serve-${port}.log"
+done
+
+say "starting prmgate on ${GP} (health interval 250ms)"
+"${WORK}/prmgate" -addr "127.0.0.1:${GP}" -replicas "${R1},${R2},${R3}" \
+    -health-interval 250ms >"${WORK}/gate.log" 2>&1 &
+GATE_PID=$!
+PIDS="${PIDS} ${GATE_PID}"
+wait_200 "${GATE}/readyz" "${WORK}/gate.log"
+
+say "baseline: routed estimates answer with replica stamp and generation"
+i=0
+while [ "$i" -lt 10 ]; do
+    code="$(estimate "$i")"
+    [ "${code}" = "200" ] || { say "FAIL: baseline estimate $i -> ${code}"; cat "${WORK}/body"; exit 1; }
+    [ -n "$(hdr X-PRM-Replica)" ] || { say "FAIL: response lacks X-PRM-Replica"; exit 1; }
+    [ "$(hdr X-PRM-Gen)" = "1" ] || { say "FAIL: baseline generation $(hdr X-PRM-Gen), want 1"; exit 1; }
+    i=$((i + 1))
+done
+say "baseline OK (generation 1 across the ring)"
+
+say "rollout: rebuilding one replica to generation 2"
+curl -fsS "${R1}/v1/models/census/rebuild" -X POST -d '{}' >/dev/null
+i=0
+while [ "$i" -lt 600 ]; do
+    if curl -fsS "${R1}/v1/models" 2>/dev/null | grep -q '"generation": *2'; then
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+curl -fsS "${R1}/v1/models" | grep -q '"generation": *2' ||
+    { say "FAIL: replica 1 never reached generation 2"; exit 1; }
+
+say "rollout: distributing generation 2 through the gate"
+curl -fsS "${GATE}/v1/cluster/rollout" -d '{"model":"census"}' >/dev/null
+
+# While the rollout runs, every routed response must be pinned to exactly
+# one of the two generations — never anything else.
+i=0
+while [ "$i" -lt 40 ]; do
+    code="$(estimate "$i")"
+    gen="$(hdr X-PRM-Gen)"
+    if [ "${code}" = "200" ] && [ "${gen}" != "1" ] && [ "${gen}" != "2" ]; then
+        say "FAIL: mid-rollout response carries generation '${gen}'"
+        exit 1
+    fi
+    i=$((i + 1))
+done
+
+i=0
+while [ "$i" -lt 300 ]; do
+    state="$(curl -fsS "${GATE}/v1/cluster" | tr -d ' \n' | sed -n 's/.*"census":{[^}]*"state":"\([a-z]*\)".*/\1/p')"
+    [ "${state}" = "done" ] && break
+    if [ "${state}" = "failed" ]; then
+        say "FAIL: rollout failed"
+        curl -fsS "${GATE}/v1/cluster"
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+[ "${state:-}" = "done" ] || { say "FAIL: rollout never finished"; curl -fsS "${GATE}/v1/cluster"; exit 1; }
+
+i=0
+while [ "$i" -lt 15 ]; do
+    code="$(estimate "$i")"
+    [ "${code}" = "200" ] || { say "FAIL: post-rollout estimate -> ${code}"; exit 1; }
+    [ "$(hdr X-PRM-Gen)" = "2" ] ||
+        { say "FAIL: post-promotion response generation $(hdr X-PRM-Gen), want 2 (replica $(hdr X-PRM-Replica))"; exit 1; }
+    i=$((i + 1))
+done
+say "rollout OK: promoted, every response pinned to generation 2"
+
+say "failover: SIGKILL replica ${P3} mid-burst"
+bad=0
+i=0
+while [ "$i" -lt 80 ]; do
+    if [ "$i" -eq 15 ]; then
+        eval "kill -9 \${PID_${P3}}" 2>/dev/null || true
+    fi
+    code="$(estimate "$i")"
+    case "${code}" in
+    200) ;;
+    429 | 503)
+        [ -n "$(hdr Retry-After)" ] || { bad=$((bad + 1)); say "  unstructured ${code} at request $i (no Retry-After)"; }
+        ;;
+    *)
+        bad=$((bad + 1))
+        say "  unstructured response '${code}' at request $i"
+        ;;
+    esac
+    i=$((i + 1))
+done
+[ "${bad}" -eq 0 ] || { say "FAIL: ${bad} non-structured failures during the kill"; exit 1; }
+say "kill burst OK: only 200s and structured pushback"
+
+say "failover: waiting for the ring to converge"
+i=0
+while [ "$i" -lt 50 ]; do
+    if curl -fsS "${GATE}/v1/cluster" | grep -q '"ring_size": *2'; then
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+curl -fsS "${GATE}/v1/cluster" | grep -q '"ring_size": *2' ||
+    { say "FAIL: ring never converged to 2 replicas"; curl -fsS "${GATE}/v1/cluster"; exit 1; }
+i=0
+while [ "$i" -lt 20 ]; do
+    code="$(estimate "$i")"
+    [ "${code}" = "200" ] || { say "FAIL: post-convergence estimate -> ${code}"; exit 1; }
+    [ "$(hdr X-PRM-Replica)" != "${R3}" ] ||
+        { say "FAIL: response stamped with the dead replica"; exit 1; }
+    i=$((i + 1))
+done
+say "convergence OK: dead replica out of rotation, traffic unharmed"
+
+say "drain: removing replica ${P2} from rotation"
+curl -fsS "${GATE}/v1/cluster/drain" -d "{\"replica\":\"${R2}\"}" >/dev/null
+i=0
+while [ "$i" -lt 20 ]; do
+    code="$(estimate "$i")"
+    [ "${code}" = "200" ] || { say "FAIL: estimate while drained -> ${code}"; exit 1; }
+    [ "$(hdr X-PRM-Replica)" != "${R2}" ] ||
+        { say "FAIL: response stamped with the drained replica"; exit 1; }
+    i=$((i + 1))
+done
+curl -fsS "${GATE}/v1/cluster/drain" -d "{\"replica\":\"${R2}\",\"undrain\":true}" >/dev/null
+say "drain OK"
+
+say "checking gate metrics"
+curl -fsS "${GATE}/metrics" >"${WORK}/metrics.txt"
+for family in prm_gate_requests_total prm_gate_ring_size prm_gate_health_checks_total prm_gate_promoted_generation; do
+    grep -q "^${family}" "${WORK}/metrics.txt" ||
+        { say "FAIL: gate /metrics is missing ${family}"; exit 1; }
+done
+say "gate /metrics exposes the prm_gate_* series"
+
+say "graceful gate shutdown"
+kill "${GATE_PID}" 2>/dev/null || true
+wait "${GATE_PID}" 2>/dev/null || true
+say "PASS"
