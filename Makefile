@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench perf fuzz crash-smoke loadsmoke chaossmoke clustersmoke
+.PHONY: check fmt vet build test race bench perf perfscale fuzz crash-smoke loadsmoke chaossmoke clustersmoke
 
 ## check: the full verification gate — format, vet, build, tests, race-mode
 ## tests for the concurrent subsystems.
@@ -92,3 +92,18 @@ perf:
 	$(GO) run ./cmd/prmload -inprocess -rows 20000 -rate 200 -duration 10s \
 		-distinct 256 -slo-latency 500ms -slo-latency-target 0.99 \
 		-json BENCH_PR7.json
+	$(MAKE) perfscale PERFSCALE_JSON=BENCH_PR10.json
+
+## perfscale: the multi-core scaling profile of the lock-free read path —
+## a closed-loop cached-hit sweep at GOMAXPROCS 1/2/4 driving the handler
+## directly (no sockets), written to BENCH_PR10.json (QPS + p50/p99 per
+## point, scale ratios vs 1 proc). The -min-scale 2.5 gate fails the run
+## when 4 cores deliver less than 2.5x the 1-core QPS — the regression
+## signal for a lock sneaking back onto the hit path. On hosts with fewer
+## cores than the largest sweep point the gate self-skips with a log line
+## (the curve is still reported).
+PERFSCALE_JSON ?= BENCH_PR10.json
+perfscale:
+	$(GO) run ./cmd/prmload -inprocess -rows 20000 -distinct 256 \
+		-sweep 1,2,4 -sweep-duration 3s -min-scale 2.5 \
+		-json $(PERFSCALE_JSON)

@@ -112,6 +112,10 @@ func main() {
 	chaos := flag.Bool("chaos", false, "chaos soak: run a seeded random fault schedule against the in-process stack and assert self-protection invariants (requires -inprocess)")
 	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the random fault schedule (chaos mode)")
 	chaosRecovery := flag.Duration("chaos-recovery-timeout", 20*time.Second, "how long after the load stops the server has to report resilience state normal (chaos mode)")
+	sweep := flag.String("sweep", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4): run a closed-loop cached-hit scaling sweep instead of open-loop load (requires -inprocess)")
+	sweepDuration := flag.Duration("sweep-duration", 3*time.Second, "measured run length per sweep point")
+	sweepConcurrency := flag.Int("sweep-concurrency", 0, "closed-loop workers per sweep point (0 = 4×procs)")
+	minScale := flag.Float64("min-scale", 0, "fail unless QPS at the largest sweep point is at least this multiple of 1-proc QPS (0 = off; skipped with a log line when NumCPU < the largest point)")
 	flag.Parse()
 
 	if *model == "" {
@@ -129,6 +133,9 @@ func main() {
 	if *chaos && *fault != "" {
 		log.Fatal("-chaos builds its own fault schedule; drop -fault")
 	}
+	if *sweep != "" && !*inprocess {
+		log.Fatal("-sweep requires -inprocess (the sweep drives the handler directly)")
+	}
 
 	// The workload generator needs the dataset schema (tables, attributes,
 	// labels) whether the server is local or remote; synthetic schemas are
@@ -140,6 +147,17 @@ func main() {
 	gen, err := newGenerator(db, *model, *mix, *distinct, *batchSize, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *sweep != "" {
+		os.Exit(runSweep(sweepConfig{
+			gen: gen, dataset: *datasetName, model: *model,
+			rows: *rows, scale: *scale, seed: *seed,
+			distinct: *distinct, procsList: *sweep,
+			duration: *sweepDuration, concurrency: *sweepConcurrency,
+			minScale: *minScale, jsonPath: *jsonPath,
+			journalSample: *journalSample,
+		}))
 	}
 
 	if *chaos {
@@ -372,6 +390,18 @@ type inprocOptions struct {
 // one model, ingest enabled (on a throwaway store) when the mix sends
 // writes, and the standard handler behind an httptest listener.
 func startInProcess(o inprocOptions) (*httptest.Server, func()) {
+	srv, cleanup := buildInProcess(o)
+	ts := httptest.NewServer(srv.Handler())
+	return ts, func() {
+		ts.Close()
+		cleanup()
+	}
+}
+
+// buildInProcess constructs the serving stack without a listener — the
+// scaling sweep drives the handler directly so socket and client-stack
+// costs don't pollute the per-core numbers.
+func buildInProcess(o inprocOptions) (*serve.Server, func()) {
 	reg := serve.NewRegistry()
 	spec := serve.BuildSpec{
 		Dataset: o.dataset, Rows: o.rows, Scale: o.scale, Seed: o.seed,
@@ -409,15 +439,13 @@ func startInProcess(o inprocOptions) (*httptest.Server, func()) {
 		Logf:   func(string, ...any) {},
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
-	ts := httptest.NewServer(srv.Handler())
 	cleanup := func() {
-		ts.Close()
 		srv.Close()
 		if tmpDir != "" {
 			os.RemoveAll(tmpDir)
 		}
 	}
-	return ts, cleanup
+	return srv, cleanup
 }
 
 // attachHealth embeds the server's post-run SLO and journal state in the

@@ -1,0 +1,231 @@
+// The multi-core scaling sweep: measure the cached-hit read path at a
+// list of GOMAXPROCS settings and report how throughput scales with
+// cores. A lock-free read path scales near-linearly; a mutex on the hit
+// path flattens the curve, which is exactly what the -min-scale gate
+// (wired into `make perfscale`) catches in CI.
+//
+// The sweep is deliberately closed loop, the opposite of the main load
+// run: each worker issues a request, waits for it, and issues the next,
+// so the server is saturated at every point and the measurement is of
+// service capacity, not of a fixed arrival schedule. It also bypasses the
+// network — workers call the handler's ServeHTTP directly — so the curve
+// reflects the serving stack, not loopback socket throughput.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type sweepConfig struct {
+	gen            *generator
+	dataset, model string
+	rows           int
+	scale          float64
+	seed           int64
+	distinct       int
+	procsList      string // comma-separated GOMAXPROCS values
+	duration       time.Duration
+	concurrency    int // workers per point; 0 = 4×procs
+	minScale       float64
+	jsonPath       string
+	journalSample  int
+}
+
+type sweepPoint struct {
+	Procs     int     `json:"procs"`
+	Workers   int     `json:"workers"`
+	Completed int64   `json:"completed"`
+	QPS       float64 `json:"qps"`
+	P50US     int64   `json:"p50_us"`
+	P99US     int64   `json:"p99_us"`
+	ScaleVs1  float64 `json:"scale_vs_1proc,omitempty"`
+}
+
+type sweepReport struct {
+	GoVersion        string       `json:"go_version"`
+	NumCPU           int          `json:"num_cpu"`
+	Dataset          string       `json:"dataset"`
+	Model            string       `json:"model"`
+	Distinct         int          `json:"distinct_queries"`
+	PointDurationSec float64      `json:"duration_seconds_per_point"`
+	Points           []sweepPoint `json:"points"`
+	MinScale         float64      `json:"min_scale_gate,omitempty"`
+	GateEnforced     bool         `json:"gate_enforced"`
+	GateSkipReason   string       `json:"gate_skip_reason,omitempty"`
+	Violations       []string     `json:"violations,omitempty"`
+}
+
+func parseProcsList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -sweep entry %q (want positive integers, e.g. 1,2,4)", f)
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func runSweep(cfg sweepConfig) int {
+	procs, err := parseProcsList(cfg.procsList)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	srv, cleanup := buildInProcess(inprocOptions{
+		dataset: cfg.dataset, model: cfg.model, rows: cfg.rows,
+		scale: cfg.scale, seed: cfg.seed,
+		journalSample: cfg.journalSample,
+	})
+	defer cleanup()
+	handler := srv.Handler()
+
+	// One shared warm server: sweep the distinct pool once so every point
+	// measures the steady-state cached-hit path, and points differ only in
+	// GOMAXPROCS — never in cache temperature.
+	for _, body := range cfg.gen.pool {
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/estimate", strings.NewReader(string(body))))
+		if rr.Code != http.StatusOK {
+			log.Printf("warmup request failed: %d %s", rr.Code, rr.Body)
+			return 1
+		}
+	}
+	log.Printf("warmed %d distinct queries; sweeping GOMAXPROCS %v (%v per point)",
+		len(cfg.gen.pool), procs, cfg.duration)
+
+	pool := make([]string, len(cfg.gen.pool))
+	for i, b := range cfg.gen.pool {
+		pool[i] = string(b)
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	rep := &sweepReport{
+		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		Dataset: cfg.dataset, Model: cfg.model, Distinct: cfg.distinct,
+		PointDurationSec: cfg.duration.Seconds(),
+		MinScale:         cfg.minScale,
+	}
+	for _, p := range procs {
+		rep.Points = append(rep.Points, measurePoint(handler, pool, p, cfg.concurrency, cfg.duration))
+	}
+
+	base := rep.Points[0]
+	for i := range rep.Points {
+		if base.Procs == 1 && base.QPS > 0 {
+			rep.Points[i].ScaleVs1 = rep.Points[i].QPS / base.QPS
+		}
+	}
+	for _, pt := range rep.Points {
+		log.Printf("GOMAXPROCS=%d workers=%d: %.0f qps  p50 %s  p99 %s  (%.2fx vs 1 proc)",
+			pt.Procs, pt.Workers, pt.QPS, us(pt.P50US), us(pt.P99US), pt.ScaleVs1)
+	}
+
+	// The scale gate: enforced only when the hardware can actually run the
+	// largest point in parallel — a 1-core container cannot demonstrate
+	// 4-core scaling, so it skips loudly instead of failing vacuously.
+	if cfg.minScale > 0 {
+		largest := procs[len(procs)-1]
+		switch {
+		case largest <= 1 || base.Procs != 1:
+			rep.GateSkipReason = "gate needs a sweep starting at 1 proc with a larger top point"
+			log.Printf("min-scale gate skipped: %s", rep.GateSkipReason)
+		case rep.NumCPU < largest:
+			rep.GateSkipReason = fmt.Sprintf("NumCPU=%d < largest sweep point %d", rep.NumCPU, largest)
+			log.Printf("min-scale gate skipped: %s", rep.GateSkipReason)
+		default:
+			rep.GateEnforced = true
+			top := rep.Points[len(rep.Points)-1]
+			if top.ScaleVs1 < cfg.minScale {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"QPS at %d procs is %.2fx the 1-proc QPS, below the %.2fx floor",
+					top.Procs, top.ScaleVs1, cfg.minScale))
+			}
+		}
+	}
+
+	if cfg.jsonPath != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("sweep report written to %s", cfg.jsonPath)
+	}
+	for _, v := range rep.Violations {
+		log.Printf("VIOLATION: %s", v)
+	}
+	if len(rep.Violations) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// measurePoint saturates the handler from a fixed worker pool at the
+// given GOMAXPROCS and reports throughput and closed-loop latency.
+func measurePoint(handler http.Handler, pool []string, procs, concurrency int, duration time.Duration) sweepPoint {
+	runtime.GOMAXPROCS(procs)
+	workers := concurrency
+	if workers <= 0 {
+		workers = 4 * procs
+	}
+
+	var (
+		completed atomic.Int64
+		hist      hdrHist
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+	)
+	start := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := g; !stop.Load(); i++ {
+				body := pool[i%len(pool)]
+				rr := httptest.NewRecorder()
+				t0 := time.Now()
+				handler.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/estimate", strings.NewReader(body)))
+				lat := time.Since(t0)
+				if rr.Code == http.StatusOK {
+					completed.Add(1)
+					hist.record(lat.Microseconds())
+				}
+			}
+		}(g)
+	}
+	started := time.Now()
+	close(start)
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	s := hist.summary()
+	return sweepPoint{
+		Procs:     procs,
+		Workers:   workers,
+		Completed: completed.Load(),
+		QPS:       float64(completed.Load()) / elapsed.Seconds(),
+		P50US:     s.P50US,
+		P99US:     s.P99US,
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -72,10 +73,20 @@ func main() {
 	brownout := flag.Bool("brownout", true, "enable the adaptive brownout controller and circuit breakers")
 	brownoutTick := flag.Duration("brownout-tick", 0, "brownout controller sampling period (0 = default 1s)")
 	memSoftLimit := flag.Int64("mem-soft-limit", 0, "heap bytes feeding the brownout memory-pressure signal (0 = signal off)")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "sample 1 in N mutex contention events for /debug/pprof/mutex (0 = off); turn on to verify the read path takes no locks")
+	blockRate := flag.Int("block-profile-rate", 0, "sample blocking events at this rate in ns for /debug/pprof/block (0 = off)")
 	flag.Parse()
 
 	if *ingestOn && *storeDir == "" {
 		log.Fatal("-ingest requires -store-dir: acknowledged rows must be durable")
+	}
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+		log.Printf("mutex profiling on: 1 in %d contention events → /debug/pprof/mutex", *mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+		log.Printf("block profiling on: %dns sampling rate → /debug/pprof/block", *blockRate)
 	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)

@@ -64,6 +64,16 @@ func NewTableCPD(childCard int, parentCards []int) *TableCPD {
 	return t
 }
 
+// Clone returns a deep copy sharing nothing with t, so a refit can
+// mutate the copy's distributions while readers keep the original.
+func (t *TableCPD) Clone() *TableCPD {
+	return &TableCPD{
+		ChildCard:   t.ChildCard,
+		ParentCards: append([]int(nil), t.ParentCards...),
+		Dist:        append([]float64(nil), t.Dist...),
+	}
+}
+
 // Config returns the mixed-radix index of parentVals.
 func (t *TableCPD) Config(parentVals []int32) int {
 	cfg, stride := 0, 1
@@ -152,6 +162,22 @@ func (t *TableCPD) check(childCard int, parentCards []int) error {
 	return nil
 }
 
+// CloneCPD deep-copies any CPD the package defines. It exists for
+// copy-on-write parameter maintenance: a refit clones every CPD, mutates
+// the clones, and publishes them as a new immutable snapshot.
+func CloneCPD(c CPD) CPD {
+	switch c := c.(type) {
+	case *TableCPD:
+		return c.Clone()
+	case *TreeCPD:
+		return c.Clone()
+	case nil:
+		return nil
+	default:
+		panic(fmt.Sprintf("bayesnet: CloneCPD: unsupported CPD kind %q", c.Kind()))
+	}
+}
+
 // SplitOp is the predicate kind of an interior tree-CPD vertex.
 type SplitOp int
 
@@ -224,6 +250,30 @@ func NewTreeCPD(childCard int, parentCards []int) *TreeCPD {
 		ChildCard:   childCard,
 		ParentCards: append([]int(nil), parentCards...),
 		Root:        &TreeNode{Dist: dist},
+	}
+}
+
+// Clone returns a deep copy of the whole tree — splits and leaf
+// distributions — sharing nothing with t.
+func (t *TreeCPD) Clone() *TreeCPD {
+	var rec func(n *TreeNode) *TreeNode
+	rec = func(n *TreeNode) *TreeNode {
+		c := &TreeNode{Split: n.Split, Op: n.Op, Arg: n.Arg}
+		if n.Dist != nil {
+			c.Dist = append([]float64(nil), n.Dist...)
+		}
+		if n.Children != nil {
+			c.Children = make([]*TreeNode, len(n.Children))
+			for i, ch := range n.Children {
+				c.Children[i] = rec(ch)
+			}
+		}
+		return c
+	}
+	return &TreeCPD{
+		ChildCard:   t.ChildCard,
+		ParentCards: append([]int(nil), t.ParentCards...),
+		Root:        rec(t.Root),
 	}
 }
 

@@ -1,13 +1,13 @@
 package bayesnet
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"prmsel/internal/factor"
 	"prmsel/internal/faults"
@@ -203,78 +203,129 @@ func planShapeKey(evt Event, ord ElimOrder) string {
 }
 
 // planEntry is one cache slot; once gives concurrent misses on the same
-// shape a single compilation (the losers wait and share the result).
+// shape a single compilation (the losers wait and share the result). used
+// is the entry's CLOCK reference bit: hits set it, the eviction hand
+// clears it, entries found cleared are the victims.
 type planEntry struct {
+	key  string
 	once sync.Once
 	plan *Plan
+	used atomic.Bool
 }
 
-// planCache is the per-network LRU of compiled plans.
+// planCache holds a network's compiled plans. The hit path is lock-free:
+// lookups read an immutable map through one atomic pointer load and bump
+// atomic counters, so concurrent executions of cached shapes never
+// serialize. Misses, capacity changes, and invalidation take mu, rebuild
+// the map copy-on-write, and republish it; eviction is CLOCK
+// (second-chance) over an insertion-ordered ring, which needs no
+// move-to-front bookkeeping on hits — the property that makes the
+// lock-free read map possible.
 type planCache struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	// read is the published lookup map. The map value is immutable;
+	// writers copy, mutate the copy, and Store.
+	read atomic.Pointer[map[string]*planEntry]
+
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List
-	m        map[string]*list.Element
-	hits     uint64
-	misses   uint64
-}
-
-type planNode struct {
-	key   string
-	entry *planEntry
+	ring     []*planEntry // CLOCK ring in insertion order; guarded by mu
+	hand     int          // next eviction candidate; guarded by mu
 }
 
 func newPlanCache(capacity int) *planCache {
-	return &planCache{
-		capacity: capacity,
-		ll:       list.New(),
-		m:        make(map[string]*list.Element),
-	}
+	c := &planCache{capacity: capacity}
+	empty := make(map[string]*planEntry)
+	c.read.Store(&empty)
+	return c
 }
 
 // lookup returns the entry for key, creating it on miss, and reports
-// whether it already existed. Compilation happens outside the lock via the
-// entry's once.
+// whether it already existed. Hits touch no lock. Compilation happens
+// outside the lock via the entry's once.
 func (c *planCache) lookup(key string) (*planEntry, bool) {
+	if e, ok := (*c.read.Load())[key]; ok {
+		c.hits.Add(1)
+		e.used.Store(true)
+		return e, true
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[key]; ok {
-		c.hits++
-		c.ll.MoveToFront(el)
-		return el.Value.(*planNode).entry, true
+	cur := *c.read.Load()
+	if e, ok := cur[key]; ok {
+		// Lost a race with another miss on the same key.
+		c.mu.Unlock()
+		c.hits.Add(1)
+		e.used.Store(true)
+		return e, true
 	}
-	c.misses++
-	e := &planEntry{}
-	el := c.ll.PushFront(&planNode{key: key, entry: e})
-	c.m[key] = el
-	if c.ll.Len() > c.capacity {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.m, back.Value.(*planNode).key)
+	c.misses.Add(1)
+	e := &planEntry{key: key}
+	e.used.Store(true) // grace period: a brand-new plan survives one sweep
+	next := make(map[string]*planEntry, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
 	}
+	next[key] = e
+	if len(c.ring) < c.capacity {
+		c.ring = append(c.ring, e)
+	} else {
+		// CLOCK: clear reference bits until one is already clear; that
+		// entry is replaced in place, keeping the ring at capacity.
+		for {
+			v := c.ring[c.hand]
+			if !v.used.Swap(false) {
+				delete(next, v.key)
+				c.ring[c.hand] = e
+				c.hand = (c.hand + 1) % len(c.ring)
+				break
+			}
+			c.hand = (c.hand + 1) % len(c.ring)
+		}
+	}
+	c.read.Store(&next)
+	c.mu.Unlock()
 	return e, false
 }
 
-// setCapacity retunes the LRU bound, evicting down to it immediately.
-// capacity <= 0 restores the default.
+// setCapacity retunes the cache bound, evicting down to it immediately
+// with the same CLOCK sweep. capacity <= 0 restores the default.
 func (c *planCache) setCapacity(capacity int) {
 	if capacity <= 0 {
 		capacity = defaultPlanCacheCap
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.capacity = capacity
-	for c.ll.Len() > c.capacity {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.m, back.Value.(*planNode).key)
+	if len(c.ring) <= capacity {
+		return
 	}
-	c.mu.Unlock()
+	cur := *c.read.Load()
+	next := make(map[string]*planEntry, capacity)
+	for k, v := range cur {
+		next[k] = v
+	}
+	for len(c.ring) > capacity {
+		v := c.ring[c.hand]
+		if v.used.Swap(false) {
+			c.hand = (c.hand + 1) % len(c.ring)
+			continue
+		}
+		delete(next, v.key)
+		c.ring = append(c.ring[:c.hand], c.ring[c.hand+1:]...)
+		if c.hand >= len(c.ring) && len(c.ring) > 0 {
+			c.hand = 0
+		}
+	}
+	c.read.Store(&next)
 }
 
 func (c *planCache) invalidate() {
 	c.mu.Lock()
-	c.ll.Init()
-	c.m = make(map[string]*list.Element)
+	empty := make(map[string]*planEntry)
+	c.read.Store(&empty)
+	c.ring = nil
+	c.hand = 0
 	c.mu.Unlock()
 }
 
@@ -282,9 +333,9 @@ func (c *planCache) stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return PlanCacheStats{
-		Hits:     c.hits,
-		Misses:   c.misses,
-		Entries:  c.ll.Len(),
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Entries:  len(*c.read.Load()),
 		Capacity: c.capacity,
 	}
 }

@@ -21,12 +21,13 @@ type BatchItem struct {
 
 // EstimateBatch estimates every query through the same degradation chain
 // as EstimateCountFallback, amortizing the per-call overhead: the
-// parameter read-lock is taken once for the whole batch (so every item
-// sees one consistent parameter snapshot), queries are grouped by shape so
-// each group compiles its plan once and the rest hit the plan cache, and
-// groups run across a bounded worker pool. workers <= 0 means
-// min(GOMAXPROCS, #groups). Cancellation fails the not-yet-started items
-// with a wrapped ctx error; items already estimated keep their results.
+// parameter epoch is loaded once for the whole batch (so every item sees
+// one consistent parameter snapshot, even across a concurrent refit),
+// queries are grouped by shape so each group compiles its plan once and
+// the rest hit the plan cache, and groups run across a bounded worker
+// pool. workers <= 0 means min(GOMAXPROCS, #groups). Cancellation fails
+// the not-yet-started items with a wrapped ctx error; items already
+// estimated keep their results.
 func (m *PRM) EstimateBatch(ctx context.Context, queries []*query.Query, opts EstimateOptions, workers int) []BatchItem {
 	out := make([]BatchItem, len(queries))
 	if len(queries) == 0 {
@@ -38,8 +39,7 @@ func (m *PRM) EstimateBatch(ctx context.Context, queries []*query.Query, opts Es
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	m.paramMu.RLock()
-	defer m.paramMu.RUnlock()
+	ep := m.params()
 
 	// One worker (a single-CPU host, or an explicit workers=1) needs
 	// neither a pool nor shape grouping: grouping only exists to schedule
@@ -56,7 +56,7 @@ func (m *PRM) EstimateBatch(ctx context.Context, queries []*query.Query, opts Es
 				out[i].Err = fmt.Errorf("core: estimate interrupted: %w", err)
 				continue
 			}
-			out[i].Result, out[i].Err = m.estimateTiered(ctx, q, opts)
+			out[i].Result, out[i].Err = m.estimateTiered(ctx, ep, q, opts)
 		}
 		finishBatchSpan(sp, out, len(queries), -1, workers)
 		return out
@@ -94,7 +94,7 @@ func (m *PRM) EstimateBatch(ctx context.Context, queries []*query.Query, opts Es
 						out[i].Err = fmt.Errorf("core: estimate interrupted: %w", err)
 						continue
 					}
-					out[i].Result, out[i].Err = m.estimateTiered(ctx, queries[i], opts)
+					out[i].Result, out[i].Err = m.estimateTiered(ctx, ep, queries[i], opts)
 				}
 			}
 		}()
@@ -132,14 +132,14 @@ func finishBatchSpan(sp *obs.Span, out []BatchItem, items, shapes, workers int) 
 // elimination path. It exists so differential tests and benchmarks can
 // compare compiled plans against the legacy path in the same process.
 func (m *PRM) EstimateCountUncompiled(q *query.Query) (float64, error) {
-	m.paramMu.RLock()
-	defer m.paramMu.RUnlock()
-	return m.estimateGuarded(context.Background(), q, evalOpts{uncompiled: true})
+	return m.estimateGuarded(context.Background(), m.params(), q, evalOpts{uncompiled: true})
 }
 
 // SetPlanCapacity retunes the plan-cache bound of every cached
 // evaluation network and of networks built afterwards; n <= 0 restores
-// the per-network default.
+// the per-network default. It holds mu across the epoch's shape-map load
+// so a concurrent shape insert (also under mu) cannot slip a network past
+// the retune: the insert either sees the new planCap or is visible here.
 func (m *PRM) SetPlanCapacity(n int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -147,19 +147,17 @@ func (m *PRM) SetPlanCapacity(n int) {
 		n = 0
 	}
 	m.planCap = n
-	for _, em := range m.evalCache {
+	for _, em := range *m.params().shapes.Load() {
 		em.net.SetPlanCapacity(n)
 	}
 }
 
 // PlanStats aggregates the plan-cache counters of every cached evaluation
-// network. RefitParameters and hot swaps drop the evaluation cache, so the
-// counters restart from zero after a parameter change.
+// network in the current epoch. Refits publish a new epoch with an empty
+// shape cache, so the counters restart from zero after a parameter change.
 func (m *PRM) PlanStats() bayesnet.PlanCacheStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var agg bayesnet.PlanCacheStats
-	for _, em := range m.evalCache {
+	for _, em := range *m.params().shapes.Load() {
 		st := em.net.PlanStats()
 		agg.Hits += st.Hits
 		agg.Misses += st.Misses

@@ -21,15 +21,16 @@ type prmDTO struct {
 // Encode writes the model to w in gob form, so a model constructed offline
 // can be shipped to the query optimizer that uses it online.
 func (m *PRM) Encode(w io.Writer) error {
+	ep := m.params()
 	dto := prmDTO{
 		Vars:      m.vars,
 		Parents:   m.parents,
 		Tables:    make(map[int]*bayesnet.TableCPD),
 		Trees:     make(map[int]*bayesnet.TreeCPD),
-		TableSize: m.tableSize,
+		TableSize: ep.tableSize,
 		Strata:    m.strata,
 	}
-	for id, c := range m.cpds {
+	for id, c := range ep.cpds {
 		switch c := c.(type) {
 		case *bayesnet.TableCPD:
 			dto.Tables[id] = c
@@ -66,28 +67,32 @@ func Decode(r io.Reader) (*PRM, error) {
 		}
 	}
 	m := &PRM{
-		vars:      dto.Vars,
-		index:     make(map[string]int, len(dto.Vars)),
-		parents:   dto.Parents,
-		cpds:      make([]bayesnet.CPD, len(dto.Vars)),
-		tableSize: dto.TableSize,
-		strata:    dto.Strata,
+		vars:    dto.Vars,
+		index:   make(map[string]int, len(dto.Vars)),
+		parents: dto.Parents,
+		strata:  dto.Strata,
 	}
 	for id, v := range dto.Vars {
 		m.index[v.Name()] = id
 	}
+	cpds := make([]bayesnet.CPD, len(dto.Vars))
 	for id, c := range dto.Tables {
-		if id < 0 || id >= len(m.cpds) {
+		if id < 0 || id >= len(cpds) {
 			return nil, fmt.Errorf("core: decode: CPD for unknown variable %d", id)
 		}
-		m.cpds[id] = c
+		cpds[id] = c
 	}
 	for id, c := range dto.Trees {
-		if id < 0 || id >= len(m.cpds) {
+		if id < 0 || id >= len(cpds) {
 			return nil, fmt.Errorf("core: decode: CPD for unknown variable %d", id)
 		}
-		m.cpds[id] = c
+		cpds[id] = c
 	}
+	tableSize := dto.TableSize
+	if tableSize == nil {
+		tableSize = make(map[string]int64)
+	}
+	m.epoch.Store(newParamEpoch(0, cpds, tableSize))
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: decode: %w", err)
 	}

@@ -23,8 +23,10 @@ import (
 // attribute pair.
 //
 // EstimateCount is safe for concurrent callers (each with its own query);
-// it holds the model's parameter read-lock so an in-flight RefitParameters
-// never mutates CPDs underneath an estimate.
+// it reads one immutable parameter epoch for the whole estimate, so an
+// in-flight RefitParameters — which publishes a fresh epoch rather than
+// mutating the current one — never changes CPDs underneath it. The read
+// path takes no locks.
 func (m *PRM) EstimateCount(q *query.Query) (float64, error) {
 	return m.EstimateCountCtx(context.Background(), q)
 }
@@ -42,9 +44,7 @@ func (m *PRM) EstimateCountCtx(ctx context.Context, q *query.Query) (float64, er
 		return 0, fmt.Errorf("core: estimate interrupted: %w", err)
 	}
 	ctx, sp := obs.Start(ctx, "estimate")
-	m.paramMu.RLock()
-	est, err := m.estimateGuarded(ctx, q, evalOpts{})
-	m.paramMu.RUnlock()
+	est, err := m.estimateGuarded(ctx, m.params(), q, evalOpts{})
 	if sp != nil {
 		sp.Set(obs.Int("tables", len(q.Vars)), obs.Int("preds", len(q.Preds)),
 			obs.Int("joins", len(q.Joins)), obs.Float("estimate", est))
@@ -75,24 +75,25 @@ type evalOpts struct {
 // anticipated) surfaces as a typed *InternalError instead of unwinding
 // into the caller — the serve layer depends on this to keep one poisoned
 // model from killing the process.
-func (m *PRM) estimateGuarded(ctx context.Context, q *query.Query, ev evalOpts) (est float64, err error) {
+func (m *PRM) estimateGuarded(ctx context.Context, ep *paramEpoch, q *query.Query, ev evalOpts) (est float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			est = 0
 			err = &InternalError{Op: "estimate", Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return m.estimateCount(ctx, q, ev)
+	return m.estimateCount(ctx, ep, q, ev)
 }
 
-// estimateCount is EstimateCountCtx without the parameter read-lock; every
-// internal caller already under the lock must use it (RLock is not
-// re-entrant: a nested RLock deadlocks when a writer is queued between).
-func (m *PRM) estimateCount(ctx context.Context, q *query.Query, ev evalOpts) (float64, error) {
+// estimateCount evaluates one estimate against a fixed parameter epoch;
+// every internal caller passes the epoch it loaded at entry so an entire
+// request (including non-key-join sums and batch items) reads one
+// consistent set of parameters.
+func (m *PRM) estimateCount(ctx context.Context, ep *paramEpoch, q *query.Query, ev evalOpts) (float64, error) {
 	if len(q.NonKeyJoins) > 0 {
-		return m.estimateNonKeyJoin(ctx, q, ev)
+		return m.estimateNonKeyJoin(ctx, ep, q, ev)
 	}
-	p, sizes, err := m.eventProbability(ctx, q, ev)
+	p, sizes, err := m.eventProbability(ctx, ep, q, ev)
 	if err != nil {
 		return 0, err
 	}
@@ -102,15 +103,14 @@ func (m *PRM) estimateCount(ctx context.Context, q *query.Query, ev evalOpts) (f
 // EstimateSelectivity returns the estimated fraction of the cross product
 // of the query's tables that satisfies the query.
 func (m *PRM) EstimateSelectivity(q *query.Query) (float64, error) {
-	m.paramMu.RLock()
-	defer m.paramMu.RUnlock()
-	count, err := m.estimateGuarded(context.Background(), q, evalOpts{})
+	ep := m.params()
+	count, err := m.estimateGuarded(context.Background(), ep, q, evalOpts{})
 	if err != nil {
 		return 0, err
 	}
 	var queryProduct float64 = 1
 	for _, t := range q.Vars {
-		queryProduct *= float64(m.tableSize[t])
+		queryProduct *= float64(ep.tableSize[t])
 	}
 	if queryProduct == 0 {
 		return 0, nil
@@ -124,7 +124,7 @@ func (m *PRM) EstimateSelectivity(q *query.Query) (float64, error) {
 // over the possible values of the joined attributes. Joined attribute
 // pairs must share their domain encoding; values beyond the smaller domain
 // cannot match and are not enumerated.
-func (m *PRM) estimateNonKeyJoin(ctx context.Context, q *query.Query, ev evalOpts) (float64, error) {
+func (m *PRM) estimateNonKeyJoin(ctx context.Context, ep *paramEpoch, q *query.Query, ev evalOpts) (float64, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
@@ -165,7 +165,7 @@ func (m *PRM) estimateNonKeyJoin(ctx context.Context, q *query.Query, ev evalOpt
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("core: non-key-join sum interrupted: %w", err)
 			}
-			p, sizes, err := m.eventProbability(tctx, base, ev)
+			p, sizes, err := m.eventProbability(tctx, ep, base, ev)
 			if err != nil {
 				return err
 			}
@@ -194,8 +194,7 @@ func (m *PRM) estimateNonKeyJoin(ctx context.Context, q *query.Query, ev evalOpt
 // application from the paper's introduction). The returned slice indexes by
 // value code.
 func (m *PRM) EstimateGroupBy(q *query.Query, tv, attr string) ([]float64, error) {
-	m.paramMu.RLock()
-	defer m.paramMu.RUnlock()
+	ep := m.params()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -213,7 +212,7 @@ func (m *PRM) EstimateGroupBy(q *query.Query, tv, attr string) ([]float64, error
 	out := make([]float64, m.vars[vid].Card)
 	for v := range out {
 		slot[0] = int32(v)
-		est, err := m.estimateGuarded(context.Background(), grouped, evalOpts{})
+		est, err := m.estimateGuarded(context.Background(), ep, grouped, evalOpts{})
 		if err != nil {
 			return nil, err
 		}
@@ -222,9 +221,11 @@ func (m *PRM) EstimateGroupBy(q *query.Query, tv, attr string) ([]float64, error
 	return out, nil
 }
 
-// evalBuilder incrementally unrolls the query-evaluation BN.
+// evalBuilder incrementally unrolls the query-evaluation BN against one
+// parameter epoch's CPDs.
 type evalBuilder struct {
-	m *PRM
+	m  *PRM
+	ep *paramEpoch
 	// tuple variables of the upward closure: name -> table.
 	tupleVars map[string]string
 	// joinTo maps (tupleVar, fk) -> referenced tuple variable.
@@ -285,29 +286,27 @@ func shapeKey(q *query.Query) string {
 	return b.String()
 }
 
-// model returns the (cached) evaluation model for q's shape; hit reports
-// whether the shape cache already held it.
-func (m *PRM) model(q *query.Query) (em *evalModel, hit bool, err error) {
+// model returns the (cached) evaluation model for q's shape in epoch ep;
+// hit reports whether the shape cache already held it. The hit path is
+// lock-free: one atomic load of the epoch's shape map and a read. A miss
+// builds the network outside any lock and inserts it copy-on-write under
+// m.mu; racing builders of the same shape keep the first insert.
+func (m *PRM) model(ep *paramEpoch, q *query.Query) (em *evalModel, hit bool, err error) {
 	key := shapeKey(q)
-	m.mu.Lock()
-	if m.evalCache == nil {
-		m.evalCache = make(map[string]*evalModel)
-	}
-	if em, ok := m.evalCache[key]; ok {
-		m.mu.Unlock()
+	if em, ok := (*ep.shapes.Load())[key]; ok {
 		return em, true, nil
 	}
-	m.mu.Unlock()
 
 	b := &evalBuilder{
 		m:         m,
+		ep:        ep,
 		tupleVars: make(map[string]string),
 		joinTo:    make(map[[2]string]string),
 		nodes:     make(map[nodeKey]int),
 		evt:       make(bayesnet.Event),
 	}
 	for tv, table := range q.Vars {
-		if _, ok := m.tableSize[table]; !ok {
+		if _, ok := ep.tableSize[table]; !ok {
 			return nil, false, fmt.Errorf("core: query over unknown table %q", table)
 		}
 		b.tupleVars[tv] = table
@@ -366,7 +365,7 @@ func (m *PRM) model(q *query.Query) (em *evalModel, hit bool, err error) {
 	em.tvs = b.tupleVars
 	em.sizeProd = 1
 	for _, table := range b.tupleVars {
-		em.sizeProd *= float64(m.tableSize[table])
+		em.sizeProd *= float64(ep.tableSize[table])
 	}
 	em.net = bayesnet.New(b.vars)
 	for id := range b.vars {
@@ -378,17 +377,29 @@ func (m *PRM) model(q *query.Query) (em *evalModel, hit bool, err error) {
 	if m.planCap > 0 {
 		em.net.SetPlanCapacity(m.planCap)
 	}
-	m.evalCache[key] = em
+	old := *ep.shapes.Load()
+	if prev, ok := old[key]; ok {
+		// Another builder of the same shape won the insert race; share its
+		// network so plan-cache warmth concentrates on one instance.
+		m.mu.Unlock()
+		return prev, true, nil
+	}
+	next := make(map[string]*evalModel, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = em
+	ep.shapes.Store(&next)
 	m.mu.Unlock()
 	return em, false, nil
 }
 
-func (m *PRM) eventProbability(ctx context.Context, q *query.Query, ev evalOpts) (p float64, sizeProduct float64, err error) {
+func (m *PRM) eventProbability(ctx context.Context, ep *paramEpoch, q *query.Query, ev evalOpts) (p float64, sizeProduct float64, err error) {
 	if err := q.Validate(); err != nil {
 		return 0, 0, err
 	}
 	_, csp := obs.Start(ctx, "closure")
-	em, hit, err := m.model(q)
+	em, hit, err := m.model(ep, q)
 	if csp != nil {
 		if err == nil {
 			csp.Set(obs.Bool("cache_hit", hit), obs.Int("tuple_vars", len(em.tvs)))
@@ -460,7 +471,7 @@ func (b *evalBuilder) need(tv string, vid int) (int, error) {
 	b.nodes[key] = id
 	b.vars = append(b.vars, bayesnet.Variable{Name: tv + ":" + v.Name(), Card: v.Card})
 	b.pars = append(b.pars, nil)
-	b.cpds = append(b.cpds, b.m.cpds[vid])
+	b.cpds = append(b.cpds, b.ep.cpds[vid])
 
 	parentIDs := make([]int, len(b.m.parents[vid]))
 	for i, pid := range b.m.parents[vid] {
@@ -557,16 +568,15 @@ type Explanation struct {
 // with non-key joins are not explained (their estimate is a sum of many
 // closure evaluations).
 func (m *PRM) Explain(q *query.Query) (*Explanation, error) {
-	m.paramMu.RLock()
-	defer m.paramMu.RUnlock()
+	ep := m.params()
 	if len(q.NonKeyJoins) > 0 {
 		return nil, fmt.Errorf("core: Explain does not support non-key joins")
 	}
-	p, sizes, err := m.eventProbability(context.Background(), q, evalOpts{})
+	p, sizes, err := m.eventProbability(context.Background(), ep, q, evalOpts{})
 	if err != nil {
 		return nil, err
 	}
-	em, _, err := m.model(q)
+	em, _, err := m.model(ep, q)
 	if err != nil {
 		return nil, err
 	}

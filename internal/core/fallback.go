@@ -95,15 +95,13 @@ func (m *PRM) EstimateCountFallback(ctx context.Context, q *query.Query, opts Es
 	if err := ctx.Err(); err != nil {
 		return EstimateResult{}, fmt.Errorf("core: estimate interrupted: %w", err)
 	}
-	m.paramMu.RLock()
-	defer m.paramMu.RUnlock()
-	return m.estimateTiered(ctx, q, opts)
+	return m.estimateTiered(ctx, m.params(), q, opts)
 }
 
-// estimateTiered runs the degradation chain for one query. The caller must
-// hold paramMu.RLock; EstimateBatch relies on this split to lock once per
-// batch instead of once per item.
-func (m *PRM) estimateTiered(ctx context.Context, q *query.Query, opts EstimateOptions) (EstimateResult, error) {
+// estimateTiered runs the degradation chain for one query against the
+// parameter epoch the caller loaded; EstimateBatch relies on this split to
+// load one epoch per batch so every item sees the same snapshot.
+func (m *PRM) estimateTiered(ctx context.Context, ep *paramEpoch, q *query.Query, opts EstimateOptions) (EstimateResult, error) {
 	samples := opts.ApproxSamples
 	if samples <= 0 {
 		samples = 4096
@@ -115,7 +113,7 @@ func (m *PRM) estimateTiered(ctx context.Context, q *query.Query, opts EstimateO
 	if opts.MaxTier != "" && opts.MaxTier != TierExact {
 		exactErr = errExactDisabled
 	} else {
-		est, exactErr = m.estimateGuarded(ctx, q, evalOpts{budget: opts.Budget})
+		est, exactErr = m.estimateGuarded(ctx, ep, q, evalOpts{budget: opts.Budget})
 	}
 	if exactErr == nil {
 		if sp != nil {
@@ -134,7 +132,7 @@ func (m *PRM) estimateTiered(ctx context.Context, q *query.Query, opts EstimateO
 	if seed == 0 {
 		seed = 1
 	}
-	est, approxErr := m.estimateGuarded(ctx, q, evalOpts{
+	est, approxErr := m.estimateGuarded(ctx, ep, q, evalOpts{
 		approx:  true,
 		samples: samples,
 		rng:     rand.New(rand.NewSource(seed)),

@@ -30,16 +30,16 @@ func Learn(db *dataset.Database, cfg Config) (*PRM, error) {
 		cpds[id] = res.Fits[id].CPD
 	}
 	m := &PRM{
-		vars:      vars,
-		index:     index,
-		parents:   res.Parents,
-		cpds:      cpds,
-		tableSize: make(map[string]int64),
-		strata:    strata,
+		vars:    vars,
+		index:   index,
+		parents: res.Parents,
+		strata:  strata,
 	}
+	tableSize := make(map[string]int64)
 	for _, tn := range db.TableNames() {
-		m.tableSize[tn] = int64(db.Table(tn).Len())
+		tableSize[tn] = int64(db.Table(tn).Len())
 	}
+	m.epoch.Store(newParamEpoch(0, cpds, tableSize))
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

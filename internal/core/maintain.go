@@ -21,29 +21,46 @@ import (
 // evaluation cache are refreshed. The database must have the same schema
 // the model was learned from.
 //
-// RefitParameters mutates CPDs and table sizes in place, so it takes the
-// parameter write-lock: concurrent EstimateCount calls drain before the
-// refit starts and resume (with the evaluation cache cleared) after it
-// finishes. Callers that cannot tolerate the stall should instead learn a
-// fresh model and swap pointers (see internal/serve's registry).
+// RefitParameters never mutates the published parameters: it clones every
+// CPD, refits the clones, and publishes them as a fresh epoch in one
+// atomic pointer swap. Concurrent EstimateCount calls are never stalled —
+// each finishes against whichever epoch it loaded at entry — and the swap
+// itself invalidates the evaluation-network (and therefore plan) caches,
+// because the new epoch starts with an empty shape map. A refit that
+// fails partway publishes nothing, leaving the old parameters intact.
 func (m *PRM) RefitParameters(db *dataset.Database) error {
 	if err := m.checkSchema(db); err != nil {
 		return err
 	}
-	m.paramMu.Lock()
-	defer m.paramMu.Unlock()
+	m.refitMu.Lock()
+	defer m.refitMu.Unlock()
+	cur := m.params()
+	next := m.cloneEpochLocked(cur)
 	for id := range m.vars {
-		if err := m.refitVar(db, id); err != nil {
+		if err := m.refitVar(db, next, id); err != nil {
 			return err
 		}
 	}
 	for _, tn := range db.TableNames() {
-		m.tableSize[tn] = int64(db.Table(tn).Len())
+		next.tableSize[tn] = int64(db.Table(tn).Len())
 	}
-	m.mu.Lock()
-	m.evalCache = nil
-	m.mu.Unlock()
+	m.publish(cur, next)
 	return nil
+}
+
+// cloneEpochLocked derives a private, mutable successor of cur: deep CPD
+// copies, a copied table-size map, a fresh (empty) shape cache, and the
+// next sequence number. Caller holds refitMu.
+func (m *PRM) cloneEpochLocked(cur *paramEpoch) *paramEpoch {
+	cpds := make([]bayesnet.CPD, len(cur.cpds))
+	for id, c := range cur.cpds {
+		cpds[id] = bayesnet.CloneCPD(c)
+	}
+	sizes := make(map[string]int64, len(cur.tableSize))
+	for tn, n := range cur.tableSize {
+		sizes[tn] = n
+	}
+	return newParamEpoch(cur.seq+1, cpds, sizes)
 }
 
 // LogLikelihood evaluates the model's log-likelihood (nats) on db under the
@@ -51,14 +68,13 @@ func (m *PRM) RefitParameters(db *dataset.Database) error {
 // should be relearned (paper §6). Attribute variables contribute one term
 // per row; join indicators one term per tuple pair, computed in aggregate.
 func (m *PRM) LogLikelihood(db *dataset.Database) (float64, error) {
-	m.paramMu.RLock()
-	defer m.paramMu.RUnlock()
+	ep := m.params()
 	if err := m.checkSchema(db); err != nil {
 		return 0, err
 	}
 	var total float64
 	for id := range m.vars {
-		ll, err := m.varLogLik(db, id)
+		ll, err := m.varLogLik(db, ep, id)
 		if err != nil {
 			return 0, err
 		}
@@ -228,10 +244,11 @@ func (m *PRM) forEachJoinSample(db *dataset.Database, id int, fn func(s sample))
 	return nil
 }
 
-// refitVar re-estimates variable id's CPD parameters in place.
-func (m *PRM) refitVar(db *dataset.Database, id int) error {
+// refitVar re-estimates variable id's CPD parameters into next — the
+// private clone epoch being built — never the published one.
+func (m *PRM) refitVar(db *dataset.Database, next *paramEpoch, id int) error {
 	v := m.vars[id]
-	switch cpd := m.cpds[id].(type) {
+	switch cpd := next.cpds[id].(type) {
 	case *bayesnet.TreeCPD:
 		// Accumulate child counts per leaf, then replace leaf dists.
 		counts := make(map[*bayesnet.TreeNode][]float64)
@@ -298,9 +315,9 @@ func (m *PRM) refitVar(db *dataset.Database, id int) error {
 // under the current CPD. Observations whose probability is zero under the
 // model contribute a large finite penalty rather than -Inf, so a drifted
 // model scores badly but comparably.
-func (m *PRM) varLogLik(db *dataset.Database, id int) (float64, error) {
+func (m *PRM) varLogLik(db *dataset.Database, ep *paramEpoch, id int) (float64, error) {
 	const zeroPenalty = -30 // ≈ ln(1e-13)
-	cpd := m.cpds[id]
+	cpd := ep.cpds[id]
 	var total float64
 	err := m.forEachSample(db, id, func(s sample) {
 		p := cpd.Prob(s.child, s.parents)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"prmsel/internal/bayesnet"
 	"prmsel/internal/dataset"
@@ -52,32 +53,84 @@ func (v Var) Name() string {
 }
 
 // PRM is a learned probabilistic relational model.
+//
+// The structural fields (vars, index, parents, strata) are immutable after
+// construction. Everything a refit can change — CPDs, table sizes, and the
+// shape cache of unrolled evaluation networks — lives in an immutable
+// paramEpoch published through an atomic pointer, so the estimate read
+// path never takes a lock: a reader loads the epoch once per request and
+// works against a consistent snapshot while a concurrent refit builds and
+// publishes the next one.
 type PRM struct {
 	vars    []Var
 	index   map[string]int // Var.Name() -> id
 	parents [][]int
-	cpds    []bayesnet.CPD
-	// tableSize records |R| per table at learning time, used to scale
-	// probabilities to counts.
-	tableSize map[string]int64
 	// strata is the table stratification order used during learning.
 	strata []string
-	// evalCache memoizes unrolled query-evaluation networks per query
-	// shape; mu guards it. Estimation is safe for concurrent use: the
-	// cached networks synchronize their own factor memoization, and no
-	// estimation call writes shared scratch (factor operations copy,
-	// CPDs are read-only on the Prob/Factor path).
-	mu        sync.Mutex
-	evalCache map[string]*evalModel
+
+	// epoch is the atomically published parameter snapshot. Never nil on
+	// a constructed model (Learn/Decode install the first epoch).
+	epoch atomic.Pointer[paramEpoch]
+
+	// refitMu serializes writers: RefitParameters and RefitFromStats
+	// clone the current epoch's CPDs, refit the clones, and publish a
+	// fresh epoch. Readers never touch it.
+	refitMu sync.Mutex
+
+	// mu guards planCap and the copy-on-write inserts into the current
+	// epoch's shape map. Shape lookups are lock-free; only builders of a
+	// new shape (and the brownout plan-capacity knob) serialize here.
+	mu sync.Mutex
 	// planCap, when > 0, overrides the plan-cache capacity of every
 	// evaluation network (existing and future) — the brownout
 	// controller's memory knob. Guarded by mu.
 	planCap int
-	// paramMu serializes in-place parameter maintenance (RefitParameters
-	// writes CPDs and tableSize) against concurrent estimation reads.
-	// Estimation holds the read side, so many queries proceed in
-	// parallel; a refit drains them and runs exclusively.
-	paramMu sync.RWMutex
+}
+
+// paramEpoch is one immutable generation of the model's parameters: the
+// CPDs, the table sizes that scale probabilities to counts, and the shape
+// cache of evaluation networks built against exactly these CPDs. A refit
+// never mutates a published epoch — it clones, refits the clones, and
+// swaps the pointer — so holders of an old epoch keep estimating against
+// internally consistent parameters, and the epoch swap doubles as the
+// plan/shape-cache invalidation (the new epoch starts with an empty shape
+// map, and every evalModel it grows embeds the new CPDs).
+type paramEpoch struct {
+	seq  uint64
+	cpds []bayesnet.CPD
+	// tableSize records |R| per table at learning (or last refit) time.
+	tableSize map[string]int64
+	// shapes memoizes unrolled query-evaluation networks per query shape.
+	// The map value is immutable; inserts copy-on-write under PRM.mu and
+	// republish, so the hot lookup is one atomic load and a map read.
+	// Estimation is safe for concurrent use: the cached networks
+	// synchronize their own factor memoization, and no estimation call
+	// writes shared scratch (factor operations copy, CPDs are read-only
+	// on the Prob/Factor path).
+	shapes atomic.Pointer[map[string]*evalModel]
+}
+
+// newParamEpoch assembles an epoch with an empty shape cache.
+func newParamEpoch(seq uint64, cpds []bayesnet.CPD, tableSize map[string]int64) *paramEpoch {
+	ep := &paramEpoch{seq: seq, cpds: cpds, tableSize: tableSize}
+	empty := make(map[string]*evalModel)
+	ep.shapes.Store(&empty)
+	return ep
+}
+
+// params returns the current parameter epoch. Callers that make several
+// reads which must be mutually consistent (an estimate, an encode) load
+// once and pass the epoch down.
+func (m *PRM) params() *paramEpoch { return m.epoch.Load() }
+
+// publish installs next as the current epoch. Writers serialize on
+// refitMu, so the swap cannot lose an update; the CAS (rather than a
+// plain store) documents and enforces that next was derived from the
+// epoch it replaces.
+func (m *PRM) publish(cur, next *paramEpoch) {
+	if !m.epoch.CompareAndSwap(cur, next) {
+		panic("core: concurrent epoch publish (writer not holding refitMu?)")
+	}
 }
 
 // NumVars returns the number of PRM variables.
@@ -104,17 +157,23 @@ func (m *PRM) JoinVarID(table, fk string) int { return m.VarID(table + "~" + fk)
 // Parents returns the parent ids of id (do not mutate).
 func (m *PRM) Parents(id int) []int { return m.parents[id] }
 
-// CPD returns the CPD of id.
-func (m *PRM) CPD(id int) bayesnet.CPD { return m.cpds[id] }
+// CPD returns the CPD of id in the current parameter epoch.
+func (m *PRM) CPD(id int) bayesnet.CPD { return m.params().cpds[id] }
 
-// TableSize returns |table| recorded at learning time.
-func (m *PRM) TableSize(table string) int64 { return m.tableSize[table] }
+// TableSize returns |table| recorded at learning (or last refit) time.
+func (m *PRM) TableSize(table string) int64 { return m.params().tableSize[table] }
+
+// ParamSeq returns the current parameter epoch's sequence number; it
+// advances by one on every published refit. Callers can use it to detect
+// a parameter change between two reads.
+func (m *PRM) ParamSeq() uint64 { return m.params().seq }
 
 // StorageBytes returns the model's storage cost: CPD bytes plus one byte
 // per dependency edge (same accounting as bayesnet.Network).
 func (m *PRM) StorageBytes() int {
+	ep := m.params()
 	total := 0
-	for id, c := range m.cpds {
+	for id, c := range ep.cpds {
 		if c != nil {
 			total += c.StorageBytes()
 		}
@@ -126,7 +185,7 @@ func (m *PRM) StorageBytes() int {
 // NumParams returns the total free parameters across CPDs.
 func (m *PRM) NumParams() int {
 	total := 0
-	for _, c := range m.cpds {
+	for _, c := range m.params().cpds {
 		if c != nil {
 			total += c.NumParams()
 		}
@@ -136,6 +195,7 @@ func (m *PRM) NumParams() int {
 
 // String renders the dependency structure, one line per variable.
 func (m *PRM) String() string {
+	ep := m.params()
 	var b strings.Builder
 	for id, v := range m.vars {
 		fmt.Fprintf(&b, "%s", v.Name())
@@ -146,8 +206,8 @@ func (m *PRM) String() string {
 			}
 			fmt.Fprintf(&b, " <- %s", strings.Join(names, ", "))
 		}
-		if m.cpds[id] != nil {
-			fmt.Fprintf(&b, "  [%s, %dB]", m.cpds[id].Kind(), m.cpds[id].StorageBytes())
+		if ep.cpds[id] != nil {
+			fmt.Fprintf(&b, "  [%s, %dB]", ep.cpds[id].Kind(), ep.cpds[id].StorageBytes())
 		}
 		b.WriteByte('\n')
 	}
@@ -159,8 +219,9 @@ func (m *PRM) String() string {
 // corresponding join indicator to precede it in the parent list), and
 // table stratification of cross-table edges.
 func (m *PRM) Validate() error {
+	ep := m.params()
 	for id, v := range m.vars {
-		if m.cpds[id] == nil {
+		if ep.cpds[id] == nil {
 			return fmt.Errorf("core: variable %s has no CPD", v.Name())
 		}
 		for _, p := range m.parents[id] {
@@ -247,6 +308,7 @@ func buildVars(db *dataset.Database) ([]Var, map[string]int, []string, error) {
 // RenderCPD pretty-prints variable id's CPD with parent names; values are
 // shown as codes (join indicators as false/true).
 func (m *PRM) RenderCPD(id int) string {
+	ep := m.params()
 	parents := m.parents[id]
 	names := make([]string, len(parents))
 	for i, p := range parents {
@@ -261,5 +323,5 @@ func (m *PRM) RenderCPD(id int) string {
 		}
 		return fmt.Sprint(value)
 	}
-	return bayesnet.RenderCPD(m.cpds[id], names, valueName)
+	return bayesnet.RenderCPD(ep.cpds[id], names, valueName)
 }

@@ -341,14 +341,18 @@ func (st *ModelStats) Rows(table string) int64 { return st.rows[table] }
 // RefitFromStats re-estimates every CPD's parameters from the maintained
 // statistics, keeping the structure fixed — the O(delta-derived) twin of
 // RefitParameters: no table scan, cost proportional to occupied contingency
-// cells. It takes the parameter write-lock, refreshes table sizes, and
-// clears the evaluation cache, exactly like the scan-based refit.
+// cells. Like the scan-based refit it clones the current epoch's CPDs,
+// refits the clones, and atomically publishes a fresh epoch (which carries
+// the refreshed table sizes and an empty shape cache); readers are never
+// blocked, and a failed refit publishes nothing.
 func (m *PRM) RefitFromStats(st *ModelStats) error {
 	if st.m != m {
 		return fmt.Errorf("core: RefitFromStats: statistics belong to a different model")
 	}
-	m.paramMu.Lock()
-	defer m.paramMu.Unlock()
+	m.refitMu.Lock()
+	defer m.refitMu.Unlock()
+	cur := m.params()
+	next := m.cloneEpochLocked(cur)
 	for id := range m.vars {
 		var c *learn.Counts
 		if s := st.attr[id]; s != nil {
@@ -356,15 +360,13 @@ func (m *PRM) RefitFromStats(st *ModelStats) error {
 		} else {
 			c = st.joins[id].derive()
 		}
-		if err := learn.RefitCPD(m.cpds[id], c); err != nil {
+		if err := learn.RefitCPD(next.cpds[id], c); err != nil {
 			return fmt.Errorf("core: refit %s: %w", m.vars[id].Name(), err)
 		}
 	}
 	for tn, n := range st.rows {
-		m.tableSize[tn] = n
+		next.tableSize[tn] = n
 	}
-	m.mu.Lock()
-	m.evalCache = nil
-	m.mu.Unlock()
+	m.publish(cur, next)
 	return nil
 }

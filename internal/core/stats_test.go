@@ -82,12 +82,13 @@ func TestRefitFromStatsMatchesScan(t *testing.T) {
 			t.Fatal(err)
 		}
 
+		mep, scanEp := m.params(), scan.params()
 		for id := range m.vars {
-			assertSameDists(t, m.vars[id].Name(), m.cpds[id], scan.cpds[id])
+			assertSameDists(t, m.vars[id].Name(), mep.cpds[id], scanEp.cpds[id])
 		}
-		for tn, n := range scan.tableSize {
-			if m.tableSize[tn] != n {
-				t.Fatalf("inserts=%d: tableSize[%s] = %d, scan %d", inserts, tn, m.tableSize[tn], n)
+		for tn, n := range scanEp.tableSize {
+			if mep.tableSize[tn] != n {
+				t.Fatalf("inserts=%d: tableSize[%s] = %d, scan %d", inserts, tn, mep.tableSize[tn], n)
 			}
 		}
 		if st.Rows("Purchase") != int64(db.Table("Purchase").Len()) {

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prmsel/internal/query"
@@ -25,6 +26,13 @@ var (
 // entirely; only work that will actually run elimination acquires. Weights
 // let one expensive multi-join query count as several cheap ones, so the
 // concurrency cap tracks load rather than request count.
+//
+// The uncontended path is lock-free: while no waiter is queued, acquire
+// claims capacity with one CAS and release returns it with one atomic
+// add, so cache-miss admission never serializes concurrent requests that
+// fit. The mutex (and strict FIFO) engages only once the semaphore is
+// saturated enough that someone actually has to wait — at which point the
+// queue, not the lock, is the bottleneck by construction.
 type admission struct {
 	// maxCap is the configured capacity, immutable for the semaphore's
 	// lifetime. Weights are clamped against it — never against the
@@ -35,10 +43,12 @@ type admission struct {
 	maxQueue int
 	timeout  time.Duration
 
-	mu       sync.Mutex
-	capacity int64 // current admission bound in [1, maxCap]
-	used     int64
-	waiters  list.List // of *waiter, FIFO
+	used     atomic.Int64 // admitted weight; CAS-claimed, atomically released
+	capacity atomic.Int64 // current admission bound in [1, maxCap]
+	queued   atomic.Int32 // waiter count; the fast path is gated on it being zero
+
+	mu      sync.Mutex // guards the wait queue only
+	waiters list.List  // of *waiter, FIFO
 }
 
 type waiter struct {
@@ -50,7 +60,9 @@ type waiter struct {
 // concurrently, queueing at most maxQueue waiters, each for at most
 // timeout.
 func newAdmission(capacity int64, maxQueue int, timeout time.Duration) *admission {
-	return &admission{maxCap: capacity, capacity: capacity, maxQueue: maxQueue, timeout: timeout}
+	a := &admission{maxCap: capacity, maxQueue: maxQueue, timeout: timeout}
+	a.capacity.Store(capacity)
+	return a
 }
 
 // setCapacity retunes the admission bound, clamped to [1, maxCap]. A
@@ -63,8 +75,8 @@ func (a *admission) setCapacity(c int64) {
 	if c > a.maxCap {
 		c = a.maxCap
 	}
+	a.capacity.Store(c)
 	a.mu.Lock()
-	a.capacity = c
 	a.grantLocked()
 	a.mu.Unlock()
 }
@@ -77,34 +89,55 @@ func queryWeight(q *query.Query) int64 {
 	return w
 }
 
-// fitsLocked reports whether weight w may be admitted now. The used == 0
-// escape keeps progress guaranteed: a query clamped to maxCap (or any
-// weight above a brownout-shrunken capacity) runs alone rather than
-// wedging forever.
-func (a *admission) fitsLocked(w int64) bool {
-	return a.used+w <= a.capacity || a.used == 0
+// tryClaim CAS-claims weight w, honoring the used == 0 escape that keeps
+// progress guaranteed: a query clamped to maxCap (or any weight above a
+// brownout-shrunken capacity) runs alone rather than wedging forever.
+// Safe to call with or without the mutex — the CAS is the arbiter, so a
+// locked granter and lock-free claimants can race without overshooting
+// the bound.
+func (a *admission) tryClaim(w int64) bool {
+	for {
+		u := a.used.Load()
+		if u+w > a.capacity.Load() && u != 0 {
+			return false
+		}
+		if a.used.CompareAndSwap(u, u+w) {
+			return true
+		}
+	}
 }
 
 // acquire blocks until w slots are granted, the queue deadline passes, or
 // the caller's context ends. Weights above the configured capacity are
 // clamped so a huge query is admissible (alone) rather than wedged
-// forever.
+// forever. With no waiters queued, a fitting acquire is one CAS.
 func (a *admission) acquire(done <-chan struct{}, w int64) error {
 	if w > a.maxCap {
 		w = a.maxCap
 	}
+	if a.queued.Load() == 0 && a.tryClaim(w) {
+		return nil
+	}
 	a.mu.Lock()
-	if a.fitsLocked(w) && a.waiters.Len() == 0 {
-		a.used += w
+	// Retry under the lock: a racing release may have freed capacity, and
+	// barging ahead of the queue is only allowed when the queue is empty.
+	if a.queued.Load() == 0 && a.tryClaim(w) {
 		a.mu.Unlock()
 		return nil
 	}
-	if a.waiters.Len() >= a.maxQueue {
+	if int(a.queued.Load()) >= a.maxQueue {
 		a.mu.Unlock()
 		return ErrQueueFull
 	}
 	wt := &waiter{weight: w, ready: make(chan struct{})}
 	elem := a.waiters.PushBack(wt)
+	a.queued.Add(1)
+	// Close the race with a lock-free release: the release decrements
+	// used and then checks queued. If it saw queued == 0, its decrement
+	// is already visible here (both are sequentially consistent atomics),
+	// so this grant pass finds the freed capacity; if it saw our
+	// increment, the release itself takes the lock and grants.
+	a.grantLocked()
 	a.mu.Unlock()
 
 	timer := time.NewTimer(a.timeout)
@@ -137,20 +170,24 @@ func (a *admission) abandon(elem *list.Element) bool {
 	for e := a.waiters.Front(); e != nil; e = e.Next() {
 		if e == elem {
 			a.waiters.Remove(e)
+			a.queued.Add(-1)
 			return true
 		}
 	}
 	return false
 }
 
-// release returns w slots and grants as many queued waiters as now fit, in
-// FIFO order.
+// release returns w slots; when waiters are queued it grants as many as
+// now fit, in FIFO order. With an empty queue it is a single atomic add.
 func (a *admission) release(w int64) {
 	if w > a.maxCap {
 		w = a.maxCap
 	}
+	a.used.Add(-w)
+	if a.queued.Load() == 0 {
+		return
+	}
 	a.mu.Lock()
-	a.used -= w
 	a.grantLocked()
 	a.mu.Unlock()
 }
@@ -163,19 +200,18 @@ func (a *admission) grantLocked() {
 			break
 		}
 		wt := front.Value.(*waiter)
-		if !a.fitsLocked(wt.weight) {
+		if !a.tryClaim(wt.weight) {
 			break
 		}
-		a.used += wt.weight
 		a.waiters.Remove(front)
+		a.queued.Add(-1)
 		close(wt.ready)
 	}
 }
 
 // snapshot reports the in-use weight, queue length, and current capacity
-// (for health output and the brownout controller's signals).
+// (for health output and the brownout controller's signals); it takes no
+// locks.
 func (a *admission) snapshot() (used int64, queued int, capacity int64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.used, a.waiters.Len(), a.capacity
+	return a.used.Load(), int(a.queued.Load()), a.capacity.Load()
 }

@@ -135,8 +135,9 @@ func stubRegistry(t *testing.T, name string, ests []baselines.Estimator) *Regist
 	reg := NewRegistry()
 	m := &Model{Name: name}
 	m.cur.Store(&Snapshot{DB: snap.DB, Estimators: ests, Generation: 1, BuiltAt: time.Now()})
-	reg.models[name] = m
-	reg.order = append(reg.order, name)
+	if err := reg.install(name, m); err != nil {
+		t.Fatal(err)
+	}
 	return reg
 }
 

@@ -1,21 +1,33 @@
 // Package serve implements the online estimation service: a model registry
-// with atomic hot-swap, a sharded LRU inference cache with
-// singleflight-style deduplication, an HTTP JSON API, and runtime metrics.
-// The paper's premise (§2.2, §5.3) is that a learned model answers
-// selectivity queries fast enough for an optimizer's inner loop; this
-// package is the piece that actually puts a model behind concurrent
-// callers.
+// with atomic hot-swap, a sharded inference cache whose hit path is
+// lock-free, an HTTP JSON API, and runtime metrics. The paper's premise
+// (§2.2, §5.3) is that a learned model answers selectivity queries fast
+// enough for an optimizer's inner loop; this package is the piece that
+// actually puts a model behind concurrent callers.
 package serve
 
 import (
-	"container/list"
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 )
 
-// Cache is a sharded LRU keyed by canonicalized query. Each shard has its
-// own lock, so concurrent lookups on different shards never contend, and
-// each shard deduplicates concurrent misses for the same key: one caller
+// Cache is a sharded inference cache keyed by canonicalized query. The
+// hit path takes zero locks: each shard publishes a fixed open-addressed
+// table of atomic entry pointers, so a lookup is one hash, one atomic
+// table load, and a short probe — concurrent hits on the same shard (or
+// even the same key) never serialize. The shard mutex survives only for
+// misses, singleflight deduplication, inserts, and Resize.
+//
+// Eviction is CLOCK (second-chance): hits set a per-entry reference bit
+// instead of rewriting a recency list, which is what makes the lock-free
+// read table possible; the eviction hand (which only runs under the shard
+// mutex, on inserts into a full shard) clears bits and victims the first
+// entry found clear. A freshly inserted entry starts with its bit clear,
+// so a burst of cold keys cannot flush the shard's hot set — an entry has
+// to be hit at least once to survive a full sweep ahead of untouched ones.
+//
+// Each shard deduplicates concurrent misses for the same key: one caller
 // runs the computation, everyone else waits for its result
 // (singleflight). Values are immutable once stored; callers must not
 // mutate what they get back.
@@ -24,13 +36,33 @@ type Cache struct {
 	seed   maphash.Seed
 }
 
+// cacheTable is one shard's published probe table. The slice header is
+// immutable after construction; slots are written only with atomic
+// stores, so readers probe without synchronization. A slot holds nil
+// (never used), the tombstone sentinel (evicted; probes continue past
+// it), or a live *cacheEntry.
+type cacheTable struct {
+	slots []atomic.Pointer[cacheEntry]
+	mask  uint64
+}
+
 type cacheShard struct {
+	table atomic.Pointer[cacheTable]
+	seed  maphash.Seed // the cache's seed; rebuilds re-probe with it
+
+	// mu guards everything below: the miss/insert/evict path and Resize.
+	// The hit path never touches it.
 	mu     sync.Mutex
-	cap    int                      // per-shard entry bound; Resize retunes it
-	ll     *list.List               // front = most recently used
-	items  map[string]*list.Element // key -> element; Value is *cacheEntry
+	cap    int // live-entry bound; Resize retunes it
+	live   int // live entries in the table
+	tombs  int // tombstone slots awaiting a rebuild
+	hand   int // CLOCK hand, a slot index into the current table
 	flight map[string]*flightCall
 }
+
+// tombstone marks an evicted slot. Probes skip it (identity comparison,
+// never a key match); inserts reuse the first one on their probe path.
+var tombstone = new(cacheEntry)
 
 // noStore wraps a Do computation result that must be returned to callers
 // but never cached — brownout-degraded answers use it so a recovered
@@ -39,9 +71,13 @@ type noStore struct {
 	val any
 }
 
+// cacheEntry is immutable after publication except for the CLOCK
+// reference bit; value updates for an existing key swap in a fresh entry
+// rather than mutating one a reader may hold.
 type cacheEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	used atomic.Bool
 }
 
 type flightCall struct {
@@ -66,17 +102,33 @@ func NewCache(capacity, shards int) *Cache {
 		seed:   maphash.MakeSeed(),
 	}
 	for i := range c.shards {
-		c.shards[i].cap = perShard
-		c.shards[i].ll = list.New()
-		c.shards[i].items = make(map[string]*list.Element)
-		c.shards[i].flight = make(map[string]*flightCall)
+		s := &c.shards[i]
+		s.cap = perShard
+		s.seed = c.seed
+		s.table.Store(newCacheTable(perShard))
+		s.flight = make(map[string]*flightCall)
 	}
 	return c
 }
 
+// newCacheTable sizes a probe table for cap live entries: the next power
+// of two at or above 2×cap, so the load factor stays at or below one
+// half and every probe terminates at a nil slot.
+func newCacheTable(cap int) *cacheTable {
+	n := 4
+	for n < 2*cap {
+		n <<= 1
+	}
+	return &cacheTable{
+		slots: make([]atomic.Pointer[cacheEntry], n),
+		mask:  uint64(n - 1),
+	}
+}
+
 // Resize retunes the total capacity (floored at one entry per shard),
-// evicting LRU entries immediately on a shrink. The brownout controller
-// uses this to trade hit rate for heap under memory pressure.
+// evicting immediately on a shrink and rebuilding each shard's probe
+// table to the new size. The brownout controller uses this to trade hit
+// rate for heap under memory pressure.
 func (c *Cache) Resize(capacity int) {
 	if capacity < 1 {
 		capacity = 1
@@ -86,35 +138,79 @@ func (c *Cache) Resize(capacity int) {
 		s := &c.shards[i]
 		s.mu.Lock()
 		s.cap = perShard
-		for len(s.items) > s.cap {
-			back := s.ll.Back()
-			if back == nil {
-				break
-			}
-			s.ll.Remove(back)
-			delete(s.items, back.Value.(*cacheEntry).key)
+		t := s.table.Load()
+		for s.live > s.cap {
+			s.evictLocked(t)
+		}
+		if len(newCacheTable(perShard).slots) != len(t.slots) {
+			s.rebuildLocked(t)
 		}
 		s.mu.Unlock()
 	}
 }
 
-func (c *Cache) shard(key string) *cacheShard {
-	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+// mix is the splitmix64 finalizer, decorrelating the in-table probe start
+// from the bits the shard selection consumed.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func (c *Cache) shard(h uint64) *cacheShard {
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// find probes for key without taking any lock: one atomic table load,
+// then linear probing over atomic slot loads. Safe to call with or
+// without the shard mutex; a racing insert or eviction yields either the
+// entry or a miss, both of which are correct answers for a cache.
+func (s *cacheShard) find(h uint64, key string) *cacheEntry {
+	t := s.table.Load()
+	i := mix(h) & t.mask
+	for range t.slots {
+		e := t.slots[i].Load()
+		if e == nil {
+			return nil
+		}
+		if e != tombstone && e.key == key {
+			return e
+		}
+		i = (i + 1) & t.mask
+	}
+	return nil
+}
+
+// touch sets the CLOCK reference bit, loading first so a hot entry's hits
+// do not keep invalidating the cache line with redundant stores.
+func touch(e *cacheEntry) {
+	if !e.used.Load() {
+		e.used.Store(true)
+	}
 }
 
 // Do returns the value cached under key, computing it with fn on a miss.
-// Concurrent Do calls for the same key during a miss run fn exactly once:
-// the first caller computes, the rest report shared=true and receive the
-// same value. Errors are returned to every waiter but never cached, so a
-// later call retries.
+// A hit acquires no locks. Concurrent Do calls for the same key during a
+// miss run fn exactly once: the first caller computes, the rest report
+// shared=true and receive the same value. Errors are returned to every
+// waiter but never cached, so a later call retries.
 func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit, shared bool, err error) {
-	s := c.shard(key)
+	h := maphash.String(c.seed, key)
+	s := c.shard(h)
+	if e := s.find(h, key); e != nil {
+		touch(e)
+		return e.val, true, false, nil
+	}
 	s.mu.Lock()
-	if el, ok := s.items[key]; ok {
-		s.ll.MoveToFront(el)
-		v := el.Value.(*cacheEntry).val
+	if e := s.find(h, key); e != nil {
+		// Lost a race with another miss on the same key that already
+		// inserted; count it as the hit it is.
 		s.mu.Unlock()
-		return v, true, false, nil
+		touch(e)
+		return e.val, true, false, nil
 	}
 	if f, ok := s.flight[key]; ok {
 		s.mu.Unlock()
@@ -136,43 +232,112 @@ func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit, shared boo
 	s.mu.Lock()
 	delete(s.flight, key)
 	if f.err == nil && !skipStore {
-		s.insert(key, f.val)
+		s.insertLocked(h, key, f.val)
 	}
 	s.mu.Unlock()
 	close(f.done)
 	return f.val, false, false, f.err
 }
 
-// Get reports the cached value without computing anything.
+// Get reports the cached value without computing anything; it takes no
+// locks.
 func (c *Cache) Get(key string) (any, bool) {
-	s := c.shard(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[key]
-	if !ok {
+	h := maphash.String(c.seed, key)
+	e := c.shard(h).find(h, key)
+	if e == nil {
 		return nil, false
 	}
-	s.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	touch(e)
+	return e.val, true
 }
 
-// insert adds key under the shard lock, evicting the least recently used
-// entry when the shard is full.
-func (s *cacheShard) insert(key string, val any) {
-	if el, ok := s.items[key]; ok { // a racing Do may have stored already
-		s.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).val = val
-		return
-	}
-	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
-	for len(s.items) > s.cap {
-		back := s.ll.Back()
-		if back == nil {
+// insertLocked publishes key under the shard lock, evicting with the
+// CLOCK hand when the shard is at capacity. Caller holds s.mu.
+func (s *cacheShard) insertLocked(h uint64, key string, val any) {
+	t := s.table.Load()
+	e := &cacheEntry{key: key, val: val}
+	i := mix(h) & t.mask
+	reuse := -1
+	for {
+		cur := t.slots[i].Load()
+		if cur == nil {
 			break
 		}
-		s.ll.Remove(back)
-		delete(s.items, back.Value.(*cacheEntry).key)
+		if cur == tombstone {
+			if reuse < 0 {
+				reuse = int(i)
+			}
+		} else if cur.key == key {
+			// A racing Do stored this key already; swap the value in via a
+			// fresh entry (readers may hold the old one — never mutate it).
+			t.slots[i].Store(e)
+			return
+		}
+		i = (i + 1) & t.mask
 	}
+	for s.live >= s.cap {
+		s.evictLocked(t)
+	}
+	if reuse >= 0 {
+		i = uint64(reuse)
+		s.tombs--
+	}
+	t.slots[i].Store(e)
+	s.live++
+	// Tombstones lengthen every probe that passes them; once a quarter of
+	// the table is dead, rebuild it compactly (readers swap to the new
+	// table on their next lookup).
+	if s.tombs > len(t.slots)/4 {
+		s.rebuildLocked(t)
+	}
+}
+
+// evictLocked runs the CLOCK hand over the slot array: referenced entries
+// get their bit cleared and a second chance; the first unreferenced entry
+// is tombstoned. Caller holds s.mu and must have at least one live entry.
+func (s *cacheShard) evictLocked(t *cacheTable) {
+	if s.live == 0 {
+		return
+	}
+	for {
+		if s.hand >= len(t.slots) {
+			s.hand = 0
+		}
+		slot := &t.slots[s.hand]
+		s.hand++
+		e := slot.Load()
+		if e == nil || e == tombstone {
+			continue
+		}
+		if e.used.Swap(false) {
+			continue // referenced: second chance
+		}
+		slot.Store(tombstone)
+		s.live--
+		s.tombs++
+		return
+	}
+}
+
+// rebuildLocked reinserts the live entries into a fresh right-sized
+// table and publishes it, discarding accumulated tombstones. Caller
+// holds s.mu.
+func (s *cacheShard) rebuildLocked(old *cacheTable) {
+	t := newCacheTable(s.cap)
+	for i := range old.slots {
+		e := old.slots[i].Load()
+		if e == nil || e == tombstone {
+			continue
+		}
+		j := mix(maphash.String(s.seed, e.key)) & t.mask
+		for t.slots[j].Load() != nil {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j].Store(e)
+	}
+	s.tombs = 0
+	s.hand = 0
+	s.table.Store(t)
 }
 
 // Len returns the number of cached entries across all shards.
@@ -181,7 +346,7 @@ func (c *Cache) Len() int {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n += len(s.items)
+		n += s.live
 		s.mu.Unlock()
 	}
 	return n

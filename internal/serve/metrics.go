@@ -2,7 +2,7 @@ package serve
 
 import (
 	"math"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"prmsel/internal/obs"
@@ -81,14 +81,22 @@ type Metrics struct {
 	// histograms themselves are lock-striped atomics.
 	stages map[string]*obs.Histogram
 
-	// Estimation error vs. the exact executor, on sampled requests. The
-	// geometric mean wants a float log-sum, which no counter models;
-	// /metrics reads it through gauge funcs.
-	errMu      sync.Mutex
-	errSamples int64
-	qerrSum    float64 // sum of log(q-error); reported as geometric mean
-	qerrMax    float64
+	// Estimation error vs. the exact executor, on sampled requests.
+	// Recording is lock-free so an error burst never contends with the
+	// request path: samples land in a fixed ring of atomic float bits
+	// (one store per observation), the all-time max is a CAS-max, and
+	// the geometric mean is computed at read time over the ring's window
+	// of the most recent qerrWindow samples.
+	errSamples atomic.Int64
+	qerrIdx    atomic.Uint64
+	qerrRing   [qerrWindow]atomic.Uint64 // math.Float64bits(q); 0 = empty
+	qerrMax    atomic.Uint64             // math.Float64bits of the all-time max
 }
+
+// qerrWindow is the q-error sample ring size: the geometric mean is taken
+// over the most recent qerrWindow exact-checked requests. Power of two so
+// the ring index is a mask.
+const qerrWindow = 1024
 
 // stageNames are the estimate-pipeline stages with their own latency
 // histograms: query parsing, the cache lookup (including singleflight
@@ -167,7 +175,7 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 
 	reg.GaugeFunc("prm_uptime_seconds", "Seconds since this metrics instance was created.",
 		func() float64 { return time.Since(m.start).Seconds() })
-	reg.GaugeFunc("prm_qerror_geomean", "Geometric-mean q-error over exact-checked requests.",
+	reg.GaugeFunc("prm_qerror_geomean", "Geometric-mean q-error over the most recent exact-checked requests (1024-sample ring).",
 		func() float64 { g, _, _ := m.qerrStats(); return g })
 	reg.GaugeFunc("prm_qerror_max", "Maximum q-error over exact-checked requests.",
 		func() float64 { _, mx, _ := m.qerrStats(); return mx })
@@ -308,7 +316,8 @@ func (m *Metrics) ObserveDrift() { m.driftEvents.Inc() }
 
 // ObserveQError records the q-error (max(est/truth, truth/est), with both
 // sides floored at 1 row to stay finite) of one request that was checked
-// against the exact executor.
+// against the exact executor. Lock-free: one ring store, one counter add,
+// and a CAS-max that only retries while the sample is a new record.
 func (m *Metrics) ObserveQError(estimate float64, truth int64) {
 	e := math.Max(estimate, 1)
 	tr := math.Max(float64(truth), 1)
@@ -316,23 +325,46 @@ func (m *Metrics) ObserveQError(estimate float64, truth int64) {
 	if q < 1 {
 		q = tr / e
 	}
-	m.errMu.Lock()
-	m.errSamples++
-	m.qerrSum += math.Log(q)
-	if q > m.qerrMax {
-		m.qerrMax = q
+	i := m.qerrIdx.Add(1) - 1
+	m.qerrRing[i&(qerrWindow-1)].Store(math.Float64bits(q))
+	m.errSamples.Add(1)
+	// Non-negative float bits order like the floats, so a uint64 CAS-max
+	// is a float max (q >= 1 always).
+	bits := math.Float64bits(q)
+	for {
+		cur := m.qerrMax.Load()
+		if bits <= cur || m.qerrMax.CompareAndSwap(cur, bits) {
+			break
+		}
 	}
-	m.errMu.Unlock()
 }
 
-// qerrStats returns (geomean, max, samples) under the error lock.
+// qerrStats returns (geomean, max, samples): the geometric mean over the
+// ring's window of recent samples, the all-time max, and the all-time
+// sample count. Reads race benignly with concurrent observations — each
+// ring cell is atomic, so a torn window can at worst mix samples from
+// adjacent generations.
 func (m *Metrics) qerrStats() (float64, float64, int64) {
-	m.errMu.Lock()
-	defer m.errMu.Unlock()
-	if m.errSamples == 0 {
+	n := m.errSamples.Load()
+	if n == 0 {
 		return 0, 0, 0
 	}
-	return math.Exp(m.qerrSum / float64(m.errSamples)), m.qerrMax, m.errSamples
+	window := min(n, qerrWindow)
+	var logSum float64
+	var have int64
+	for i := int64(0); i < window; i++ {
+		bits := m.qerrRing[i].Load()
+		if bits == 0 {
+			continue
+		}
+		logSum += math.Log(math.Float64frombits(bits))
+		have++
+	}
+	geo := 0.0
+	if have > 0 {
+		geo = math.Exp(logSum / float64(have))
+	}
+	return geo, math.Float64frombits(m.qerrMax.Load()), n
 }
 
 // histMap renders a histogram snapshot as the legacy per-bucket map keyed

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose shadow-memory instrumentation adds ±1 of per-run noise to
+// process-wide allocation counts — exact-equality alloc assertions must
+// loosen accordingly.
+const raceEnabled = true

@@ -717,9 +717,14 @@ func (m *Model) Rebuild(onDone func(*Snapshot, error), onAttempt ...func(attempt
 // publishes the recovered model immediately (cold-start recovery) and
 // refreshes it with a background rebuild.
 type Registry struct {
-	mu        sync.RWMutex
-	order     []string
-	models    map[string]*Model
+	mu     sync.RWMutex
+	order  []string
+	models map[string]*Model
+	// view is the atomically published read side of the model table:
+	// Get/Single/Names on the request path load it without touching mu,
+	// so model resolution is lock-free. Writers mutate models/order under
+	// mu and republish via publishLocked.
+	view      atomic.Pointer[regView]
 	store     *store.Store
 	onPersist func(err error)
 	onIngest  func(rows, walBytes int)
@@ -740,12 +745,49 @@ type Registry struct {
 	wg        sync.WaitGroup
 }
 
+// regView is one immutable generation of the registry's model table.
+// Registration is rare and lookups are per-request, so the table is
+// copied on write and read through one atomic pointer load.
+type regView struct {
+	order  []string
+	models map[string]*Model
+}
+
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		models: make(map[string]*Model),
 		stopc:  make(chan struct{}),
 	}
+	r.view.Store(&regView{models: make(map[string]*Model)})
+	return r
+}
+
+// publishLocked republishes the read view from the authoritative
+// mu-guarded table. Caller holds r.mu.
+func (r *Registry) publishLocked() {
+	v := &regView{
+		order:  append([]string(nil), r.order...),
+		models: make(map[string]*Model, len(r.models)),
+	}
+	for name, m := range r.models {
+		v.models[name] = m
+	}
+	r.view.Store(v)
+}
+
+// install registers m under name, publishing the updated view; it fails
+// on a duplicate without mutating anything.
+func (r *Registry) install(name string, m *Model) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.models[name]; dup {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.models[name] = m
+	r.order = append(r.order, name)
+	r.publishLocked()
+	return nil
 }
 
 // UseStore attaches a durable snapshot store. Models registered after
@@ -938,18 +980,13 @@ func (r *Registry) Add(name string, spec BuildSpec) (*Model, error) {
 		if err := m.setupIngest(r); err != nil {
 			return nil, err
 		}
-		r.mu.Lock()
-		if _, dup := r.models[name]; dup {
-			r.mu.Unlock()
+		if err := r.install(name, m); err != nil {
 			if ing := m.ingestor(); ing != nil {
 				ing.Close()
 			}
 			m.wal.Close()
-			return nil, fmt.Errorf("serve: model %q already registered", name)
+			return nil, err
 		}
-		r.models[name] = m
-		r.order = append(r.order, name)
-		r.mu.Unlock()
 		return m, nil
 	}
 
@@ -981,14 +1018,9 @@ func (r *Registry) Add(name string, spec BuildSpec) (*Model, error) {
 		m.persist(snap)
 	}
 
-	r.mu.Lock()
-	if _, dup := r.models[name]; dup {
-		r.mu.Unlock()
-		return nil, fmt.Errorf("serve: model %q already registered", name)
+	if err := r.install(name, m); err != nil {
+		return nil, err
 	}
-	r.models[name] = m
-	r.order = append(r.order, name)
-	r.mu.Unlock()
 
 	if recovered {
 		// Refresh the recovered snapshot in the background: the model
@@ -1005,30 +1037,26 @@ func (r *Registry) Add(name string, spec BuildSpec) (*Model, error) {
 	return m, nil
 }
 
-// Get returns the named model.
+// Get returns the named model. It reads the published view — no lock —
+// because it sits on the request path of every estimate.
 func (r *Registry) Get(name string) (*Model, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	m, ok := r.models[name]
+	m, ok := r.view.Load().models[name]
 	return m, ok
 }
 
 // Names returns the registered model names in registration order.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return append([]string(nil), r.order...)
+	return append([]string(nil), r.view.Load().order...)
 }
 
 // Single returns the only registered model, if exactly one exists — the
-// default target for requests that name no model.
+// default target for requests that name no model. Lock-free, like Get.
 func (r *Registry) Single() (*Model, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.order) != 1 {
+	v := r.view.Load()
+	if len(v.order) != 1 {
 		return nil, false
 	}
-	return r.models[r.order[0]], true
+	return v.models[v.order[0]], true
 }
 
 // sortedEstimatorNames lists a snapshot's estimators by name, sorted — the

@@ -493,7 +493,11 @@ func TestEstimateAllocsJournalIdle(t *testing.T) {
 			// successful is ever kept.
 			SlowThreshold:  time.Hour,
 			DisableJournal: disable,
-			Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+			// No controller goroutine: AllocsPerRun counts process-wide
+			// mallocs, and a background tick landing inside one window
+			// skews the per-run average.
+			DisableBrownout: true,
+			Logger:          slog.New(slog.NewTextHandler(io.Discard, nil)),
 		})
 		const body = `{"query":"FROM People p WHERE p.Income = high"}`
 		warm := httptest.NewRecorder()
@@ -501,17 +505,29 @@ func TestEstimateAllocsJournalIdle(t *testing.T) {
 		if warm.Code != 200 {
 			t.Fatalf("warmup = %d: %s", warm.Code, warm.Body)
 		}
-		return testing.AllocsPerRun(200, func() {
-			rr := httptest.NewRecorder()
-			srv.handleEstimate(rr, httptest.NewRequest("POST", "/v1/estimate", strings.NewReader(body)))
-			if rr.Code != 200 {
-				t.Fatalf("cached hit = %d", rr.Code)
-			}
-		})
+		// Best of three: a real extra allocation on the path shows up in
+		// every window; GC or scheduler noise only inflates some.
+		best := math.Inf(1)
+		for i := 0; i < 3; i++ {
+			best = min(best, testing.AllocsPerRun(200, func() {
+				rr := httptest.NewRecorder()
+				srv.handleEstimate(rr, httptest.NewRequest("POST", "/v1/estimate", strings.NewReader(body)))
+				if rr.Code != 200 {
+					t.Fatalf("cached hit = %d", rr.Code)
+				}
+			}))
+		}
+		return best
 	}
 	with := measure(false)
 	without := measure(true)
-	if with > without {
+	// The race detector's instrumentation adds ±1 of per-run noise to the
+	// process-wide malloc count; without it the numbers are exact.
+	tolerance := 0.0
+	if raceEnabled {
+		tolerance = 1
+	}
+	if with > without+tolerance {
 		t.Errorf("cached-hit estimate allocates %v with idle journal, %v without journal", with, without)
 	}
 	t.Logf("cached-hit allocs: journal idle %v, journal disabled %v", with, without)
